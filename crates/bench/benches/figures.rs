@@ -1,0 +1,78 @@
+//! Criterion-sized kernels of every paper figure: one representative
+//! configuration per figure, so `cargo bench` exercises the full
+//! experiment pipeline end to end. The full sweeps live in the
+//! `fig*_*` binaries (`cargo run --release -p ocd-bench --bin …`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocd_bench::runner::{derive_seeds, evaluate};
+use ocd_core::scenario::{figure_one, multi_file, multi_sender, receiver_density, single_file};
+use ocd_graph::generate::{paper_random, transit_stub, TransitStubConfig};
+use ocd_heuristics::{SimConfig, StrategyKind};
+use ocd_lp::MipOptions;
+use ocd_solver::bnb::{decide_focd, BnbOptions};
+use ocd_solver::ip::pareto_frontier;
+use ocd_solver::reduction::focd_from_dominating_set;
+use rand::prelude::*;
+
+fn kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_kernels");
+    group.sample_size(10);
+    let kinds = [StrategyKind::Random, StrategyKind::Global];
+    let config = SimConfig::default();
+
+    group.bench_function("fig1_pareto_frontier", |b| {
+        let instance = figure_one();
+        b.iter(|| pareto_frontier(&instance, 1..=4, &MipOptions::default()).unwrap());
+    });
+
+    group.bench_function("fig2_size_random_n40", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let instance = single_file(paper_random(40, &mut rng), 40, 0);
+        let seeds = derive_seeds(2, 2);
+        b.iter(|| evaluate(&instance, &kinds, &seeds, &config));
+    });
+
+    group.bench_function("fig3_transit_stub_n40", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ts = TransitStubConfig::paper_sized(40);
+        let instance = single_file(transit_stub(&ts, &mut rng), 40, 0);
+        let seeds = derive_seeds(3, 2);
+        b.iter(|| evaluate(&instance, &kinds, &seeds, &config));
+    });
+
+    group.bench_function("fig4_density_half", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let topo = paper_random(40, &mut rng);
+        let instance = receiver_density(topo, 40, 0, 0.5, &mut rng);
+        let seeds = derive_seeds(4, 2);
+        b.iter(|| evaluate(&instance, &kinds, &seeds, &config));
+    });
+
+    group.bench_function("fig5_multi_file_k4", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let instance = multi_file(paper_random(40, &mut rng), 64, 4, 0);
+        let seeds = derive_seeds(5, 2);
+        b.iter(|| evaluate(&instance, &kinds, &seeds, &config));
+    });
+
+    group.bench_function("fig6_multi_sender_k4", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let topo = paper_random(40, &mut rng);
+        let instance = multi_sender(topo, 64, 4, &mut rng);
+        let seeds = derive_seeds(6, 2);
+        b.iter(|| evaluate(&instance, &kinds, &seeds, &config));
+    });
+
+    group.bench_function("fig7_reduction_p5_k2", |b| {
+        let g = ocd_graph::generate::classic::path(5, 1, true);
+        b.iter(|| {
+            let (instance, _) = focd_from_dominating_set(&g, 2);
+            decide_focd(&instance, 2, &BnbOptions::default()).unwrap().is_some()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(figures, kernels);
+criterion_main!(figures);

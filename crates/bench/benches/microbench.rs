@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of the suite's hot paths: token-set
+//! algebra, schedule replay/pruning, bounds, one planning step of each
+//! heuristic, and the exact solvers on small instances.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ocd_core::knowledge::AggregateKnowledge;
+use ocd_core::scenario::{figure_one, single_file};
+use ocd_core::{bounds, prune, Token, TokenSet};
+use ocd_graph::generate::{classic, paper_random};
+use ocd_heuristics::{simulate, SimConfig, StrategyKind, WorldView};
+use ocd_lp::MipOptions;
+use ocd_solver::bnb::{solve_focd, BnbOptions};
+use ocd_solver::ip::min_bandwidth_for_horizon;
+use rand::prelude::*;
+
+fn bench_tokenset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tokenset");
+    for &m in &[64usize, 512, 4096] {
+        let a = TokenSet::from_tokens(m, (0..m).step_by(3).map(Token::new));
+        let b = TokenSet::from_tokens(m, (0..m).step_by(5).map(Token::new));
+        group.bench_with_input(BenchmarkId::new("difference_len", m), &m, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.difference_len(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("union", m), &m, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.union(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("iterate", m), &m, |bench, _| {
+            bench.iter(|| a.iter().map(Token::index).sum::<usize>());
+        });
+    }
+    group.finish();
+}
+
+fn medium_report() -> (ocd_core::Instance, ocd_core::Schedule) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let topology = paper_random(60, &mut rng);
+    let instance = single_file(topology, 60, 0);
+    let mut strategy = StrategyKind::Random.build();
+    let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut rng);
+    assert!(report.success);
+    (instance, report.schedule)
+}
+
+fn bench_schedule_ops(c: &mut Criterion) {
+    let (instance, schedule) = medium_report();
+    let mut group = c.benchmark_group("schedule");
+    group.bench_function("replay_validate", |b| {
+        b.iter(|| ocd_core::validate::replay(&instance, &schedule).unwrap());
+    });
+    group.bench_function("prune", |b| {
+        b.iter(|| prune::prune(&instance, &schedule));
+    });
+    group.bench_function("bandwidth_lower_bound", |b| {
+        b.iter(|| bounds::bandwidth_lower_bound(&instance));
+    });
+    group.bench_function("makespan_lower_bound", |b| {
+        b.iter(|| bounds::makespan_lower_bound(&instance));
+    });
+    group.finish();
+}
+
+fn bench_strategy_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let topology = paper_random(100, &mut rng);
+    let instance = single_file(topology, 100, 0);
+    let possession: Vec<TokenSet> = instance.have_all().to_vec();
+    let aggregates = AggregateKnowledge::compute(100, &possession, instance.want_all());
+    let mut group = c.benchmark_group("strategy_first_step_n100_m100");
+    for kind in StrategyKind::paper_five() {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut s = kind.build();
+                    s.reset(&instance);
+                    (s, StdRng::seed_from_u64(1))
+                },
+                |(mut s, mut step_rng)| {
+                    let view = WorldView {
+                        instance: &instance,
+                        possession: &possession,
+                        aggregates: &aggregates,
+                        step: 0,
+                        capacities: None,
+                    };
+                    std::hint::black_box(s.plan_step(&view, &mut step_rng))
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_solvers(c: &mut Criterion) {
+    let instance = figure_one();
+    let mut group = c.benchmark_group("exact_small");
+    group.sample_size(20);
+    group.bench_function("bnb_focd_figure1", |b| {
+        b.iter(|| solve_focd(&instance, &BnbOptions::default()).unwrap());
+    });
+    group.bench_function("ip_eocd_figure1_h3", |b| {
+        b.iter(|| {
+            min_bandwidth_for_horizon(&instance, 3, &MipOptions::default())
+                .unwrap()
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.bench_function("paper_random_200", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(3),
+            |mut rng| paper_random(200, &mut rng),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("steiner_star_200", |b| {
+        let g = classic::star(200, 3, false);
+        let sources = [g.node(0)];
+        let terminals: Vec<_> = (1..200).map(|i| g.node(i)).collect();
+        b.iter(|| ocd_graph::algo::steiner_tree_approx(&g, &sources, &terminals).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tokenset,
+    bench_schedule_ops,
+    bench_strategy_step,
+    bench_exact_solvers,
+    bench_generators
+);
+criterion_main!(benches);

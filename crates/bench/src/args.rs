@@ -1,0 +1,99 @@
+//! Minimal shared argument parsing for the figure binaries.
+
+/// Options common to all experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Reduced sweep for CI / smoke testing.
+    pub quick: bool,
+    /// Master seed; per-run seeds derive from it deterministically.
+    pub seed: u64,
+    /// Output directory for CSVs.
+    pub out_dir: String,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            quick: false,
+            seed: 2005, // the paper's publication year, for flavor
+            out_dir: "results".to_string(),
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `--quick`, `--seed <u64>`, `--out <dir>` from an iterator
+    /// of arguments (typically `std::env::args().skip(1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown flags or malformed
+    /// values.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<ExpArgs, String> {
+        let mut out = ExpArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed requires a value")?;
+                    out.seed = v.parse().map_err(|_| format!("invalid seed `{v}`"))?;
+                }
+                "--out" => {
+                    out.out_dir = iter.next().ok_or("--out requires a directory")?;
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--quick] [--seed <u64>] [--out <dir>]".to_string())
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses from the process environment, exiting with the message on
+    /// error (binaries call this at the top of `main`).
+    #[must_use]
+    pub fn from_env() -> ExpArgs {
+        match ExpArgs::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExpArgs, String> {
+        ExpArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert!(!a.quick);
+        assert_eq!(a.seed, 2005);
+        assert_eq!(a.out_dir, "results");
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&["--quick", "--seed", "9", "--out", "tmp"]).unwrap();
+        assert!(a.quick);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.out_dir, "tmp");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--bogus"]).unwrap_err().contains("bogus"));
+        assert!(parse(&["--help"]).unwrap_err().contains("usage"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 1: minimizing time and minimizing bandwidth are at odds.
+//!
+//! Recomputes, with the exact solvers, the makespan/bandwidth Pareto
+//! frontier of the Figure 1 instance and checks it against the paper's
+//! caption: "The minimum time schedule takes 2 timesteps and uses 6
+//! units of bandwidth; a minimum bandwidth schedule uses 4 units of
+//! bandwidth but takes 3 timesteps."
+
+use ocd_bench::args::ExpArgs;
+use ocd_bench::table::Table;
+use ocd_core::scenario::figure_one;
+use ocd_lp::MipOptions;
+use ocd_solver::bnb::{solve_focd, BnbOptions};
+use ocd_solver::ip::{min_bandwidth_for_horizon, pareto_frontier};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let instance = figure_one();
+    println!("Figure 1 instance: {:?}\n", instance.stats());
+
+    let exact_time = solve_focd(&instance, &BnbOptions::default()).expect("satisfiable");
+    println!(
+        "branch-and-bound minimum makespan: {} steps (schedule bandwidth {})",
+        exact_time.makespan,
+        exact_time.schedule.bandwidth()
+    );
+    let at_min_time = min_bandwidth_for_horizon(&instance, exact_time.makespan, &MipOptions::default())
+        .expect("mip ok")
+        .expect("feasible at the exact minimum");
+    println!(
+        "IP minimum bandwidth at {} steps: {}",
+        exact_time.makespan, at_min_time.bandwidth
+    );
+
+    let frontier =
+        pareto_frontier(&instance, 1..=5, &MipOptions::default()).expect("mip ok");
+    let mut table = Table::new(["timesteps", "min_bandwidth"]);
+    for (tau, bw) in &frontier {
+        table.row([tau.to_string(), bw.to_string()]);
+    }
+    println!("\n{}", table.render());
+    table
+        .write_csv(format!("{}/fig1_tradeoff.csv", args.out_dir))
+        .expect("write csv");
+
+    let min_time = frontier.first().copied();
+    let min_bw_point = frontier
+        .iter()
+        .copied()
+        .min_by_key(|&(t, b)| (b, t));
+    println!("paper caption:   min-time (2 steps, 6 bw); min-bandwidth (3 steps, 4 bw)");
+    println!(
+        "measured:        min-time ({} steps, {} bw); min-bandwidth ({} steps, {} bw)",
+        min_time.map_or(0, |p| p.0),
+        min_time.map_or(0, |p| p.1),
+        min_bw_point.map_or(0, |p| p.0),
+        min_bw_point.map_or(0, |p| p.1),
+    );
+}

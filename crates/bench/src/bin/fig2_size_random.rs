@@ -1,0 +1,52 @@
+//! Figure 2: moves and bandwidth as a function of graph size — single
+//! source and single file to all receivers on random graphs.
+//!
+//! Paper parameters (§5.2): graphs of 20–1000 vertices with edges added
+//! at probability `2 ln n / n`, a single file of 200 tokens at one
+//! source, edge weights uniform in 3..=15, several graph instances per
+//! size, each heuristic repeated 3 times.
+
+use ocd_bench::args::ExpArgs;
+use ocd_bench::runner::{bounds_of, derive_seeds, evaluate, figure_table, push_rows};
+use ocd_core::scenario::single_file;
+use ocd_graph::generate::paper_random;
+use ocd_heuristics::{SimConfig, StrategyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (sizes, tokens): (&[usize], usize) = if args.quick {
+        (&[20, 50, 100], 50)
+    } else {
+        (&[20, 50, 100, 200, 400, 700, 1000], 200)
+    };
+    let kinds = StrategyKind::paper_five();
+    let config = SimConfig::default();
+    let mut table = figure_table("n");
+
+    for &n in sizes {
+        let graphs = if args.quick {
+            1
+        } else if n <= 200 {
+            3
+        } else {
+            2
+        };
+        let repeats = if args.quick { 2 } else { 3 };
+        eprintln!("n = {n}: {graphs} graphs × {repeats} repeats…");
+        for gi in 0..graphs {
+            let mut topo_rng = StdRng::seed_from_u64(args.seed ^ (n as u64) << 8 ^ gi);
+            let topology = paper_random(n, &mut topo_rng);
+            let instance = single_file(topology, tokens, 0);
+            let seeds = derive_seeds(args.seed ^ (n as u64) << 20 ^ gi, repeats);
+            let stats = evaluate(&instance, &kinds, &seeds, &config);
+            let bounds = bounds_of(&instance);
+            push_rows(&mut table, &n.to_string(), &stats, &bounds);
+        }
+    }
+    println!("{}", table.render());
+    table
+        .write_csv(format!("{}/fig2_size_random.csv", args.out_dir))
+        .expect("write csv");
+}

@@ -1,0 +1,57 @@
+//! Figure 3: moves and bandwidth as a function of graph size — single
+//! source and single file to all receivers on transit-stub (GT-ITM
+//! style) topologies.
+//!
+//! Identical sweep to Figure 2 but with hierarchical Internet-like
+//! graphs; the paper reports the two topologies behave qualitatively the
+//! same, which this binary lets you confirm.
+
+use ocd_bench::args::ExpArgs;
+use ocd_bench::runner::{bounds_of, derive_seeds, evaluate, figure_table, push_rows};
+use ocd_core::scenario::single_file;
+use ocd_graph::generate::{transit_stub, TransitStubConfig};
+use ocd_heuristics::{SimConfig, StrategyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (sizes, tokens): (&[usize], usize) = if args.quick {
+        (&[30, 60], 50)
+    } else {
+        (&[20, 50, 100, 200, 400, 700, 1000], 200)
+    };
+    let kinds = StrategyKind::paper_five();
+    let config = SimConfig::default();
+    let mut table = figure_table("n");
+
+    for &n in sizes {
+        let graphs = if args.quick {
+            1
+        } else if n <= 200 {
+            3
+        } else {
+            2
+        };
+        let repeats = if args.quick { 2 } else { 3 };
+        let ts_config = TransitStubConfig::paper_sized(n);
+        eprintln!(
+            "n ≈ {n} (actual {}): {graphs} graphs × {repeats} repeats…",
+            ts_config.total_nodes()
+        );
+        for gi in 0..graphs {
+            let mut topo_rng = StdRng::seed_from_u64(args.seed ^ (n as u64) << 9 ^ gi);
+            let topology = transit_stub(&ts_config, &mut topo_rng);
+            let actual_n = topology.node_count();
+            let instance = single_file(topology, tokens, 0);
+            let seeds = derive_seeds(args.seed ^ (n as u64) << 21 ^ gi, repeats);
+            let stats = evaluate(&instance, &kinds, &seeds, &config);
+            let bounds = bounds_of(&instance);
+            push_rows(&mut table, &actual_n.to_string(), &stats, &bounds);
+        }
+    }
+    println!("{}", table.render());
+    table
+        .write_csv(format!("{}/fig3_size_transit_stub.csv", args.out_dir))
+        .expect("write csv");
+}

@@ -1,0 +1,50 @@
+//! Figure 5: moves and bandwidth as a function of the number of files —
+//! all receivers want exactly one file subdivided from the same set of
+//! tokens, sourced at a single vertex.
+//!
+//! Paper parameters (§5.3): 200 vertices, 512 tokens at one source;
+//! repeatedly halve both the file and the vertex groups (1 file × 512
+//! tokens … 128 files × 4 tokens). Expected shapes: a large initial
+//! descent in moves, then all flooding heuristics level off with
+//! near-identical bandwidth; only the Bandwidth heuristic improves as
+//! demand becomes more directional, tracking the lower bound and the
+//! pruned flooding curves.
+
+use ocd_bench::args::ExpArgs;
+use ocd_bench::runner::{bounds_of, derive_seeds, evaluate, figure_table, push_rows};
+use ocd_core::scenario::multi_file;
+use ocd_graph::generate::paper_random;
+use ocd_heuristics::{SimConfig, StrategyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (n, tokens, file_counts): (usize, usize, Vec<usize>) = if args.quick {
+        (40, 64, vec![1, 4, 16])
+    } else {
+        (200, 512, vec![1, 2, 4, 8, 16, 32, 64, 128])
+    };
+    let kinds = StrategyKind::paper_five();
+    let config = SimConfig::default();
+    let mut table = figure_table("files");
+
+    let graphs = if args.quick { 1 } else { 2 };
+    let repeats = if args.quick { 2 } else { 3 };
+    for &k in &file_counts {
+        eprintln!("files = {k}…");
+        for gi in 0..graphs {
+            let mut topo_rng = StdRng::seed_from_u64(args.seed ^ gi << 5);
+            let topology = paper_random(n, &mut topo_rng);
+            let instance = multi_file(topology, tokens, k, 0);
+            let seeds = derive_seeds(args.seed ^ (k as u64) << 13 ^ gi, repeats);
+            let stats = evaluate(&instance, &kinds, &seeds, &config);
+            let bounds = bounds_of(&instance);
+            push_rows(&mut table, &k.to_string(), &stats, &bounds);
+        }
+    }
+    println!("{}", table.render());
+    table
+        .write_csv(format!("{}/fig5_multi_file.csv", args.out_dir))
+        .expect("write csv");
+}

@@ -1,0 +1,83 @@
+//! Ablation study of the design choices inside the paper's heuristics
+//! (the knobs DESIGN.md calls out):
+//!
+//! - **Local** with vs without request subdivision — quantifies the
+//!   "two peers send the same rare block" waste the paper designed
+//!   subdivision to prevent;
+//! - **Bandwidth** with per-needy-vertex relays vs a single relay per
+//!   token — parallel progress toward demand clusters vs strictly
+//!   minimal caution;
+//! - **Global** with vs without rarity-aware ranking — how much of the
+//!   coordinated heuristic's edge is rarity versus pure same-step
+//!   deduplication.
+//!
+//! Run on a receiver-density instance (sparse demand, where waste is
+//! visible) and a multi-file instance (directional demand).
+
+use ocd_bench::args::ExpArgs;
+use ocd_bench::stats::Summary;
+use ocd_bench::table::Table;
+use ocd_core::{prune, Instance};
+use ocd_heuristics::{
+    simulate, BandwidthCautious, GlobalGreedy, LocalRarest, SimConfig, Strategy,
+};
+use ocd_graph::generate::paper_random;
+use rand::prelude::*;
+
+fn variants() -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(LocalRarest::new()),
+        Box::new(LocalRarest::without_subdivision()),
+        Box::new(BandwidthCautious::new()),
+        Box::new(BandwidthCautious::with_single_relay()),
+        Box::new(GlobalGreedy::new()),
+        Box::new(GlobalGreedy::without_rarity()),
+    ]
+}
+
+fn run_block(table: &mut Table, scenario: &str, instance: &Instance, seeds: &[u64]) {
+    for mut strategy in variants() {
+        let mut moves = Vec::new();
+        let mut bandwidth = Vec::new();
+        let mut pruned_bw = Vec::new();
+        for &seed in seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report = simulate(instance, strategy.as_mut(), &SimConfig::default(), &mut rng);
+            assert!(report.success, "{} failed", strategy.name());
+            moves.push(report.steps as u64);
+            bandwidth.push(report.bandwidth);
+            let (p, _) = prune::prune(instance, &report.schedule);
+            pruned_bw.push(p.bandwidth());
+        }
+        table.row([
+            scenario.to_string(),
+            strategy.name().to_string(),
+            Summary::of_ints(&moves).to_string(),
+            Summary::of_ints(&bandwidth).to_string(),
+            Summary::of_ints(&pruned_bw).to_string(),
+        ]);
+    }
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (n, tokens, files) = if args.quick { (40, 48, 8) } else { (120, 192, 16) };
+    let seeds: Vec<u64> = (0..if args.quick { 2 } else { 5 })
+        .map(|i| args.seed.wrapping_add(i))
+        .collect();
+    let mut table = Table::new(["scenario", "variant", "moves", "bandwidth", "pruned_bw"]);
+
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let topo1 = paper_random(n, &mut rng);
+    let sparse = ocd_core::scenario::receiver_density(topo1, tokens, 0, 0.3, &mut rng);
+    run_block(&mut table, "density-0.3", &sparse, &seeds);
+
+    let topo2 = paper_random(n, &mut rng);
+    let partitioned = ocd_core::scenario::multi_file(topo2, tokens, files, 0);
+    run_block(&mut table, &format!("{files}-files"), &partitioned, &seeds);
+
+    println!("{}", table.render());
+    table
+        .write_csv(format!("{}/table_ablation.csv", args.out_dir))
+        .expect("write csv");
+}

@@ -1,0 +1,68 @@
+//! Architectural baselines from the paper's related-work survey (§2),
+//! measured inside the OCD framework: single-tree push (Overcast-style),
+//! striped tree forests (SplitStream/CoopNet-style, k = 4), and the
+//! paper's mesh heuristics — all on the same single-source instance.
+//!
+//! The point the paper's framing enables: tree architectures are
+//! *structural* answers that never exploit cross-links, and the mesh
+//! heuristics dominate them on makespan at equal or better bandwidth
+//! once demand is dense.
+
+use ocd_bench::args::ExpArgs;
+use ocd_bench::stats::Summary;
+use ocd_bench::table::Table;
+use ocd_core::{bounds, prune};
+use ocd_graph::generate::paper_random;
+use ocd_heuristics::{simulate, SimConfig, Strategy, StrategyKind, TreeStripe};
+use rand::prelude::*;
+
+fn contenders() -> Vec<(String, Box<dyn Strategy>)> {
+    vec![
+        ("tree-stripe-k1 (Overcast-ish)".into(), Box::new(TreeStripe::new(1)) as Box<dyn Strategy>),
+        ("tree-stripe-k4 (SplitStream-ish)".into(), Box::new(TreeStripe::new(4))),
+        ("round-robin".into(), StrategyKind::RoundRobin.build()),
+        ("random".into(), StrategyKind::Random.build()),
+        ("local (Bullet-ish mesh)".into(), StrategyKind::Local.build()),
+        ("global".into(), StrategyKind::Global.build()),
+    ]
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (n, tokens, runs) = if args.quick { (30, 32, 2) } else { (100, 128, 5) };
+    let mut table = Table::new(["architecture", "moves", "bandwidth", "pruned_bw"]);
+
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let topology = paper_random(n, &mut rng);
+    let instance = ocd_core::scenario::single_file(topology, tokens, 0);
+    println!(
+        "single source, n = {n}, m = {tokens}; lower bounds: {} moves, {} bandwidth\n",
+        bounds::makespan_lower_bound(&instance),
+        bounds::bandwidth_lower_bound(&instance)
+    );
+
+    for (label, mut strategy) in contenders() {
+        let mut moves = Vec::new();
+        let mut bw = Vec::new();
+        let mut pruned_bw = Vec::new();
+        for r in 0..runs {
+            let mut run_rng = StdRng::seed_from_u64(args.seed ^ r);
+            let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut run_rng);
+            assert!(report.success, "{label} failed");
+            moves.push(report.steps as u64);
+            bw.push(report.bandwidth);
+            let (p, _) = prune::prune(&instance, &report.schedule);
+            pruned_bw.push(p.bandwidth());
+        }
+        table.row([
+            label,
+            Summary::of_ints(&moves).to_string(),
+            Summary::of_ints(&bw).to_string(),
+            Summary::of_ints(&pruned_bw).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    table
+        .write_csv(format!("{}/table_baselines.csv", args.out_dir))
+        .expect("write csv");
+}

@@ -1,0 +1,61 @@
+//! Content encoding (paper §6): completion time of random flooding at
+//! several redundancy ratios, against the uncoded baseline.
+//!
+//! With an idealized k-of-n code, the end-game changes character: an
+//! uncoded receiver must chase its *specific* missing blocks, while a
+//! coded receiver is happy with any k distinct coded tokens. The sweep
+//! reports timesteps (and transfers) as the redundancy ratio `n/k`
+//! grows — the first row (ratio 1.0) is exactly the uncoded problem.
+
+use ocd_bench::args::ExpArgs;
+use ocd_bench::stats::Summary;
+use ocd_bench::table::Table;
+use ocd_core::coding::{simulate_coded_random, CodedInstance, CodedSpec};
+use ocd_graph::generate::paper_random;
+use rand::prelude::*;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (n, k, runs) = if args.quick { (24, 16, 3) } else { (80, 64, 8) };
+    let ratios: &[f64] = if args.quick {
+        &[1.0, 1.5]
+    } else {
+        &[1.0, 1.125, 1.25, 1.5, 2.0]
+    };
+
+    let mut table = Table::new(["redundancy", "coded_tokens", "steps", "transfers", "steps_lb"]);
+    for &ratio in ratios {
+        let coded = ((k as f64) * ratio).round() as usize;
+        let mut steps = Vec::new();
+        let mut transfers = Vec::new();
+        let mut lbs = Vec::new();
+        for r in 0..runs {
+            let mut rng = StdRng::seed_from_u64(args.seed ^ (r as u64) << 9);
+            let topology = paper_random(n, &mut rng);
+            let instance = CodedInstance::single_source(topology, CodedSpec::new(k, coded), 0);
+            let lb = instance.makespan_lower_bound();
+            let report = simulate_coded_random(&instance, 100_000, &mut rng);
+            assert!(report.success, "coded random must complete");
+            assert!(report.steps >= lb, "run beat its own lower bound");
+            steps.push(report.steps as u64);
+            transfers.push(report.transfers);
+            lbs.push(lb as u64);
+        }
+        table.row([
+            format!("{ratio:.3}"),
+            coded.to_string(),
+            Summary::of_ints(&steps).to_string(),
+            Summary::of_ints(&transfers).to_string(),
+            Summary::of_ints(&lbs).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(ratio 1.000 is the uncoded baseline: receivers chase specific blocks;\n\
+         higher ratios shorten the threshold end-game at the cost of carrying\n\
+         more distinct tokens.)"
+    );
+    table
+        .write_csv(format!("{}/table_coding.csv", args.out_dir))
+        .expect("write csv");
+}

@@ -1,0 +1,98 @@
+//! Summary statistics over repeated runs.
+
+use std::fmt;
+
+/// Mean / standard deviation / extrema of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n ≤ 1).
+    pub std: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns a zeroed summary for an empty one.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Summary {
+        let n = values.len();
+        if n == 0 {
+            return Summary {
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                n: 0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            mean,
+            std: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            n,
+        }
+    }
+
+    /// Summarizes an integer sample.
+    #[must_use]
+    pub fn of_ints(values: &[u64]) -> Summary {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Summary::of(&floats)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.n <= 1 || self.std == 0.0 {
+            write!(f, "{:.1}", self.mean)
+        } else {
+            write!(f, "{:.1}±{:.1}", self.mean, self.std)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[4.0]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.to_string(), "4.0");
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::of_ints(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is ~2.138.
+        assert!((s.std - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.to_string().starts_with("5.0±2.1"));
+    }
+}

@@ -1,0 +1,9 @@
+//! The `ocd` command-line tool: generate topologies, build scenario
+//! instances, run heuristics, solve exactly, compute bounds, validate
+//! schedules, and demonstrate the Dominating-Set reduction. See `ocd
+//! help`.
+
+fn main() {
+    let code = ocd_cli::run_cli(std::env::args().skip(1).collect());
+    std::process::exit(code);
+}

@@ -1,0 +1,519 @@
+//! Command execution for the `ocd` tool.
+
+use crate::opts::{Command, USAGE};
+use ocd_core::{bounds, prune, Instance, Schedule};
+use ocd_graph::generate::{classic, gnp, transit_stub, GnpConfig, TransitStubConfig};
+use ocd_graph::{algo, io as gio, DiGraph};
+use ocd_heuristics::{simulate, SimConfig, StrategyKind};
+use ocd_lp::MipOptions;
+use ocd_solver::bnb::{decide_focd, solve_focd, BnbOptions};
+use ocd_solver::ip::min_bandwidth_for_horizon;
+use ocd_solver::reduction::{dominating_set_from_schedule, focd_from_dominating_set};
+use ocd_solver::steiner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Executes a parsed command, returning the text to print on stdout.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any failure (I/O, malformed
+/// files, solver errors, unsatisfiable instances).
+pub fn execute(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Generate {
+            topology,
+            nodes,
+            seed,
+            cap,
+            out,
+        } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let (lo, hi) = *cap;
+            let graph = match topology.as_str() {
+                "random" => gnp(
+                    &GnpConfig {
+                        capacity: lo..=hi,
+                        ..GnpConfig::paper(*nodes)
+                    },
+                    &mut rng,
+                ),
+                "transit-stub" => {
+                    let config = TransitStubConfig {
+                        transit_capacity: lo..=hi,
+                        stub_capacity: lo..=hi,
+                        ..TransitStubConfig::paper_sized(*nodes)
+                    };
+                    transit_stub(&config, &mut rng)
+                }
+                "path" => classic::path(*nodes, lo, true),
+                "cycle" => classic::cycle(*nodes, lo, true),
+                "star" => classic::star(*nodes, lo, true),
+                "complete" => classic::complete(*nodes, lo),
+                "grid" => {
+                    let side = (*nodes as f64).sqrt().ceil() as usize;
+                    classic::grid(side, side, lo)
+                }
+                "tree" => classic::balanced_tree(2, nodes.ilog2().max(1), lo),
+                other => return Err(format!("unknown topology `{other}`")),
+            };
+            emit(out.as_deref(), gio::to_edge_list(&graph))
+        }
+        Command::Instance {
+            graph,
+            scenario,
+            tokens,
+            files,
+            source,
+            threshold,
+            seed,
+            out,
+        } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let instance = match scenario.as_str() {
+                "figure-one" => ocd_core::scenario::figure_one(),
+                name => {
+                    let g = load_graph(graph)?;
+                    match name {
+                        "single-file" => ocd_core::scenario::single_file(g, *tokens, *source),
+                        "receiver-density" => ocd_core::scenario::receiver_density(
+                            g, *tokens, *source, *threshold, &mut rng,
+                        ),
+                        "multi-file" => ocd_core::scenario::multi_file(g, *tokens, *files, *source),
+                        "multi-sender" => {
+                            ocd_core::scenario::multi_sender(g, *tokens, *files, &mut rng)
+                        }
+                        other => return Err(format!("unknown scenario `{other}`")),
+                    }
+                }
+            };
+            let json = serde_json::to_string_pretty(&instance)
+                .map_err(|e| format!("serialize instance: {e}"))?;
+            emit(out.as_deref(), json + "\n")
+        }
+        Command::Run {
+            instance,
+            strategy,
+            seed,
+            delay,
+            max_steps,
+            schedule,
+            prune: do_prune,
+            dynamics,
+        } => {
+            let instance = load_instance(instance)?;
+            let kind: StrategyKind = strategy.parse().map_err(|e| format!("{e}"))?;
+            let mut s = kind.build();
+            let config = SimConfig {
+                max_steps: *max_steps,
+                knowledge_delay: *delay,
+            };
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let report = match dynamics {
+                None => simulate(&instance, s.as_mut(), &config, &mut rng),
+                Some(spec) => {
+                    let mut model = parse_dynamics(spec)?;
+                    let outcome = ocd_heuristics::simulate_dynamic(
+                        &instance,
+                        s.as_mut(),
+                        model.as_mut(),
+                        &config,
+                        &mut rng,
+                    );
+                    // Re-validate against the recorded capacity trace.
+                    ocd_core::validate::replay_with_capacities(
+                        &instance,
+                        &outcome.report.schedule,
+                        &outcome.capacity_trace,
+                    )
+                    .map_err(|e| format!("dynamic schedule failed validation: {e}"))?;
+                    outcome.report
+                }
+            };
+            let mut out = String::new();
+            let _ = writeln!(out, "strategy:   {} ({})", kind.name(), s.tier());
+            if let Some(spec) = dynamics {
+                let _ = writeln!(out, "dynamics:   {spec}");
+            }
+            let _ = writeln!(out, "success:    {}", report.success);
+            let _ = writeln!(out, "moves:      {} timesteps", report.steps);
+            let _ = writeln!(out, "bandwidth:  {} token-transfers", report.bandwidth);
+            if let Some(mean) = report.mean_completion() {
+                let _ = writeln!(out, "mean completion step: {mean:.1}");
+            }
+            if *do_prune {
+                let (pruned, stats) = prune::prune(&instance, &report.schedule);
+                let _ = writeln!(
+                    out,
+                    "pruned bandwidth: {} ({} duplicate + {} unused moves removed)",
+                    pruned.bandwidth(),
+                    stats.duplicates_removed,
+                    stats.unused_removed
+                );
+            }
+            if let Some(path) = schedule {
+                let json = serde_json::to_string(&report.schedule)
+                    .map_err(|e| format!("serialize schedule: {e}"))?;
+                std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+                let _ = writeln!(out, "schedule written to {path}");
+            }
+            Ok(out)
+        }
+        Command::Solve {
+            instance,
+            objective,
+            horizon,
+        } => {
+            let inst = load_instance(instance)?;
+            let mut out = String::new();
+            match objective.as_str() {
+                "time" => {
+                    let r = solve_focd(&inst, &BnbOptions::default())
+                        .map_err(|e| format!("FOCD: {e}"))?;
+                    let _ = writeln!(out, "optimal makespan: {} timesteps", r.makespan);
+                    let _ = writeln!(out, "witness bandwidth: {}", r.schedule.bandwidth());
+                    let _ = writeln!(out, "search nodes: {}", r.nodes);
+                    let _ = write!(out, "{}", r.schedule);
+                }
+                "bandwidth" => {
+                    let h = if *horizon == 0 {
+                        // Auto horizon: fastest completion plus slack.
+                        let fast = solve_focd(&inst, &BnbOptions::default())
+                            .map_err(|e| format!("FOCD for auto-horizon: {e}"))?;
+                        fast.makespan + 3
+                    } else {
+                        *horizon
+                    };
+                    let r = min_bandwidth_for_horizon(&inst, h, &MipOptions::default())
+                        .map_err(|e| format!("EOCD IP: {e}"))?
+                        .ok_or(format!("no successful schedule within {h} timesteps"))?;
+                    let _ = writeln!(out, "optimal bandwidth within {h} steps: {}", r.bandwidth);
+                    let _ = writeln!(out, "MILP nodes: {}", r.mip_nodes);
+                    let _ = write!(out, "{}", r.schedule);
+                }
+                other => return Err(format!("unknown objective `{other}` (use time|bandwidth)")),
+            }
+            Ok(out)
+        }
+        Command::Bounds { instance } => {
+            let inst = load_instance(instance)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{:?}", inst.stats());
+            let _ = writeln!(out, "satisfiable:           {}", inst.is_satisfiable());
+            let _ = writeln!(
+                out,
+                "bandwidth lower bound: {}",
+                bounds::bandwidth_lower_bound(&inst)
+            );
+            let ms = bounds::makespan_lower_bound(&inst);
+            if ms == usize::MAX {
+                let _ = writeln!(out, "makespan lower bound:  unbounded (unsatisfiable)");
+            } else {
+                let _ = writeln!(out, "makespan lower bound:  {ms}");
+            }
+            match steiner::bandwidth_upper_bound(&inst) {
+                Ok(ub) => {
+                    let _ = writeln!(out, "Steiner upper bound:   {ub}");
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "Steiner upper bound:   n/a ({e})");
+                }
+            }
+            Ok(out)
+        }
+        Command::Validate { instance, schedule } => {
+            let inst = load_instance(instance)?;
+            let text = std::fs::read_to_string(schedule)
+                .map_err(|e| format!("read {schedule}: {e}"))?;
+            let sched: Schedule =
+                serde_json::from_str(&text).map_err(|e| format!("parse {schedule}: {e}"))?;
+            let replay = ocd_core::validate::replay(&inst, &sched)
+                .map_err(|e| format!("invalid schedule: {e}"))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "valid:     yes");
+            let _ = writeln!(out, "makespan:  {}", sched.makespan());
+            let _ = writeln!(out, "bandwidth: {}", sched.bandwidth());
+            if replay.is_successful() {
+                let _ = writeln!(out, "successful: every want satisfied");
+            } else {
+                let _ = writeln!(out, "successful: NO");
+                for (v, missing) in replay.unsatisfied() {
+                    let _ = writeln!(out, "  vertex {v} still missing {missing:?}");
+                }
+            }
+            Ok(out)
+        }
+        Command::ReduceDs { graph, k } => {
+            let g = load_graph(graph)?;
+            let (instance, layout) = focd_from_dominating_set(&g, *k);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "reduced FOCD instance: {} vertices, {} tokens",
+                instance.num_vertices(),
+                instance.num_tokens()
+            );
+            let schedule = decide_focd(&instance, 2, &BnbOptions::default())
+                .map_err(|e| format!("decision search: {e}"))?;
+            match schedule {
+                Some(s) => {
+                    let ds = dominating_set_from_schedule(&layout, &instance, &s);
+                    let _ = writeln!(out, "2-step schedule exists → dominating set of size ≤ {k}");
+                    let _ = writeln!(
+                        out,
+                        "witness: {{{}}}",
+                        ds.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                    );
+                    debug_assert!(algo::is_dominating_set(&g, &ds));
+                }
+                None => {
+                    let _ = writeln!(out, "no 2-step schedule → no dominating set of size ≤ {k}");
+                }
+            }
+            Ok(out)
+        }
+        Command::Compare { instance, runs, seed } => {
+            let inst = load_instance(instance)?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:>16}  {:>7}  {:>12}  {:>10}",
+                "strategy", "moves", "bandwidth", "pruned_bw"
+            );
+            for kind in StrategyKind::paper_five() {
+                let mut moves = Vec::new();
+                let mut bw = Vec::new();
+                let mut pruned_bw = Vec::new();
+                for r in 0..*runs {
+                    let mut s = kind.build();
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
+                    let report = simulate(&inst, s.as_mut(), &SimConfig::default(), &mut rng);
+                    if !report.success {
+                        return Err(format!("{kind} failed within the step cap"));
+                    }
+                    moves.push(report.steps as f64);
+                    bw.push(report.bandwidth as f64);
+                    let (p, _) = prune::prune(&inst, &report.schedule);
+                    pruned_bw.push(p.bandwidth() as f64);
+                }
+                let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+                let _ = writeln!(
+                    out,
+                    "{:>16}  {:>7.1}  {:>12.1}  {:>10.1}",
+                    kind.name(),
+                    mean(&moves),
+                    mean(&bw),
+                    mean(&pruned_bw)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{:>16}  {:>7}  {:>12}  {:>10}",
+                "lower bounds",
+                bounds::makespan_lower_bound(&inst),
+                bounds::bandwidth_lower_bound(&inst),
+                "-"
+            );
+            Ok(out)
+        }
+    }
+}
+
+/// Parses a dynamics spec: `static`, `cross:F`, `outages:P:Q`,
+/// `churn:P:Q` (source vertex 0 pinned), `adversary:B[:C]`.
+fn parse_dynamics(spec: &str) -> Result<Box<dyn ocd_heuristics::NetworkDynamics>, String> {
+    use ocd_heuristics::dynamics::{AdversarialCuts, Churn, CrossTraffic, LinkOutages, StaticNetwork};
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |raw: &str| -> Result<f64, String> {
+        raw.parse().map_err(|_| format!("invalid number `{raw}` in dynamics `{spec}`"))
+    };
+    match parts.as_slice() {
+        ["static"] => Ok(Box::new(StaticNetwork)),
+        ["cross", f] => Ok(Box::new(CrossTraffic::new(num(f)?))),
+        ["outages", p, q] => Ok(Box::new(LinkOutages::new(num(p)?, num(q)?))),
+        ["churn", p, q] => Ok(Box::new(Churn::new(num(p)?, num(q)?, vec![0]))),
+        ["adversary", b] => Ok(Box::new(AdversarialCuts::new(
+            b.parse().map_err(|_| format!("invalid budget `{b}`"))?,
+        ))),
+        ["adversary", b, c] => Ok(Box::new(AdversarialCuts::with_cooldown(
+            b.parse().map_err(|_| format!("invalid budget `{b}`"))?,
+            c.parse().map_err(|_| format!("invalid cooldown `{c}`"))?,
+        ))),
+        _ => Err(format!(
+            "unknown dynamics `{spec}` (use static | cross:F | outages:P:Q | churn:P:Q | adversary:B[:C])"
+        )),
+    }
+}
+
+fn emit(path: Option<&str>, content: String) -> Result<String, String> {
+    match path {
+        Some(p) => {
+            std::fs::write(p, &content).map_err(|e| format!("write {p}: {e}"))?;
+            Ok(format!("written to {p}\n"))
+        }
+        None => Ok(content),
+    }
+}
+
+/// Loads a graph from either the edge-list text format or JSON
+/// (auto-detected: JSON starts with `{`).
+fn load_graph(path: &str) -> Result<DiGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if text.trim_start().starts_with('{') {
+        serde_json::from_str(&text).map_err(|e| format!("parse {path} as JSON: {e}"))
+    } else {
+        gio::from_edge_list(&text).map_err(|e| format!("parse {path}: {e}"))
+    }
+}
+
+fn load_instance(path: &str) -> Result<Instance, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn run(parts: &[&str]) -> Result<String, String> {
+        execute(&parse(parts.iter().map(|s| s.to_string()).collect())?)
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("ocd_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_then_instance_then_run_pipeline() {
+        let topo = tmp("pipeline_topo.txt");
+        let inst = tmp("pipeline_inst.json");
+        let sched = tmp("pipeline_sched.json");
+        let out = run(&[
+            "generate", "--topology", "random", "--nodes", "12", "--seed", "3", "--out", &topo,
+        ])
+        .unwrap();
+        assert!(out.contains("written to"));
+        run(&[
+            "instance", "--graph", &topo, "--scenario", "single-file", "--tokens", "8", "--out",
+            &inst,
+        ])
+        .unwrap();
+        let report = run(&[
+            "run", "--instance", &inst, "--strategy", "global", "--seed", "5", "--prune",
+            "--schedule", &sched,
+        ])
+        .unwrap();
+        assert!(report.contains("success:    true"));
+        assert!(report.contains("pruned bandwidth"));
+        // And the written schedule validates.
+        let validation = run(&["validate", "--instance", &inst, "--schedule", &sched]).unwrap();
+        assert!(validation.contains("valid:     yes"));
+        assert!(validation.contains("successful: every want satisfied"));
+    }
+
+    #[test]
+    fn solve_figure_one_both_objectives() {
+        let inst = tmp("fig1.json");
+        run(&[
+            "instance", "--graph", "unused", "--scenario", "figure-one", "--out", &inst,
+        ])
+        .unwrap();
+        let time = run(&["solve", "--instance", &inst, "--objective", "time"]).unwrap();
+        assert!(time.contains("optimal makespan: 2"));
+        let bw = run(&[
+            "solve", "--instance", &inst, "--objective", "bandwidth", "--horizon", "3",
+        ])
+        .unwrap();
+        assert!(bw.contains("optimal bandwidth within 3 steps: 4"));
+    }
+
+    #[test]
+    fn bounds_output() {
+        let inst = tmp("bounds.json");
+        run(&["instance", "--graph", "x", "--scenario", "figure-one", "--out", &inst]).unwrap();
+        let out = run(&["bounds", "--instance", &inst]).unwrap();
+        assert!(out.contains("satisfiable:           true"));
+        assert!(out.contains("bandwidth lower bound: 4"));
+    }
+
+    #[test]
+    fn reduce_ds_star() {
+        let topo = tmp("star.txt");
+        run(&[
+            "generate", "--topology", "star", "--nodes", "5", "--cap", "1..1", "--out", &topo,
+        ])
+        .unwrap();
+        let yes = run(&["reduce-ds", "--graph", &topo, "--k", "1"]).unwrap();
+        assert!(yes.contains("dominating set of size ≤ 1"));
+    }
+
+    #[test]
+    fn compare_table() {
+        let topo = tmp("cmp_topo.txt");
+        let inst = tmp("cmp_inst.json");
+        run(&[
+            "generate", "--topology", "cycle", "--nodes", "6", "--cap", "2..2", "--out", &topo,
+        ])
+        .unwrap();
+        run(&[
+            "instance", "--graph", &topo, "--scenario", "single-file", "--tokens", "6", "--out",
+            &inst,
+        ])
+        .unwrap();
+        let out = run(&["compare", "--instance", &inst, "--runs", "2"]).unwrap();
+        assert!(out.contains("round-robin"));
+        assert!(out.contains("lower bounds"));
+    }
+
+    #[test]
+    fn run_with_dynamics_completes_and_reports() {
+        let topo = tmp("dyn_topo.txt");
+        let inst = tmp("dyn_inst.json");
+        run(&[
+            "generate", "--topology", "cycle", "--nodes", "8", "--cap", "3..3", "--out", &topo,
+        ])
+        .unwrap();
+        run(&[
+            "instance", "--graph", &topo, "--scenario", "single-file", "--tokens", "6", "--out",
+            &inst,
+        ])
+        .unwrap();
+        for spec in ["static", "cross:0.5", "outages:0.2:0.6", "churn:0.1:0.5", "adversary:1:2"] {
+            let out = run(&[
+                "run", "--instance", &inst, "--strategy", "local", "--dynamics", spec, "--seed",
+                "4",
+            ])
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert!(out.contains(&format!("dynamics:   {spec}")), "{spec}");
+            assert!(out.contains("success:    true"), "{spec}: {out}");
+        }
+        assert!(run(&["run", "--instance", &inst, "--strategy", "local", "--dynamics", "volcano"])
+            .unwrap_err()
+            .contains("unknown dynamics"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&["bounds", "--instance", "/nonexistent.json"])
+            .unwrap_err()
+            .contains("read"));
+        assert!(run(&["generate", "--topology", "klein-bottle", "--nodes", "4"])
+            .unwrap_err()
+            .contains("unknown topology"));
+        let inst = tmp("err_inst.json");
+        run(&["instance", "--graph", "x", "--scenario", "figure-one", "--out", &inst]).unwrap();
+        assert!(run(&["run", "--instance", &inst, "--strategy", "quantum"])
+            .unwrap_err()
+            .contains("unknown strategy"));
+    }
+}

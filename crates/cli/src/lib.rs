@@ -1,0 +1,46 @@
+//! Implementation of the `ocd` command-line tool.
+//!
+//! The binary (`src/bin/ocd.rs`) is a thin wrapper over [`parse`] and
+//! [`execute`], which are kept in library form so the command surface is
+//! unit-testable without spawning processes.
+//!
+//! ```text
+//! ocd generate --topology random --nodes 50 --seed 1 --out topo.txt
+//! ocd instance --graph topo.txt --scenario single-file --tokens 64 --out inst.json
+//! ocd run --instance inst.json --strategy global --seed 7 --schedule sched.json
+//! ocd solve --instance small.json --objective time
+//! ocd bounds --instance inst.json
+//! ocd validate --instance inst.json --schedule sched.json
+//! ocd reduce-ds --graph topo.txt --k 3
+//! ocd compare --instance inst.json --runs 3
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod commands;
+mod opts;
+
+pub use commands::execute;
+pub use opts::{parse, Command};
+
+/// Entry point shared by the binary: parse, execute, print, exit code.
+#[must_use]
+pub fn run_cli(args: Vec<String>) -> i32 {
+    match parse(args) {
+        Ok(cmd) => match execute(&cmd) {
+            Ok(output) => {
+                print!("{output}");
+                0
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                1
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            2
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Argument parsing for the `ocd` tool (hand-rolled; no CLI-framework
+//! dependency is available offline, and the surface is small).
+
+use std::collections::HashMap;
+
+/// A parsed `ocd` invocation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Command {
+    /// `ocd generate`: emit a topology in edge-list format.
+    Generate {
+        /// Topology family name.
+        topology: String,
+        /// Number of nodes (approximate for transit-stub).
+        nodes: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Capacity range `lo..=hi`.
+        cap: (u32, u32),
+        /// Output file (stdout if `None`).
+        out: Option<String>,
+    },
+    /// `ocd instance`: build a scenario instance as JSON.
+    Instance {
+        /// Path to the graph (edge-list or JSON).
+        graph: String,
+        /// Scenario name.
+        scenario: String,
+        /// Token universe size.
+        tokens: usize,
+        /// File count (multi-file scenarios).
+        files: usize,
+        /// Source vertex.
+        source: usize,
+        /// Want threshold (receiver-density).
+        threshold: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Output file (stdout if `None`).
+        out: Option<String>,
+    },
+    /// `ocd run`: simulate one strategy.
+    Run {
+        /// Instance JSON path.
+        instance: String,
+        /// Strategy name.
+        strategy: String,
+        /// RNG seed.
+        seed: u64,
+        /// Aggregate-knowledge delay in steps.
+        delay: usize,
+        /// Step cap.
+        max_steps: usize,
+        /// Optional path to write the schedule JSON.
+        schedule: Option<String>,
+        /// Also report pruned bandwidth.
+        prune: bool,
+        /// Optional network-dynamics spec, e.g. `churn:0.05:0.3`,
+        /// `outages:0.1:0.5`, `cross:0.5`, `adversary:2:1`, `static`.
+        dynamics: Option<String>,
+    },
+    /// `ocd solve`: exact optimization.
+    Solve {
+        /// Instance JSON path.
+        instance: String,
+        /// `time` (FOCD, branch and bound) or `bandwidth` (EOCD, IP).
+        objective: String,
+        /// Horizon for the bandwidth IP (0 = auto).
+        horizon: usize,
+    },
+    /// `ocd bounds`: print the §5.1 lower bounds and Steiner upper bound.
+    Bounds {
+        /// Instance JSON path.
+        instance: String,
+    },
+    /// `ocd validate`: replay a schedule against an instance.
+    Validate {
+        /// Instance JSON path.
+        instance: String,
+        /// Schedule JSON path.
+        schedule: String,
+    },
+    /// `ocd reduce-ds`: Theorem 5 reduction demo.
+    ReduceDs {
+        /// Graph path.
+        graph: String,
+        /// Dominating-set size bound.
+        k: usize,
+    },
+    /// `ocd compare`: all five heuristics + bounds on one instance.
+    Compare {
+        /// Instance JSON path.
+        instance: String,
+        /// Runs per strategy.
+        runs: usize,
+        /// Master seed.
+        seed: u64,
+    },
+    /// `ocd help`.
+    Help,
+}
+
+pub(crate) const USAGE: &str = "\
+ocd — the Overlay Network Content Distribution toolbox
+
+USAGE:
+  ocd generate  --topology <random|transit-stub|path|cycle|star|complete|grid|tree>
+                --nodes <N> [--seed <S>] [--cap <LO..HI>] [--out <FILE>]
+  ocd instance  --graph <FILE> --scenario <single-file|receiver-density|multi-file|multi-sender|figure-one>
+                [--tokens <M>] [--files <K>] [--source <V>] [--threshold <T>] [--seed <S>] [--out <FILE>]
+  ocd run       --instance <FILE> --strategy <round-robin|random|local|bandwidth|global|gather-then-plan>
+                [--seed <S>] [--delay <K>] [--max-steps <N>] [--schedule <FILE>] [--prune]
+                [--dynamics <static|cross:F|outages:P:Q|churn:P:Q|adversary:B[:C]>]
+  ocd solve     --instance <FILE> --objective <time|bandwidth> [--horizon <H>]
+  ocd bounds    --instance <FILE>
+  ocd validate  --instance <FILE> --schedule <FILE>
+  ocd reduce-ds --graph <FILE> --k <K>
+  ocd compare   --instance <FILE> [--runs <N>] [--seed <S>]
+  ocd help
+";
+
+struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], switch_names: &[&str]) -> Result<Flags, String> {
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            if switch_names.contains(&name) {
+                switches.push(name.to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                values.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Flags { values, switches })
+    }
+
+    fn req(&self, name: &str) -> Result<String, String> {
+        self.values
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for --{name}")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn parse_cap(raw: &str) -> Result<(u32, u32), String> {
+    let (lo, hi) = raw
+        .split_once("..")
+        .ok_or_else(|| format!("capacity range `{raw}` must look like LO..HI"))?;
+    let lo: u32 = lo.parse().map_err(|_| format!("invalid capacity `{lo}`"))?;
+    let hi: u32 = hi.parse().map_err(|_| format!("invalid capacity `{hi}`"))?;
+    if lo == 0 || hi < lo {
+        return Err(format!("capacity range {lo}..{hi} is empty or zero"));
+    }
+    Ok((lo, hi))
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage/diagnostic message on malformed input.
+pub fn parse(args: Vec<String>) -> Result<Command, String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let f = Flags::parse(rest, &[])?;
+            Ok(Command::Generate {
+                topology: f.req("topology")?,
+                nodes: f.req("nodes")?.parse().map_err(|_| "invalid --nodes")?,
+                seed: f.opt("seed", 0)?,
+                cap: parse_cap(&f.opt("cap", "3..15".to_string())?)?,
+                out: f.values.get("out").cloned(),
+            })
+        }
+        "instance" => {
+            let f = Flags::parse(rest, &[])?;
+            Ok(Command::Instance {
+                graph: f.req("graph")?,
+                scenario: f.req("scenario")?,
+                tokens: f.opt("tokens", 64)?,
+                files: f.opt("files", 1)?,
+                source: f.opt("source", 0)?,
+                threshold: f.opt("threshold", 1.0)?,
+                seed: f.opt("seed", 0)?,
+                out: f.values.get("out").cloned(),
+            })
+        }
+        "run" => {
+            let f = Flags::parse(rest, &["prune"])?;
+            Ok(Command::Run {
+                instance: f.req("instance")?,
+                strategy: f.req("strategy")?,
+                seed: f.opt("seed", 0)?,
+                delay: f.opt("delay", 0)?,
+                max_steps: f.opt("max-steps", 10_000)?,
+                schedule: f.values.get("schedule").cloned(),
+                prune: f.has("prune"),
+                dynamics: f.values.get("dynamics").cloned(),
+            })
+        }
+        "solve" => {
+            let f = Flags::parse(rest, &[])?;
+            Ok(Command::Solve {
+                instance: f.req("instance")?,
+                objective: f.req("objective")?,
+                horizon: f.opt("horizon", 0)?,
+            })
+        }
+        "bounds" => {
+            let f = Flags::parse(rest, &[])?;
+            Ok(Command::Bounds {
+                instance: f.req("instance")?,
+            })
+        }
+        "validate" => {
+            let f = Flags::parse(rest, &[])?;
+            Ok(Command::Validate {
+                instance: f.req("instance")?,
+                schedule: f.req("schedule")?,
+            })
+        }
+        "reduce-ds" => {
+            let f = Flags::parse(rest, &[])?;
+            Ok(Command::ReduceDs {
+                graph: f.req("graph")?,
+                k: f.req("k")?.parse().map_err(|_| "invalid --k")?,
+            })
+        }
+        "compare" => {
+            let f = Flags::parse(rest, &[])?;
+            Ok(Command::Compare {
+                instance: f.req("instance")?,
+                runs: f.opt("runs", 3)?,
+                seed: f.opt("seed", 0)?,
+            })
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(parts: &[&str]) -> Command {
+        parse(parts.iter().map(|s| s.to_string()).collect()).unwrap()
+    }
+
+    fn parse_err(parts: &[&str]) -> String {
+        parse(parts.iter().map(|s| s.to_string()).collect()).unwrap_err()
+    }
+
+    #[test]
+    fn generate_full() {
+        let cmd = parse_ok(&[
+            "generate", "--topology", "random", "--nodes", "50", "--seed", "9", "--cap", "1..4",
+            "--out", "t.txt",
+        ]);
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                topology: "random".into(),
+                nodes: 50,
+                seed: 9,
+                cap: (1, 4),
+                out: Some("t.txt".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let cmd = parse_ok(&["generate", "--topology", "path", "--nodes", "4"]);
+        match cmd {
+            Command::Generate { seed, cap, out, .. } => {
+                assert_eq!(seed, 0);
+                assert_eq!(cap, (3, 15));
+                assert!(out.is_none());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_with_switch() {
+        let cmd = parse_ok(&[
+            "run", "--instance", "i.json", "--strategy", "global", "--prune",
+        ]);
+        match cmd {
+            Command::Run { prune, max_steps, dynamics, .. } => {
+                assert!(prune);
+                assert_eq!(max_steps, 10_000);
+                assert!(dynamics.is_none());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(parse_err(&[]).contains("USAGE"));
+        assert!(parse_err(&["bogus"]).contains("unknown subcommand"));
+        assert!(parse_err(&["generate", "--nodes", "3"]).contains("--topology"));
+        assert!(parse_err(&["generate", "--topology", "path", "--nodes", "x"]).contains("invalid"));
+        assert!(parse_err(&["run", "--instance"]).contains("requires a value"));
+        assert!(parse_err(&["generate", "--topology", "path", "--nodes", "3", "--cap", "5..2"])
+            .contains("empty"));
+        assert!(parse_err(&["generate", "positional"]).contains("positional"));
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse_ok(&["help"]), Command::Help);
+        assert_eq!(parse_ok(&["--help"]), Command::Help);
+    }
+}

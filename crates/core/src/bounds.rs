@@ -1,0 +1,307 @@
+//! Lower bounds on remaining makespan and bandwidth (§5.1).
+//!
+//! The paper computes performance bounds for large graphs with two
+//! efficient approximations:
+//!
+//! - **Remaining bandwidth**: "counting every token that is wanted but
+//!   not known at each vertex" — each such (vertex, token) pair costs at
+//!   least one move.
+//! - **Remaining makespan**: the radius bound
+//!   `M_i(v) = i + ⌈|T^{c_i(v)}| / in-capacity(v)⌉`, where `T^{c_i(v)}`
+//!   are the needed tokens *not* available within the in-radius-`i`
+//!   closure around `v`: those tokens cannot begin arriving before step
+//!   `i + 1` and then trickle through `v`'s total in-capacity. The paper
+//!   also notes a one-step lookahead special case, since the tokens
+//!   retrievable in a single step are exactly computable.
+//!
+//! All bounds are *admissible* (never exceed the true optimum), which the
+//! exact solver's tests verify; they are also phrased against an
+//! arbitrary current possession so the branch-and-bound search can reuse
+//! them mid-schedule.
+
+use crate::{Instance, TokenSet};
+use ocd_graph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Remaining-bandwidth lower bound from an arbitrary possession state:
+/// `Σ_v |w(v) \ p(v)|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or mismatched universes.
+#[must_use]
+pub fn remaining_bandwidth(want: &[TokenSet], possession: &[TokenSet]) -> u64 {
+    assert_eq!(want.len(), possession.len(), "vertex count mismatch");
+    want.iter()
+        .zip(possession)
+        .map(|(w, p)| w.difference_len(p) as u64)
+        .sum()
+}
+
+/// Remaining-bandwidth lower bound of a fresh instance.
+#[must_use]
+pub fn bandwidth_lower_bound(instance: &Instance) -> u64 {
+    remaining_bandwidth(instance.want_all(), instance.have_all())
+}
+
+/// Remaining-makespan lower bound from an arbitrary possession state:
+/// the maximum over all vertices of the radius bound `M_i(v)` (maximized
+/// over `i`) and the one-step lookahead bound.
+///
+/// Returns 0 iff every want is already satisfied. If some needed token is
+/// unreachable, returns `usize::MAX` (no finite schedule succeeds).
+///
+/// # Panics
+///
+/// Panics if slice lengths don't match the graph.
+#[must_use]
+pub fn remaining_makespan(g: &DiGraph, possession: &[TokenSet], want: &[TokenSet]) -> usize {
+    assert_eq!(g.node_count(), possession.len(), "possession length mismatch");
+    assert_eq!(g.node_count(), want.len(), "want length mismatch");
+    let mut best = 0usize;
+    for v in g.nodes() {
+        let deficiency = want[v.index()].difference(&possession[v.index()]);
+        if deficiency.is_empty() {
+            continue;
+        }
+        let radius = radius_bound(g, possession, v, &deficiency);
+        best = best.max(radius);
+        if best == usize::MAX {
+            return best;
+        }
+        best = best.max(one_step_lookahead(g, possession, v, &deficiency));
+    }
+    best
+}
+
+/// Remaining-makespan lower bound of a fresh instance.
+#[must_use]
+pub fn makespan_lower_bound(instance: &Instance) -> usize {
+    remaining_makespan(instance.graph(), instance.have_all(), instance.want_all())
+}
+
+/// `max_i M_i(v)` for one vertex: expand the in-closure around `v` one
+/// BFS layer at a time; at radius `i`, the needed tokens not possessed
+/// anywhere inside cost at least `i + ⌈outside / in_capacity(v)⌉` steps.
+fn radius_bound(g: &DiGraph, possession: &[TokenSet], v: NodeId, deficiency: &TokenSet) -> usize {
+    let in_cap = g.in_capacity(v);
+    if in_cap == 0 {
+        return usize::MAX; // v needs tokens but nothing can ever arrive
+    }
+    let mut outside = deficiency.clone();
+    outside.subtract(&possession[v.index()]);
+    let mut best = 0usize;
+    // Incremental reverse BFS from v.
+    let mut dist = vec![u32::MAX; g.node_count()];
+    dist[v.index()] = 0;
+    let mut frontier = VecDeque::from([v]);
+    let mut i = 0usize;
+    loop {
+        // `outside` currently holds the needed tokens not available in
+        // the closure of radius `i`.
+        let count = outside.len() as u64;
+        if count == 0 {
+            break;
+        }
+        best = best.max(i + count.div_ceil(in_cap) as usize);
+        // Expand to radius i + 1.
+        let mut next = VecDeque::new();
+        while let Some(u) = frontier.pop_front() {
+            for w in g.in_neighbors(u) {
+                if dist[w.index()] == u32::MAX {
+                    dist[w.index()] = dist[u.index()] + 1;
+                    outside.subtract(&possession[w.index()]);
+                    next.push_back(w);
+                }
+            }
+        }
+        if next.is_empty() {
+            // Whole in-component explored; leftover tokens are unreachable.
+            if !outside.is_empty() {
+                return usize::MAX;
+            }
+            break;
+        }
+        frontier = next;
+        i += 1;
+    }
+    best
+}
+
+/// One-step lookahead (§5.1): tokens retrievable by `v` in the next step
+/// are bounded per in-arc by `min(capacity, |needed ∩ p(src)|)`; whatever
+/// remains needs at least `⌈remaining / in_capacity⌉` further steps.
+fn one_step_lookahead(
+    g: &DiGraph,
+    possession: &[TokenSet],
+    v: NodeId,
+    deficiency: &TokenSet,
+) -> usize {
+    let in_cap = g.in_capacity(v);
+    if in_cap == 0 {
+        return usize::MAX;
+    }
+    let retrievable: u64 = g
+        .in_edges(v)
+        .map(|e| {
+            let arc = g.edge(e);
+            let available = deficiency.intersection(&possession[arc.src.index()]).len() as u64;
+            available.min(u64::from(arc.capacity))
+        })
+        .sum();
+    let total = deficiency.len() as u64;
+    if total <= retrievable {
+        1
+    } else {
+        1 + ((total - retrievable).div_ceil(in_cap)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instance, Token};
+    use ocd_graph::generate::classic;
+
+    fn tok(i: usize) -> Token {
+        Token::new(i)
+    }
+
+    #[test]
+    fn trivial_instance_has_zero_bounds() {
+        let g = classic::path(2, 1, true);
+        let inst = Instance::builder(g, 1).have(0, [tok(0)]).build().unwrap();
+        assert_eq!(bandwidth_lower_bound(&inst), 0);
+        assert_eq!(makespan_lower_bound(&inst), 0);
+    }
+
+    #[test]
+    fn bandwidth_bound_counts_deficiencies() {
+        let g = classic::star(4, 1, true);
+        let inst = Instance::builder(g, 2)
+            .have(0, [tok(0), tok(1)])
+            .want_all_everywhere()
+            .build()
+            .unwrap();
+        assert_eq!(bandwidth_lower_bound(&inst), 6);
+    }
+
+    #[test]
+    fn distance_dominates_makespan_bound() {
+        // Path of 5, token at one end wanted at the other: ≥ 4 steps.
+        let g = classic::path(5, 10, true);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(4, [tok(0)])
+            .build()
+            .unwrap();
+        assert_eq!(makespan_lower_bound(&inst), 4);
+    }
+
+    #[test]
+    fn capacity_dominates_makespan_bound() {
+        // 10 tokens through a single capacity-2 arc: ≥ 5 steps.
+        let g = classic::path(2, 2, false);
+        let inst = Instance::builder(g, 10)
+            .have_set(0, TokenSet::full(10))
+            .want_set(1, TokenSet::full(10))
+            .build()
+            .unwrap();
+        assert_eq!(makespan_lower_bound(&inst), 5);
+    }
+
+    #[test]
+    fn radius_and_capacity_combine() {
+        // 0 -(cap 8)-> 1 -(cap 2)-> 2, all 6 tokens at 0, wanted at 2.
+        // M_0(2) = ceil(6/2) = 3; M_1(2) = 1 + ceil(6/2) = 4.
+        let mut g = ocd_graph::DiGraph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 8).unwrap();
+        g.add_edge(g.node(1), g.node(2), 2).unwrap();
+        let inst = Instance::builder(g, 6)
+            .have_set(0, TokenSet::full(6))
+            .want_set(2, TokenSet::full(6))
+            .build()
+            .unwrap();
+        assert_eq!(makespan_lower_bound(&inst), 4);
+    }
+
+    #[test]
+    fn lookahead_sharpens_sparse_neighbors() {
+        // v (=2) has in-arcs from 0 and 1 with huge capacity, but only
+        // vertex 0 currently holds any of the 6 needed tokens (just 1 of
+        // them). Lookahead: retrievable now = 1, so ≥ 1 + ceil(5/20) = 2.
+        // Plain M_i: the radius-1 closure {0,1,2} holds ALL tokens only
+        // once 1's emptiness is irrelevant... M_0 = ceil(6/20) = 1. The
+        // radius-1 tokens outside: token set minus holdings of {0,1,2}.
+        let mut g = ocd_graph::DiGraph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(2), 10).unwrap();
+        g.add_edge(g.node(1), g.node(2), 10).unwrap();
+        g.add_edge(g.node(3), g.node(0), 10).unwrap();
+        g.add_edge(g.node(3), g.node(1), 10).unwrap();
+        let inst = Instance::builder(g, 6)
+            .have(0, [tok(0)])
+            .have_set(3, TokenSet::full(6))
+            .want_set(2, TokenSet::full(6))
+            .build()
+            .unwrap();
+        // Radius bound: outside radius 1 (closure {0,1,2}) are tokens
+        // 1..5 → M_1 = 1 + ceil(5/20) = 2. Lookahead also gives 2.
+        assert_eq!(makespan_lower_bound(&inst), 2);
+    }
+
+    #[test]
+    fn unreachable_need_is_infinite() {
+        let mut g = ocd_graph::DiGraph::with_nodes(2);
+        g.add_edge(g.node(1), g.node(0), 1).unwrap();
+        // Build instance manually (builder would catch orphan tokens, but
+        // reachability is not its job): 0 has token, 1 wants it, only arc
+        // is 1 -> 0.
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(1, [tok(0)])
+            .build()
+            .unwrap();
+        assert!(!inst.is_satisfiable());
+        assert_eq!(makespan_lower_bound(&inst), usize::MAX);
+    }
+
+    #[test]
+    fn isolated_needy_vertex_is_infinite() {
+        let mut g = ocd_graph::DiGraph::with_nodes(2);
+        g.add_edge(g.node(1), g.node(0), 1).unwrap(); // 1 has out-arc only
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(1, [tok(0)])
+            .build()
+            .unwrap();
+        assert_eq!(
+            remaining_makespan(inst.graph(), inst.have_all(), inst.want_all()),
+            usize::MAX
+        );
+    }
+
+    #[test]
+    fn midway_possession_lowers_bound() {
+        let g = classic::path(5, 1, true);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(4, [tok(0)])
+            .build()
+            .unwrap();
+        // Pretend the token already advanced to vertex 2.
+        let mut possession = inst.have_all().to_vec();
+        possession[2].insert(tok(0));
+        assert_eq!(remaining_makespan(inst.graph(), &possession, inst.want_all()), 2);
+    }
+
+    #[test]
+    fn one_step_needed_when_everything_is_adjacent() {
+        let g = classic::star(3, 5, true);
+        let inst = Instance::builder(g, 2)
+            .have(0, [tok(0), tok(1)])
+            .want(1, [tok(0), tok(1)])
+            .build()
+            .unwrap();
+        assert_eq!(makespan_lower_bound(&inst), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! The LOCD aggregate-knowledge model (§4.1, §5.1).
+//!
+//! The paper's Local heuristic assumes "at every time step, the step's
+//! initial aggregate need and knowledge are distributed to all vertices"
+//! — i.e. two per-token counters: how many vertices *have* each token and
+//! how many still *need* it (want it but lack it). Because the general
+//! problem has per-vertex want sets, "we distribute both aggregates of
+//! what vertices want and what they do not have."
+//!
+//! The paper also notes the aggregates could arrive stale ("the potential
+//! need to support a delay in the aggregate knowledge");
+//! [`DelayedAggregates`] models a fixed propagation delay of `k` steps.
+
+use crate::{Token, TokenSet};
+use std::collections::VecDeque;
+
+/// Per-token population counts across all vertices at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateKnowledge {
+    /// `have_counts[t]` = number of vertices possessing token `t`.
+    pub have_counts: Vec<u32>,
+    /// `need_counts[t]` = number of vertices wanting token `t` without
+    /// possessing it.
+    pub need_counts: Vec<u32>,
+}
+
+impl AggregateKnowledge {
+    /// Computes the aggregates from the current possession and the want
+    /// function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or a set's universe
+    /// differs from `num_tokens`.
+    #[must_use]
+    pub fn compute(num_tokens: usize, possession: &[TokenSet], want: &[TokenSet]) -> Self {
+        assert_eq!(possession.len(), want.len(), "vertex count mismatch");
+        let mut have_counts = vec![0u32; num_tokens];
+        let mut need_counts = vec![0u32; num_tokens];
+        for (p, w) in possession.iter().zip(want) {
+            assert_eq!(p.universe(), num_tokens, "possession universe mismatch");
+            assert_eq!(w.universe(), num_tokens, "want universe mismatch");
+            for t in p {
+                have_counts[t.index()] += 1;
+            }
+            for t in w.difference(p).iter() {
+                need_counts[t.index()] += 1;
+            }
+        }
+        AggregateKnowledge {
+            have_counts,
+            need_counts,
+        }
+    }
+
+    /// Number of tokens in the universe.
+    #[must_use]
+    pub fn num_tokens(&self) -> usize {
+        self.have_counts.len()
+    }
+
+    /// How many vertices currently hold `token`. Lower = rarer; this is
+    /// the key the rarest-random heuristic sorts by.
+    #[must_use]
+    pub fn rarity(&self, token: Token) -> u32 {
+        self.have_counts[token.index()]
+    }
+
+    /// Whether anyone still needs `token`.
+    #[must_use]
+    pub fn is_needed(&self, token: Token) -> bool {
+        self.need_counts[token.index()] > 0
+    }
+
+    /// Total outstanding (vertex, token) needs — the remaining-bandwidth
+    /// lower bound, as visible through the aggregates.
+    #[must_use]
+    pub fn total_need(&self) -> u64 {
+        self.need_counts.iter().map(|&c| u64::from(c)).sum()
+    }
+}
+
+/// A fixed-delay pipeline of [`AggregateKnowledge`] snapshots: vertices
+/// acting at step `i` see the aggregates of step `i - delay` (clamped to
+/// the initial snapshot while the pipeline warms up).
+///
+/// # Examples
+///
+/// ```
+/// use ocd_core::knowledge::{AggregateKnowledge, DelayedAggregates};
+/// use ocd_core::TokenSet;
+///
+/// let t0 = AggregateKnowledge::compute(1, &[TokenSet::new(1)], &[TokenSet::new(1)]);
+/// let mut delayed = DelayedAggregates::new(1, t0.clone());
+/// let t1 = AggregateKnowledge::compute(1, &[TokenSet::full(1)], &[TokenSet::new(1)]);
+/// // With delay 1, pushing t1 still yields the older t0 view.
+/// assert_eq!(delayed.advance(t1), &t0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayedAggregates {
+    delay: usize,
+    history: VecDeque<AggregateKnowledge>,
+}
+
+impl DelayedAggregates {
+    /// Creates a pipeline with the given delay, seeded with the initial
+    /// aggregates (visible until fresher data ages through).
+    #[must_use]
+    pub fn new(delay: usize, initial: AggregateKnowledge) -> Self {
+        let mut history = VecDeque::with_capacity(delay + 1);
+        history.push_back(initial);
+        DelayedAggregates { delay, history }
+    }
+
+    /// Pushes this step's fresh aggregates and returns the view the
+    /// vertices are allowed to see (the snapshot from `delay` steps ago).
+    pub fn advance(&mut self, fresh: AggregateKnowledge) -> &AggregateKnowledge {
+        self.history.push_back(fresh);
+        while self.history.len() > self.delay + 1 {
+            self.history.pop_front();
+        }
+        self.history.front().expect("history is never empty")
+    }
+
+    /// The currently visible (possibly stale) aggregates.
+    #[must_use]
+    pub fn visible(&self) -> &AggregateKnowledge {
+        self.history.front().expect("history is never empty")
+    }
+
+    /// The configured delay in steps.
+    #[must_use]
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(universe: usize, tokens: &[usize]) -> TokenSet {
+        TokenSet::from_tokens(universe, tokens.iter().map(|&i| Token::new(i)))
+    }
+
+    #[test]
+    fn compute_counts() {
+        // 3 vertices, 3 tokens.
+        let possession = [set(3, &[0, 1]), set(3, &[0]), set(3, &[])];
+        let want = [set(3, &[0, 1]), set(3, &[1, 2]), set(3, &[0])];
+        let agg = AggregateKnowledge::compute(3, &possession, &want);
+        assert_eq!(agg.have_counts, vec![2, 1, 0]);
+        assert_eq!(agg.need_counts, vec![1, 1, 1]);
+        assert_eq!(agg.total_need(), 3);
+        assert_eq!(agg.rarity(Token::new(0)), 2);
+        assert!(agg.is_needed(Token::new(2)));
+        assert_eq!(agg.num_tokens(), 3);
+    }
+
+    #[test]
+    fn satisfied_wants_do_not_count_as_need() {
+        let possession = [set(2, &[0, 1])];
+        let want = [set(2, &[0, 1])];
+        let agg = AggregateKnowledge::compute(2, &possession, &want);
+        assert_eq!(agg.need_counts, vec![0, 0]);
+        assert_eq!(agg.total_need(), 0);
+    }
+
+    #[test]
+    fn zero_delay_sees_fresh_data() {
+        let a0 = AggregateKnowledge::compute(1, &[set(1, &[])], &[set(1, &[0])]);
+        let a1 = AggregateKnowledge::compute(1, &[set(1, &[0])], &[set(1, &[0])]);
+        let mut d = DelayedAggregates::new(0, a0);
+        assert_eq!(d.advance(a1.clone()), &a1);
+        assert_eq!(d.visible(), &a1);
+    }
+
+    #[test]
+    fn delay_two_serves_stale_then_catches_up() {
+        let snap = |have: &[usize]| AggregateKnowledge::compute(1, &[set(1, have)], &[set(1, &[0])]);
+        let (s0, s1, s2, s3) = (snap(&[]), snap(&[]), snap(&[0]), snap(&[0]));
+        let mut d = DelayedAggregates::new(2, s0.clone());
+        assert_eq!(d.delay(), 2);
+        assert_eq!(d.advance(s1.clone()), &s0);
+        assert_eq!(d.advance(s2.clone()), &s0);
+        assert_eq!(d.advance(s3), &s1);
+        // After another push the s2 snapshot (first with the token) shows.
+        let visible = d.advance(snap(&[0])).clone();
+        assert_eq!(visible, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex count mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = AggregateKnowledge::compute(1, &[set(1, &[])], &[]);
+    }
+}

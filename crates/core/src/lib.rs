@@ -1,0 +1,68 @@
+//! Core model of the **Overlay Network Content Distribution** (OCD)
+//! problem (Killian, Vrable, Snoeren, Vahdat, Pasquale; PODC 2005).
+//!
+//! The paper's §3.1 model: content is a set of unit-sized [`Token`]s over
+//! a weighted digraph whose arc capacities bound how many tokens cross an
+//! arc per timestep. Each vertex starts with a *have* set `h(v)` and must
+//! end with its *want* set `w(v)`. A [`Schedule`] is a sequence of
+//! timesteps, each assigning token sets to arcs, subject to capacity and
+//! to possession (a vertex can only send tokens it held at the start of
+//! the step). Successful schedules are measured by **makespan** (number
+//! of timesteps — FOCD, §3.2) and **bandwidth** (number of token
+//! transfers — EOCD, §3.3).
+//!
+//! This crate provides the model and everything that follows directly
+//! from it:
+//!
+//! - [`Token`] / [`TokenSet`]: dense bitset token algebra.
+//! - [`Instance`]: graph + have/want functions, with satisfiability
+//!   analysis.
+//! - [`Schedule`] and [`validate`]: replay-based validation with precise
+//!   error reporting.
+//! - [`prune`]: the paper's §5.1 post-processing that removes duplicate
+//!   and never-used deliveries.
+//! - [`bounds`]: the paper's §5.1 lower bounds (remaining bandwidth,
+//!   radius/capacity makespan bound `M_i(v)`, one-step lookahead).
+//! - [`knowledge`]: the LOCD (§4.1) aggregate-knowledge model.
+//! - [`scenario`]: generators for every experimental scenario in §5.
+//!
+//! # Examples
+//!
+//! ```
+//! use ocd_core::{Instance, Schedule, Token, TokenSet};
+//! use ocd_graph::DiGraph;
+//!
+//! // Two nodes, one token, one arc.
+//! let mut g = DiGraph::with_nodes(2);
+//! let e = g.add_edge(g.node(0), g.node(1), 1).unwrap();
+//! let instance = Instance::builder(g, 1)
+//!     .have(0, [Token::new(0)])
+//!     .want(1, [Token::new(0)])
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut schedule = Schedule::new();
+//! schedule.push_step([(e, TokenSet::from_tokens(1, [Token::new(0)]))]);
+//! let replay = ocd_core::validate::replay(&instance, &schedule).unwrap();
+//! assert!(replay.is_successful());
+//! assert_eq!(schedule.makespan(), 1);
+//! assert_eq!(schedule.bandwidth(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod bounds;
+pub mod coding;
+mod instance;
+pub mod knowledge;
+pub mod prune;
+mod schedule;
+pub mod scenario;
+mod token;
+pub mod validate;
+
+pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
+pub use schedule::{Move, Schedule, Timestep};
+pub use token::{Token, TokenSet};
+pub use validate::{Replay, ScheduleError};

@@ -1,0 +1,272 @@
+//! Schedule pruning (§5.1).
+//!
+//! "Once a satisfying schedule is found, we can go back and prune any
+//! unnecessary moves, reducing the bandwidth consumption. Pruning first
+//! removes all moves that deliver a token repeatedly to the same vertex,
+//! and then works back from the last move to the first, removing moves
+//! that deliver tokens which were never used by the destination vertex."
+//!
+//! Pruning never changes the makespan and never invalidates a schedule:
+//! the forward pass only removes deliveries that do not change possession
+//! sets, and the backward pass only removes deliveries whose token the
+//! destination neither wants nor ever forwards.
+
+use crate::{Instance, Schedule, TokenSet};
+
+/// Outcome counters from [`prune`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Moves dropped by the forward duplicate-delivery pass.
+    pub duplicates_removed: u64,
+    /// Moves dropped by the backward liveness pass.
+    pub unused_removed: u64,
+}
+
+impl PruneStats {
+    /// Total moves removed.
+    #[must_use]
+    pub fn total_removed(&self) -> u64 {
+        self.duplicates_removed + self.unused_removed
+    }
+}
+
+/// Returns a pruned copy of `schedule` together with removal counters.
+///
+/// The input must be a *valid* schedule for `instance` (not necessarily
+/// successful); the output is then also valid, has the same makespan and
+/// final possession of all wanted tokens, and bandwidth less than or
+/// equal to the input's. If the input was successful the output is too.
+///
+/// # Panics
+///
+/// Panics if the schedule references arcs outside the graph or token sets
+/// of the wrong universe (validate first if unsure).
+#[must_use]
+pub fn prune(instance: &Instance, schedule: &Schedule) -> (Schedule, PruneStats) {
+    let mut pruned = schedule.clone();
+    let stats = PruneStats {
+        duplicates_removed: forward_pass(instance, &mut pruned),
+        unused_removed: backward_pass(instance, &mut pruned),
+    };
+    for step in pruned.steps_mut() {
+        step.drop_empty();
+    }
+    (pruned, stats)
+}
+
+/// Removes deliveries of tokens the destination already possesses at the
+/// start of the step, keeping only the first of simultaneous duplicate
+/// deliveries (arcs scan in ascending id order). Returns moves removed.
+fn forward_pass(instance: &Instance, schedule: &mut Schedule) -> u64 {
+    let g = instance.graph().clone();
+    let mut possession: Vec<TokenSet> = instance.have_all().to_vec();
+    let mut removed = 0u64;
+    for step in schedule.steps_mut() {
+        // Tokens delivered to each vertex during this step (for
+        // first-wins deduplication of simultaneous duplicates).
+        let mut arriving: Vec<TokenSet> =
+            vec![TokenSet::new(instance.num_tokens()); g.node_count()];
+        for (edge, tokens) in step.sends_mut() {
+            let dst = g.edge(edge).dst.index();
+            let before = tokens.len() as u64;
+            tokens.subtract(&possession[dst]);
+            tokens.subtract(&arriving[dst]);
+            removed += before - tokens.len() as u64;
+            arriving[dst].union_with(tokens);
+        }
+        for (v, arrived) in arriving.into_iter().enumerate() {
+            possession[v].union_with(&arrived);
+        }
+    }
+    removed
+}
+
+/// Works back from the last step: a delivery `(u → v, t)` is kept only if
+/// `v` wants `t` or forwards `t` at some later step. Returns moves
+/// removed. Assumes the forward pass already ran (each `(v, t)` delivery
+/// occurs at most once), so "used" can be tracked with one set per
+/// vertex.
+fn backward_pass(instance: &Instance, schedule: &mut Schedule) -> u64 {
+    let g = instance.graph().clone();
+    // need[v] = tokens v must possess (wants, or sends at a later step).
+    let mut need: Vec<TokenSet> = instance.want_all().to_vec();
+    let mut removed = 0u64;
+    for step in schedule.steps_mut().iter_mut().rev() {
+        // First decide keeps against `need` as of later steps; then fold
+        // this step's kept sends into `need` (a send at step i requires
+        // possession at the start of step i, i.e. delivery strictly
+        // earlier).
+        let mut senders_needs: Vec<(usize, TokenSet)> = Vec::new();
+        for (edge, tokens) in step.sends_mut() {
+            let arc = g.edge(edge);
+            let before = tokens.len() as u64;
+            tokens.intersect_with(&need[arc.dst.index()]);
+            removed += before - tokens.len() as u64;
+            if !tokens.is_empty() {
+                senders_needs.push((arc.src.index(), tokens.clone()));
+            }
+        }
+        for (src, tokens) in senders_needs {
+            need[src].union_with(&tokens);
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::replay;
+    use crate::{Instance, Token};
+    use ocd_graph::generate::classic;
+    use ocd_graph::{DiGraph, EdgeId};
+
+    fn tok(i: usize) -> Token {
+        Token::new(i)
+    }
+
+    fn send(universe: usize, edge: usize, tokens: &[usize]) -> (EdgeId, TokenSet) {
+        (
+            EdgeId::new(edge),
+            TokenSet::from_tokens(universe, tokens.iter().map(|&i| Token::new(i))),
+        )
+    }
+
+    #[test]
+    fn removes_redelivery_across_steps() {
+        let g = classic::path(2, 5, false);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(1, [tok(0)])
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0])]);
+        s.push_step([send(1, 0, &[0])]); // redundant redelivery
+        let (pruned, stats) = prune(&inst, &s);
+        assert_eq!(stats.duplicates_removed, 1);
+        assert_eq!(pruned.bandwidth(), 1);
+        assert_eq!(pruned.makespan(), 2, "pruning never shortens makespan");
+        assert!(replay(&inst, &pruned).unwrap().is_successful());
+    }
+
+    #[test]
+    fn keeps_one_of_simultaneous_duplicates() {
+        // Both 0 -> 2 and 1 -> 2 deliver token 0 in the same step.
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(2), 1).unwrap(); // edge 0
+        g.add_edge(g.node(1), g.node(2), 1).unwrap(); // edge 1
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .have(1, [tok(0)])
+            .want(2, [tok(0)])
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0]), send(1, 1, &[0])]);
+        let (pruned, stats) = prune(&inst, &s);
+        assert_eq!(stats.duplicates_removed, 1);
+        assert_eq!(pruned.bandwidth(), 1);
+        assert!(replay(&inst, &pruned).unwrap().is_successful());
+    }
+
+    #[test]
+    fn removes_unused_delivery() {
+        // Token flooded to vertex 1 although only vertex 2 wants it and
+        // vertex 1 is not on the delivery path actually used.
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 1).unwrap(); // edge 0 (useless)
+        g.add_edge(g.node(0), g.node(2), 1).unwrap(); // edge 1 (useful)
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(2, [tok(0)])
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0]), send(1, 1, &[0])]);
+        let (pruned, stats) = prune(&inst, &s);
+        assert_eq!(stats.unused_removed, 1);
+        assert_eq!(pruned.bandwidth(), 1);
+        assert!(replay(&inst, &pruned).unwrap().is_successful());
+    }
+
+    #[test]
+    fn keeps_relay_deliveries() {
+        // 0 -> 1 -> 2: vertex 1 does not want the token but forwards it,
+        // so its delivery must be kept.
+        let g = classic::path(3, 1, false);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(2, [tok(0)])
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0])]);
+        s.push_step([send(1, 1, &[0])]);
+        let (pruned, stats) = prune(&inst, &s);
+        assert_eq!(stats.total_removed(), 0);
+        assert_eq!(pruned.bandwidth(), 2);
+        assert!(replay(&inst, &pruned).unwrap().is_successful());
+    }
+
+    #[test]
+    fn drops_relay_chain_whose_tip_is_unused() {
+        // 0 -> 1 -> 2 where NOBODY wants the token: the entire chain is
+        // dead and the backward pass removes both moves (the forward move
+        // 0 -> 1 only existed to feed the dead 1 -> 2 move).
+        let g = classic::path(3, 1, false);
+        let inst = Instance::builder(g, 1).have(0, [tok(0)]).build().unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0])]);
+        s.push_step([send(1, 1, &[0])]);
+        let (pruned, stats) = prune(&inst, &s);
+        assert_eq!(stats.unused_removed, 2);
+        assert_eq!(pruned.bandwidth(), 0);
+    }
+
+    #[test]
+    fn pruned_schedule_of_flood_is_steiner_like() {
+        // Star: source floods its token to all 4 leaves every step for 3
+        // steps; only leaf 3 wants it. Pruning should keep exactly 1 move.
+        let g = classic::star(5, 4, false);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(3, [tok(0)])
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        for _ in 0..3 {
+            s.push_step((0..4).map(|e| send(1, e, &[0])));
+        }
+        assert_eq!(s.bandwidth(), 12);
+        let (pruned, stats) = prune(&inst, &s);
+        assert_eq!(pruned.bandwidth(), 1);
+        assert_eq!(stats.total_removed(), 11);
+        assert!(replay(&inst, &pruned).unwrap().is_successful());
+    }
+
+    #[test]
+    fn prune_preserves_validity_even_when_unsuccessful() {
+        let g = classic::path(3, 1, false);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(2, [tok(0)])
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0])]); // never reaches 2
+        let (pruned, _) = prune(&inst, &s);
+        // Delivery to 1 is kept? No: 1 neither wants nor forwards it.
+        assert_eq!(pruned.bandwidth(), 0);
+        assert!(replay(&inst, &pruned).is_ok());
+    }
+
+    #[test]
+    fn empty_schedule_prunes_to_empty() {
+        let g = classic::path(2, 1, true);
+        let inst = Instance::builder(g, 1).have(0, [tok(0)]).build().unwrap();
+        let (pruned, stats) = prune(&inst, &Schedule::new());
+        assert_eq!(pruned.makespan(), 0);
+        assert_eq!(stats.total_removed(), 0);
+    }
+}

@@ -1,0 +1,370 @@
+//! Generators for the paper's experimental scenarios (§5.2–§5.3).
+//!
+//! Each function turns a topology into a concrete [`Instance`]:
+//!
+//! - [`single_file`]: one source holds a file of `m` tokens, every vertex
+//!   wants all of it (§5.2 "graph size" experiments, Figures 2–3).
+//! - [`receiver_density`]: one source, one file, and each vertex joins
+//!   the want set iff its uniform random score falls below a threshold
+//!   (§5.2 "receiver density", Figure 4).
+//! - [`multi_file`]: the §5.3 subdivision scenario — `total_tokens`
+//!   tokens at a single source are split into `num_files` equal files,
+//!   and the vertex set is partitioned so each group wants exactly one
+//!   file (Figure 5).
+//! - [`multi_sender`]: like [`multi_file`], but each file's source is a
+//!   random vertex that does *not* want it (§5.3, Figure 6).
+
+use crate::{Instance, TokenSet};
+use ocd_graph::DiGraph;
+use rand::Rng;
+
+/// Single source, single file, all vertices want everything.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds or the graph is empty.
+#[must_use]
+pub fn single_file(graph: DiGraph, num_tokens: usize, source: usize) -> Instance {
+    let _ = graph.node(source); // bounds check with a clear panic
+    Instance::builder(graph, num_tokens)
+        .have_set(source, TokenSet::full(num_tokens))
+        .want_all_everywhere()
+        .build()
+        .expect("source holds every token, so no orphan is possible")
+}
+
+/// Single source, single file; every vertex draws a uniform score in
+/// `[0, 1)` and wants the file iff `score < threshold`. The source always
+/// keeps the file. With `threshold >= 1.0` this degenerates to
+/// [`single_file`]; with `threshold = 0.0` nobody (except possibly the
+/// source, trivially) wants anything.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds or `threshold` is not in
+/// `[0.0, 1.0]`.
+#[must_use]
+pub fn receiver_density<R: Rng + ?Sized>(
+    graph: DiGraph,
+    num_tokens: usize,
+    source: usize,
+    threshold: f64,
+    rng: &mut R,
+) -> Instance {
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "threshold {threshold} outside [0, 1]"
+    );
+    let _ = graph.node(source);
+    let n = graph.node_count();
+    let mut builder = Instance::builder(graph, num_tokens)
+        .have_set(source, TokenSet::full(num_tokens));
+    for v in 0..n {
+        let score: f64 = rng.random();
+        if score < threshold {
+            builder = builder.want_set(v, TokenSet::full(num_tokens));
+        }
+    }
+    builder
+        .build()
+        .expect("source holds every token, so no orphan is possible")
+}
+
+/// Splits `total_tokens` into `num_files` equal contiguous files and
+/// returns each file's token set.
+///
+/// # Panics
+///
+/// Panics if `num_files` is zero or does not divide `total_tokens`.
+#[must_use]
+pub fn file_partition(total_tokens: usize, num_files: usize) -> Vec<TokenSet> {
+    assert!(num_files > 0, "need at least one file");
+    assert_eq!(
+        total_tokens % num_files,
+        0,
+        "{num_files} files must evenly divide {total_tokens} tokens"
+    );
+    let per = total_tokens / num_files;
+    (0..num_files)
+        .map(|f| TokenSet::from_range(total_tokens, f * per..(f + 1) * per))
+        .collect()
+}
+
+/// Assigns vertices to `num_files` contiguous balanced groups; group `f`
+/// wants file `f`. Returns `group[v] = f`.
+///
+/// # Panics
+///
+/// Panics if there are fewer vertices than files.
+#[must_use]
+pub fn vertex_partition(num_vertices: usize, num_files: usize) -> Vec<usize> {
+    assert!(
+        num_vertices >= num_files,
+        "cannot split {num_vertices} vertices into {num_files} groups"
+    );
+    (0..num_vertices)
+        .map(|v| v * num_files / num_vertices)
+        .collect()
+}
+
+/// The §5.3 subdivision scenario: a single source holds all
+/// `total_tokens`; the file is split into `num_files` equal parts; the
+/// vertex set is partitioned into `num_files` balanced groups, each
+/// wanting exactly its own file. "What remains constant across this
+/// graph is the number of tokens that need to be distributed from the
+/// single source" — the per-vertex deficiency shrinks as files multiply.
+///
+/// # Panics
+///
+/// Panics under the conditions of [`file_partition`],
+/// [`vertex_partition`], or if `source` is out of bounds.
+#[must_use]
+pub fn multi_file(
+    graph: DiGraph,
+    total_tokens: usize,
+    num_files: usize,
+    source: usize,
+) -> Instance {
+    let _ = graph.node(source);
+    let files = file_partition(total_tokens, num_files);
+    let groups = vertex_partition(graph.node_count(), num_files);
+    let n = graph.node_count();
+    let mut builder = Instance::builder(graph, total_tokens)
+        .have_set(source, TokenSet::full(total_tokens));
+    for v in 0..n {
+        builder = builder.want_set(v, files[groups[v]].clone());
+    }
+    builder
+        .build()
+        .expect("source holds every token, so no orphan is possible")
+}
+
+/// The §5.3 multiple-senders scenario: files and vertex groups as in
+/// [`multi_file`], but "the source of each file was randomly chosen from
+/// the set of vertices which did not want it". A vertex can source
+/// several files; their token sets union.
+///
+/// # Panics
+///
+/// Panics under the conditions of [`file_partition`] /
+/// [`vertex_partition`], or if some file is wanted by every vertex
+/// (leaving no eligible source).
+#[must_use]
+pub fn multi_sender<R: Rng + ?Sized>(
+    graph: DiGraph,
+    total_tokens: usize,
+    num_files: usize,
+    rng: &mut R,
+) -> Instance {
+    let files = file_partition(total_tokens, num_files);
+    let groups = vertex_partition(graph.node_count(), num_files);
+    let n = graph.node_count();
+    let mut builder = Instance::builder(graph, total_tokens);
+    for v in 0..n {
+        builder = builder.want_set(v, files[groups[v]].clone());
+    }
+    for (f, file) in files.iter().enumerate() {
+        let eligible: Vec<usize> = (0..n).filter(|&v| groups[v] != f).collect();
+        assert!(
+            !eligible.is_empty(),
+            "file {f} is wanted by every vertex; no eligible source"
+        );
+        let source = eligible[rng.random_range(0..eligible.len())];
+        builder = builder.have(source, file.iter());
+    }
+    builder
+        .build()
+        .expect("every file has a source, so no orphan is possible")
+}
+
+/// The paper's Figure 1 phenomenon: a graph where minimizing time and
+/// minimizing bandwidth are at odds. As in the paper's caption, the
+/// minimum-time schedule takes 2 timesteps and uses 6 units of
+/// bandwidth, while a minimum-bandwidth schedule uses 4 units of
+/// bandwidth but takes 3 timesteps. (The paper's figure graphic is not
+/// reproduced in the available text; this instance is constructed to
+/// realize the caption's exact numbers, verified by the exact solvers.)
+///
+/// Construction — one token, source `s=0`, wanters `a=1, b=2, c=3, d=4`,
+/// pure relays `r1=5, r2=6`, all arcs capacity 1:
+///
+/// ```text
+/// s → a → b → c        s → r1 → c
+///         b → d        s → r2 → d
+/// ```
+///
+/// Minimum bandwidth (4 = the deficiency): the relay-free chain
+/// `s→a; a→b; b→c, b→d` — but `c`/`d` are 3 hops deep, so it takes 3
+/// steps. Finishing in 2 steps requires `c` and `d` to receive from
+/// step-1 holders, and their only in-neighbors besides the too-late `b`
+/// are the relays — both detours are forced, giving 4 + 2 = 6 moves.
+#[must_use]
+pub fn figure_one() -> Instance {
+    let mut g = DiGraph::with_nodes(7);
+    g.add_edge(g.node(0), g.node(1), 1).expect("s -> a");
+    g.add_edge(g.node(1), g.node(2), 1).expect("a -> b");
+    g.add_edge(g.node(2), g.node(3), 1).expect("b -> c");
+    g.add_edge(g.node(2), g.node(4), 1).expect("b -> d");
+    g.add_edge(g.node(0), g.node(5), 1).expect("s -> r1");
+    g.add_edge(g.node(5), g.node(3), 1).expect("r1 -> c");
+    g.add_edge(g.node(0), g.node(6), 1).expect("s -> r2");
+    g.add_edge(g.node(6), g.node(4), 1).expect("r2 -> d");
+    Instance::builder(g, 1)
+        .have_set(0, TokenSet::full(1))
+        .want_set(1, TokenSet::full(1))
+        .want_set(2, TokenSet::full(1))
+        .want_set(3, TokenSet::full(1))
+        .want_set(4, TokenSet::full(1))
+        .build()
+        .expect("source holds every token")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocd_graph::generate::classic;
+    use rand::prelude::*;
+
+    #[test]
+    fn figure_one_shape() {
+        let inst = figure_one();
+        assert_eq!(inst.num_vertices(), 7);
+        assert_eq!(inst.num_tokens(), 1);
+        assert_eq!(inst.total_deficiency(), 4);
+        assert!(inst.is_satisfiable());
+        assert!(inst.want(inst.graph().node(5)).is_empty(), "r1 is a pure relay");
+    }
+
+    #[test]
+    fn single_file_shape() {
+        let inst = single_file(classic::cycle(5, 2, true), 7, 2);
+        assert!(inst.is_satisfiable());
+        assert_eq!(inst.num_tokens(), 7);
+        assert!(inst.have(inst.graph().node(2)).is_full());
+        assert!(inst.have(inst.graph().node(0)).is_empty());
+        // Everyone wants everything; the source's want is pre-satisfied.
+        assert_eq!(inst.total_deficiency(), 4 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn single_file_bad_source_panics() {
+        let _ = single_file(classic::path(2, 1, true), 1, 9);
+    }
+
+    #[test]
+    fn receiver_density_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let all = receiver_density(classic::cycle(20, 2, true), 5, 0, 1.0, &mut rng);
+        assert_eq!(all.total_deficiency(), 19 * 5, "threshold 1 = everyone wants");
+        let none = receiver_density(classic::cycle(20, 2, true), 5, 0, 0.0, &mut rng);
+        assert_eq!(none.total_deficiency(), 0);
+    }
+
+    #[test]
+    fn receiver_density_scales_with_threshold() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = receiver_density(classic::cycle(400, 2, true), 3, 0, 0.25, &mut rng);
+        let receivers = inst.stats().receivers;
+        assert!(
+            (60..140).contains(&receivers),
+            "~25% of 400 vertices expected, got {receivers}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn receiver_density_bad_threshold_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = receiver_density(classic::path(2, 1, true), 1, 0, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn file_partition_is_disjoint_and_covering() {
+        let files = file_partition(512, 8);
+        assert_eq!(files.len(), 8);
+        let mut union = TokenSet::new(512);
+        for (i, f) in files.iter().enumerate() {
+            assert_eq!(f.len(), 64);
+            for (j, g) in files.iter().enumerate() {
+                if i != j {
+                    assert!(!f.intersects(g), "files {i} and {j} overlap");
+                }
+            }
+            union.union_with(f);
+        }
+        assert!(union.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn uneven_partition_panics() {
+        let _ = file_partition(10, 3);
+    }
+
+    #[test]
+    fn vertex_partition_is_balanced() {
+        let groups = vertex_partition(200, 8);
+        let mut counts = [0usize; 8];
+        for g in groups {
+            counts[g] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 25));
+        // Uneven case: sizes differ by at most 1.
+        let groups = vertex_partition(10, 3);
+        let mut counts = [0usize; 3];
+        for g in groups {
+            counts[g] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().all(|&c| c == 3 || c == 4));
+    }
+
+    #[test]
+    fn multi_file_preserves_total_demand() {
+        // The paper's invariant: total tokens to distribute from the
+        // source is constant across subdivisions (modulo the source's own
+        // group being pre-satisfied).
+        let mut last = None;
+        for k in [1usize, 2, 4, 8] {
+            let inst = multi_file(classic::cycle(16, 3, true), 64, k, 0);
+            assert!(inst.is_satisfiable());
+            let deficiency = inst.total_deficiency();
+            // Each non-source vertex wants exactly 64/k tokens; the
+            // source belongs to group 0 and is pre-satisfied.
+            assert_eq!(deficiency, (16 - 16 / k.min(16)) as u64 * (64 / k) as u64 + (16 / k as u64 - 1) * (64 / k) as u64);
+            if let Some(prev) = last {
+                assert!(deficiency <= prev, "deficiency shrinks as files split");
+            }
+            last = Some(deficiency);
+        }
+    }
+
+    #[test]
+    fn multi_sender_sources_do_not_want_their_file() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = multi_sender(classic::cycle(16, 3, true), 64, 4, &mut rng);
+        assert!(inst.is_satisfiable());
+        let files = file_partition(64, 4);
+        for (f, file) in files.iter().enumerate() {
+            // Some vertex has the file...
+            let havers: Vec<_> = inst
+                .graph()
+                .nodes()
+                .filter(|&v| file.is_subset(inst.have(v)))
+                .collect();
+            assert!(!havers.is_empty(), "file {f} has a source");
+            // ...and no haver wants it.
+            for h in havers {
+                assert!(!inst.want(h).intersects(file), "source of file {f} wants it");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_sender_deterministic_under_seed() {
+        let a = multi_sender(classic::cycle(12, 3, true), 24, 4, &mut StdRng::seed_from_u64(9));
+        let b = multi_sender(classic::cycle(12, 3, true), 24, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,298 @@
+//! Distribution schedules: sequences of timesteps assigning tokens to
+//! arcs.
+
+use crate::{Token, TokenSet};
+use ocd_graph::EdgeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single token transfer: `token` crosses `edge` during some timestep.
+/// One move consumes one unit of bandwidth (§3.1/§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Move {
+    /// 0-based timestep in which the transfer happens.
+    pub step: usize,
+    /// The arc the token crosses.
+    pub edge: EdgeId,
+    /// The token transferred.
+    pub token: Token,
+}
+
+/// The moves of one timestep: for each arc that carries anything, the set
+/// of tokens assigned to it (`s_i(u, v)` in the paper). Arcs are kept in
+/// ascending id order with at most one entry per arc.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timestep {
+    sends: Vec<(EdgeId, TokenSet)>,
+}
+
+impl Timestep {
+    /// Creates an empty timestep.
+    #[must_use]
+    pub fn new() -> Self {
+        Timestep::default()
+    }
+
+    /// Creates a timestep from `(arc, tokens)` pairs. Pairs for the same
+    /// arc are unioned; empty token sets are dropped; entries are sorted
+    /// by arc id so equal timesteps compare equal.
+    #[must_use]
+    pub fn from_sends(sends: impl IntoIterator<Item = (EdgeId, TokenSet)>) -> Self {
+        let mut step = Timestep::new();
+        for (edge, tokens) in sends {
+            step.add_send(edge, &tokens);
+        }
+        step
+    }
+
+    /// Unions `tokens` into the send set of `edge`.
+    pub fn add_send(&mut self, edge: EdgeId, tokens: &TokenSet) {
+        if tokens.is_empty() {
+            return;
+        }
+        match self.sends.binary_search_by_key(&edge, |(e, _)| *e) {
+            Ok(pos) => self.sends[pos].1.union_with(tokens),
+            Err(pos) => self.sends.insert(pos, (edge, tokens.clone())),
+        }
+    }
+
+    /// The token set assigned to `edge`, if any.
+    #[must_use]
+    pub fn sent_on(&self, edge: EdgeId) -> Option<&TokenSet> {
+        self.sends
+            .binary_search_by_key(&edge, |(e, _)| *e)
+            .ok()
+            .map(|pos| &self.sends[pos].1)
+    }
+
+    /// Iterates over `(arc, tokens)` entries in ascending arc order.
+    pub fn sends(&self) -> impl Iterator<Item = (EdgeId, &TokenSet)> {
+        self.sends.iter().map(|(e, t)| (*e, t))
+    }
+
+    /// Mutable iteration over the send entries (used by pruning).
+    pub(crate) fn sends_mut(&mut self) -> impl Iterator<Item = (EdgeId, &mut TokenSet)> {
+        self.sends.iter_mut().map(|(e, t)| (*e, t))
+    }
+
+    /// Drops arcs whose token set became empty (after pruning).
+    pub(crate) fn drop_empty(&mut self) {
+        self.sends.retain(|(_, t)| !t.is_empty());
+    }
+
+    /// Total tokens transferred in this timestep.
+    #[must_use]
+    pub fn bandwidth(&self) -> u64 {
+        self.sends.iter().map(|(_, t)| t.len() as u64).sum()
+    }
+
+    /// Whether no arc carries anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+    }
+}
+
+/// A distribution schedule: the sequence `s_0, …, s_{t-1}` of timesteps
+/// (§3.1). Invalid schedules can be *represented*; validity against an
+/// instance is checked by [`validate::replay`](crate::validate::replay).
+///
+/// # Examples
+///
+/// ```
+/// use ocd_core::{Schedule, Token, TokenSet};
+/// use ocd_graph::EdgeId;
+///
+/// let mut s = Schedule::new();
+/// s.push_step([(EdgeId::new(0), TokenSet::from_tokens(4, [Token::new(2)]))]);
+/// s.push_step([]);
+/// assert_eq!(s.makespan(), 2);
+/// assert_eq!(s.bandwidth(), 1);
+/// let trimmed = s.trimmed();
+/// assert_eq!(trimmed.makespan(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    steps: Vec<Timestep>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule (zero timesteps).
+    #[must_use]
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Appends a timestep built from `(arc, tokens)` pairs.
+    pub fn push_step(&mut self, sends: impl IntoIterator<Item = (EdgeId, TokenSet)>) {
+        self.steps.push(Timestep::from_sends(sends));
+    }
+
+    /// Appends an already-built timestep.
+    pub fn push_timestep(&mut self, step: Timestep) {
+        self.steps.push(step);
+    }
+
+    /// Number of timesteps, `t`. This is the FOCD objective (§3.2), and
+    /// what the paper's figures call "moves".
+    #[must_use]
+    pub fn makespan(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total tokens transferred over all timesteps — the EOCD objective
+    /// (§3.3), the paper's "bandwidth".
+    #[must_use]
+    pub fn bandwidth(&self) -> u64 {
+        self.steps.iter().map(Timestep::bandwidth).sum()
+    }
+
+    /// The timesteps in order.
+    #[must_use]
+    pub fn steps(&self) -> &[Timestep] {
+        &self.steps
+    }
+
+    /// Mutable access for pruning.
+    pub(crate) fn steps_mut(&mut self) -> &mut [Timestep] {
+        &mut self.steps
+    }
+
+    /// Flattens the schedule into individual [`Move`]s in (step, arc,
+    /// token) order.
+    pub fn moves(&self) -> impl Iterator<Item = Move> + '_ {
+        self.steps.iter().enumerate().flat_map(|(step, ts)| {
+            ts.sends()
+                .flat_map(move |(edge, tokens)| tokens.iter().map(move |token| Move { step, edge, token }))
+        })
+    }
+
+    /// Returns a copy with trailing empty timesteps removed. Interior
+    /// empty steps are kept: they represent deliberate waiting.
+    #[must_use]
+    pub fn trimmed(&self) -> Schedule {
+        let mut steps = self.steps.clone();
+        while steps.last().is_some_and(Timestep::is_empty) {
+            steps.pop();
+        }
+        Schedule { steps }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schedule: {} steps, {} token-transfers",
+            self.makespan(),
+            self.bandwidth()
+        )?;
+        for (i, step) in self.steps.iter().enumerate() {
+            write!(f, "  step {i}:")?;
+            if step.is_empty() {
+                writeln!(f, " (idle)")?;
+                continue;
+            }
+            writeln!(f)?;
+            for (edge, tokens) in step.sends() {
+                writeln!(f, "    arc {edge}: {tokens:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(universe: usize, edge: usize, tokens: &[usize]) -> (EdgeId, TokenSet) {
+        (
+            EdgeId::new(edge),
+            TokenSet::from_tokens(universe, tokens.iter().map(|&i| Token::new(i))),
+        )
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::new();
+        assert_eq!(s.makespan(), 0);
+        assert_eq!(s.bandwidth(), 0);
+        assert_eq!(s.moves().count(), 0);
+    }
+
+    #[test]
+    fn duplicate_edge_entries_union() {
+        let step = Timestep::from_sends([ts(5, 0, &[1]), ts(5, 0, &[2]), ts(5, 1, &[3])]);
+        assert_eq!(step.sent_on(EdgeId::new(0)).unwrap().len(), 2);
+        assert_eq!(step.bandwidth(), 3);
+        assert_eq!(step.sends().count(), 2);
+    }
+
+    #[test]
+    fn empty_sends_dropped() {
+        let step = Timestep::from_sends([(EdgeId::new(3), TokenSet::new(4))]);
+        assert!(step.is_empty());
+        assert_eq!(step.sent_on(EdgeId::new(3)), None);
+    }
+
+    #[test]
+    fn sends_sorted_by_edge() {
+        let step = Timestep::from_sends([ts(5, 9, &[0]), ts(5, 2, &[1]), ts(5, 4, &[2])]);
+        let order: Vec<usize> = step.sends().map(|(e, _)| e.index()).collect();
+        assert_eq!(order, vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn metrics_and_moves() {
+        let mut s = Schedule::new();
+        s.push_step([ts(4, 0, &[0, 1])]);
+        s.push_step([ts(4, 1, &[2]), ts(4, 0, &[3])]);
+        assert_eq!(s.makespan(), 2);
+        assert_eq!(s.bandwidth(), 4);
+        let moves: Vec<Move> = s.moves().collect();
+        assert_eq!(moves.len(), 4);
+        assert_eq!(
+            moves[0],
+            Move {
+                step: 0,
+                edge: EdgeId::new(0),
+                token: Token::new(0)
+            }
+        );
+        assert_eq!(moves[3].step, 1);
+    }
+
+    #[test]
+    fn trimmed_removes_only_trailing_idle() {
+        let mut s = Schedule::new();
+        s.push_step([ts(4, 0, &[0])]);
+        s.push_step([]);
+        s.push_step([ts(4, 0, &[1])]);
+        s.push_step([]);
+        s.push_step([]);
+        let t = s.trimmed();
+        assert_eq!(t.makespan(), 3, "interior idle step kept");
+        assert_eq!(t.bandwidth(), 2);
+    }
+
+    #[test]
+    fn display_mentions_metrics() {
+        let mut s = Schedule::new();
+        s.push_step([ts(4, 0, &[0])]);
+        s.push_step([]);
+        let text = s.to_string();
+        assert!(text.contains("1 token-transfers"));
+        assert!(text.contains("(idle)"));
+        assert!(text.contains("arc 0"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = Schedule::new();
+        s.push_step([ts(4, 0, &[0, 2])]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,444 @@
+//! Replay-based schedule validation.
+//!
+//! A schedule is *valid* for an instance when every timestep respects the
+//! §3.1 restrictions (capacity, possession) and references only arcs of
+//! the graph; it is *successful* when the final possession covers every
+//! want. [`replay`] checks validity while reconstructing the possession
+//! functions `p_0, …, p_t`, which the caller can then inspect.
+
+use crate::{Instance, Schedule, Token, TokenSet};
+use ocd_graph::{EdgeId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the schedule restrictions (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A timestep references an arc that is not in the graph.
+    UnknownEdge {
+        /// The offending timestep.
+        step: usize,
+        /// The unknown arc id.
+        edge: EdgeId,
+    },
+    /// More tokens were assigned to an arc than its capacity allows.
+    CapacityExceeded {
+        /// The offending timestep.
+        step: usize,
+        /// The overloaded arc.
+        edge: EdgeId,
+        /// Tokens assigned.
+        sent: usize,
+        /// The arc's capacity.
+        capacity: u32,
+    },
+    /// A vertex sent a token it did not possess at the start of the step.
+    TokenNotPossessed {
+        /// The offending timestep.
+        step: usize,
+        /// The arc the token was assigned to.
+        edge: EdgeId,
+        /// The sending vertex.
+        sender: NodeId,
+        /// The token the sender lacked.
+        token: Token,
+    },
+    /// A token set was built over the wrong universe size.
+    UniverseMismatch {
+        /// The offending timestep.
+        step: usize,
+        /// The arc whose token set is malformed.
+        edge: EdgeId,
+        /// Universe size found.
+        found: usize,
+        /// Universe size of the instance.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::UnknownEdge { step, edge } => {
+                write!(f, "step {step}: arc {edge} does not exist in the graph")
+            }
+            ScheduleError::CapacityExceeded {
+                step,
+                edge,
+                sent,
+                capacity,
+            } => write!(
+                f,
+                "step {step}: arc {edge} carries {sent} tokens but has capacity {capacity}"
+            ),
+            ScheduleError::TokenNotPossessed {
+                step,
+                edge,
+                sender,
+                token,
+            } => write!(
+                f,
+                "step {step}: vertex {sender} sent token {token} on arc {edge} without possessing it"
+            ),
+            ScheduleError::UniverseMismatch {
+                step,
+                edge,
+                found,
+                expected,
+            } => write!(
+                f,
+                "step {step}: arc {edge} token set has universe {found}, instance has {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// The reconstructed possession timeline of a valid schedule: possession
+/// sets `p_0, …, p_t` for every vertex.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// `possession[i][v]` = tokens vertex `v` holds at the start of
+    /// timestep `i`; index `t` (= makespan) is the final state.
+    possession: Vec<Vec<TokenSet>>,
+    /// Per-vertex sets still missing at the end: `w(v) \ p_t(v)`.
+    missing: Vec<TokenSet>,
+}
+
+impl Replay {
+    /// Tokens vertex `v` holds at the start of timestep `step`
+    /// (`step == makespan` gives the final state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` or `v` is out of bounds.
+    #[must_use]
+    pub fn possession(&self, step: usize, v: NodeId) -> &TokenSet {
+        &self.possession[step][v.index()]
+    }
+
+    /// Final possession of every vertex.
+    #[must_use]
+    pub fn final_possession(&self) -> &[TokenSet] {
+        self.possession.last().expect("replay has at least p_0")
+    }
+
+    /// Whether every vertex ended with its want set satisfied
+    /// (`w(v) ⊆ p_t(v)` for all `v`, the paper's success criterion).
+    #[must_use]
+    pub fn is_successful(&self) -> bool {
+        self.missing.iter().all(TokenSet::is_empty)
+    }
+
+    /// Vertices that did not receive everything they want, with the
+    /// missing tokens.
+    #[must_use]
+    pub fn unsatisfied(&self) -> Vec<(NodeId, &TokenSet)> {
+        self.missing
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(v, m)| (NodeId::new(v), m))
+            .collect()
+    }
+
+    /// Number of timesteps replayed.
+    #[must_use]
+    pub fn makespan(&self) -> usize {
+        self.possession.len() - 1
+    }
+}
+
+/// Replays `schedule` against `instance`, checking every §3.1 restriction
+/// and reconstructing the possession timeline.
+///
+/// # Errors
+///
+/// Returns the first [`ScheduleError`] encountered, scanning timesteps in
+/// order and arcs in ascending id order within a timestep.
+pub fn replay(instance: &Instance, schedule: &Schedule) -> Result<Replay, ScheduleError> {
+    let g = instance.graph();
+    replay_impl(instance, schedule, |_, e| g.capacity(e))
+}
+
+/// Replays a schedule produced under *dynamic* network conditions:
+/// capacity checks use `capacities[step][edge]` (the trace recorded by
+/// `ocd-heuristics`' dynamic simulation) instead of the graph's static
+/// capacities. A capacity of 0 forbids the arc entirely for that step.
+///
+/// # Errors
+///
+/// As [`replay`], against the per-step capacities.
+///
+/// # Panics
+///
+/// Panics if `capacities` has fewer entries than the schedule has steps
+/// or a row is shorter than the edge list.
+pub fn replay_with_capacities(
+    instance: &Instance,
+    schedule: &Schedule,
+    capacities: &[Vec<u32>],
+) -> Result<Replay, ScheduleError> {
+    assert!(
+        capacities.len() >= schedule.makespan(),
+        "capacity trace ({} steps) shorter than schedule ({} steps)",
+        capacities.len(),
+        schedule.makespan()
+    );
+    replay_impl(instance, schedule, |step, e| capacities[step][e.index()])
+}
+
+fn replay_impl(
+    instance: &Instance,
+    schedule: &Schedule,
+    capacity_at: impl Fn(usize, EdgeId) -> u32,
+) -> Result<Replay, ScheduleError> {
+    let g = instance.graph();
+    let n = g.node_count();
+    let m = instance.num_tokens();
+    let mut current: Vec<TokenSet> = instance.have_all().to_vec();
+    let mut possession = Vec::with_capacity(schedule.makespan() + 1);
+    possession.push(current.clone());
+
+    for (step, ts) in schedule.steps().iter().enumerate() {
+        let mut next = current.clone();
+        for (edge, tokens) in ts.sends() {
+            if edge.index() >= g.edge_count() {
+                return Err(ScheduleError::UnknownEdge { step, edge });
+            }
+            if tokens.universe() != m {
+                return Err(ScheduleError::UniverseMismatch {
+                    step,
+                    edge,
+                    found: tokens.universe(),
+                    expected: m,
+                });
+            }
+            let arc = g.edge(edge);
+            let capacity = capacity_at(step, edge);
+            if tokens.len() > capacity as usize {
+                return Err(ScheduleError::CapacityExceeded {
+                    step,
+                    edge,
+                    sent: tokens.len(),
+                    capacity,
+                });
+            }
+            // Possession: s_i(u, v) ⊆ p_i(u).
+            if !tokens.is_subset(&current[arc.src.index()]) {
+                let token = tokens
+                    .difference(&current[arc.src.index()])
+                    .first()
+                    .expect("non-subset has a witness");
+                return Err(ScheduleError::TokenNotPossessed {
+                    step,
+                    edge,
+                    sender: arc.src,
+                    token,
+                });
+            }
+            next[arc.dst.index()].union_with(tokens);
+        }
+        current = next;
+        possession.push(current.clone());
+    }
+
+    let missing = (0..n)
+        .map(|v| {
+            instance
+                .want(NodeId::new(v))
+                .difference(&current[v])
+        })
+        .collect();
+    Ok(Replay { possession, missing })
+}
+
+/// Convenience: replay and additionally require success.
+///
+/// # Errors
+///
+/// Returns a [`ScheduleError`] if the schedule is invalid; returns
+/// `Ok(None)` if valid but unsuccessful, `Ok(Some(replay))` if valid and
+/// successful.
+pub fn replay_successful(
+    instance: &Instance,
+    schedule: &Schedule,
+) -> Result<Option<Replay>, ScheduleError> {
+    let r = replay(instance, schedule)?;
+    Ok(if r.is_successful() { Some(r) } else { None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocd_graph::generate::classic;
+    use ocd_graph::DiGraph;
+
+    fn tok(i: usize) -> Token {
+        Token::new(i)
+    }
+
+    /// 0 → 1 → 2 path, capacity 1, token 0 at vertex 0, wanted by vertex 2.
+    fn relay_instance() -> Instance {
+        let g = classic::path(3, 1, false);
+        Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(2, [tok(0)])
+            .build()
+            .unwrap()
+    }
+
+    fn send(universe: usize, edge: usize, tokens: &[usize]) -> (EdgeId, TokenSet) {
+        (
+            EdgeId::new(edge),
+            TokenSet::from_tokens(universe, tokens.iter().map(|&i| Token::new(i))),
+        )
+    }
+
+    #[test]
+    fn successful_relay() {
+        let inst = relay_instance();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0])]); // 0 -> 1
+        s.push_step([send(1, 1, &[0])]); // 1 -> 2
+        let replay = replay(&inst, &s).unwrap();
+        assert!(replay.is_successful());
+        assert_eq!(replay.makespan(), 2);
+        assert!(replay.possession(0, inst.graph().node(1)).is_empty());
+        assert!(replay.possession(1, inst.graph().node(1)).contains(tok(0)));
+        assert!(replay.possession(2, inst.graph().node(2)).contains(tok(0)));
+        assert!(replay_successful(&inst, &s).unwrap().is_some());
+    }
+
+    #[test]
+    fn store_and_forward_enforced() {
+        // Sending on arc 1 -> 2 in the same step the token arrives at 1
+        // violates possession: s_i(u,v) ⊆ p_i(u).
+        let inst = relay_instance();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0]), send(1, 1, &[0])]);
+        let err = replay(&inst, &s).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::TokenNotPossessed {
+                step: 0,
+                edge: EdgeId::new(1),
+                sender: inst.graph().node(1),
+                token: tok(0),
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let g = classic::path(2, 1, false);
+        let inst = Instance::builder(g, 2)
+            .have(0, [tok(0), tok(1)])
+            .want(1, [tok(0), tok(1)])
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(2, 0, &[0, 1])]);
+        let err = replay(&inst, &s).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::CapacityExceeded {
+                step: 0,
+                sent: 2,
+                capacity: 1,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("capacity 1"));
+    }
+
+    #[test]
+    fn unknown_edge_rejected() {
+        let inst = relay_instance();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 99, &[0])]);
+        assert_eq!(
+            replay(&inst, &s).unwrap_err(),
+            ScheduleError::UnknownEdge {
+                step: 0,
+                edge: EdgeId::new(99)
+            }
+        );
+    }
+
+    #[test]
+    fn universe_mismatch_rejected() {
+        let inst = relay_instance();
+        let mut s = Schedule::new();
+        s.push_step([send(5, 0, &[0])]); // universe 5, instance has 1
+        assert!(matches!(
+            replay(&inst, &s).unwrap_err(),
+            ScheduleError::UniverseMismatch {
+                found: 5,
+                expected: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn valid_but_unsuccessful() {
+        let inst = relay_instance();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0])]); // token only reaches vertex 1
+        let replay = replay(&inst, &s).unwrap();
+        assert!(!replay.is_successful());
+        let unsat = replay.unsatisfied();
+        assert_eq!(unsat.len(), 1);
+        assert_eq!(unsat[0].0, inst.graph().node(2));
+        assert!(unsat[0].1.contains(tok(0)));
+        assert!(replay_successful(&inst, &s).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_schedule_on_trivial_instance() {
+        let g = classic::path(2, 1, true);
+        let inst = Instance::builder(g, 1).have(0, [tok(0)]).build().unwrap();
+        let replay = replay(&inst, &Schedule::new()).unwrap();
+        assert!(replay.is_successful());
+        assert_eq!(replay.makespan(), 0);
+    }
+
+    #[test]
+    fn duplication_to_multiple_receivers_in_one_step() {
+        // Vertex 0 duplicates its token to 1 and 2 simultaneously — the
+        // defining capability that distinguishes OCD from network flow.
+        let g = classic::star(3, 1, false);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(1, [tok(0)])
+            .want(2, [tok(0)])
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0]), send(1, 1, &[0])]);
+        let replay = replay(&inst, &s).unwrap();
+        assert!(replay.is_successful());
+        assert_eq!(s.bandwidth(), 2);
+    }
+
+    #[test]
+    fn received_token_usable_next_step_for_return() {
+        // 0 <-> 1; token travels 0 -> 1 then BACK 1 -> 0 (delivered to a
+        // vertex that already has it — legal, merely useless).
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge_symmetric(g.node(0), g.node(1), 1).unwrap();
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(1, [tok(0)])
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0])]);
+        s.push_step([send(1, 1, &[0])]);
+        let replay = replay(&inst, &s).unwrap();
+        assert!(replay.is_successful());
+    }
+}

@@ -1,0 +1,165 @@
+//! Breadth-first search: hop distances, BFS trees, and radius queries.
+
+use super::UNREACHABLE;
+use crate::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Hop distances from `source` to every node, following arc directions.
+///
+/// Unreachable nodes get [`UNREACHABLE`].
+///
+/// # Examples
+///
+/// ```
+/// use ocd_graph::{DiGraph, algo};
+///
+/// let mut g = DiGraph::with_nodes(3);
+/// g.add_edge(g.node(0), g.node(1), 1).unwrap();
+/// g.add_edge(g.node(1), g.node(2), 1).unwrap();
+/// let d = algo::bfs_distances(&g, g.node(0));
+/// assert_eq!(d, vec![0, 1, 2]);
+/// ```
+#[must_use]
+pub fn bfs_distances(g: &DiGraph, source: NodeId) -> Vec<u32> {
+    bfs_distances_multi(g, std::iter::once(source))
+}
+
+/// Hop distances from the *nearest* of several sources, following arc
+/// directions. This is the distance a token held by any of `sources` must
+/// travel to reach each node, used by reachability checks and the radius
+/// lower bound.
+#[must_use]
+pub fn bfs_distances_multi(g: &DiGraph, sources: impl IntoIterator<Item = NodeId>) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    for s in sources {
+        if dist[s.index()] != 0 {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for v in g.out_neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS tree from `source`: for each node, the predecessor on a shortest
+/// hop path from `source` (`None` for the source itself and for
+/// unreachable nodes).
+#[must_use]
+pub fn bfs_tree(g: &DiGraph, source: NodeId) -> Vec<Option<NodeId>> {
+    let mut pred = vec![None; g.node_count()];
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for v in g.out_neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = dist[u.index()] + 1;
+                pred[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    pred
+}
+
+/// The set of nodes whose hop distance *to* `center` is at most `radius`,
+/// i.e. the in-closure used by the paper's `M_i(v)` bound ("all tokens
+/// within a radius of `i` could be retrieved in `i` timesteps").
+///
+/// Follows arcs backwards: a node `u` is in the result iff there is a
+/// directed path `u → … → center` of length ≤ `radius`.
+#[must_use]
+pub fn nodes_within(g: &DiGraph, center: NodeId, radius: u32) -> Vec<NodeId> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[center.index()] = 0;
+    queue.push_back(center);
+    let mut result = vec![center];
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du == radius {
+            continue;
+        }
+        for v in g.in_neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                result.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::classic;
+
+    #[test]
+    fn distances_on_path() {
+        let g = classic::path(5, 1, true);
+        let d = bfs_distances(&g, g.node(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unreachable_is_sentinel() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 1).unwrap();
+        let d = bfs_distances(&g, g.node(0));
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn directed_path_not_reversible() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(g.node(0), g.node(1), 1).unwrap();
+        let d = bfs_distances(&g, g.node(1));
+        assert_eq!(d[0], UNREACHABLE);
+        assert_eq!(d[1], 0);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = classic::path(6, 1, false);
+        let d = bfs_distances_multi(&g, [g.node(0), g.node(4)]);
+        assert_eq!(d, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_tree_predecessors_form_shortest_paths() {
+        let g = classic::cycle(5, 1, false);
+        let pred = bfs_tree(&g, g.node(0));
+        assert_eq!(pred[0], None);
+        assert_eq!(pred[1], Some(g.node(0)));
+        assert_eq!(pred[4], Some(g.node(3)));
+    }
+
+    #[test]
+    fn nodes_within_uses_incoming_paths() {
+        // 0 -> 1 -> 2, plus 3 isolated.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 1).unwrap();
+        g.add_edge(g.node(1), g.node(2), 1).unwrap();
+        assert_eq!(nodes_within(&g, g.node(2), 0), vec![g.node(2)]);
+        assert_eq!(nodes_within(&g, g.node(2), 1), vec![g.node(1), g.node(2)]);
+        assert_eq!(
+            nodes_within(&g, g.node(2), 2),
+            vec![g.node(0), g.node(1), g.node(2)]
+        );
+        // Radius larger than the graph changes nothing.
+        assert_eq!(nodes_within(&g, g.node(2), 99).len(), 3);
+    }
+}

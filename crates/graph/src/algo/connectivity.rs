@@ -1,0 +1,178 @@
+//! Weak and strong connectivity.
+
+use super::UNREACHABLE;
+use crate::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Returns whether the graph is weakly connected (connected when arc
+/// directions are ignored). The empty graph counts as connected.
+#[must_use]
+pub fn is_weakly_connected(g: &DiGraph) -> bool {
+    weakly_connected_components(g).len() <= 1
+}
+
+/// Weakly connected components, each sorted ascending; components are
+/// ordered by their smallest node.
+#[must_use]
+pub fn weakly_connected_components(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut components = Vec::new();
+    for start in g.nodes() {
+        if comp[start.index()] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        comp[start.index()] = id;
+        while let Some(u) = queue.pop_front() {
+            members.push(u);
+            for v in g.out_neighbors(u).chain(g.in_neighbors(u)) {
+                if comp[v.index()] == usize::MAX {
+                    comp[v.index()] = id;
+                    queue.push_back(v);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+/// Returns whether every node can reach every other node along directed
+/// paths. The empty graph and singleton graphs count as strongly
+/// connected.
+#[must_use]
+pub fn is_strongly_connected(g: &DiGraph) -> bool {
+    strongly_connected_components(g).len() <= 1
+}
+
+/// Strongly connected components via Tarjan's algorithm (iterative, so
+/// deep graphs cannot overflow the call stack). Components are emitted in
+/// reverse topological order of the condensation; members sorted
+/// ascending.
+#[must_use]
+pub fn strongly_connected_components(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut index = vec![UNREACHABLE; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+
+    // Explicit DFS state machine: (node, iterator position over neighbors).
+    for root in g.nodes() {
+        if index[root.index()] != UNREACHABLE {
+            continue;
+        }
+        let mut call_stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            if *pos == 0 {
+                index[v.index()] = next_index;
+                lowlink[v.index()] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v.index()] = true;
+            }
+            let neighbors: Vec<NodeId> = g.out_neighbors(v).collect();
+            if *pos < neighbors.len() {
+                let w = neighbors[*pos];
+                *pos += 1;
+                if index[w.index()] == UNREACHABLE {
+                    call_stack.push((w, 0));
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
+                }
+                if lowlink[v.index()] == index[v.index()] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC stack underflow");
+                        on_stack[w.index()] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::classic;
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = DiGraph::new();
+        assert!(is_weakly_connected(&g));
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn directed_path_weak_not_strong() {
+        let g = classic::path(4, 1, false);
+        assert!(is_weakly_connected(&g));
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn symmetric_path_is_strong() {
+        let g = classic::path(4, 1, true);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn directed_cycle_is_strong() {
+        let g = classic::cycle(5, 1, false);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        // Two directed 2-cycles plus an isolated node.
+        let mut g = DiGraph::with_nodes(5);
+        g.add_edge_symmetric(g.node(0), g.node(1), 1).unwrap();
+        g.add_edge_symmetric(g.node(2), g.node(3), 1).unwrap();
+        let weak = weakly_connected_components(&g);
+        assert_eq!(weak.len(), 3);
+        let total: usize = weak.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        let strong = strongly_connected_components(&g);
+        assert_eq!(strong.len(), 3);
+    }
+
+    #[test]
+    fn scc_splits_one_way_bridge() {
+        // Cycle {0,1} -> bridge -> cycle {2,3}.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge_symmetric(g.node(0), g.node(1), 1).unwrap();
+        g.add_edge_symmetric(g.node(2), g.node(3), 1).unwrap();
+        g.add_edge(g.node(1), g.node(2), 1).unwrap();
+        assert!(is_weakly_connected(&g));
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.contains(&vec![g.node(0), g.node(1)]));
+        assert!(sccs.contains(&vec![g.node(2), g.node(3)]));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        let g = classic::path(50_000, 1, false);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 50_000);
+    }
+}

@@ -1,0 +1,90 @@
+//! Eccentricity, diameter, and radius in hop distance.
+
+use super::{bfs_distances, UNREACHABLE};
+use crate::{DiGraph, NodeId};
+
+/// Eccentricity of `v`: the maximum hop distance from `v` to any node
+/// reachable from it, or `None` if some node is unreachable.
+///
+/// Theorem 4's additive bound for on-line algorithms is phrased in terms
+/// of the graph diameter, which is the maximum eccentricity.
+#[must_use]
+pub fn eccentricity(g: &DiGraph, v: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, v);
+    let mut max = 0;
+    for d in dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// Directed diameter: maximum over all ordered pairs of the hop distance,
+/// or `None` if the graph is not strongly connected. The empty graph has
+/// diameter 0.
+#[must_use]
+pub fn diameter(g: &DiGraph) -> Option<u32> {
+    let mut max = 0;
+    for v in g.nodes() {
+        max = max.max(eccentricity(g, v)?);
+    }
+    Some(max)
+}
+
+/// Directed radius: minimum eccentricity over all nodes, or `None` if the
+/// graph is not strongly connected. The empty graph has radius 0.
+#[must_use]
+pub fn radius(g: &DiGraph) -> Option<u32> {
+    let mut min: Option<u32> = None;
+    for v in g.nodes() {
+        let e = eccentricity(g, v)?;
+        min = Some(min.map_or(e, |m| m.min(e)));
+    }
+    Some(min.unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::classic;
+
+    #[test]
+    fn path_diameter() {
+        let g = classic::path(5, 1, true);
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(radius(&g), Some(2));
+        assert_eq!(eccentricity(&g, g.node(0)), Some(4));
+        assert_eq!(eccentricity(&g, g.node(2)), Some(2));
+    }
+
+    #[test]
+    fn directed_cycle_diameter() {
+        let g = classic::cycle(6, 1, false);
+        assert_eq!(diameter(&g), Some(5));
+        assert_eq!(radius(&g), Some(5));
+    }
+
+    #[test]
+    fn star_diameter() {
+        let g = classic::star(5, 1, true);
+        assert_eq!(diameter(&g), Some(2));
+        assert_eq!(radius(&g), Some(1));
+    }
+
+    #[test]
+    fn disconnected_yields_none() {
+        let g = DiGraph::with_nodes(2);
+        assert_eq!(diameter(&g), None);
+        assert_eq!(eccentricity(&g, g.node(0)), None);
+        assert_eq!(radius(&g), None);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_diameter() {
+        let g = DiGraph::new();
+        assert_eq!(diameter(&g), Some(0));
+        assert_eq!(radius(&g), Some(0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Dijkstra shortest paths with pluggable arc costs.
+
+use crate::{DiGraph, EdgeId, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cost model for [`dijkstra`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PathCost {
+    /// Every arc costs 1; equivalent to BFS but exercised through the same
+    /// machinery so that cost models can be swapped uniformly.
+    Hop,
+    /// Every arc costs its capacity. Used by bandwidth-flavoured Steiner
+    /// heuristics where capacity is spent per traversal.
+    Capacity,
+    /// Every arc costs the *reciprocal rank* `ceil(K / capacity)` for a
+    /// scale constant K=64: high-capacity arcs are cheap. A crude latency
+    /// proxy for capacity-aware routing experiments.
+    InverseCapacity,
+}
+
+impl PathCost {
+    fn arc_cost(self, g: &DiGraph, e: EdgeId) -> u64 {
+        match self {
+            PathCost::Hop => 1,
+            PathCost::Capacity => u64::from(g.capacity(e)),
+            PathCost::InverseCapacity => 64u64.div_ceil(u64::from(g.capacity(e))),
+        }
+    }
+}
+
+/// Single-source shortest path costs from `source` under the given cost
+/// model. Returns `(dist, pred)` where unreachable nodes have
+/// `dist == u64::MAX` and `pred == None`.
+#[must_use]
+pub fn dijkstra(g: &DiGraph, source: NodeId, cost: PathCost) -> (Vec<u64>, Vec<Option<EdgeId>>) {
+    let mut dist = vec![u64::MAX; g.node_count()];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; g.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for e in g.out_edges(u) {
+            let v = g.edge(e).dst;
+            let nd = d + cost.arc_cost(g, e);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some(e);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    (dist, pred)
+}
+
+/// Shortest path from `source` to `target` as a list of edge ids, or
+/// `None` if `target` is unreachable.
+#[must_use]
+pub fn shortest_path(
+    g: &DiGraph,
+    source: NodeId,
+    target: NodeId,
+    cost: PathCost,
+) -> Option<Vec<EdgeId>> {
+    let (dist, pred) = dijkstra(g, source, cost);
+    if dist[target.index()] == u64::MAX {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut cur = target;
+    while cur != source {
+        let e = pred[cur.index()].expect("reachable node must have a predecessor");
+        path.push(e);
+        cur = g.edge(e).src;
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::bfs_distances;
+    use crate::generate::classic;
+    use crate::DiGraph;
+
+    #[test]
+    fn hop_cost_matches_bfs() {
+        let g = classic::cycle(7, 3, true);
+        let (d, _) = dijkstra(&g, g.node(0), PathCost::Hop);
+        let b = bfs_distances(&g, g.node(0));
+        for v in g.nodes() {
+            assert_eq!(d[v.index()], u64::from(b[v.index()]));
+        }
+    }
+
+    #[test]
+    fn capacity_cost_prefers_light_arcs() {
+        // 0 -> 1 with capacity 10, or 0 -> 2 -> 1 with capacities 1, 1.
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 10).unwrap();
+        g.add_edge(g.node(0), g.node(2), 1).unwrap();
+        g.add_edge(g.node(2), g.node(1), 1).unwrap();
+        let (d, _) = dijkstra(&g, g.node(0), PathCost::Capacity);
+        assert_eq!(d[1], 2, "two unit-capacity hops beat one capacity-10 hop");
+    }
+
+    #[test]
+    fn inverse_capacity_prefers_fat_arcs() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 1).unwrap(); // direct, thin
+        g.add_edge(g.node(0), g.node(2), 64).unwrap();
+        g.add_edge(g.node(2), g.node(1), 64).unwrap();
+        let (d, _) = dijkstra(&g, g.node(0), PathCost::InverseCapacity);
+        assert_eq!(d[1], 2, "two fat hops (cost 1+1) beat one thin hop (cost 64)");
+    }
+
+    #[test]
+    fn shortest_path_reconstructs_edges() {
+        let g = classic::path(4, 1, true);
+        let p = shortest_path(&g, g.node(0), g.node(3), PathCost::Hop).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(g.edge(p[0]).src, g.node(0));
+        assert_eq!(g.edge(p[2]).dst, g.node(3));
+        // Consecutive edges chain.
+        for w in p.windows(2) {
+            assert_eq!(g.edge(w[0]).dst, g.edge(w[1]).src);
+        }
+    }
+
+    #[test]
+    fn unreachable_target_yields_none() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(g.node(1), g.node(0), 1).unwrap();
+        assert!(shortest_path(&g, g.node(0), g.node(1), PathCost::Hop).is_none());
+    }
+
+    #[test]
+    fn path_to_self_is_empty() {
+        let g = classic::path(3, 1, true);
+        let p = shortest_path(&g, g.node(1), g.node(1), PathCost::Hop).unwrap();
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! Dominating sets: validity checking, the classic greedy approximation,
+//! and an exact branch-and-bound search.
+//!
+//! The paper's NP-hardness proof (Theorem 5, Appendix) reduces Dominating
+//! Set to FOCD; `ocd-solver::reduction` builds the corresponding FOCD
+//! instance and the experiments cross-check it against the exact searches
+//! here. Domination is with respect to the *undirected* view of the graph
+//! (a vertex dominates itself and every vertex adjacent to it in either
+//! direction), matching the undirected graphs of the classical problem.
+
+use crate::{DiGraph, NodeId};
+
+/// Returns whether `set` is a dominating set of the undirected view of
+/// `g`: every vertex is in `set` or adjacent (ignoring direction) to a
+/// member of `set`.
+#[must_use]
+pub fn is_dominating_set(g: &DiGraph, set: &[NodeId]) -> bool {
+    let mut dominated = vec![false; g.node_count()];
+    for &d in set {
+        dominated[d.index()] = true;
+        for v in g.out_neighbors(d).chain(g.in_neighbors(d)) {
+            dominated[v.index()] = true;
+        }
+    }
+    dominated.into_iter().all(|b| b)
+}
+
+/// Closed undirected neighborhood masks for graphs of ≤ 64 nodes.
+fn closed_neighborhoods(g: &DiGraph) -> Vec<u64> {
+    assert!(
+        g.node_count() <= 64,
+        "exact dominating-set search supports at most 64 nodes, got {}",
+        g.node_count()
+    );
+    g.nodes()
+        .map(|v| {
+            let mut mask = 1u64 << v.index();
+            for u in g.out_neighbors(v).chain(g.in_neighbors(v)) {
+                mask |= 1 << u.index();
+            }
+            mask
+        })
+        .collect()
+}
+
+/// Greedy dominating set: repeatedly pick the vertex covering the most
+/// still-undominated vertices. Classic `O(log n)`-approximation.
+#[must_use]
+pub fn dominating_set_greedy(g: &DiGraph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut dominated = vec![false; n];
+    let mut remaining = n;
+    let mut set = Vec::new();
+    while remaining > 0 {
+        let mut best = None;
+        let mut best_gain = 0usize;
+        for v in g.nodes() {
+            let gain = std::iter::once(v)
+                .chain(g.out_neighbors(v))
+                .chain(g.in_neighbors(v))
+                .filter(|u| !dominated[u.index()])
+                .collect::<std::collections::HashSet<_>>()
+                .len();
+            if gain > best_gain {
+                best_gain = gain;
+                best = Some(v);
+            }
+        }
+        let v = best.expect("some vertex must cover an undominated vertex (itself)");
+        set.push(v);
+        for u in std::iter::once(v).chain(g.out_neighbors(v)).chain(g.in_neighbors(v)) {
+            if !dominated[u.index()] {
+                dominated[u.index()] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    set.sort_unstable();
+    set
+}
+
+/// Exact minimum dominating set via branch and bound on covering masks.
+///
+/// Branches on the undominated vertex with the fewest candidate
+/// dominators; practical for graphs of a few dozen nodes.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 64 nodes.
+#[must_use]
+pub fn dominating_set_exact(g: &DiGraph) -> Vec<NodeId> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let hoods = closed_neighborhoods(g);
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let greedy = dominating_set_greedy(g);
+    let mut best: Vec<usize> = greedy.iter().map(|v| v.index()).collect();
+    let mut current = Vec::new();
+    search(&hoods, full, 0, &mut current, &mut best);
+    best.sort_unstable();
+    best.into_iter().map(NodeId::new).collect()
+}
+
+/// Returns whether the graph has a dominating set of size at most `k`.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 64 nodes.
+#[must_use]
+pub fn has_dominating_set_of_size(g: &DiGraph, k: usize) -> bool {
+    dominating_set_exact(g).len() <= k
+}
+
+fn search(hoods: &[u64], uncovered: u64, covered_by: u64, current: &mut Vec<usize>, best: &mut Vec<usize>) {
+    if uncovered == 0 {
+        if current.len() < best.len() {
+            *best = current.clone();
+        }
+        return;
+    }
+    // Uncovered vertices remain, so any completion has at least
+    // current.len() + 1 picks; prune if that cannot beat the incumbent.
+    if current.len() + 1 >= best.len() {
+        return;
+    }
+    let _ = covered_by;
+    // Pick the uncovered vertex with the fewest candidate dominators.
+    let n = hoods.len();
+    let mut pick = usize::MAX;
+    let mut pick_count = usize::MAX;
+    let mut v = uncovered;
+    while v != 0 {
+        let i = v.trailing_zeros() as usize;
+        v &= v - 1;
+        let count = (0..n).filter(|&d| hoods[d] & (1 << i) != 0).count();
+        if count < pick_count {
+            pick_count = count;
+            pick = i;
+        }
+    }
+    // Every dominator candidate for `pick` is a branch.
+    for d in 0..n {
+        if hoods[d] & (1 << pick) != 0 {
+            current.push(d);
+            search(hoods, uncovered & !hoods[d], covered_by, current, best);
+            current.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::classic;
+
+    #[test]
+    fn star_center_dominates() {
+        let g = classic::star(6, 1, true);
+        assert!(is_dominating_set(&g, &[g.node(0)]));
+        assert_eq!(dominating_set_exact(&g), vec![g.node(0)]);
+        assert!(has_dominating_set_of_size(&g, 1));
+        assert!(!has_dominating_set_of_size(&g, 0));
+    }
+
+    #[test]
+    fn empty_set_dominates_nothing() {
+        let g = classic::path(3, 1, true);
+        assert!(!is_dominating_set(&g, &[]));
+        let empty = DiGraph::new();
+        assert!(is_dominating_set(&empty, &[]));
+        assert_eq!(dominating_set_exact(&empty), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn path_domination_number() {
+        // Domination number of P_n is ceil(n/3).
+        for n in 1..=10usize {
+            let g = classic::path(n, 1, true);
+            let exact = dominating_set_exact(&g);
+            assert_eq!(exact.len(), n.div_ceil(3), "P_{n}");
+            assert!(is_dominating_set(&g, &exact));
+        }
+    }
+
+    #[test]
+    fn cycle_domination_number() {
+        for n in 3..=9usize {
+            let g = classic::cycle(n, 1, true);
+            let exact = dominating_set_exact(&g);
+            assert_eq!(exact.len(), n.div_ceil(3), "C_{n}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_valid_and_never_smaller_than_exact() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.random_range(1..12);
+            let mut g = DiGraph::with_nodes(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random_bool(0.3) {
+                        g.add_edge_symmetric(g.node(u), g.node(v), 1).unwrap();
+                    }
+                }
+            }
+            let greedy = dominating_set_greedy(&g);
+            let exact = dominating_set_exact(&g);
+            assert!(is_dominating_set(&g, &greedy));
+            assert!(is_dominating_set(&g, &exact));
+            assert!(exact.len() <= greedy.len());
+            // Exact is minimal: cross-check against brute force.
+            let brute = brute_force_min(&g);
+            assert_eq!(exact.len(), brute, "graph {g:?}");
+        }
+    }
+
+    fn brute_force_min(g: &DiGraph) -> usize {
+        let n = g.node_count();
+        for k in 0..=n {
+            if combinations(n, k).any(|set| {
+                let ids: Vec<NodeId> = set.iter().map(|&i| NodeId::new(i)).collect();
+                is_dominating_set(g, &ids)
+            }) {
+                return k;
+            }
+        }
+        n
+    }
+
+    fn combinations(n: usize, k: usize) -> impl Iterator<Item = Vec<usize>> {
+        (0u32..(1 << n)).filter_map(move |mask| {
+            if mask.count_ones() as usize == k {
+                Some((0..n).filter(|&i| mask & (1 << i) != 0).collect())
+            } else {
+                None
+            }
+        })
+    }
+
+    #[test]
+    fn domination_respects_undirected_view() {
+        // Arc 0 -> 1 only: 0 dominates 1 AND 1 dominates 0 (undirected view).
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(g.node(0), g.node(1), 1).unwrap();
+        assert!(is_dominating_set(&g, &[g.node(0)]));
+        assert!(is_dominating_set(&g, &[g.node(1)]));
+    }
+}

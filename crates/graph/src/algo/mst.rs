@@ -1,0 +1,320 @@
+//! Minimum spanning trees (undirected view) and minimum spanning
+//! arborescences (directed, Chu-Liu/Edmonds).
+//!
+//! Several related overlay systems surveyed by the paper (Young et al.,
+//! Narada) build content distribution meshes out of minimum-cost spanning
+//! trees, so the suite provides both the undirected and directed variants
+//! as baselines for tree-based dissemination.
+
+use super::UnionFind;
+use crate::{DiGraph, EdgeId, NodeId};
+
+/// Minimum spanning tree of the undirected view of `g` under the given
+/// per-arc weight function (Kruskal). Anti-parallel arcs `(u,v)` and
+/// `(v,u)` are treated as one undirected edge of weight
+/// `min(weight(u→v), weight(v→u))`.
+///
+/// Returns `(total_weight, chosen_arcs)` or `None` if the undirected view
+/// is disconnected. For the empty graph returns `Some((0, []))`.
+pub fn minimum_spanning_tree_undirected(
+    g: &DiGraph,
+    weight: impl Fn(EdgeId) -> u64,
+) -> Option<(u64, Vec<EdgeId>)> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some((0, Vec::new()));
+    }
+    // Collapse anti-parallel arcs, keeping the lighter one.
+    let mut best: std::collections::HashMap<(NodeId, NodeId), (u64, EdgeId)> =
+        std::collections::HashMap::new();
+    for id in g.edge_ids() {
+        let e = g.edge(id);
+        let key = if e.src < e.dst { (e.src, e.dst) } else { (e.dst, e.src) };
+        let w = weight(id);
+        match best.get(&key) {
+            Some(&(bw, _)) if bw <= w => {}
+            _ => {
+                best.insert(key, (w, id));
+            }
+        }
+    }
+    let mut candidates: Vec<(u64, EdgeId)> = best.into_values().collect();
+    candidates.sort_unstable();
+    let mut uf = UnionFind::new(n);
+    let mut total = 0;
+    let mut chosen = Vec::new();
+    for (w, id) in candidates {
+        let e = g.edge(id);
+        if uf.union(e.src.index(), e.dst.index()) {
+            total += w;
+            chosen.push(id);
+        }
+    }
+    if uf.component_count() == 1 {
+        Some((total, chosen))
+    } else {
+        None
+    }
+}
+
+/// Cost of the minimum spanning arborescence rooted at `root`
+/// (Chu-Liu/Edmonds), under the given per-arc weight function.
+///
+/// Returns `None` if some node is unreachable from `root`.
+pub fn minimum_spanning_arborescence_cost(
+    g: &DiGraph,
+    root: NodeId,
+    weight: impl Fn(EdgeId) -> u64,
+) -> Option<u64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some(0);
+    }
+    let arcs: Vec<(usize, usize, u64)> = g
+        .edge_ids()
+        .map(|id| {
+            let e = g.edge(id);
+            (e.src.index(), e.dst.index(), weight(id))
+        })
+        .collect();
+    edmonds(n, root.index(), &arcs)
+}
+
+/// Chu-Liu/Edmonds on an arc list; iterative contraction formulation.
+fn edmonds(n: usize, root: usize, arcs: &[(usize, usize, u64)]) -> Option<u64> {
+    let mut n = n;
+    let mut root = root;
+    let mut arcs: Vec<(usize, usize, u64)> = arcs.to_vec();
+    let mut total: u64 = 0;
+    loop {
+        // Cheapest incoming arc per non-root node.
+        let mut min_in: Vec<Option<(usize, u64)>> = vec![None; n];
+        for &(u, v, w) in &arcs {
+            if u == v || v == root {
+                continue;
+            }
+            if min_in[v].is_none_or(|(_, bw)| w < bw) {
+                min_in[v] = Some((u, w));
+            }
+        }
+        for (v, entry) in min_in.iter().enumerate() {
+            if v != root && entry.is_none() {
+                return None; // unreachable
+            }
+        }
+        // Detect a cycle in the cheapest-in-arc graph.
+        let mut id = vec![usize::MAX; n]; // contracted component id
+        let mut visit = vec![usize::MAX; n]; // walk marker
+        let mut components = 0;
+        for start in 0..n {
+            let mut v = start;
+            while v != root && id[v] == usize::MAX && visit[v] != start {
+                visit[v] = start;
+                v = min_in[v].expect("non-root has an in-arc").0;
+            }
+            if v != root && id[v] == usize::MAX {
+                // Found a new cycle through `v`: contract it.
+                let mut u = min_in[v].expect("cycle node has in-arc").0;
+                id[v] = components;
+                while u != v {
+                    id[u] = components;
+                    u = min_in[u].expect("cycle node has in-arc").0;
+                }
+                components += 1;
+            }
+        }
+        if components == 0 {
+            // No cycles: the cheapest in-arcs form the arborescence.
+            for (v, entry) in min_in.iter().enumerate() {
+                if v != root {
+                    total += entry.expect("checked above").1;
+                }
+            }
+            return Some(total);
+        }
+        // Assign ids to the remaining (non-cycle) nodes.
+        for slot in id.iter_mut() {
+            if *slot == usize::MAX {
+                *slot = components;
+                components += 1;
+            }
+        }
+        // Cycle arcs' weights are committed; reweight arcs entering cycles.
+        let mut cycle_cost = 0u64;
+        let mut in_cycle = vec![false; n];
+        {
+            // Mark nodes that belong to some contracted cycle: a component
+            // with more than one member, or a single node whose cheapest
+            // in-arc stays inside its component (self-cycle after prior
+            // contractions cannot happen since u == v arcs are skipped).
+            let mut count = vec![0usize; components];
+            for v in 0..n {
+                count[id[v]] += 1;
+            }
+            for v in 0..n {
+                if v != root && count[id[v]] > 1 {
+                    in_cycle[v] = true;
+                    cycle_cost += min_in[v].expect("non-root in-arc").1;
+                }
+            }
+        }
+        total += cycle_cost;
+        let mut new_arcs = Vec::with_capacity(arcs.len());
+        for &(u, v, w) in &arcs {
+            if id[u] == id[v] {
+                continue;
+            }
+            let adjusted = if in_cycle[v] {
+                // Entering a contracted cycle: credit back the cycle arc we
+                // no longer need at v.
+                w - min_in[v].expect("cycle node in-arc").1
+            } else {
+                w
+            };
+            new_arcs.push((id[u], id[v], adjusted));
+        }
+        root = id[root];
+        n = components;
+        arcs = new_arcs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::classic;
+    use crate::DiGraph;
+
+    #[test]
+    fn mst_of_path_takes_all_edges() {
+        let g = classic::path(4, 2, true);
+        let (w, edges) = minimum_spanning_tree_undirected(&g, |e| u64::from(g.capacity(e))).unwrap();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(w, 6);
+    }
+
+    #[test]
+    fn mst_picks_cheap_edges() {
+        // Triangle with one heavy edge.
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge_symmetric(g.node(0), g.node(1), 1).unwrap();
+        g.add_edge_symmetric(g.node(1), g.node(2), 1).unwrap();
+        g.add_edge_symmetric(g.node(0), g.node(2), 10).unwrap();
+        let (w, edges) = minimum_spanning_tree_undirected(&g, |e| u64::from(g.capacity(e))).unwrap();
+        assert_eq!(w, 2);
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn mst_disconnected_is_none() {
+        let g = DiGraph::with_nodes(3);
+        assert!(minimum_spanning_tree_undirected(&g, |_| 1).is_none());
+    }
+
+    #[test]
+    fn mst_empty_graph() {
+        let g = DiGraph::new();
+        assert_eq!(minimum_spanning_tree_undirected(&g, |_| 1), Some((0, vec![])));
+    }
+
+    #[test]
+    fn arborescence_of_out_path() {
+        let g = classic::path(4, 3, false);
+        let cost =
+            minimum_spanning_arborescence_cost(&g, g.node(0), |e| u64::from(g.capacity(e)));
+        assert_eq!(cost, Some(9));
+    }
+
+    #[test]
+    fn arborescence_unreachable_is_none() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 1).unwrap();
+        // node 2 unreachable from 0.
+        assert_eq!(minimum_spanning_arborescence_cost(&g, g.node(0), |_| 1), None);
+    }
+
+    #[test]
+    fn arborescence_resolves_cycle() {
+        // root 0 -> 1 (w 10); cycle 1 <-> 2 (w 1 each); 0 -> 2 (w 3).
+        let mut g = DiGraph::with_nodes(3);
+        let w = |g: &DiGraph, e| u64::from(g.capacity(e));
+        g.add_edge(g.node(0), g.node(1), 10).unwrap();
+        g.add_edge(g.node(1), g.node(2), 1).unwrap();
+        g.add_edge(g.node(2), g.node(1), 1).unwrap();
+        g.add_edge(g.node(0), g.node(2), 3).unwrap();
+        // Best: 0->2 (3) + 2->1 (1) = 4, beating 0->1 (10) + 1->2 (1) = 11.
+        let cost = minimum_spanning_arborescence_cost(&g, g.node(0), |e| w(&g, e));
+        assert_eq!(cost, Some(4));
+    }
+
+    #[test]
+    fn arborescence_matches_bruteforce_on_random_graphs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let n = rng.random_range(2..6);
+            let mut g = DiGraph::with_nodes(n);
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.random_bool(0.6) {
+                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..10)).unwrap();
+                    }
+                }
+            }
+            let got = minimum_spanning_arborescence_cost(&g, g.node(0), |e| u64::from(g.capacity(e)));
+            let want = brute_force_arborescence(&g, 0);
+            assert_eq!(got, want, "trial {trial} graph {g:?}");
+        }
+    }
+
+    /// Exhaustively choose one in-arc per non-root node and keep the
+    /// cheapest acyclic (rooted-tree) combination.
+    fn brute_force_arborescence(g: &DiGraph, root: usize) -> Option<u64> {
+        let n = g.node_count();
+        let mut choices: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        for id in g.edge_ids() {
+            let e = g.edge(id);
+            choices[e.dst.index()].push((e.src.index(), u64::from(g.capacity(id))));
+        }
+        let non_root: Vec<usize> = (0..n).filter(|&v| v != root).collect();
+        let mut best: Option<u64> = None;
+        #[allow(clippy::too_many_arguments)]
+        fn recurse(
+            non_root: &[usize],
+            idx: usize,
+            choices: &[Vec<(usize, u64)>],
+            parent: &mut Vec<usize>,
+            cost: u64,
+            root: usize,
+            n: usize,
+            best: &mut Option<u64>,
+        ) {
+            if idx == non_root.len() {
+                // Check all nodes reach root via parent pointers.
+                for v in 0..n {
+                    let mut cur = v;
+                    let mut steps = 0;
+                    while cur != root {
+                        cur = parent[cur];
+                        steps += 1;
+                        if steps > n {
+                            return; // cycle
+                        }
+                    }
+                }
+                if best.is_none() || cost < best.unwrap() {
+                    *best = Some(cost);
+                }
+                return;
+            }
+            let v = non_root[idx];
+            for &(u, w) in &choices[v] {
+                parent[v] = u;
+                recurse(non_root, idx + 1, choices, parent, cost + w, root, n, best);
+            }
+        }
+        let mut parent = vec![root; n];
+        recurse(&non_root, 0, &choices, &mut parent, 0, root, n, &mut best);
+        best
+    }
+}

@@ -1,0 +1,204 @@
+//! Directed Steiner tree heuristic.
+//!
+//! EOCD reduces to a series of (generalized) Steiner tree problems
+//! (paper §3.3): distributing one token with minimum bandwidth is exactly
+//! a minimum-cost directed Steiner tree with unit arc costs from the
+//! token's sources to all vertices that want it, where multiple sources
+//! are merged by 0-cost arcs. Directed Steiner tree is NP-hard, so we use
+//! the classical *shortest-path heuristic*: repeatedly connect the nearest
+//! unconnected terminal to the tree along a shortest path. The result is
+//! an upper bound on the optimal bandwidth for that token; the number of
+//! terminals outside the source set is a lower bound.
+
+use crate::{DiGraph, EdgeId, NodeId};
+use std::collections::VecDeque;
+
+/// Result of [`steiner_tree_approx`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SteinerTree {
+    /// Arcs of the tree, in the order they were added.
+    pub edges: Vec<EdgeId>,
+    /// Total cost = number of arcs (unit arc costs, per the paper).
+    pub cost: u64,
+    /// All vertices touched by the tree, sorted (sources that were used,
+    /// relays, and terminals).
+    pub vertices: Vec<NodeId>,
+}
+
+/// Shortest-path heuristic for the directed Steiner tree from the vertex
+/// set `sources` to every vertex in `terminals`, with unit arc costs.
+///
+/// Returns `None` if some terminal is unreachable from every source.
+/// Terminals that are themselves sources cost nothing. The heuristic is
+/// not optimal in general, but on trees and in the single-terminal case
+/// it is exact, and it never reports less than the true optimum's lower
+/// bound `#terminals \ sources` arcs (each needy terminal needs at least
+/// one incoming arc).
+///
+/// # Examples
+///
+/// ```
+/// use ocd_graph::{DiGraph, algo::steiner_tree_approx};
+///
+/// // path 0 -> 1 -> 2
+/// let mut g = DiGraph::with_nodes(3);
+/// g.add_edge(g.node(0), g.node(1), 1).unwrap();
+/// g.add_edge(g.node(1), g.node(2), 1).unwrap();
+/// let t = steiner_tree_approx(&g, &[g.node(0)], &[g.node(2)]).unwrap();
+/// assert_eq!(t.cost, 2);
+/// ```
+#[must_use]
+pub fn steiner_tree_approx(
+    g: &DiGraph,
+    sources: &[NodeId],
+    terminals: &[NodeId],
+) -> Option<SteinerTree> {
+    assert!(!sources.is_empty(), "steiner tree needs at least one source");
+    let n = g.node_count();
+    let mut in_tree = vec![false; n];
+    for &s in sources {
+        in_tree[s.index()] = true;
+    }
+    let mut pending: Vec<NodeId> = terminals
+        .iter()
+        .copied()
+        .filter(|t| !in_tree[t.index()])
+        .collect();
+    pending.sort_unstable();
+    pending.dedup();
+    let mut edges = Vec::new();
+    while !pending.is_empty() {
+        // Multi-source BFS from the current tree.
+        let mut dist = vec![u32::MAX; n];
+        let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        for v in 0..n {
+            if in_tree[v] {
+                dist[v] = 0;
+                queue.push_back(NodeId::new(v));
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for e in g.out_edges(u) {
+                let v = g.edge(e).dst;
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    pred[v.index()] = Some(e);
+                    queue.push_back(v);
+                }
+            }
+        }
+        // Nearest pending terminal.
+        let (pos, &t) = pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| dist[t.index()])?;
+        if dist[t.index()] == u32::MAX {
+            return None;
+        }
+        pending.swap_remove(pos);
+        // Graft the path into the tree.
+        let mut cur = t;
+        while !in_tree[cur.index()] {
+            let e = pred[cur.index()].expect("reachable node has predecessor");
+            edges.push(e);
+            in_tree[cur.index()] = true;
+            cur = g.edge(e).src;
+        }
+        // Newly grafted relays may contain other pending terminals.
+        pending.retain(|p| !in_tree[p.index()]);
+    }
+    let vertices: Vec<NodeId> = in_tree
+        .iter()
+        .enumerate()
+        .filter(|(_, &inside)| inside)
+        .map(|(v, _)| NodeId::new(v))
+        .collect();
+    // Restrict to vertices actually touched by edges plus sources/terminals
+    // (isolated sources are kept; they are legitimately part of the tree).
+    let cost = edges.len() as u64;
+    Some(SteinerTree { edges, cost, vertices })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::classic;
+
+    #[test]
+    fn terminal_equal_to_source_costs_nothing() {
+        let g = classic::path(3, 1, true);
+        let t = steiner_tree_approx(&g, &[g.node(0)], &[g.node(0)]).unwrap();
+        assert_eq!(t.cost, 0);
+        assert!(t.edges.is_empty());
+    }
+
+    #[test]
+    fn path_cost_is_distance() {
+        let g = classic::path(6, 1, true);
+        let t = steiner_tree_approx(&g, &[g.node(0)], &[g.node(5)]).unwrap();
+        assert_eq!(t.cost, 5);
+    }
+
+    #[test]
+    fn branching_shares_prefix() {
+        // Star out of 0: terminals are all leaves; each costs one arc.
+        let g = classic::star(5, 1, true);
+        let leaves: Vec<NodeId> = (1..5).map(|i| g.node(i)).collect();
+        let t = steiner_tree_approx(&g, &[g.node(0)], &leaves).unwrap();
+        assert_eq!(t.cost, 4);
+    }
+
+    #[test]
+    fn path_through_terminal_not_double_counted() {
+        // 0 -> 1 -> 2 with terminals {1, 2}: the path to 2 passes through 1.
+        let g = classic::path(3, 1, false);
+        let t = steiner_tree_approx(&g, &[g.node(0)], &[g.node(1), g.node(2)]).unwrap();
+        assert_eq!(t.cost, 2);
+    }
+
+    #[test]
+    fn multiple_sources_merge_free() {
+        // Sources at both ends of a symmetric path; terminal in the middle.
+        let g = classic::path(5, 1, true);
+        let t = steiner_tree_approx(&g, &[g.node(0), g.node(4)], &[g.node(3)]).unwrap();
+        assert_eq!(t.cost, 1, "terminal 3 is one hop from source 4");
+    }
+
+    #[test]
+    fn unreachable_terminal_is_none() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 1).unwrap();
+        assert!(steiner_tree_approx(&g, &[g.node(0)], &[g.node(2)]).is_none());
+    }
+
+    #[test]
+    fn cost_at_least_needy_terminal_count() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let n = rng.random_range(3..15);
+            let mut g = DiGraph::with_nodes(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random_bool(0.4) {
+                        g.add_edge_symmetric(g.node(u), g.node(v), 1).unwrap();
+                    }
+                }
+            }
+            let terminals: Vec<NodeId> =
+                (1..n).filter(|_| rng.random_bool(0.5)).map(|i| g.node(i)).collect();
+            if let Some(t) = steiner_tree_approx(&g, &[g.node(0)], &terminals) {
+                assert!(t.cost >= terminals.len() as u64 - terminals.iter().filter(|t| t.index() == 0).count() as u64);
+                assert!(t.cost < n as u64, "a Steiner tree never needs n or more arcs");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_sources_panics() {
+        let g = classic::path(2, 1, true);
+        let _ = steiner_tree_approx(&g, &[], &[g.node(1)]);
+    }
+}

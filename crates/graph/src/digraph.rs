@@ -1,0 +1,543 @@
+//! The core directed graph data structure.
+
+use crate::{EdgeId, GraphError, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A directed edge (arc) with an integer capacity.
+///
+/// Capacity is the number of tokens the arc can carry in a single timestep
+/// (paper §3.1: "any number of tokens, up to the capacity of the link, can
+/// be transferred across a link in unit time").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node of the arc.
+    pub src: NodeId,
+    /// Destination node of the arc.
+    pub dst: NodeId,
+    /// Tokens per timestep the arc can carry. Always at least 1.
+    pub capacity: u32,
+}
+
+/// A simple, weighted, directed graph.
+///
+/// Nodes and edges are identified by dense indices ([`NodeId`], [`EdgeId`])
+/// assigned in insertion order. The graph maintains both out- and
+/// in-adjacency lists so that senders and receivers can be enumerated in
+/// `O(degree)`.
+///
+/// Invariants:
+///
+/// - No self-loops (the OCD base graph is simple; self-arcs appear only in
+///   the integer-program extension handled by `ocd-solver`).
+/// - No parallel arcs: re-adding an arc sums its capacity into the existing
+///   one and returns the existing [`EdgeId`].
+/// - Every arc has capacity ≥ 1.
+///
+/// # Examples
+///
+/// ```
+/// use ocd_graph::DiGraph;
+///
+/// let mut g = DiGraph::with_nodes(3);
+/// let (a, b, c) = (g.node(0), g.node(1), g.node(2));
+/// g.add_edge(a, b, 2).unwrap();
+/// g.add_edge_symmetric(b, c, 5).unwrap();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.in_capacity(c), 5);
+/// assert_eq!(g.out_degree(b), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct DiGraph {
+    edges: Vec<Edge>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+    edge_lookup: HashMap<(NodeId, NodeId), EdgeId>,
+}
+
+/// Serialized form: node count plus the edge list. Adjacency and the
+/// lookup table are derived, so deserialization rebuilds them (and
+/// re-validates the invariants through [`DiGraph::add_edge`]).
+#[derive(Serialize, Deserialize)]
+struct DiGraphRepr {
+    node_count: usize,
+    edges: Vec<Edge>,
+}
+
+impl Serialize for DiGraph {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        DiGraphRepr {
+            node_count: self.node_count(),
+            edges: self.edges.clone(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for DiGraph {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let repr = DiGraphRepr::deserialize(deserializer)?;
+        let mut g = DiGraph::with_nodes(repr.node_count);
+        for e in repr.edges {
+            g.add_edge(e.src, e.dst, e.capacity)
+                .map_err(|err| D::Error::custom(err.to_string()))?;
+        }
+        Ok(g)
+    }
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        DiGraph::default()
+    }
+
+    /// Creates a graph with `n` nodes and no edges.
+    #[must_use]
+    pub fn with_nodes(n: usize) -> Self {
+        DiGraph {
+            edges: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            edge_lookup: HashMap::new(),
+        }
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.out_adj.len());
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` new isolated nodes and returns their ids in order.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Returns the id of the node with raw index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.node_count()`.
+    #[must_use]
+    pub fn node(&self, index: usize) -> NodeId {
+        assert!(
+            index < self.node_count(),
+            "node index {index} out of bounds (graph has {} nodes)",
+            self.node_count()
+        );
+        NodeId::new(index)
+    }
+
+    /// Returns whether `node` is a valid id for this graph.
+    #[must_use]
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.node_count()
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if self.contains_node(node) {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfBounds {
+                node,
+                node_count: self.node_count(),
+            })
+        }
+    }
+
+    /// Adds a directed arc from `src` to `dst` with the given capacity.
+    ///
+    /// If the arc already exists, the capacities are summed (the paper's
+    /// §3.1 rule for multi-arcs) and the existing id is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if either endpoint does not
+    /// exist, [`GraphError::SelfLoop`] if `src == dst`, and
+    /// [`GraphError::ZeroCapacity`] if `capacity == 0`.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, capacity: u32) -> Result<EdgeId, GraphError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if src == dst {
+            return Err(GraphError::SelfLoop { node: src });
+        }
+        if capacity == 0 {
+            return Err(GraphError::ZeroCapacity { src, dst });
+        }
+        if let Some(&id) = self.edge_lookup.get(&(src, dst)) {
+            self.edges[id.index()].capacity += capacity;
+            return Ok(id);
+        }
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge { src, dst, capacity });
+        self.out_adj[src.index()].push(id);
+        self.in_adj[dst.index()].push(id);
+        self.edge_lookup.insert((src, dst), id);
+        Ok(id)
+    }
+
+    /// Adds both `(u, v)` and `(v, u)` with the same capacity, modelling an
+    /// undirected overlay link. Returns the two arc ids `(u→v, v→u)`.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`DiGraph::add_edge`].
+    pub fn add_edge_symmetric(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        capacity: u32,
+    ) -> Result<(EdgeId, EdgeId), GraphError> {
+        let forward = self.add_edge(u, v, capacity)?;
+        let backward = self.add_edge(v, u, capacity)?;
+        Ok((forward, backward))
+    }
+
+    /// Number of nodes in the graph.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of directed arcs in the graph.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns the edge record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[must_use]
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.index()]
+    }
+
+    /// Capacity of arc `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[must_use]
+    pub fn capacity(&self, id: EdgeId) -> u32 {
+        self.edges[id.index()].capacity
+    }
+
+    /// Overwrites the capacity of arc `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ZeroCapacity`] if `capacity == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn set_capacity(&mut self, id: EdgeId, capacity: u32) -> Result<(), GraphError> {
+        let edge = self.edges[id.index()];
+        if capacity == 0 {
+            return Err(GraphError::ZeroCapacity {
+                src: edge.src,
+                dst: edge.dst,
+            });
+        }
+        self.edges[id.index()].capacity = capacity;
+        Ok(())
+    }
+
+    /// Looks up the arc from `src` to `dst`, if present.
+    #[must_use]
+    pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
+        self.edge_lookup.get(&(src, dst)).copied()
+    }
+
+    /// Returns whether an arc from `src` to `dst` exists.
+    #[must_use]
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.find_edge(src, dst).is_some()
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterates over all edge ids in insertion order.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edge_count()).map(EdgeId::new)
+    }
+
+    /// Iterates over all edges in insertion order.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = Edge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Ids of arcs leaving `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn out_edges(&self, v: NodeId) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        self.out_adj[v.index()].iter().copied()
+    }
+
+    /// Ids of arcs entering `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn in_edges(&self, v: NodeId) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        self.in_adj[v.index()].iter().copied()
+    }
+
+    /// Nodes reachable from `v` along a single arc.
+    pub fn out_neighbors(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.out_adj[v.index()].iter().map(|&e| self.edges[e.index()].dst)
+    }
+
+    /// Nodes with a single arc into `v`.
+    pub fn in_neighbors(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.in_adj[v.index()].iter().map(|&e| self.edges[e.index()].src)
+    }
+
+    /// Nodes adjacent to `v` in either direction, deduplicated, in
+    /// ascending id order. This is the neighbour set used by the LOCD
+    /// knowledge model (§4.1: information travels bidirectionally).
+    #[must_use]
+    pub fn neighbors_undirected(&self, v: NodeId) -> Vec<NodeId> {
+        let mut all: Vec<NodeId> = self.out_neighbors(v).chain(self.in_neighbors(v)).collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Number of arcs leaving `v`.
+    #[must_use]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// Number of arcs entering `v`.
+    #[must_use]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// Total capacity of arcs entering `v` (tokens per timestep that `v`
+    /// can receive). Used by the paper's `M_i(v)` lower bound (§5.1).
+    #[must_use]
+    pub fn in_capacity(&self, v: NodeId) -> u64 {
+        self.in_adj[v.index()]
+            .iter()
+            .map(|&e| u64::from(self.edges[e.index()].capacity))
+            .sum()
+    }
+
+    /// Total capacity of arcs leaving `v`.
+    #[must_use]
+    pub fn out_capacity(&self, v: NodeId) -> u64 {
+        self.out_adj[v.index()]
+            .iter()
+            .map(|&e| u64::from(self.edges[e.index()].capacity))
+            .sum()
+    }
+
+    /// Sum of all arc capacities.
+    #[must_use]
+    pub fn total_capacity(&self) -> u64 {
+        self.edges.iter().map(|e| u64::from(e.capacity)).sum()
+    }
+
+    /// Returns the graph with every arc reversed (capacities preserved).
+    #[must_use]
+    pub fn reversed(&self) -> DiGraph {
+        let mut g = DiGraph::with_nodes(self.node_count());
+        for e in &self.edges {
+            g.add_edge(e.dst, e.src, e.capacity)
+                .expect("reversing a valid edge cannot fail");
+        }
+        g
+    }
+
+    /// Returns whether for every arc `(u, v)` the reverse arc `(v, u)` also
+    /// exists (capacities may differ).
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        self.edges.iter().all(|e| self.has_edge(e.dst, e.src))
+    }
+
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DiGraph {{ nodes: {}, edges: [", self.node_count())?;
+        for e in &self.edges {
+            writeln!(f, "  {} -> {} (cap {}),", e.src, e.dst, e.capacity)?;
+        }
+        write!(f, "] }}")
+    }
+}
+
+impl PartialEq for DiGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.node_count() == other.node_count() && self.edges == other.edges
+    }
+}
+
+impl Eq for DiGraph {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (DiGraph, NodeId, NodeId, NodeId) {
+        let mut g = DiGraph::with_nodes(3);
+        let (a, b, c) = (g.node(0), g.node(1), g.node(2));
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(b, c, 2).unwrap();
+        g.add_edge(c, a, 3).unwrap();
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.total_capacity(), 0);
+    }
+
+    #[test]
+    fn add_nodes_assigns_dense_ids() {
+        let mut g = DiGraph::new();
+        let ids = g.add_nodes(4);
+        assert_eq!(ids.iter().map(|n| n.index()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn parallel_arc_merges_capacity() {
+        let mut g = DiGraph::with_nodes(2);
+        let e1 = g.add_edge(g.node(0), g.node(1), 3).unwrap();
+        let e2 = g.add_edge(g.node(0), g.node(1), 4).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.capacity(e1), 7);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = DiGraph::with_nodes(1);
+        let v = g.node(0);
+        assert_eq!(g.add_edge(v, v, 1), Err(GraphError::SelfLoop { node: v }));
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let mut g = DiGraph::with_nodes(2);
+        let err = g.add_edge(g.node(0), g.node(1), 0).unwrap_err();
+        assert!(matches!(err, GraphError::ZeroCapacity { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_node_rejected() {
+        let mut g = DiGraph::with_nodes(2);
+        let bogus = NodeId::new(5);
+        let err = g.add_edge(g.node(0), bogus, 1).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let (g, a, b, c) = triangle();
+        assert_eq!(g.out_neighbors(a).collect::<Vec<_>>(), vec![b]);
+        assert_eq!(g.in_neighbors(a).collect::<Vec<_>>(), vec![c]);
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.in_capacity(c), 2);
+        assert_eq!(g.out_capacity(c), 3);
+        assert_eq!(g.total_capacity(), 6);
+    }
+
+    #[test]
+    fn neighbors_undirected_deduplicates() {
+        let mut g = DiGraph::with_nodes(2);
+        let (a, b) = (g.node(0), g.node(1));
+        g.add_edge_symmetric(a, b, 1).unwrap();
+        assert_eq!(g.neighbors_undirected(a), vec![b]);
+    }
+
+    #[test]
+    fn find_edge_and_has_edge() {
+        let (g, a, b, _) = triangle();
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        let e = g.find_edge(a, b).unwrap();
+        assert_eq!(g.edge(e).src, a);
+        assert_eq!(g.edge(e).dst, b);
+    }
+
+    #[test]
+    fn reversed_swaps_direction() {
+        let (g, a, b, _) = triangle();
+        let r = g.reversed();
+        assert!(r.has_edge(b, a));
+        assert!(!r.has_edge(a, b));
+        assert_eq!(r.edge_count(), g.edge_count());
+        assert_eq!(r.total_capacity(), g.total_capacity());
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let (g, ..) = triangle();
+        assert!(!g.is_symmetric());
+        let mut s = DiGraph::with_nodes(2);
+        s.add_edge_symmetric(s.node(0), s.node(1), 2).unwrap();
+        assert!(s.is_symmetric());
+    }
+
+    #[test]
+    fn set_capacity_updates_and_validates() {
+        let (mut g, a, b, _) = triangle();
+        let e = g.find_edge(a, b).unwrap();
+        g.set_capacity(e, 9).unwrap();
+        assert_eq!(g.capacity(e), 9);
+        assert!(g.set_capacity(e, 0).is_err());
+        assert_eq!(g.capacity(e), 9, "failed update must not clobber capacity");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_lookup() {
+        let (g, a, b, _) = triangle();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: DiGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.find_edge(a, b), g.find_edge(a, b));
+        assert_eq!(g2.out_neighbors(a).count(), g.out_neighbors(a).count());
+    }
+
+    #[test]
+    fn serde_rejects_invalid_graphs() {
+        // Self-loop smuggled into the serialized form.
+        let bad = r#"{"node_count": 2, "edges": [{"src": 0, "dst": 0, "capacity": 1}]}"#;
+        let err = serde_json::from_str::<DiGraph>(bad).unwrap_err();
+        assert!(err.to_string().contains("self-loop"));
+        let oob = r#"{"node_count": 1, "edges": [{"src": 0, "dst": 5, "capacity": 1}]}"#;
+        assert!(serde_json::from_str::<DiGraph>(oob).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn node_accessor_panics_out_of_bounds() {
+        let g = DiGraph::with_nodes(1);
+        let _ = g.node(1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for graph construction and queries.
+
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`DiGraph`](crate::DiGraph) operations and by the
+/// parsers in [`io`](crate::io).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A referenced node does not exist in the graph.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// Attempted to add a self-loop `(v, v)`.
+    ///
+    /// The OCD base graph is *simple* (§3.1); self-arcs exist only in the
+    /// extended graph `E'` used by the integer-program formulation, which is
+    /// handled by the solver, not the base graph.
+    SelfLoop {
+        /// The node on which the self-loop was attempted.
+        node: NodeId,
+    },
+    /// Attempted to add an edge with zero capacity.
+    ///
+    /// A zero-capacity arc can never carry a token and is indistinguishable
+    /// from an absent arc; rejecting it keeps instances canonical.
+    ZeroCapacity {
+        /// Source of the rejected arc.
+        src: NodeId,
+        /// Destination of the rejected arc.
+        dst: NodeId,
+    },
+    /// A text representation could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => write!(
+                f,
+                "node {node} is out of bounds for a graph with {node_count} nodes"
+            ),
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop ({node}, {node}) is not allowed in a simple graph")
+            }
+            GraphError::ZeroCapacity { src, dst } => {
+                write!(f, "arc ({src}, {dst}) must have capacity of at least 1")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId::new(9),
+            node_count: 3,
+        };
+        assert_eq!(e.to_string(), "node 9 is out of bounds for a graph with 3 nodes");
+        let e = GraphError::SelfLoop { node: NodeId::new(2) };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::ZeroCapacity {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+        };
+        assert!(e.to_string().contains("capacity"));
+        let e = GraphError::Parse {
+            line: 4,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error>(_: &E) {}
+        assert_error(&GraphError::SelfLoop { node: NodeId::new(0) });
+    }
+}

@@ -1,0 +1,206 @@
+//! Deterministic graph families with closed-form properties, used heavily
+//! by tests and by the hardness/competitiveness constructions.
+
+use crate::DiGraph;
+
+/// Path `0 → 1 → … → n-1` with uniform capacity. If `symmetric`, arcs go
+/// both ways.
+///
+/// # Examples
+///
+/// ```
+/// let g = ocd_graph::generate::classic::path(4, 2, true);
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 6);
+/// ```
+#[must_use]
+pub fn path(n: usize, capacity: u32, symmetric: bool) -> DiGraph {
+    let mut g = DiGraph::with_nodes(n);
+    for i in 1..n {
+        let (u, v) = (g.node(i - 1), g.node(i));
+        if symmetric {
+            g.add_edge_symmetric(u, v, capacity).expect("valid path edge");
+        } else {
+            g.add_edge(u, v, capacity).expect("valid path edge");
+        }
+    }
+    g
+}
+
+/// Cycle `0 → 1 → … → n-1 → 0` with uniform capacity. If `symmetric`,
+/// arcs go both ways.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (smaller cycles would need self-loops or parallel
+/// arcs, which the simple graph forbids).
+#[must_use]
+pub fn cycle(n: usize, capacity: u32, symmetric: bool) -> DiGraph {
+    assert!(n >= 3, "cycle needs at least 3 nodes, got {n}");
+    let mut g = path(n, capacity, symmetric);
+    let (last, first) = (g.node(n - 1), g.node(0));
+    if symmetric {
+        g.add_edge_symmetric(last, first, capacity).expect("valid cycle edge");
+    } else {
+        g.add_edge(last, first, capacity).expect("valid cycle edge");
+    }
+    g
+}
+
+/// Star with center 0 and leaves `1..n`, uniform capacity. If
+/// `symmetric`, arcs go both ways; otherwise arcs point outward from the
+/// center.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn star(n: usize, capacity: u32, symmetric: bool) -> DiGraph {
+    assert!(n >= 1, "star needs at least the center node");
+    let mut g = DiGraph::with_nodes(n);
+    for i in 1..n {
+        let (c, leaf) = (g.node(0), g.node(i));
+        if symmetric {
+            g.add_edge_symmetric(c, leaf, capacity).expect("valid star edge");
+        } else {
+            g.add_edge(c, leaf, capacity).expect("valid star edge");
+        }
+    }
+    g
+}
+
+/// Complete symmetric graph on `n` nodes with uniform capacity.
+#[must_use]
+pub fn complete(n: usize, capacity: u32) -> DiGraph {
+    let mut g = DiGraph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge_symmetric(g.node(u), g.node(v), capacity)
+                .expect("valid complete-graph edge");
+        }
+    }
+    g
+}
+
+/// Symmetric 2-D grid of `rows × cols` nodes with uniform capacity. Node
+/// `(r, c)` has index `r * cols + c`.
+#[must_use]
+pub fn grid(rows: usize, cols: usize, capacity: u32) -> DiGraph {
+    let mut g = DiGraph::with_nodes(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = g.node(r * cols + c);
+            if c + 1 < cols {
+                g.add_edge_symmetric(v, g.node(r * cols + c + 1), capacity)
+                    .expect("valid grid edge");
+            }
+            if r + 1 < rows {
+                g.add_edge_symmetric(v, g.node((r + 1) * cols + c), capacity)
+                    .expect("valid grid edge");
+            }
+        }
+    }
+    g
+}
+
+/// Balanced `arity`-ary tree with `depth` levels below the root (depth 0
+/// is a single node), symmetric arcs, uniform capacity. Nodes are in BFS
+/// order with the root at index 0.
+///
+/// # Panics
+///
+/// Panics if `arity == 0`.
+#[must_use]
+pub fn balanced_tree(arity: usize, depth: u32, capacity: u32) -> DiGraph {
+    assert!(arity >= 1, "tree arity must be at least 1");
+    let mut g = DiGraph::new();
+    let root = g.add_node();
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for parent in frontier {
+            for _ in 0..arity {
+                let child = g.add_node();
+                g.add_edge_symmetric(parent, child, capacity)
+                    .expect("valid tree edge");
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{diameter, is_strongly_connected, is_weakly_connected};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5, 3, false);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(is_weakly_connected(&g));
+        assert!(!is_strongly_connected(&g));
+        let s = path(5, 3, true);
+        assert_eq!(s.edge_count(), 8);
+        assert!(is_strongly_connected(&s));
+    }
+
+    #[test]
+    fn singleton_and_empty_paths() {
+        assert_eq!(path(0, 1, true).node_count(), 0);
+        let g = path(1, 1, true);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(4, 1, false);
+        assert_eq!(g.edge_count(), 4);
+        assert!(is_strongly_connected(&g));
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        let _ = cycle(2, 1, true);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5, 2, false);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(g.node(0)), 4);
+        assert_eq!(g.in_degree(g.node(0)), 0);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4, 1);
+        assert_eq!(g.edge_count(), 12); // n(n-1) arcs
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4, 1);
+        assert_eq!(g.node_count(), 12);
+        // Undirected edges: 3*3 horizontal + 2*4 vertical = 17 → 34 arcs.
+        assert_eq!(g.edge_count(), 34);
+        assert_eq!(diameter(&g), Some(5)); // (3-1)+(4-1)
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = balanced_tree(2, 3, 1);
+        assert_eq!(g.node_count(), 15); // 1+2+4+8
+        assert_eq!(g.edge_count(), 28); // 14 undirected edges
+        assert_eq!(diameter(&g), Some(6));
+        let single = balanced_tree(3, 0, 1);
+        assert_eq!(single.node_count(), 1);
+    }
+}

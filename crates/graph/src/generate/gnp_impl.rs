@@ -1,0 +1,205 @@
+//! Erdős–Rényi random graphs, including the paper's `2 ln n / n` regime.
+
+use super::stitch_connected;
+use crate::DiGraph;
+use rand::Rng;
+use std::ops::RangeInclusive;
+
+/// Configuration for [`gnp`].
+#[derive(Debug, Clone)]
+pub struct GnpConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Probability of each undirected node pair being linked.
+    pub edge_probability: f64,
+    /// Arc capacities are drawn uniformly from this range (inclusive).
+    pub capacity: RangeInclusive<u32>,
+    /// If true, each sampled link becomes a symmetric pair of arcs with
+    /// the same capacity (the paper's overlay links); if false, each
+    /// ordered pair is sampled independently.
+    pub symmetric: bool,
+    /// If true, extra symmetric links are stitched in afterwards until
+    /// the graph is weakly connected (a disconnected OCD instance is
+    /// unsatisfiable).
+    pub ensure_connected: bool,
+}
+
+impl GnpConfig {
+    /// The paper's §5.2 configuration: `p = 2 ln n / n`, capacities
+    /// `3..=15`, symmetric links, connectivity guaranteed.
+    #[must_use]
+    pub fn paper(nodes: usize) -> Self {
+        let n = nodes.max(2) as f64;
+        GnpConfig {
+            nodes,
+            edge_probability: (2.0 * n.ln() / n).min(1.0),
+            capacity: super::PAPER_CAPACITY_RANGE,
+            symmetric: true,
+            ensure_connected: true,
+        }
+    }
+}
+
+/// Samples a `G(n, p)` graph according to `config`.
+///
+/// # Panics
+///
+/// Panics if `edge_probability` is not within `[0, 1]` or the capacity
+/// range is empty.
+#[must_use]
+pub fn gnp<R: Rng + ?Sized>(config: &GnpConfig, rng: &mut R) -> DiGraph {
+    assert!(
+        (0.0..=1.0).contains(&config.edge_probability),
+        "edge probability {} outside [0, 1]",
+        config.edge_probability
+    );
+    assert!(!config.capacity.is_empty(), "capacity range must be non-empty");
+    let n = config.nodes;
+    let mut g = DiGraph::with_nodes(n);
+    if config.symmetric {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.random_bool(config.edge_probability) {
+                    let cap = rng.random_range(config.capacity.clone());
+                    g.add_edge_symmetric(g.node(u), g.node(v), cap)
+                        .expect("valid gnp edge");
+                }
+            }
+        }
+    } else {
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.random_bool(config.edge_probability) {
+                    let cap = rng.random_range(config.capacity.clone());
+                    g.add_edge(g.node(u), g.node(v), cap).expect("valid gnp edge");
+                }
+            }
+        }
+    }
+    if config.ensure_connected {
+        stitch_connected(&mut g, rng, config.capacity.clone());
+    }
+    g
+}
+
+/// Convenience wrapper sampling the paper's random topology for `n`
+/// nodes: `G(n, 2 ln n / n)` with symmetric capacities in `3..=15`,
+/// guaranteed connected.
+#[must_use]
+pub fn paper_random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> DiGraph {
+    gnp(&GnpConfig::paper(n), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_weakly_connected;
+    use rand::prelude::*;
+
+    #[test]
+    fn paper_graph_is_connected_and_in_capacity_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2, 20, 100] {
+            let g = paper_random(n, &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert!(is_weakly_connected(&g), "n = {n}");
+            assert!(g.is_symmetric());
+            for e in g.edges() {
+                assert!((3..=15).contains(&e.capacity));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_density_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200;
+        let config = GnpConfig {
+            nodes: n,
+            edge_probability: 0.1,
+            capacity: 1..=1,
+            symmetric: true,
+            ensure_connected: false,
+        };
+        let g = gnp(&config, &mut rng);
+        let pairs = (n * (n - 1) / 2) as f64;
+        let undirected_edges = g.edge_count() as f64 / 2.0;
+        let observed = undirected_edges / pairs;
+        assert!(
+            (observed - 0.1).abs() < 0.02,
+            "observed density {observed} far from 0.1"
+        );
+    }
+
+    #[test]
+    fn p_zero_yields_edgeless_unless_stitched() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = GnpConfig {
+            nodes: 10,
+            edge_probability: 0.0,
+            capacity: 2..=2,
+            symmetric: true,
+            ensure_connected: false,
+        };
+        assert_eq!(gnp(&config, &mut rng).edge_count(), 0);
+        let stitched = gnp(
+            &GnpConfig {
+                ensure_connected: true,
+                ..config
+            },
+            &mut rng,
+        );
+        assert!(is_weakly_connected(&stitched));
+        assert_eq!(stitched.edge_count(), 18, "spanning tree of 10 nodes = 9 links");
+    }
+
+    #[test]
+    fn p_one_yields_complete() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = GnpConfig {
+            nodes: 6,
+            edge_probability: 1.0,
+            capacity: 1..=1,
+            symmetric: true,
+            ensure_connected: false,
+        };
+        assert_eq!(gnp(&config, &mut rng).edge_count(), 30);
+    }
+
+    #[test]
+    fn asymmetric_mode_samples_ordered_pairs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = GnpConfig {
+            nodes: 50,
+            edge_probability: 1.0,
+            capacity: 1..=1,
+            symmetric: false,
+            ensure_connected: false,
+        };
+        let g = gnp(&config, &mut rng);
+        assert_eq!(g.edge_count(), 50 * 49);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = paper_random(30, &mut StdRng::seed_from_u64(5));
+        let g2 = paper_random(30, &mut StdRng::seed_from_u64(5));
+        assert_eq!(g1, g2);
+        let g3 = paper_random(30, &mut StdRng::seed_from_u64(6));
+        assert_ne!(g1, g3, "different seeds should virtually always differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_probability_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let config = GnpConfig {
+            nodes: 3,
+            edge_probability: 1.5,
+            capacity: 1..=1,
+            symmetric: true,
+            ensure_connected: false,
+        };
+        let _ = gnp(&config, &mut rng);
+    }
+}

@@ -1,0 +1,100 @@
+//! Topology generators.
+//!
+//! Three families, matching the paper's evaluation (§5):
+//!
+//! - [`classic`]: deterministic families (paths, cycles, stars, complete
+//!   graphs, grids, balanced trees) used for closed-form tests.
+//! - [`gnp`]: Erdős–Rényi `G(n, p)` random graphs, including the paper's
+//!   regime `p = 2 ln n / n` with capacities drawn uniformly from
+//!   `3..=15` ("edge weights chosen randomly between 3 and 15 tokens").
+//! - [`transit_stub`]: a GT-ITM-style hierarchical Internet topology
+//!   (transit domains with attached stub domains) standing in for the
+//!   paper's GT-ITM generator.
+//!
+//! All random generators take an explicit `Rng` so experiments are
+//! reproducible from seeds.
+
+pub mod classic;
+mod gnp_impl;
+mod transit_stub_impl;
+
+pub use gnp_impl::{gnp, paper_random, GnpConfig};
+pub use transit_stub_impl::{transit_stub, TransitStubConfig};
+
+use crate::algo::UnionFind;
+use crate::DiGraph;
+use rand::Rng;
+
+/// The paper's edge-capacity range: "edge weights chosen randomly between
+/// 3 and 15 tokens" (§5.2).
+pub const PAPER_CAPACITY_RANGE: std::ops::RangeInclusive<u32> = 3..=15;
+
+/// Adds symmetric edges between weakly connected components until the
+/// graph is connected, drawing endpoints uniformly from distinct
+/// components and capacities from `capacity`.
+///
+/// Random `G(n, p)` draws occasionally come out disconnected even in the
+/// paper's `2 ln n / n` regime; a disconnected OCD instance is
+/// unsatisfiable, so generators call this to guarantee usable topologies
+/// (the added edges are a vanishing fraction of the graph).
+pub(crate) fn stitch_connected<R: Rng + ?Sized>(
+    g: &mut DiGraph,
+    rng: &mut R,
+    capacity: std::ops::RangeInclusive<u32>,
+) {
+    let n = g.node_count();
+    if n <= 1 {
+        return;
+    }
+    let mut uf = UnionFind::new(n);
+    for e in g.edges() {
+        uf.union(e.src.index(), e.dst.index());
+    }
+    while uf.component_count() > 1 {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if !uf.same(u, v) {
+            let cap = rng.random_range(capacity.clone());
+            g.add_edge_symmetric(g.node(u), g.node(v), cap)
+                .expect("distinct in-bounds endpoints");
+            uf.union(u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_weakly_connected;
+    use rand::prelude::*;
+
+    #[test]
+    fn stitch_connects_empty_edge_set() {
+        let mut g = DiGraph::with_nodes(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        stitch_connected(&mut g, &mut rng, 3..=15);
+        assert!(is_weakly_connected(&g));
+        for e in g.edges() {
+            assert!((3..=15).contains(&e.capacity));
+        }
+    }
+
+    #[test]
+    fn stitch_is_noop_on_connected_graph() {
+        let mut g = classic::cycle(5, 1, true);
+        let before = g.edge_count();
+        let mut rng = StdRng::seed_from_u64(2);
+        stitch_connected(&mut g, &mut rng, 3..=15);
+        assert_eq!(g.edge_count(), before);
+    }
+
+    #[test]
+    fn stitch_handles_tiny_graphs() {
+        for n in 0..=1 {
+            let mut g = DiGraph::with_nodes(n);
+            let mut rng = StdRng::seed_from_u64(3);
+            stitch_connected(&mut g, &mut rng, 1..=1);
+            assert_eq!(g.edge_count(), 0);
+        }
+    }
+}

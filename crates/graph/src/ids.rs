@@ -1,0 +1,122 @@
+//! Index newtypes for graph nodes and edges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (vertex) in a [`DiGraph`](crate::DiGraph).
+///
+/// Node ids are dense indices assigned in insertion order, starting at 0.
+/// They are only meaningful with respect to the graph that created them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of a directed edge (arc) in a [`DiGraph`](crate::DiGraph).
+///
+/// Edge ids are dense indices assigned in insertion order, starting at 0.
+/// Because parallel arcs are merged, re-adding an existing arc returns the
+/// original id rather than allocating a new one.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    ///
+    /// This does not check that the index is in bounds for any particular
+    /// graph; out-of-range ids cause graph methods to return errors or
+    /// panic, per their documentation.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the raw index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Creates an edge id from a raw index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32::MAX"))
+    }
+
+    /// Returns the raw index of this edge.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+impl From<EdgeId> for usize {
+    fn from(id: EdgeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_index() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn edge_id_round_trips_index() {
+        let id = EdgeId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(usize::from(id), 7);
+    }
+
+    #[test]
+    fn debug_and_display_formats() {
+        assert_eq!(format!("{:?}", NodeId::new(3)), "n3");
+        assert_eq!(format!("{}", NodeId::new(3)), "3");
+        assert_eq!(format!("{:?}", EdgeId::new(5)), "e5");
+        assert_eq!(format!("{}", EdgeId::new(5)), "5");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(9));
+    }
+}

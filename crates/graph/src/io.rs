@@ -1,0 +1,184 @@
+//! Text formats: Graphviz DOT export and a line-oriented edge list.
+//!
+//! The edge-list format is one directive per line:
+//!
+//! ```text
+//! # comment
+//! nodes 5
+//! edge 0 1 3     # arc 0 -> 1 with capacity 3
+//! ```
+
+use crate::{DiGraph, GraphError, NodeId};
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax with capacities as edge
+/// labels.
+///
+/// # Examples
+///
+/// ```
+/// let mut g = ocd_graph::DiGraph::with_nodes(2);
+/// g.add_edge(g.node(0), g.node(1), 3).unwrap();
+/// let dot = ocd_graph::io::to_dot(&g, "demo");
+/// assert!(dot.contains("0 -> 1 [label=\"3\"];"));
+/// ```
+#[must_use]
+pub fn to_dot(g: &DiGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  {v};");
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", e.src, e.dst, e.capacity);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serializes the graph to the edge-list text format.
+#[must_use]
+pub fn to_edge_list(g: &DiGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes {}", g.node_count());
+    for e in g.edges() {
+        let _ = writeln!(out, "edge {} {} {}", e.src, e.dst, e.capacity);
+    }
+    out
+}
+
+/// Parses a graph from the edge-list text format. Lines may carry `#`
+/// comments; blank lines are ignored. A `nodes N` directive must appear
+/// before any `edge` line that references a node ≥ the current count;
+/// multiple `nodes` directives take the maximum.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input and the usual graph
+/// errors (out-of-bounds, self-loop, zero capacity) tagged with the line
+/// number.
+pub fn from_edge_list(text: &str) -> Result<DiGraph, GraphError> {
+    let mut g = DiGraph::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("non-empty line has a first token");
+        match keyword {
+            "nodes" => {
+                let n: usize = parse_field(parts.next(), line_no, "node count")?;
+                while g.node_count() < n {
+                    g.add_node();
+                }
+            }
+            "edge" => {
+                let src: usize = parse_field(parts.next(), line_no, "source")?;
+                let dst: usize = parse_field(parts.next(), line_no, "destination")?;
+                let cap: u32 = parse_field(parts.next(), line_no, "capacity")?;
+                g.add_edge(NodeId::new(src), NodeId::new(dst), cap)
+                    .map_err(|e| GraphError::Parse {
+                        line: line_no,
+                        message: e.to_string(),
+                    })?;
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("unknown directive `{other}`"),
+                });
+            }
+        }
+        if let Some(extra) = parts.next() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("unexpected trailing token `{extra}`"),
+            });
+        }
+    }
+    Ok(g)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    let raw = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    raw.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} `{raw}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::classic;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = classic::cycle(3, 2, false);
+        let dot = to_dot(&g, "c3");
+        assert!(dot.starts_with("digraph c3 {"));
+        assert!(dot.contains("0 -> 1 [label=\"2\"];"));
+        assert!(dot.contains("2 -> 0 [label=\"2\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = classic::grid(2, 3, 4);
+        let text = to_edge_list(&g);
+        let g2 = from_edge_list(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "# header\n\nnodes 3 # three\nedge 0 1 5\nedge 1 2 6 # last\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.capacity(g.find_edge(g.node(1), g.node(2)).unwrap()), 6);
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let err = from_edge_list("vertex 3").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        assert!(err.to_string().contains("vertex"));
+    }
+
+    #[test]
+    fn rejects_missing_and_invalid_fields() {
+        assert!(from_edge_list("edge 0 1").unwrap_err().to_string().contains("missing capacity"));
+        assert!(from_edge_list("nodes x").unwrap_err().to_string().contains("invalid node count"));
+        assert!(from_edge_list("nodes 2\nedge 0 1 3 9").unwrap_err().to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_graph_violations_with_line_numbers() {
+        let err = from_edge_list("nodes 2\nedge 0 0 1").unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("self-loop"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let err = from_edge_list("nodes 1\nedge 0 5 1").unwrap_err();
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn multiple_nodes_directives_take_max() {
+        let g = from_edge_list("nodes 2\nnodes 5\nnodes 3").unwrap();
+        assert_eq!(g.node_count(), 5);
+    }
+}

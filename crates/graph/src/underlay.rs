@@ -1,0 +1,213 @@
+//! Physical-underlay modeling (paper §6, "open problems").
+//!
+//! "In our work, we consider only the overlay topology, and not the
+//! physical links making up our logical links. We are likely ignoring
+//! the reality that many of our logical links share the same physical
+//! link, hence their capacities are not independent. To properly model
+//! this, we need to take into account physical links and routers, which
+//! do not participate in overlay forwarding, instead simply forwarding
+//! the packets along to a specified overlay node."
+//!
+//! An [`Underlay`] is a physical graph (routers + hosts) with a set of
+//! *host* vertices that participate in the overlay.
+//! [`Underlay::map_overlay`] routes every overlay arc over the physical
+//! shortest path between its endpoint hosts, producing an
+//! [`OverlayMapping`] that records, per overlay arc, the physical arcs
+//! it rides — the data the capacity-sharing admission control in
+//! `ocd-heuristics::underlay` needs.
+
+use crate::algo::{dijkstra, PathCost};
+use crate::{DiGraph, EdgeId, GraphError, NodeId};
+
+/// A physical network hosting an overlay.
+#[derive(Debug, Clone)]
+pub struct Underlay {
+    /// The physical topology (hosts and routers).
+    pub physical: DiGraph,
+    /// Physical vertices that run overlay software, in overlay-node
+    /// order: overlay node `i` lives on `hosts[i]`.
+    pub hosts: Vec<NodeId>,
+}
+
+/// The result of routing an overlay over an underlay.
+#[derive(Debug, Clone)]
+pub struct OverlayMapping {
+    /// `paths[e]` = physical arcs carrying overlay arc `e`, in path
+    /// order.
+    pub paths: Vec<Vec<EdgeId>>,
+    /// The *naive* per-overlay-arc capacity: the minimum physical
+    /// capacity along its path — what an overlay believes it has when
+    /// it treats links as independent.
+    pub naive_capacities: Vec<u32>,
+}
+
+impl Underlay {
+    /// Creates an underlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if a host is not a
+    /// physical vertex.
+    pub fn new(physical: DiGraph, hosts: Vec<NodeId>) -> Result<Self, GraphError> {
+        for &h in &hosts {
+            if !physical.contains_node(h) {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: h,
+                    node_count: physical.node_count(),
+                });
+            }
+        }
+        Ok(Underlay { physical, hosts })
+    }
+
+    /// Routes every arc of `overlay` (whose node `i` is `hosts[i]`) over
+    /// the physical shortest path (fewest hops; ties broken by Dijkstra
+    /// order). Returns `None` for an overlay arc whose endpoints are
+    /// physically disconnected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if the overlay has more
+    /// nodes than there are hosts, and [`GraphError::Parse`]-free errors
+    /// otherwise; unroutable arcs produce an error naming the arc.
+    pub fn map_overlay(&self, overlay: &DiGraph) -> Result<OverlayMapping, GraphError> {
+        if overlay.node_count() > self.hosts.len() {
+            return Err(GraphError::NodeOutOfBounds {
+                node: NodeId::new(self.hosts.len()),
+                node_count: overlay.node_count(),
+            });
+        }
+        let mut paths = Vec::with_capacity(overlay.edge_count());
+        let mut naive = Vec::with_capacity(overlay.edge_count());
+        // Cache Dijkstra per source host.
+        let mut cache: std::collections::HashMap<NodeId, Vec<Option<EdgeId>>> =
+            std::collections::HashMap::new();
+        for e in overlay.edge_ids() {
+            let arc = overlay.edge(e);
+            let src = self.hosts[arc.src.index()];
+            let dst = self.hosts[arc.dst.index()];
+            let pred = cache
+                .entry(src)
+                .or_insert_with(|| dijkstra(&self.physical, src, PathCost::Hop).1);
+            // Rebuild the path dst ← src.
+            let mut path = Vec::new();
+            let mut cur = dst;
+            while cur != src {
+                let Some(pe) = pred[cur.index()] else {
+                    return Err(GraphError::NodeOutOfBounds {
+                        node: cur,
+                        node_count: self.physical.node_count(),
+                    });
+                };
+                path.push(pe);
+                cur = self.physical.edge(pe).src;
+            }
+            path.reverse();
+            let cap = path
+                .iter()
+                .map(|&pe| self.physical.capacity(pe))
+                .min()
+                .unwrap_or(u32::MAX);
+            naive.push(cap);
+            paths.push(path);
+        }
+        Ok(OverlayMapping {
+            paths,
+            naive_capacities: naive,
+        })
+    }
+}
+
+impl OverlayMapping {
+    /// How many overlay arcs ride each physical arc — the link-stress
+    /// metric of overlay evaluation literature.
+    #[must_use]
+    pub fn link_stress(&self, physical_edges: usize) -> Vec<u32> {
+        let mut stress = vec![0u32; physical_edges];
+        for path in &self.paths {
+            for &pe in path {
+                stress[pe.index()] += 1;
+            }
+        }
+        stress
+    }
+
+    /// The largest link stress, or 0 with no paths.
+    #[must_use]
+    pub fn max_stress(&self, physical_edges: usize) -> u32 {
+        self.link_stress(physical_edges).into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::classic;
+
+    /// Physical: path r0 - r1 - r2 (symmetric, cap 4); hosts at ends.
+    fn line_underlay() -> (Underlay, DiGraph) {
+        let physical = classic::path(3, 4, true);
+        let hosts = vec![physical.node(0), physical.node(2)];
+        let mut overlay = DiGraph::with_nodes(2);
+        overlay.add_edge_symmetric(overlay.node(0), overlay.node(1), 4).unwrap();
+        (Underlay::new(physical, hosts).unwrap(), overlay)
+    }
+
+    #[test]
+    fn maps_paths_and_naive_capacity() {
+        let (underlay, overlay) = line_underlay();
+        let mapping = underlay.map_overlay(&overlay).unwrap();
+        assert_eq!(mapping.paths.len(), 2);
+        assert_eq!(mapping.paths[0].len(), 2, "two physical hops");
+        assert_eq!(mapping.naive_capacities, vec![4, 4]);
+    }
+
+    #[test]
+    fn shared_links_show_up_as_stress() {
+        // Physical star: center router 0, hosts 1..=3 (symmetric cap 2).
+        let physical = classic::star(4, 2, true);
+        let hosts: Vec<NodeId> = (1..4).map(|i| physical.node(i)).collect();
+        let overlay = classic::complete(3, 2);
+        let underlay = Underlay::new(physical.clone(), hosts).unwrap();
+        let mapping = underlay.map_overlay(&overlay).unwrap();
+        // Every overlay arc crosses two physical arcs through the hub;
+        // each host's access link carries multiple overlay arcs.
+        let stress = mapping.link_stress(physical.edge_count());
+        assert_eq!(stress.iter().sum::<u32>() as usize, 2 * overlay.edge_count());
+        assert!(mapping.max_stress(physical.edge_count()) >= 2);
+    }
+
+    #[test]
+    fn rejects_bad_hosts() {
+        let physical = classic::path(2, 1, true);
+        let err = Underlay::new(physical.clone(), vec![NodeId::new(9)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+        let underlay = Underlay::new(physical, vec![NodeId::new(0)]).unwrap();
+        let overlay = classic::path(2, 1, true); // 2 overlay nodes, 1 host
+        assert!(underlay.map_overlay(&overlay).is_err());
+    }
+
+    #[test]
+    fn unroutable_arc_errors() {
+        let physical = DiGraph::with_nodes(2); // no physical links at all
+        let hosts = vec![physical.node(0), physical.node(1)];
+        let mut overlay = DiGraph::with_nodes(2);
+        overlay.add_edge(overlay.node(0), overlay.node(1), 1).unwrap();
+        let underlay = Underlay::new(physical, hosts).unwrap();
+        assert!(underlay.map_overlay(&overlay).is_err());
+    }
+
+    #[test]
+    fn same_host_arcs_route_zero_hops() {
+        // Overlay arc between two overlay nodes on... distinct hosts is
+        // required by the simple-graph rule; a 1-hop physical adjacency
+        // routes as a single physical arc.
+        let physical = classic::path(2, 3, true);
+        let hosts = vec![physical.node(0), physical.node(1)];
+        let mut overlay = DiGraph::with_nodes(2);
+        overlay.add_edge(overlay.node(0), overlay.node(1), 3).unwrap();
+        let underlay = Underlay::new(physical, hosts).unwrap();
+        let mapping = underlay.map_overlay(&overlay).unwrap();
+        assert_eq!(mapping.paths[0].len(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the graph algorithms against brute-force
+//! oracles on random small graphs.
+#![allow(clippy::needless_range_loop)]
+
+use ocd_graph::algo::{
+    bfs_distances, diameter, dijkstra, eccentricity, is_strongly_connected, nodes_within,
+    strongly_connected_components, weakly_connected_components, PathCost, UNREACHABLE,
+};
+use ocd_graph::{DiGraph, NodeId};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+/// Random digraph from a seed, up to 10 nodes.
+fn digraph(seed: u64, n: usize, p: f64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::with_nodes(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.random_bool(p) {
+                g.add_edge(g.node(u), g.node(v), rng.random_range(1..8)).unwrap();
+            }
+        }
+    }
+    g
+}
+
+/// Floyd–Warshall hop distances as the oracle.
+fn oracle_distances(g: &DiGraph) -> Vec<Vec<u64>> {
+    let n = g.node_count();
+    const INF: u64 = u64::MAX / 4;
+    let mut d = vec![vec![INF; n]; n];
+    for v in 0..n {
+        d[v][v] = 0;
+    }
+    for e in g.edges() {
+        d[e.src.index()][e.dst.index()] = 1;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                d[i][j] = d[i][j].min(d[i][k] + d[k][j]);
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bfs_matches_floyd_warshall(seed in 0u64..10_000, n in 1usize..9, p in 0.0f64..0.9) {
+        let g = digraph(seed, n, p);
+        let oracle = oracle_distances(&g);
+        for s in g.nodes() {
+            let bfs = bfs_distances(&g, s);
+            for t in g.nodes() {
+                let expected = oracle[s.index()][t.index()];
+                if expected >= u64::MAX / 4 {
+                    prop_assert_eq!(bfs[t.index()], UNREACHABLE);
+                } else {
+                    prop_assert_eq!(u64::from(bfs[t.index()]), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_hop_cost_equals_bfs(seed in 0u64..10_000, n in 1usize..9, p in 0.0f64..0.9) {
+        let g = digraph(seed, n, p);
+        for s in g.nodes() {
+            let bfs = bfs_distances(&g, s);
+            let (dist, _) = dijkstra(&g, s, PathCost::Hop);
+            for t in g.nodes() {
+                if bfs[t.index()] == UNREACHABLE {
+                    prop_assert_eq!(dist[t.index()], u64::MAX);
+                } else {
+                    prop_assert_eq!(dist[t.index()], u64::from(bfs[t.index()]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scc_matches_mutual_reachability(seed in 0u64..10_000, n in 1usize..8, p in 0.0f64..0.8) {
+        let g = digraph(seed, n, p);
+        let oracle = oracle_distances(&g);
+        let reach = |a: usize, b: usize| oracle[a][b] < u64::MAX / 4;
+        let sccs = strongly_connected_components(&g);
+        // Partition check.
+        let mut seen = vec![0u32; n];
+        for comp in &sccs {
+            for v in comp {
+                seen[v.index()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "SCCs must partition the nodes");
+        // Same component ⟺ mutually reachable.
+        let mut comp_of = vec![usize::MAX; n];
+        for (ci, comp) in sccs.iter().enumerate() {
+            for v in comp {
+                comp_of[v.index()] = ci;
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                let mutual = reach(a, b) && reach(b, a);
+                prop_assert_eq!(comp_of[a] == comp_of[b], mutual, "{} vs {}", a, b);
+            }
+        }
+        prop_assert_eq!(is_strongly_connected(&g), sccs.len() <= 1);
+    }
+
+    #[test]
+    fn weak_components_ignore_direction(seed in 0u64..10_000, n in 1usize..8, p in 0.0f64..0.5) {
+        let g = digraph(seed, n, p);
+        let comps = weakly_connected_components(&g);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+        // Symmetrizing the graph must not change the weak components.
+        let mut sym = g.clone();
+        for e in g.edges() {
+            let _ = sym.add_edge(e.dst, e.src, e.capacity);
+        }
+        prop_assert_eq!(weakly_connected_components(&sym).len(), comps.len());
+    }
+
+    #[test]
+    fn diameter_is_max_eccentricity(seed in 0u64..10_000, n in 1usize..8) {
+        // Dense graphs are usually strongly connected; skip when not.
+        let g = digraph(seed, n, 0.7);
+        if let Some(d) = diameter(&g) {
+            let max_ecc = g
+                .nodes()
+                .map(|v| eccentricity(&g, v).expect("diameter implies connectivity"))
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(d, max_ecc);
+        }
+    }
+
+    #[test]
+    fn nodes_within_is_monotone_in_radius(seed in 0u64..10_000, n in 1usize..9, p in 0.0f64..0.6) {
+        let g = digraph(seed, n, p);
+        for v in g.nodes() {
+            let mut prev: Vec<NodeId> = Vec::new();
+            for radius in 0..n as u32 {
+                let cur = nodes_within(&g, v, radius);
+                prop_assert!(cur.len() >= prev.len(), "closures must grow");
+                for x in &prev {
+                    prop_assert!(cur.contains(x), "closures must nest");
+                }
+                prop_assert!(cur.contains(&v));
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_swaps_all_distances(seed in 0u64..10_000, n in 1usize..8, p in 0.0f64..0.8) {
+        let g = digraph(seed, n, p);
+        let r = g.reversed();
+        let og = oracle_distances(&g);
+        let or = oracle_distances(&r);
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(og[a][b], or[b][a]);
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The Bandwidth heuristic (§5.1).
+//!
+//! "An online heuristic, albeit with global knowledge, which more
+//! cautiously adds tokens to a move. This bandwidth heuristic is
+//! designed on the principle that each vertex shall obtain from its
+//! peers in its next turn only tokens that it will eventually use. We
+//! then determine whether a vertex will use the token by i) if it needs
+//! the token, or ii) if it is the closest one-hop-knowledge vertex to a
+//! node that needs it. A one-hop-knowledge vertex is one which for a
+//! given token, *could* obtain the token in a single turn given the
+//! opportunity."
+//!
+//! Implementation notes: decisions are receiver-driven. For every token
+//! still needed somewhere, the vertices entitled to receive it this turn
+//! are (i) every needy vertex with a holding in-neighbor and (ii) the
+//! single closest one-hop-knowledge vertex (hop distance to the nearest
+//! needy vertex, ties to the lowest id) when some needy vertex has no
+//! holding in-neighbor yet — the relay that walks the token toward
+//! distant demand without flooding. Each receiver then picks one holding
+//! in-neighbor per token, least-loaded first, within arc capacities.
+
+use crate::{KnowledgeTier, Strategy, WorldView};
+use ocd_core::{Instance, Token, TokenSet};
+use ocd_graph::{EdgeId, NodeId};
+use rand::RngCore;
+use std::collections::VecDeque;
+
+/// The cautious, bandwidth-minimizing online heuristic.
+#[derive(Debug, Default)]
+pub struct BandwidthCautious {
+    /// Ablation: relay via a *single* globally-closest one-hop vertex
+    /// per token per step instead of one relay per distant needy vertex.
+    /// Cheaper in bandwidth on paper, but serializes progress toward
+    /// demand clusters in different directions (see `table_ablation`).
+    single_relay: bool,
+}
+
+impl BandwidthCautious {
+    /// Creates the strategy with the paper's per-needy-vertex relays.
+    #[must_use]
+    pub fn new() -> Self {
+        BandwidthCautious::default()
+    }
+
+    /// Ablated variant: one relay per token per step.
+    #[must_use]
+    pub fn with_single_relay() -> Self {
+        BandwidthCautious { single_relay: true }
+    }
+}
+
+impl Strategy for BandwidthCautious {
+    fn name(&self) -> &'static str {
+        if self.single_relay {
+            "bandwidth-1relay"
+        } else {
+            "bandwidth"
+        }
+    }
+
+    fn tier(&self) -> KnowledgeTier {
+        KnowledgeTier::Global
+    }
+
+    fn reset(&mut self, _instance: &Instance) {}
+
+    fn plan_step(&mut self, view: &WorldView<'_>, rng: &mut dyn RngCore) -> Vec<(EdgeId, TokenSet)> {
+        let g = view.graph();
+        let n = g.node_count();
+        let m = view.instance.num_tokens();
+
+        // Receivers per vertex: tokens the vertex shall obtain this turn.
+        let mut to_obtain: Vec<TokenSet> = vec![TokenSet::new(m); n];
+
+        for ti in 0..m {
+            let token = Token::new(ti);
+            // Needy vertices: want it, lack it.
+            let needy: Vec<NodeId> = g
+                .nodes()
+                .filter(|&v| {
+                    view.instance.want(v).contains(token)
+                        && !view.possession[v.index()].contains(token)
+                })
+                .collect();
+            if needy.is_empty() {
+                continue;
+            }
+            // One-hop-knowledge vertices: lack it, but an in-neighbor has it.
+            let one_hop = |v: NodeId| {
+                !view.possession[v.index()].contains(token)
+                    && g.in_edges(v).any(|e| {
+                        view.capacity(e) > 0
+                            && view.possession[g.edge(e).src.index()].contains(token)
+                    })
+            };
+            // Rule (i): needy vertices that can already obtain it.
+            let mut distant: Vec<NodeId> = Vec::new();
+            for &z in &needy {
+                if one_hop(z) {
+                    to_obtain[z.index()].insert(token);
+                } else {
+                    distant.push(z);
+                }
+            }
+            // Rule (ii): for each needy vertex without direct access, its
+            // *closest* one-hop-knowledge vertex obtains the token — the
+            // relay that walks the token toward that demand. A Voronoi
+            // multi-source BFS from all one-hop vertices yields, for
+            // every vertex, the nearest one-hop vertex at once.
+            if !distant.is_empty() {
+                let hop_vertices: Vec<NodeId> = g.nodes().filter(|&v| one_hop(v)).collect();
+                let origin = nearest_origin(g, &hop_vertices);
+                let mut relays: Vec<NodeId> = distant
+                    .iter()
+                    .filter_map(|&z| origin[z.index()])
+                    .collect();
+                if self.single_relay {
+                    relays.sort_unstable();
+                    relays.truncate(1);
+                }
+                for relay in relays {
+                    to_obtain[relay.index()].insert(token);
+                }
+            }
+        }
+
+        // Receiver-driven arc assignment, within capacities.
+        let mut load: Vec<usize> = vec![0; g.edge_count()];
+        let mut sends: Vec<TokenSet> = vec![TokenSet::new(m); g.edge_count()];
+        for v in g.nodes() {
+            if to_obtain[v.index()].is_empty() {
+                continue;
+            }
+            let in_edges: Vec<EdgeId> = g.in_edges(v).collect();
+            for t in crate::local_rarest::rarest_first(&to_obtain[v.index()], view.aggregates, rng)
+            {
+                let mut best: Option<(usize, EdgeId)> = None;
+                for &e in &in_edges {
+                    let arc = g.edge(e);
+                    if load[e.index()] >= view.capacity(e) as usize {
+                        continue;
+                    }
+                    if !view.possession[arc.src.index()].contains(t) {
+                        continue;
+                    }
+                    let key = (load[e.index()], e);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                if let Some((_, e)) = best {
+                    sends[e.index()].insert(t);
+                    load[e.index()] += 1;
+                }
+            }
+        }
+
+        sends
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(e, s)| (EdgeId::new(e), s))
+            .collect()
+    }
+}
+
+/// Multi-source forward BFS from `sources`: for every vertex, the
+/// nearest source that reaches it along arc directions (ties break to
+/// the earlier source in `sources`, which are supplied in ascending id
+/// order). `None` where no source reaches.
+fn nearest_origin(g: &ocd_graph::DiGraph, sources: &[NodeId]) -> Vec<Option<NodeId>> {
+    let mut dist = vec![u32::MAX; g.node_count()];
+    let mut origin: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if origin[s.index()].is_none() {
+            dist[s.index()] = 0;
+            origin[s.index()] = Some(s);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for w in g.out_neighbors(u) {
+            if origin[w.index()].is_none() {
+                dist[w.index()] = dist[u.index()] + 1;
+                origin[w.index()] = origin[u.index()];
+                queue.push_back(w);
+            }
+        }
+    }
+    origin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, SimConfig};
+    use ocd_core::scenario::single_file;
+    use ocd_core::validate;
+    use ocd_graph::generate::classic;
+    use ocd_graph::DiGraph;
+    use rand::prelude::*;
+
+    #[test]
+    fn relays_token_along_path_without_flooding() {
+        // 0 -> 1 -> 2 -> 3 -> 4, only vertex 4 wants the token. The
+        // cautious heuristic moves it one hop per step toward 4 and
+        // nothing else: bandwidth exactly 4 (the path length), makespan 4.
+        let instance_graph = classic::path(5, 3, false);
+        let instance = ocd_core::Instance::builder(instance_graph, 1)
+            .have(0, [Token::new(0)])
+            .want(4, [Token::new(0)])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = simulate(
+            &instance,
+            &mut BandwidthCautious::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
+        assert!(report.success);
+        assert_eq!(report.steps, 4);
+        assert_eq!(report.bandwidth, 4, "no flooding off the demand path");
+    }
+
+    #[test]
+    fn does_not_deliver_to_uninterested_branches() {
+        // Star with 4 leaves; only leaf 2 wants the file of 3 tokens.
+        let g = classic::star(5, 3, false);
+        let mut builder = ocd_core::Instance::builder(g, 3);
+        builder = builder.have_set(0, TokenSet::full(3));
+        builder = builder.want_set(2, TokenSet::full(3));
+        let instance = builder.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = simulate(
+            &instance,
+            &mut BandwidthCautious::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
+        assert!(report.success);
+        assert_eq!(report.bandwidth, 3, "exactly the wanted tokens move");
+    }
+
+    #[test]
+    fn all_want_all_still_completes() {
+        let instance = single_file(classic::cycle(8, 3, true), 10, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = simulate(
+            &instance,
+            &mut BandwidthCautious::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
+        assert!(report.success);
+        assert!(validate::replay(&instance, &report.schedule).unwrap().is_successful());
+    }
+
+    #[test]
+    fn relay_chooses_closest_one_hop_vertex() {
+        // Diamond: 0 -> 1 -> 3 and 0 -> 2 -> 2' -> 3 (longer). Token at
+        // 0, needed at 3. Step 1: one-hop vertices are {1, 2}; 1 is
+        // closer to 3, so only 1 receives.
+        let mut g = DiGraph::with_nodes(5);
+        g.add_edge(g.node(0), g.node(1), 1).unwrap(); // e0
+        g.add_edge(g.node(1), g.node(3), 1).unwrap(); // e1
+        g.add_edge(g.node(0), g.node(2), 1).unwrap(); // e2
+        g.add_edge(g.node(2), g.node(4), 1).unwrap(); // e3
+        g.add_edge(g.node(4), g.node(3), 1).unwrap(); // e4
+        let instance = ocd_core::Instance::builder(g, 1)
+            .have(0, [Token::new(0)])
+            .want(3, [Token::new(0)])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = simulate(
+            &instance,
+            &mut BandwidthCautious::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
+        assert!(report.success);
+        assert_eq!(report.steps, 2);
+        assert_eq!(report.bandwidth, 2, "token went 0 -> 1 -> 3 only");
+    }
+
+    #[test]
+    fn single_relay_ablation_still_completes_but_serializes() {
+        // Star of two distant demand branches: per-needy relays serve
+        // both branches at once; the single-relay ablation alternates.
+        let g = classic::star(7, 2, false);
+        let mut builder = ocd_core::Instance::builder(g, 1);
+        builder = builder.have(0, [Token::new(0)]);
+        // Leaves 1..=6 all want the token but arcs are center→leaf, so
+        // every leaf is needy and one-hop; use a deeper shape instead.
+        let mut g2 = ocd_graph::DiGraph::with_nodes(5);
+        g2.add_edge(g2.node(0), g2.node(1), 1).unwrap(); // s -> a
+        g2.add_edge(g2.node(1), g2.node(2), 1).unwrap(); // a -> z1
+        g2.add_edge(g2.node(0), g2.node(3), 1).unwrap(); // s -> b
+        g2.add_edge(g2.node(3), g2.node(4), 1).unwrap(); // b -> z2
+        let instance = ocd_core::Instance::builder(g2, 1)
+            .have(0, [Token::new(0)])
+            .want(2, [Token::new(0)])
+            .want(4, [Token::new(0)])
+            .build()
+            .unwrap();
+        let _ = builder;
+        let run = |mut strategy: BandwidthCautious| {
+            let mut rng = StdRng::seed_from_u64(3);
+            simulate(&instance, &mut strategy, &SimConfig::default(), &mut rng)
+        };
+        let per_needy = run(BandwidthCautious::new());
+        let single = run(BandwidthCautious::with_single_relay());
+        assert!(per_needy.success && single.success);
+        assert_eq!(per_needy.steps, 2, "both branches advance in parallel");
+        assert!(
+            single.steps > per_needy.steps,
+            "single relay serializes the two demand branches"
+        );
+        assert_eq!(BandwidthCautious::with_single_relay().name(), "bandwidth-1relay");
+    }
+
+    #[test]
+    fn duplicate_holders_cause_single_delivery() {
+        // Both 0 and 1 hold the token and both feed 2; the receiver-
+        // driven assignment must fetch it once.
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(2), 5).unwrap();
+        g.add_edge(g.node(1), g.node(2), 5).unwrap();
+        let instance = ocd_core::Instance::builder(g, 1)
+            .have(0, [Token::new(0)])
+            .have(1, [Token::new(0)])
+            .want(2, [Token::new(0)])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = simulate(
+            &instance,
+            &mut BandwidthCautious::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
+        assert!(report.success);
+        assert_eq!(report.bandwidth, 1);
+    }
+}

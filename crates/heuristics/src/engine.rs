@@ -1,0 +1,427 @@
+//! The step-by-step simulation engine.
+
+use crate::{Strategy, WorldView};
+use ocd_core::knowledge::{AggregateKnowledge, DelayedAggregates};
+use ocd_core::{Instance, Schedule, Timestep, TokenSet};
+use rand::RngCore;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Hard cap on timesteps; a run that has not satisfied every want by
+    /// then reports failure. Guards against non-terminating strategies.
+    pub max_steps: usize,
+    /// Propagation delay (in steps) applied to the aggregate knowledge
+    /// strategies see — the paper's "state `k` turns ago" relaxation
+    /// (§5.1). 0 = fresh aggregates, the paper's default assumption.
+    pub knowledge_delay: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_steps: 10_000,
+            knowledge_delay: 0,
+        }
+    }
+}
+
+/// Per-step counters recorded during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepRecord {
+    /// 0-based step index.
+    pub step: usize,
+    /// Tokens transferred this step.
+    pub moves: u64,
+    /// Outstanding (vertex, token) needs after the step.
+    pub remaining_need: u64,
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The schedule the strategy produced (always valid for the
+    /// instance; the engine enforces the §3.1 restrictions).
+    pub schedule: Schedule,
+    /// Whether every want was satisfied within the step budget.
+    pub success: bool,
+    /// Steps actually executed (= `schedule.makespan()`).
+    pub steps: usize,
+    /// Total tokens transferred (= `schedule.bandwidth()`).
+    pub bandwidth: u64,
+    /// For each vertex, the step after which its want set was complete
+    /// (0 = already satisfied initially); `None` if never satisfied.
+    pub completion_steps: Vec<Option<usize>>,
+    /// Per-step counters.
+    pub trace: Vec<StepRecord>,
+}
+
+impl SimReport {
+    /// Mean completion step over vertices that started unsatisfied.
+    /// `None` if nothing needed distributing or some vertex never
+    /// finished.
+    #[must_use]
+    pub fn mean_completion(&self) -> Option<f64> {
+        let finishers: Vec<usize> = self
+            .completion_steps
+            .iter()
+            .map(|c| c.ok_or(()))
+            .collect::<Result<Vec<_>, ()>>()
+            .ok()?;
+        let late: Vec<usize> = finishers.into_iter().filter(|&s| s > 0).collect();
+        if late.is_empty() {
+            None
+        } else {
+            Some(late.iter().sum::<usize>() as f64 / late.len() as f64)
+        }
+    }
+}
+
+/// Runs `strategy` on `instance` until success, stall, or the step cap.
+///
+/// Each step the engine:
+///
+/// 1. computes the fresh aggregates and pushes them through the
+///    configured knowledge delay;
+/// 2. hands the strategy a [`WorldView`];
+/// 3. checks the returned sends against the §3.1 restrictions
+///    (possession, capacity) — violations are strategy bugs and panic;
+/// 4. applies the sends to the possession state (received tokens become
+///    usable next step, per the store-and-forward model).
+///
+/// # Panics
+///
+/// Panics if the strategy violates capacity or possession, sends on a
+/// non-existent arc, or duplicates an arc within a step.
+pub fn simulate(
+    instance: &Instance,
+    strategy: &mut dyn Strategy,
+    config: &SimConfig,
+    rng: &mut dyn RngCore,
+) -> SimReport {
+    simulate_inner(instance, strategy, config, rng, None).0
+}
+
+/// Shared implementation: when `dynamics` is supplied, per-step
+/// capacities come from it (0 = link down), stalls do not abort (a
+/// strategy may be *unable* to move while links are down), and the
+/// capacity trace is returned for later validation.
+pub(crate) fn simulate_inner(
+    instance: &Instance,
+    strategy: &mut dyn Strategy,
+    config: &SimConfig,
+    rng: &mut dyn RngCore,
+    mut dynamics: Option<&mut dyn crate::dynamics::NetworkDynamics>,
+) -> (SimReport, Vec<Vec<u32>>) {
+    let g = instance.graph();
+    let n = g.node_count();
+    let m = instance.num_tokens();
+    strategy.reset(instance);
+    if let Some(d) = dynamics.as_deref_mut() {
+        d.reset(g);
+    }
+
+    let mut possession: Vec<TokenSet> = instance.have_all().to_vec();
+    let mut schedule = Schedule::new();
+    let mut trace = Vec::new();
+    let mut capacity_trace: Vec<Vec<u32>> = Vec::new();
+    let mut completion_steps: Vec<Option<usize>> = (0..n)
+        .map(|v| {
+            let v = g.node(v);
+            instance.want(v).is_subset(instance.have(v)).then_some(0)
+        })
+        .collect();
+
+    let initial = AggregateKnowledge::compute(m, &possession, instance.want_all());
+    let mut delayed = DelayedAggregates::new(config.knowledge_delay, initial);
+    let static_caps: Vec<u32> = g.edge_ids().map(|e| g.capacity(e)).collect();
+
+    let mut step = 0usize;
+    let mut success = remaining_need(instance, &possession) == 0;
+    while !success && step < config.max_steps {
+        let fresh = AggregateKnowledge::compute(m, &possession, instance.want_all());
+        let visible = delayed.advance(fresh).clone();
+        let caps: Vec<u32> = match dynamics.as_deref_mut() {
+            Some(d) => {
+                d.observe(&possession);
+                d.capacities(g, step, rng)
+            }
+            None => static_caps.clone(),
+        };
+        assert_eq!(
+            caps.len(),
+            g.edge_count(),
+            "dynamics produced a malformed capacity vector"
+        );
+        let sends = {
+            let view = WorldView {
+                instance,
+                possession: &possession,
+                aggregates: &visible,
+                step,
+                capacities: Some(&caps),
+            };
+            strategy.plan_step(&view, rng)
+        };
+
+        // Enforce the §3.1 restrictions; violations are strategy bugs.
+        let mut seen_edges = vec![false; g.edge_count()];
+        for (edge, tokens) in &sends {
+            assert!(
+                edge.index() < g.edge_count(),
+                "strategy {} sent on unknown arc {edge} at step {step}",
+                strategy.name()
+            );
+            assert!(
+                !std::mem::replace(&mut seen_edges[edge.index()], true),
+                "strategy {} duplicated arc {edge} at step {step}",
+                strategy.name()
+            );
+            let arc = g.edge(*edge);
+            assert!(
+                tokens.len() <= caps[edge.index()] as usize,
+                "strategy {} overfilled arc {edge} ({} > {}) at step {step}",
+                strategy.name(),
+                tokens.len(),
+                caps[edge.index()]
+            );
+            assert!(
+                tokens.is_subset(&possession[arc.src.index()]),
+                "strategy {} sent unpossessed tokens on arc {edge} at step {step}",
+                strategy.name()
+            );
+        }
+
+        let timestep = Timestep::from_sends(sends);
+        let moves = timestep.bandwidth();
+        if moves == 0 && dynamics.is_none() && !strategy.may_idle(step) {
+            break; // stall
+        }
+        capacity_trace.push(caps);
+        // Apply: receipts land after all sends are read (store & forward).
+        for (edge, tokens) in timestep.sends() {
+            let dst = g.edge(edge).dst;
+            possession[dst.index()].union_with(tokens);
+        }
+        schedule.push_timestep(timestep);
+        step += 1;
+        for v in g.nodes() {
+            if completion_steps[v.index()].is_none()
+                && instance.want(v).is_subset(&possession[v.index()])
+            {
+                completion_steps[v.index()] = Some(step);
+            }
+        }
+        let remaining = remaining_need(instance, &possession);
+        trace.push(StepRecord {
+            step: step - 1,
+            moves,
+            remaining_need: remaining,
+        });
+        success = remaining == 0;
+    }
+
+    (
+        SimReport {
+            steps: schedule.makespan(),
+            bandwidth: schedule.bandwidth(),
+            schedule,
+            success,
+            completion_steps,
+            trace,
+        },
+        capacity_trace,
+    )
+}
+
+fn remaining_need(instance: &Instance, possession: &[TokenSet]) -> u64 {
+    instance
+        .want_all()
+        .iter()
+        .zip(possession)
+        .map(|(w, p)| w.difference_len(p) as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KnowledgeTier, Strategy};
+    use ocd_core::scenario::single_file;
+    use ocd_core::validate;
+    use ocd_graph::generate::classic;
+    use ocd_graph::EdgeId;
+    use rand::prelude::*;
+
+    /// Floods everything allowed on every arc each step.
+    struct Flood;
+
+    impl Strategy for Flood {
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+        fn tier(&self) -> KnowledgeTier {
+            KnowledgeTier::PeerState
+        }
+        fn reset(&mut self, _: &Instance) {}
+        fn plan_step(
+            &mut self,
+            view: &WorldView<'_>,
+            _rng: &mut dyn RngCore,
+        ) -> Vec<(EdgeId, TokenSet)> {
+            let g = view.graph();
+            let mut out = Vec::new();
+            for e in g.edge_ids() {
+                let arc = g.edge(e);
+                let mut send = view.possession[arc.src.index()]
+                    .difference(&view.possession[arc.dst.index()]);
+                send.truncate(arc.capacity as usize);
+                if !send.is_empty() {
+                    out.push((e, send));
+                }
+            }
+            out
+        }
+    }
+
+    /// Never sends anything.
+    struct Lazy;
+
+    impl Strategy for Lazy {
+        fn name(&self) -> &'static str {
+            "lazy"
+        }
+        fn tier(&self) -> KnowledgeTier {
+            KnowledgeTier::LocalOnly
+        }
+        fn reset(&mut self, _: &Instance) {}
+        fn plan_step(
+            &mut self,
+            _view: &WorldView<'_>,
+            _rng: &mut dyn RngCore,
+        ) -> Vec<(EdgeId, TokenSet)> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn flood_succeeds_and_schedule_validates() {
+        let instance = single_file(classic::cycle(5, 3, true), 6, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = simulate(&instance, &mut Flood, &SimConfig::default(), &mut rng);
+        assert!(report.success);
+        assert_eq!(report.steps, report.schedule.makespan());
+        assert_eq!(report.bandwidth, report.schedule.bandwidth());
+        let replay = validate::replay(&instance, &report.schedule).unwrap();
+        assert!(replay.is_successful());
+        // Trace is monotone in remaining need and ends at zero.
+        for w in report.trace.windows(2) {
+            assert!(w[1].remaining_need <= w[0].remaining_need);
+        }
+        assert_eq!(report.trace.last().unwrap().remaining_need, 0);
+    }
+
+    #[test]
+    fn completion_steps_recorded() {
+        let instance = single_file(classic::path(3, 5, true), 2, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = simulate(&instance, &mut Flood, &SimConfig::default(), &mut rng);
+        assert_eq!(report.completion_steps[0], Some(0), "source starts satisfied");
+        assert_eq!(report.completion_steps[1], Some(1));
+        assert_eq!(report.completion_steps[2], Some(2));
+        assert_eq!(report.mean_completion(), Some(1.5));
+    }
+
+    #[test]
+    fn stalled_strategy_aborts_without_panic() {
+        let instance = single_file(classic::path(3, 1, true), 2, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = simulate(&instance, &mut Lazy, &SimConfig::default(), &mut rng);
+        assert!(!report.success);
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.completion_steps[1], None);
+        assert_eq!(report.mean_completion(), None);
+    }
+
+    #[test]
+    fn trivially_satisfied_instance_takes_zero_steps() {
+        let g = classic::path(2, 1, true);
+        let instance = ocd_core::Instance::builder(g, 1)
+            .have(0, [ocd_core::Token::new(0)])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = simulate(&instance, &mut Flood, &SimConfig::default(), &mut rng);
+        assert!(report.success);
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.bandwidth, 0);
+    }
+
+    #[test]
+    fn max_steps_caps_runaway() {
+        let instance = single_file(classic::path(4, 1, true), 8, 0);
+        let config = SimConfig {
+            max_steps: 2,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = simulate(&instance, &mut Flood, &config, &mut rng);
+        assert!(!report.success);
+        assert_eq!(report.steps, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overfilled")]
+    fn capacity_violation_panics() {
+        struct Overfill;
+        impl Strategy for Overfill {
+            fn name(&self) -> &'static str {
+                "overfill"
+            }
+            fn tier(&self) -> KnowledgeTier {
+                KnowledgeTier::Global
+            }
+            fn reset(&mut self, _: &Instance) {}
+            fn plan_step(
+                &mut self,
+                view: &WorldView<'_>,
+                _rng: &mut dyn RngCore,
+            ) -> Vec<(EdgeId, TokenSet)> {
+                // Send everything the source has, ignoring capacity 1.
+                vec![(EdgeId::new(0), view.possession[0].clone())]
+            }
+        }
+        let instance = single_file(classic::path(2, 1, false), 5, 0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = simulate(&instance, &mut Overfill, &SimConfig::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpossessed")]
+    fn possession_violation_panics() {
+        struct Fabricate;
+        impl Strategy for Fabricate {
+            fn name(&self) -> &'static str {
+                "fabricate"
+            }
+            fn tier(&self) -> KnowledgeTier {
+                KnowledgeTier::Global
+            }
+            fn reset(&mut self, _: &Instance) {}
+            fn plan_step(
+                &mut self,
+                view: &WorldView<'_>,
+                _rng: &mut dyn RngCore,
+            ) -> Vec<(EdgeId, TokenSet)> {
+                // Edge 1 goes 1 -> 2 but vertex 1 has nothing yet.
+                vec![(
+                    EdgeId::new(1),
+                    TokenSet::from_tokens(view.instance.num_tokens(), [ocd_core::Token::new(0)]),
+                )]
+            }
+        }
+        let instance = single_file(classic::path(3, 1, false), 1, 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = simulate(&instance, &mut Fabricate, &SimConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,176 @@
+//! Enumeration of the built-in strategies, for experiment drivers and
+//! the CLI.
+
+use crate::{
+    BandwidthCautious, GatherThenPlan, GlobalGreedy, LocalRarest, RandomUseful, RoundRobin,
+    Strategy,
+};
+use std::fmt;
+use std::str::FromStr;
+
+/// The built-in strategies by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StrategyKind {
+    /// [`RoundRobin`]
+    RoundRobin,
+    /// [`RandomUseful`]
+    Random,
+    /// [`LocalRarest`]
+    Local,
+    /// [`BandwidthCautious`]
+    Bandwidth,
+    /// [`GlobalGreedy`]
+    Global,
+    /// [`GatherThenPlan`] wrapping [`GlobalGreedy`]
+    GatherThenPlan,
+}
+
+impl StrategyKind {
+    /// The paper's five evaluated heuristics, in the order its figures
+    /// list them.
+    #[must_use]
+    pub fn paper_five() -> [StrategyKind; 5] {
+        [
+            StrategyKind::RoundRobin,
+            StrategyKind::Random,
+            StrategyKind::Local,
+            StrategyKind::Bandwidth,
+            StrategyKind::Global,
+        ]
+    }
+
+    /// Every built-in strategy.
+    #[must_use]
+    pub fn all() -> [StrategyKind; 6] {
+        [
+            StrategyKind::RoundRobin,
+            StrategyKind::Random,
+            StrategyKind::Local,
+            StrategyKind::Bandwidth,
+            StrategyKind::Global,
+            StrategyKind::GatherThenPlan,
+        ]
+    }
+
+    /// Instantiates the strategy.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::RoundRobin => Box::new(RoundRobin::new()),
+            StrategyKind::Random => Box::new(RandomUseful::new()),
+            StrategyKind::Local => Box::new(LocalRarest::new()),
+            StrategyKind::Bandwidth => Box::new(BandwidthCautious::new()),
+            StrategyKind::Global => Box::new(GlobalGreedy::new()),
+            StrategyKind::GatherThenPlan => Box::new(GatherThenPlan::new()),
+        }
+    }
+
+    /// The display/CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::RoundRobin => "round-robin",
+            StrategyKind::Random => "random",
+            StrategyKind::Local => "local",
+            StrategyKind::Bandwidth => "bandwidth",
+            StrategyKind::Global => "global",
+            StrategyKind::GatherThenPlan => "gather-then-plan",
+        }
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for unknown strategy names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownStrategy(String);
+
+impl fmt::Display for UnknownStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown strategy `{}` (expected one of: round-robin, random, local, bandwidth, global, gather-then-plan)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownStrategy {}
+
+impl FromStr for StrategyKind {
+    type Err = UnknownStrategy;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "round-robin" | "roundrobin" | "rr" => Ok(StrategyKind::RoundRobin),
+            "random" => Ok(StrategyKind::Random),
+            "local" | "rarest" => Ok(StrategyKind::Local),
+            "bandwidth" | "bw" => Ok(StrategyKind::Bandwidth),
+            "global" => Ok(StrategyKind::Global),
+            "gather-then-plan" | "gather" => Ok(StrategyKind::GatherThenPlan),
+            other => Err(UnknownStrategy(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, SimConfig};
+    use ocd_core::scenario::single_file;
+    use ocd_core::validate;
+    use ocd_graph::generate::classic;
+    use rand::prelude::*;
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for kind in StrategyKind::all() {
+            assert_eq!(kind.name().parse::<StrategyKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!("rr".parse::<StrategyKind>().unwrap(), StrategyKind::RoundRobin);
+        assert_eq!("bw".parse::<StrategyKind>().unwrap(), StrategyKind::Bandwidth);
+        assert_eq!("rarest".parse::<StrategyKind>().unwrap(), StrategyKind::Local);
+    }
+
+    #[test]
+    fn unknown_name_errors_with_hint() {
+        let err = "bogus".parse::<StrategyKind>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+        assert!(err.to_string().contains("round-robin"));
+    }
+
+    #[test]
+    fn every_builtin_completes_a_small_single_file_run() {
+        let instance = single_file(classic::cycle(7, 3, true), 9, 0);
+        for kind in StrategyKind::all() {
+            let mut strategy = kind.build();
+            let mut rng = StdRng::seed_from_u64(42);
+            let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut rng);
+            assert!(report.success, "{kind} failed");
+            let replay = validate::replay(&instance, &report.schedule)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(replay.is_successful(), "{kind} schedule not successful");
+            assert!(
+                report.bandwidth >= instance.total_deficiency(),
+                "{kind} beat the bandwidth lower bound"
+            );
+        }
+    }
+
+    #[test]
+    fn builders_report_consistent_names() {
+        for kind in StrategyKind::all() {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Physically-constrained simulation (paper §6, "realistic
+//! topologies").
+//!
+//! Overlay links that share a physical link do not have independent
+//! capacities. [`simulate_underlay`] runs a strategy exactly like the
+//! ordinary engine, but passes every proposed timestep through
+//! *physical admission control*: each physical arc has its capacity as
+//! a per-step budget, and a token is admitted on an overlay arc only if
+//! every physical arc on that overlay arc's path still has budget.
+//! Admission is round-robin across overlay arcs (one token per arc per
+//! round) so no overlay link starves.
+//!
+//! The interesting output is the *inflation* of completion time over
+//! the pure-overlay model — how optimistic the independence assumption
+//! was (see the `table_underlay` experiment).
+
+use crate::engine::{SimConfig, SimReport, StepRecord};
+use crate::{Strategy, WorldView};
+use ocd_core::knowledge::{AggregateKnowledge, DelayedAggregates};
+use ocd_core::{Instance, Schedule, Timestep, Token, TokenSet};
+use ocd_graph::underlay::OverlayMapping;
+use ocd_graph::{DiGraph, EdgeId};
+use rand::RngCore;
+
+/// Result of a physically-constrained run.
+#[derive(Debug, Clone)]
+pub struct UnderlayReport {
+    /// The usual metrics; the schedule holds the *admitted* sends.
+    pub report: SimReport,
+    /// Tokens proposed by the strategy but rejected by admission
+    /// control, per step.
+    pub rejected_per_step: Vec<u64>,
+}
+
+impl UnderlayReport {
+    /// Total rejected (overlay-proposed, physically inadmissible) moves.
+    #[must_use]
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected_per_step.iter().sum()
+    }
+}
+
+/// Clips one proposed timestep to physical feasibility. Returns the
+/// admitted sends and the number of rejected token-moves.
+///
+/// Round-robin admission: overlay arcs take turns admitting one token
+/// each (ascending token order within an arc) until neither budget nor
+/// pending tokens remain.
+pub fn admit_physical(
+    physical: &DiGraph,
+    mapping: &OverlayMapping,
+    proposed: &[(EdgeId, TokenSet)],
+) -> (Vec<(EdgeId, TokenSet)>, u64) {
+    let mut budget: Vec<u32> = physical.edge_ids().map(|e| physical.capacity(e)).collect();
+    let mut pending: Vec<(EdgeId, Vec<Token>, usize)> = proposed
+        .iter()
+        .map(|(e, tokens)| (*e, tokens.iter().collect::<Vec<Token>>(), 0usize))
+        .collect();
+    let mut admitted: Vec<(EdgeId, Vec<Token>)> =
+        proposed.iter().map(|(e, _)| (*e, Vec::new())).collect();
+    let mut rejected = 0u64;
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for (slot, (e, tokens, cursor)) in pending.iter_mut().enumerate() {
+            if *cursor >= tokens.len() {
+                continue;
+            }
+            let path = &mapping.paths[e.index()];
+            let feasible = path.iter().all(|pe| budget[pe.index()] > 0);
+            if feasible {
+                for pe in path {
+                    budget[pe.index()] -= 1;
+                }
+                admitted[slot].1.push(tokens[*cursor]);
+                *cursor += 1;
+                progress = true;
+            } else {
+                // Physical path saturated: everything left on this arc
+                // is rejected this step.
+                rejected += (tokens.len() - *cursor) as u64;
+                *cursor = tokens.len();
+            }
+        }
+    }
+    let universe = proposed
+        .first()
+        .map(|(_, t)| t.universe())
+        .unwrap_or(0);
+    let admitted = admitted
+        .into_iter()
+        .filter(|(_, tokens)| !tokens.is_empty())
+        .map(|(e, tokens)| (e, TokenSet::from_tokens(universe, tokens)))
+        .collect();
+    (admitted, rejected)
+}
+
+/// Runs `strategy` with physical admission control. The strategy plans
+/// against the overlay's own (naive) capacities; admission then clips
+/// to physical feasibility, so the recorded schedule is valid for the
+/// overlay instance *and* physically realizable.
+///
+/// # Panics
+///
+/// Panics on strategy contract violations (as [`crate::simulate`]) or a
+/// mapping whose path list does not cover the overlay's arcs.
+pub fn simulate_underlay(
+    instance: &Instance,
+    strategy: &mut dyn Strategy,
+    physical: &DiGraph,
+    mapping: &OverlayMapping,
+    config: &SimConfig,
+    rng: &mut dyn RngCore,
+) -> UnderlayReport {
+    let g = instance.graph();
+    assert_eq!(
+        mapping.paths.len(),
+        g.edge_count(),
+        "mapping does not cover the overlay's arcs"
+    );
+    let n = g.node_count();
+    let m = instance.num_tokens();
+    strategy.reset(instance);
+
+    let mut possession: Vec<TokenSet> = instance.have_all().to_vec();
+    let mut schedule = Schedule::new();
+    let mut trace = Vec::new();
+    let mut rejected_per_step = Vec::new();
+    let mut completion_steps: Vec<Option<usize>> = (0..n)
+        .map(|v| {
+            let v = g.node(v);
+            instance.want(v).is_subset(instance.have(v)).then_some(0)
+        })
+        .collect();
+    let initial = AggregateKnowledge::compute(m, &possession, instance.want_all());
+    let mut delayed = DelayedAggregates::new(config.knowledge_delay, initial);
+
+    let mut step = 0usize;
+    let mut success = possession
+        .iter()
+        .zip(instance.want_all())
+        .all(|(p, w)| w.is_subset(p));
+    while !success && step < config.max_steps {
+        let fresh = AggregateKnowledge::compute(m, &possession, instance.want_all());
+        let visible = delayed.advance(fresh).clone();
+        let proposed = {
+            let view = WorldView {
+                instance,
+                possession: &possession,
+                aggregates: &visible,
+                step,
+                capacities: None,
+            };
+            strategy.plan_step(&view, rng)
+        };
+        // The usual overlay-level contract checks.
+        for (edge, tokens) in &proposed {
+            let arc = g.edge(*edge);
+            assert!(
+                tokens.len() <= arc.capacity as usize,
+                "strategy {} overfilled overlay arc {edge}",
+                strategy.name()
+            );
+            assert!(
+                tokens.is_subset(&possession[arc.src.index()]),
+                "strategy {} sent unpossessed tokens on {edge}",
+                strategy.name()
+            );
+        }
+        let (admitted, rejected) = admit_physical(physical, mapping, &proposed);
+        let timestep = Timestep::from_sends(admitted);
+        let moves = timestep.bandwidth();
+        if moves == 0 && rejected == 0 && !strategy.may_idle(step) {
+            break; // true stall: nothing proposed
+        }
+        for (edge, tokens) in timestep.sends() {
+            possession[g.edge(edge).dst.index()].union_with(tokens);
+        }
+        schedule.push_timestep(timestep);
+        rejected_per_step.push(rejected);
+        step += 1;
+        for v in g.nodes() {
+            if completion_steps[v.index()].is_none()
+                && instance.want(v).is_subset(&possession[v.index()])
+            {
+                completion_steps[v.index()] = Some(step);
+            }
+        }
+        let remaining: u64 = instance
+            .want_all()
+            .iter()
+            .zip(&possession)
+            .map(|(w, p)| w.difference_len(p) as u64)
+            .sum();
+        trace.push(StepRecord {
+            step: step - 1,
+            moves,
+            remaining_need: remaining,
+        });
+        success = remaining == 0;
+    }
+
+    UnderlayReport {
+        report: SimReport {
+            steps: schedule.makespan(),
+            bandwidth: schedule.bandwidth(),
+            schedule,
+            success,
+            completion_steps,
+            trace,
+        },
+        rejected_per_step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, StrategyKind};
+    use ocd_core::scenario::single_file;
+    use ocd_core::validate;
+    use ocd_graph::generate::classic;
+    use ocd_graph::underlay::Underlay;
+    use ocd_graph::NodeId;
+    use rand::prelude::*;
+
+    /// Physical star: hub router 0, hosts 1..=4 with symmetric cap 2.
+    /// Overlay: complete graph on the 4 hosts, each overlay link
+    /// believing it has capacity 2.
+    fn star_setup() -> (Instance, DiGraph, OverlayMapping) {
+        let physical = classic::star(5, 2, true);
+        let hosts: Vec<NodeId> = (1..5).map(|i| physical.node(i)).collect();
+        let overlay = classic::complete(4, 2);
+        let underlay = Underlay::new(physical.clone(), hosts).unwrap();
+        let mapping = underlay.map_overlay(&overlay).unwrap();
+        let instance = single_file(overlay, 6, 0);
+        (instance, physical, mapping)
+    }
+
+    #[test]
+    fn admission_respects_physical_budgets() {
+        let (instance, physical, mapping) = star_setup();
+        let g = instance.graph();
+        // Host 0 proposes 2 tokens to every other host: 6 proposed
+        // moves, but its physical access link (cap 2) admits only 2.
+        let full = TokenSet::from_tokens(6, [Token::new(0), Token::new(1)]);
+        let proposed: Vec<(EdgeId, TokenSet)> = g
+            .out_edges(g.node(0))
+            .map(|e| (e, full.clone()))
+            .collect();
+        let (admitted, rejected) = admit_physical(&physical, &mapping, &proposed);
+        let admitted_moves: u64 = admitted.iter().map(|(_, t)| t.len() as u64).sum();
+        assert_eq!(admitted_moves, 2, "access link capacity 2 caps the fan-out");
+        assert_eq!(rejected, 4);
+    }
+
+    #[test]
+    fn round_robin_admission_is_fair() {
+        let (instance, physical, mapping) = star_setup();
+        let g = instance.graph();
+        let full = TokenSet::from_tokens(6, [Token::new(0), Token::new(1)]);
+        let proposed: Vec<(EdgeId, TokenSet)> = g
+            .out_edges(g.node(0))
+            .map(|e| (e, full.clone()))
+            .collect();
+        let (admitted, _) = admit_physical(&physical, &mapping, &proposed);
+        // The 2 admitted tokens go to 2 *different* overlay arcs.
+        assert_eq!(admitted.len(), 2);
+        assert!(admitted.iter().all(|(_, t)| t.len() == 1));
+    }
+
+    #[test]
+    fn physical_constraints_inflate_completion_time() {
+        let (instance, physical, mapping) = star_setup();
+        let run_overlay = || {
+            let mut s = StrategyKind::Global.build();
+            let mut rng = StdRng::seed_from_u64(3);
+            simulate(&instance, s.as_mut(), &SimConfig::default(), &mut rng)
+        };
+        let run_physical = || {
+            let mut s = StrategyKind::Global.build();
+            let mut rng = StdRng::seed_from_u64(3);
+            simulate_underlay(
+                &instance,
+                s.as_mut(),
+                &physical,
+                &mapping,
+                &SimConfig::default(),
+                &mut rng,
+            )
+        };
+        let pure = run_overlay();
+        let constrained = run_physical();
+        assert!(pure.success && constrained.report.success);
+        assert!(
+            constrained.report.steps > pure.steps,
+            "sharing the hub must slow things down ({} vs {})",
+            constrained.report.steps,
+            pure.steps
+        );
+        assert!(constrained.total_rejected() > 0);
+        // The admitted schedule is still a valid overlay schedule.
+        let replay = validate::replay(&instance, &constrained.report.schedule).unwrap();
+        assert!(replay.is_successful());
+    }
+
+    #[test]
+    fn generous_physical_network_changes_nothing() {
+        // Physical = overlay (each overlay arc rides its own dedicated
+        // physical arc): admission is a no-op.
+        let overlay = classic::cycle(5, 2, true);
+        let hosts: Vec<NodeId> = overlay.nodes().collect();
+        let underlay = Underlay::new(overlay.clone(), hosts).unwrap();
+        let mapping = underlay.map_overlay(&overlay).unwrap();
+        let instance = single_file(overlay.clone(), 4, 0);
+        let mut s1 = StrategyKind::Local.build();
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let pure = simulate(&instance, s1.as_mut(), &SimConfig::default(), &mut rng1);
+        let mut s2 = StrategyKind::Local.build();
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let constrained = simulate_underlay(
+            &instance,
+            s2.as_mut(),
+            &overlay,
+            &mapping,
+            &SimConfig::default(),
+            &mut rng2,
+        );
+        assert_eq!(pure.schedule, constrained.report.schedule);
+        assert_eq!(constrained.total_rejected(), 0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Branch and bound for mixed-integer programs.
+//!
+//! Nodes carry tightened variable bounds; each node solves its LP
+//! relaxation with the dense simplex and either prunes (infeasible or
+//! dominated by the incumbent), accepts (integral), or branches on the
+//! most fractional integer variable. Nodes are explored best-first by LP
+//! bound so the incumbent converges quickly and pruning is maximal.
+
+use crate::model::{LpError, LpSolution, Problem, Sense, VarId, VarKind};
+use crate::simplex::solve_lp_with_bounds;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Tuning knobs for [`Problem::solve_mip`].
+#[derive(Debug, Clone)]
+pub struct MipOptions {
+    /// Abort with [`LpError::NodeLimit`] after this many branch-and-bound
+    /// nodes.
+    pub node_limit: usize,
+    /// A solution within this of the best bound counts as optimal.
+    pub absolute_gap: f64,
+    /// Values within this of an integer count as integral.
+    pub integrality_tol: f64,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        MipOptions {
+            node_limit: 200_000,
+            absolute_gap: 1e-6,
+            integrality_tol: 1e-6,
+        }
+    }
+}
+
+/// An optimal (within tolerances) solution to a mixed-integer program.
+#[derive(Debug, Clone)]
+pub struct MipSolution {
+    /// Objective value in the problem's own sense.
+    pub objective: f64,
+    /// Value per variable; integer variables are exactly rounded.
+    pub values: Vec<f64>,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+}
+
+impl MipSolution {
+    /// Value of `var` in this solution.
+    #[must_use]
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Value of `var` rounded to the nearest integer (convenient for
+    /// binary indicator variables).
+    #[must_use]
+    pub fn value_int(&self, var: VarId) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+}
+
+struct Node {
+    /// LP bound of the parent (optimistic estimate for this node).
+    bound: f64,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    depth: usize,
+}
+
+/// Max-heap ordered so the node with the *best* bound pops first
+/// (smallest bound for minimization — the caller normalizes to
+/// minimization before pushing). Ties break deepest-first so the search
+/// dives toward incumbents.
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.depth == other.depth
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap pops the maximum; we want the minimum bound, so
+        // reverse. NaNs cannot occur (bounds come from finite LP optima).
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(self.depth.cmp(&other.depth))
+    }
+}
+
+pub(crate) fn solve_mip(problem: &Problem, options: &MipOptions) -> Result<MipSolution, LpError> {
+    // Normalize to minimization internally: for maximization we compare
+    // on `sign * objective`.
+    let sign = match problem.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let integer_vars: Vec<usize> = problem
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Integer)
+        .map(|(j, _)| j)
+        .collect();
+
+    let root_lower: Vec<f64> = problem.vars.iter().map(|v| v.lower).collect();
+    let root_upper: Vec<f64> = problem.vars.iter().map(|v| v.upper).collect();
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        bound: f64::NEG_INFINITY,
+        lower: root_lower,
+        upper: root_upper,
+        depth: 0,
+    });
+
+    let mut incumbent: Option<LpSolution> = None;
+    let mut incumbent_cost = f64::INFINITY; // sign-normalized
+    let mut nodes_explored = 0usize;
+
+    while let Some(node) = heap.pop() {
+        if node.bound > incumbent_cost - options.absolute_gap {
+            // Best remaining node cannot improve: proven optimal.
+            break;
+        }
+        nodes_explored += 1;
+        if nodes_explored > options.node_limit {
+            return Err(LpError::NodeLimit);
+        }
+        let relaxed = match solve_lp_with_bounds(problem, &node.lower, &node.upper) {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => continue,
+            Err(LpError::Unbounded) if node.depth == 0 && !integer_vars.is_empty() => {
+                // An unbounded relaxation of an integer problem is still
+                // unbounded or infeasible; report unbounded like the LP.
+                return Err(LpError::Unbounded);
+            }
+            Err(e) => return Err(e),
+        };
+        let cost = sign * relaxed.objective;
+        if cost > incumbent_cost - options.absolute_gap {
+            continue; // dominated
+        }
+        // Find the most fractional integer variable.
+        let mut branch_var = None;
+        let mut best_frac = options.integrality_tol;
+        for &j in &integer_vars {
+            let v = relaxed.values[j];
+            let frac = (v - v.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some(j);
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral: new incumbent.
+                incumbent_cost = cost;
+                incumbent = Some(relaxed);
+            }
+            Some(j) => {
+                let v = relaxed.values[j];
+                let floor = v.floor();
+                let mut down = Node {
+                    bound: cost,
+                    lower: node.lower.clone(),
+                    upper: node.upper.clone(),
+                    depth: node.depth + 1,
+                };
+                down.upper[j] = floor;
+                let mut up = Node {
+                    bound: cost,
+                    lower: node.lower,
+                    upper: node.upper,
+                    depth: node.depth + 1,
+                };
+                up.lower[j] = floor + 1.0;
+                heap.push(down);
+                heap.push(up);
+            }
+        }
+    }
+
+    match incumbent {
+        Some(sol) => {
+            let mut values = sol.values;
+            for &j in &integer_vars {
+                values[j] = values[j].round();
+            }
+            // Recompute the objective from the rounded values.
+            let objective = problem
+                .vars
+                .iter()
+                .zip(&values)
+                .map(|(v, x)| v.objective * x)
+                .sum();
+            Ok(MipSolution {
+                objective,
+                values,
+                nodes_explored,
+            })
+        }
+        None => Err(LpError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::{Problem, Relation, Sense};
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", 0.0, 3.5, 1.0);
+        let s = p.solve_mip(&MipOptions::default()).unwrap();
+        assert!((s.value(x) - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_optimum() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c ≤ 6 → {a, c} = 17 vs {b, c} = 20.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_binary("a", 10.0);
+        let b = p.add_binary("b", 13.0);
+        let c = p.add_binary("c", 7.0);
+        p.add_constraint([(a, 3.0), (b, 4.0), (c, 2.0)], Relation::Le, 6.0);
+        let s = p.solve_mip(&MipOptions::default()).unwrap();
+        assert_eq!(s.objective.round() as i64, 20);
+        assert_eq!(s.value_int(b), 1);
+        assert_eq!(s.value_int(c), 1);
+        assert_eq!(s.value_int(a), 0);
+    }
+
+    #[test]
+    fn integrality_changes_the_answer() {
+        // max x, 2x ≤ 5 → LP: 2.5, IP: 2.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", VarKind::Integer, 0.0, 10.0, 1.0);
+        p.add_constraint([(x, 2.0)], Relation::Le, 5.0);
+        assert!((p.solve_lp().unwrap().objective - 2.5).abs() < 1e-6);
+        let s = p.solve_mip(&MipOptions::default()).unwrap();
+        assert_eq!(s.objective.round() as i64, 2);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 ≤ x ≤ 0.6 with x integer: LP feasible, IP infeasible.
+        let mut p = Problem::new(Sense::Minimize);
+        let _x = p.add_var("x", VarKind::Integer, 0.4, 0.6, 1.0);
+        assert!(p.solve_lp().is_ok());
+        assert_eq!(
+            p.solve_mip(&MipOptions::default()).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn set_cover_exact() {
+        // Universe {1..4}; sets A={1,2}, B={2,3}, C={3,4}, D={1,4},
+        // E={1,2,3} with unit costs. Optimal cover size 2 (E+C or A+C or D+B...).
+        let mut p = Problem::new(Sense::Minimize);
+        let sets = [
+            vec![0usize, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![0, 3],
+            vec![0, 1, 2],
+        ];
+        let vars: Vec<_> = (0..sets.len())
+            .map(|i| p.add_binary(format!("s{i}"), 1.0))
+            .collect();
+        for elem in 0..4 {
+            let covering: Vec<_> = sets
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.contains(&elem))
+                .map(|(i, _)| (vars[i], 1.0))
+                .collect();
+            p.add_constraint(covering, Relation::Ge, 1.0);
+        }
+        let s = p.solve_mip(&MipOptions::default()).unwrap();
+        assert_eq!(s.objective.round() as i64, 2);
+    }
+
+    #[test]
+    fn assignment_problem_is_naturally_integral() {
+        // 3×3 assignment: costs such that the diagonal is optimal.
+        let costs = [[1.0, 5.0, 9.0], [5.0, 2.0, 7.0], [9.0, 7.0, 3.0]];
+        let mut p = Problem::new(Sense::Minimize);
+        let mut x = Vec::new();
+        for (i, row) in costs.iter().enumerate() {
+            let mut r = Vec::new();
+            for (j, &c) in row.iter().enumerate() {
+                r.push(p.add_binary(format!("x{i}{j}"), c));
+            }
+            x.push(r);
+        }
+        for i in 0..3 {
+            p.add_constraint((0..3).map(|j| (x[i][j], 1.0)), Relation::Eq, 1.0);
+            p.add_constraint((0..3).map(|j| (x[j][i], 1.0)), Relation::Eq, 1.0);
+        }
+        let s = p.solve_mip(&MipOptions::default()).unwrap();
+        assert_eq!(s.objective.round() as i64, 6);
+        for i in 0..3 {
+            assert_eq!(s.value_int(x[i][i]), 1);
+        }
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        // A small hard-ish instance with a tiny node budget.
+        let mut p = Problem::new(Sense::Maximize);
+        let weights = [91.0, 72.0, 90.0, 46.0, 55.0, 8.0, 35.0, 75.0, 61.0, 15.0];
+        let vars: Vec<_> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| p.add_binary(format!("x{i}"), w + 0.5))
+            .collect();
+        p.add_constraint(
+            vars.iter().copied().zip(weights.iter().copied()),
+            Relation::Le,
+            271.0,
+        );
+        let tight = MipOptions {
+            node_limit: 1,
+            ..Default::default()
+        };
+        assert_eq!(p.solve_mip(&tight).unwrap_err(), LpError::NodeLimit);
+        assert!(p.solve_mip(&MipOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn general_integers_beyond_binary() {
+        // max 7x + 2y, 3x + y ≤ 10, x,y ∈ ℤ, 0 ≤ x,y ≤ 10.
+        // LP: x = 10/3 → IP: x=3,y=1 → 23; or x=2,y=4 → 22. Optimal 23.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", VarKind::Integer, 0.0, 10.0, 7.0);
+        let y = p.add_var("y", VarKind::Integer, 0.0, 10.0, 2.0);
+        p.add_constraint([(x, 3.0), (y, 1.0)], Relation::Le, 10.0);
+        let s = p.solve_mip(&MipOptions::default()).unwrap();
+        assert_eq!(s.objective.round() as i64, 23);
+        assert_eq!(s.value_int(x), 3);
+        assert_eq!(s.value_int(y), 1);
+    }
+
+    #[test]
+    fn random_binary_ips_match_bruteforce() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..40 {
+            let nv = rng.random_range(2..7usize);
+            let nc = rng.random_range(1..4usize);
+            let mut p = Problem::new(Sense::Maximize);
+            let obj: Vec<f64> = (0..nv).map(|_| rng.random_range(-5.0..9.0)).collect();
+            let vars: Vec<_> = obj
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| p.add_binary(format!("x{i}"), c))
+                .collect();
+            let mut cons = Vec::new();
+            for _ in 0..nc {
+                let coeffs: Vec<f64> =
+                    (0..nv).map(|_| rng.random_range(-3.0_f64..4.0).round()).collect();
+                let rhs = rng.random_range(0.0_f64..6.0).round();
+                p.add_constraint(
+                    vars.iter().copied().zip(coeffs.iter().copied()),
+                    Relation::Le,
+                    rhs,
+                );
+                cons.push((coeffs, rhs));
+            }
+            // Brute force over all 2^nv assignments.
+            let mut best: Option<f64> = None;
+            for mask in 0u32..(1 << nv) {
+                let point: Vec<f64> = (0..nv)
+                    .map(|j| if mask & (1 << j) != 0 { 1.0 } else { 0.0 })
+                    .collect();
+                let ok = cons.iter().all(|(coeffs, rhs)| {
+                    coeffs.iter().zip(&point).map(|(c, v)| c * v).sum::<f64>() <= rhs + 1e-9
+                });
+                if ok {
+                    let val: f64 = obj.iter().zip(&point).map(|(c, v)| c * v).sum();
+                    best = Some(best.map_or(val, |b: f64| b.max(val)));
+                }
+            }
+            let got = p.solve_mip(&MipOptions::default());
+            match best {
+                Some(b) => {
+                    let s = got.unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+                    assert!(
+                        (s.objective - b).abs() < 1e-5,
+                        "trial {trial}: got {}, brute force {b}",
+                        s.objective
+                    );
+                }
+                None => assert_eq!(got.unwrap_err(), LpError::Infeasible, "trial {trial}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! A self-contained linear-programming and mixed-integer-programming
+//! solver.
+//!
+//! The OCD paper's §3.4 formulates EOCD as a time-indexed 0/1 integer
+//! program. No ILP solver bindings are available in this environment, so
+//! this crate implements the required machinery from scratch:
+//!
+//! - [`Problem`]: a model-building API (variables with bounds and kinds,
+//!   linear constraints, min/max objective).
+//! - A dense **two-phase primal simplex** for the LP relaxation
+//!   (Dantzig's rule with a Bland's-rule fallback for anti-cycling).
+//! - **Branch and bound** for integer variables (best-first on the LP
+//!   bound, most-fractional branching).
+//!
+//! The solver targets the *small* instances the paper solves exactly
+//! ("we calculate optimal solutions for small graphs"); it is exact and
+//! deterministic, not industrial-strength. Its optimality is
+//! cross-checked against exhaustive enumeration in the test suite.
+//!
+//! # Examples
+//!
+//! A 0/1 knapsack: maximize `3x + 4y + 5z` subject to
+//! `2x + 3y + 4z ≤ 5`. The optimum picks `x` and `y` for value 7.
+//!
+//! ```
+//! use ocd_lp::{Problem, Relation, Sense};
+//!
+//! let mut p = Problem::new(Sense::Maximize);
+//! let x = p.add_binary("x", 3.0);
+//! let y = p.add_binary("y", 4.0);
+//! let z = p.add_binary("z", 5.0);
+//! p.add_constraint([(x, 2.0), (y, 3.0), (z, 4.0)], Relation::Le, 5.0);
+//! let sol = p.solve_mip(&Default::default()).unwrap();
+//! assert_eq!(sol.objective.round() as i64, 7);
+//! assert_eq!(sol.value(x).round() as i64, 1);
+//! assert_eq!(sol.value(z).round() as i64, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod branch;
+mod model;
+mod simplex;
+
+pub use branch::{MipOptions, MipSolution};
+pub use model::{LpError, LpSolution, Problem, Relation, Sense, VarId, VarKind};

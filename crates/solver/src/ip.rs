@@ -1,0 +1,542 @@
+//! The §3.4 time-indexed integer program.
+//!
+//! The paper extends the graph with a self-arc at every vertex (`E' = E ∪
+//! {(v,v)}`) and creates a binary variable `x^i_{(u,v),t}` for each arc,
+//! token and timestep. Self-arc variables model storage: `x^i_{(v,v),t} =
+//! 1` means `v` holds `t` at time `i`. Constraints:
+//!
+//! - **initial**: `x^0_{(v,v),t}` fixed to `h(v)`;
+//! - **possession**: a token may ride arc `(u,v)` (or persist on a
+//!   self-arc) at step `i` only if `u` held or received it by step
+//!   `i - 1`: `x^i_{(u,v),t} ≤ Σ_{(w,u) ∈ E'} x^{i-1}_{(w,u),t}`;
+//! - **capacity**: `Σ_t x^i_{(u,v),t} ≤ c(u,v)` for real arcs (self-arcs
+//!   have infinite capacity — "storage is not hard to model … simply add
+//!   self-edges of infinite capacity", §2 fn. 1);
+//! - **want**: `x^τ_{(v,v),t} ≥ 1` for `t ∈ w(v)`.
+//!
+//! The objective counts real-arc moves only, so the optimum is exactly
+//! EOCD restricted to schedules of at most `τ` steps. Sweeping `τ`
+//! traces the Figure 1 makespan/bandwidth trade-off.
+
+// Time-indexed variable tables read naturally with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use crate::SolveError;
+use ocd_core::{Instance, Schedule, Token, TokenSet};
+use ocd_lp::{LpError, MipOptions, Problem, Relation, Sense, VarId};
+
+/// Result of an IP solve.
+#[derive(Debug, Clone)]
+pub struct IpResult {
+    /// The decoded schedule (valid and successful for the instance).
+    pub schedule: Schedule,
+    /// Optimal bandwidth within the horizon (= `schedule.bandwidth()`).
+    pub bandwidth: u64,
+    /// Branch-and-bound nodes the MILP solver explored.
+    pub mip_nodes: usize,
+}
+
+/// The assembled §3.4 model: the MILP plus the move-variable table
+/// needed to decode a solution back into a schedule.
+struct IpModel {
+    problem: Problem,
+    /// `moves[i][edge][token]` for steps `i ∈ 1..=horizon`.
+    moves: Vec<Vec<Vec<VarId>>>,
+}
+
+/// Builds the time-indexed program for `instance` at `horizon`.
+/// Returns `None` when the horizon is 0 and some want is unmet (no
+/// model can help; the caller reports infeasibility).
+fn build_ip(instance: &Instance, horizon: usize) -> Option<IpModel> {
+    let g = instance.graph();
+    let n = g.node_count();
+    let m = instance.num_tokens();
+    let mut problem = Problem::new(Sense::Minimize);
+
+    // x_move[i][e][t]: token t rides real arc e during step i (1-based).
+    // x_hold[i][v][t]: vertex v holds token t at time i (0-based..=τ).
+    let mut hold: Vec<Vec<Vec<Option<VarId>>>> = Vec::with_capacity(horizon + 1);
+    // Time 0 is fixed by h(v): represent as None (constant), with the
+    // constant value tracked separately.
+    let hold0: Vec<Vec<bool>> = (0..n)
+        .map(|v| {
+            (0..m)
+                .map(|t| instance.have(g.node(v)).contains(Token::new(t)))
+                .collect()
+        })
+        .collect();
+    hold.push(vec![vec![None; m]; n]); // placeholders, constants below
+    for i in 1..=horizon {
+        let mut level = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut row = Vec::with_capacity(m);
+            for t in 0..m {
+                row.push(Some(problem.add_binary(format!("hold_{i}_{v}_{t}"), 0.0)));
+            }
+            level.push(row);
+        }
+        hold.push(level);
+    }
+    let mut moves: Vec<Vec<Vec<VarId>>> = Vec::with_capacity(horizon + 1);
+    moves.push(Vec::new()); // step 0 unused (moves are 1-based)
+    for i in 1..=horizon {
+        let mut per_edge = Vec::with_capacity(g.edge_count());
+        for e in g.edge_ids() {
+            let mut row = Vec::with_capacity(m);
+            for t in 0..m {
+                row.push(problem.add_binary(format!("move_{i}_{}_{t}", e.index()), 1.0));
+            }
+            per_edge.push(row);
+        }
+        moves.push(per_edge);
+    }
+
+    // Possession constraints.
+    for i in 1..=horizon {
+        for (ei, e) in g.edge_ids().enumerate() {
+            let arc = g.edge(e);
+            for t in 0..m {
+                // move_{i,e,t} ≤ hold_{i-1, src, t}
+                let mv = moves[i][ei][t];
+                add_le_hold(&mut problem, mv, i - 1, arc.src.index(), t, &hold, &hold0);
+            }
+        }
+        for v in 0..n {
+            for t in 0..m {
+                // hold_{i,v,t} ≤ hold_{i-1,v,t} + Σ_{(u,v)} move_{i,(u,v),t}
+                let lhs = hold[i][v][t].expect("levels ≥ 1 are variables");
+                let mut terms = vec![(lhs, 1.0)];
+                for e in g.in_edges(g.node(v)) {
+                    terms.push((moves[i][e.index()][t], -1.0));
+                }
+                let rhs_const = if i == 1 {
+                    if hold0[v][t] {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    terms.push((hold[i - 1][v][t].expect("variable level"), -1.0));
+                    0.0
+                };
+                problem.add_constraint(terms, Relation::Le, rhs_const);
+            }
+        }
+        // Capacity on real arcs.
+        for (ei, e) in g.edge_ids().enumerate() {
+            let cap = f64::from(g.capacity(e));
+            problem.add_constraint(
+                (0..m).map(|t| (moves[i][ei][t], 1.0)),
+                Relation::Le,
+                cap,
+            );
+        }
+    }
+    // Want satisfaction at time τ.
+    for v in 0..n {
+        for t in 0..m {
+            if instance.want(g.node(v)).contains(Token::new(t)) {
+                if horizon == 0 {
+                    if !hold0[v][t] {
+                        return None;
+                    }
+                } else {
+                    let var = hold[horizon][v][t].expect("variable level");
+                    problem.add_constraint([(var, 1.0)], Relation::Ge, 1.0);
+                }
+            }
+        }
+    }
+    Some(IpModel { problem, moves })
+}
+
+/// Minimum-bandwidth successful schedule using at most `horizon`
+/// timesteps, or `Ok(None)` if no successful schedule of that length
+/// exists.
+///
+/// # Errors
+///
+/// [`SolveError::Mip`] if the MILP solver hits a resource limit.
+pub fn min_bandwidth_for_horizon(
+    instance: &Instance,
+    horizon: usize,
+    options: &MipOptions,
+) -> Result<Option<IpResult>, SolveError> {
+    let g = instance.graph();
+    let m = instance.num_tokens();
+    let Some(IpModel { problem, moves }) = build_ip(instance, horizon) else {
+        return Ok(None);
+    };
+
+    match problem.solve_mip(options) {
+        Ok(sol) => {
+            let mut schedule = Schedule::new();
+            for i in 1..=horizon {
+                let mut sends = Vec::new();
+                for (ei, e) in g.edge_ids().enumerate() {
+                    let tokens: TokenSet = TokenSet::from_tokens(
+                        m,
+                        (0..m)
+                            .filter(|&t| sol.value_int(moves[i][ei][t]) == 1)
+                            .map(Token::new),
+                    );
+                    if !tokens.is_empty() {
+                        sends.push((e, tokens));
+                    }
+                }
+                schedule.push_step(sends);
+            }
+            let schedule = schedule.trimmed();
+            Ok(Some(IpResult {
+                bandwidth: schedule.bandwidth(),
+                schedule,
+                mip_nodes: sol.nodes_explored,
+            }))
+        }
+        Err(LpError::Infeasible) => Ok(None),
+        Err(e) => Err(SolveError::Mip(e.to_string())),
+    }
+}
+
+fn add_le_hold(
+    problem: &mut Problem,
+    var: VarId,
+    level: usize,
+    v: usize,
+    t: usize,
+    hold: &[Vec<Vec<Option<VarId>>>],
+    hold0: &[Vec<bool>],
+) {
+    if level == 0 {
+        // Constant: move ≤ 0 or move ≤ 1.
+        let bound = if hold0[v][t] { 1.0 } else { 0.0 };
+        if bound == 0.0 {
+            problem.add_constraint([(var, 1.0)], Relation::Le, 0.0);
+        }
+        // move ≤ 1 is implied by binariness.
+    } else {
+        let h = hold[level][v][t].expect("variable level");
+        problem.add_constraint([(var, 1.0), (h, -1.0)], Relation::Le, 0.0);
+    }
+}
+
+/// The paper's §3.4 *hybrid* goal ("search for a bandwidth-optimal
+/// solution subject to the constraint that the time be no more than
+/// some constant factor of the optimal time" — listed as ongoing work):
+/// solves FOCD exactly for the optimal makespan `τ*`, then minimizes
+/// bandwidth within the horizon `⌊α·τ*⌋`.
+///
+/// Returns `(τ*, result)` where the result's schedule has makespan
+/// ≤ `⌊α·τ*⌋` and minimum bandwidth among such schedules.
+///
+/// # Errors
+///
+/// Propagates the FOCD solver's errors and [`SolveError::Mip`]; the
+/// hybrid horizon is feasible by construction (it contains `τ*`).
+///
+/// # Panics
+///
+/// Panics if `alpha < 1.0` (the constraint would exclude the optimum).
+pub fn min_bandwidth_within_factor(
+    instance: &Instance,
+    alpha: f64,
+    bnb_options: &crate::bnb::BnbOptions,
+    mip_options: &MipOptions,
+) -> Result<(usize, IpResult), SolveError> {
+    assert!(alpha >= 1.0, "time factor α = {alpha} must be at least 1");
+    let exact = crate::bnb::solve_focd(instance, bnb_options)?;
+    let horizon = ((exact.makespan as f64) * alpha).floor() as usize;
+    let result = min_bandwidth_for_horizon(instance, horizon, mip_options)?
+        .expect("a horizon ≥ the exact optimum is feasible");
+    Ok((exact.makespan, result))
+}
+
+/// Bandwidth lower bound from the **LP relaxation** of the §3.4 IP at
+/// the given horizon: drop integrality and take the ceiling of the
+/// optimum. Strictly stronger than the deficiency count whenever relays
+/// are unavoidable, and much cheaper than the full MILP — the bound the
+/// paper wished for when it asked for "calculated upper/lower bounds …
+/// exact or approximated".
+///
+/// Returns `Ok(None)` if even the relaxation is infeasible at this
+/// horizon (which implies the IP is too).
+///
+/// # Errors
+///
+/// [`SolveError::Mip`] on simplex resource failures.
+pub fn bandwidth_lp_lower_bound(
+    instance: &Instance,
+    horizon: usize,
+) -> Result<Option<u64>, SolveError> {
+    let Some(model) = build_ip(instance, horizon) else {
+        return Ok(None); // horizon 0 with unmet wants
+    };
+    match model.problem.solve_lp() {
+        Ok(sol) => Ok(Some(sol.objective.ceil().max(0.0) as u64)),
+        Err(LpError::Infeasible) => Ok(None),
+        Err(e) => Err(SolveError::Mip(e.to_string())),
+    }
+}
+
+/// Sweeps horizons `τ = lo..=hi`, reporting for each satisfiable horizon
+/// the minimum bandwidth — the makespan/bandwidth Pareto curve of
+/// Figure 1. Infeasible horizons yield no entry.
+///
+/// # Errors
+///
+/// Propagates MILP resource failures.
+pub fn pareto_frontier(
+    instance: &Instance,
+    horizons: std::ops::RangeInclusive<usize>,
+    options: &MipOptions,
+) -> Result<Vec<(usize, u64)>, SolveError> {
+    let mut out = Vec::new();
+    for tau in horizons {
+        if let Some(r) = min_bandwidth_for_horizon(instance, tau, options)? {
+            out.push((tau, r.bandwidth));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocd_core::bounds::bandwidth_lower_bound;
+    use ocd_core::scenario::single_file;
+    use ocd_core::validate;
+    use ocd_graph::generate::classic;
+    use ocd_graph::DiGraph;
+
+    fn tok(i: usize) -> Token {
+        Token::new(i)
+    }
+
+    #[test]
+    fn single_hop_ip() {
+        let instance = single_file(classic::path(2, 1, false), 1, 0);
+        let r = min_bandwidth_for_horizon(&instance, 1, &MipOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.bandwidth, 1);
+        assert!(validate::replay(&instance, &r.schedule).unwrap().is_successful());
+    }
+
+    #[test]
+    fn horizon_too_short_is_none() {
+        let instance = single_file(classic::path(3, 1, false), 1, 0);
+        assert!(min_bandwidth_for_horizon(&instance, 1, &MipOptions::default())
+            .unwrap()
+            .is_none());
+        assert!(min_bandwidth_for_horizon(&instance, 2, &MipOptions::default())
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn zero_horizon_trivial_instance() {
+        let g = classic::path(2, 1, true);
+        let instance = Instance::builder(g, 1).have(0, [tok(0)]).build().unwrap();
+        let r = min_bandwidth_for_horizon(&instance, 0, &MipOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.bandwidth, 0);
+    }
+
+    #[test]
+    fn zero_horizon_nontrivial_is_none() {
+        let instance = single_file(classic::path(2, 1, false), 1, 0);
+        assert!(min_bandwidth_for_horizon(&instance, 0, &MipOptions::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn ip_matches_bandwidth_lower_bound_when_tight() {
+        // Star with ample capacity: every deficiency costs exactly one
+        // move, so IP bandwidth = lower bound.
+        let instance = single_file(classic::star(4, 5, false), 3, 0);
+        let r = min_bandwidth_for_horizon(&instance, 2, &MipOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.bandwidth, bandwidth_lower_bound(&instance));
+        let replay = validate::replay(&instance, &r.schedule).unwrap();
+        assert!(replay.is_successful());
+    }
+
+    #[test]
+    fn relay_costs_extra_bandwidth() {
+        // 0 -> 1 -> 2, only vertex 2 wants the token: the relay through 1
+        // makes bandwidth 2 despite a single deficiency.
+        let g = classic::path(3, 1, false);
+        let instance = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(2, [tok(0)])
+            .build()
+            .unwrap();
+        let r = min_bandwidth_for_horizon(&instance, 3, &MipOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.bandwidth, 2);
+        assert_eq!(bandwidth_lower_bound(&instance), 1, "bound is not tight here");
+    }
+
+    #[test]
+    fn figure_one_tradeoff_reproduced() {
+        // The Figure 1 phenomenon: minimum time (2 steps) needs 6 moves;
+        // minimum bandwidth (4 moves) needs 3 steps.
+        let instance = ocd_core::scenario::figure_one();
+        let frontier = pareto_frontier(&instance, 1..=4, &MipOptions::default()).unwrap();
+        assert_eq!(frontier.first(), Some(&(2, 6)), "min-time point");
+        let best_bw = frontier.iter().map(|&(_, b)| b).min().unwrap();
+        assert_eq!(best_bw, 4, "min-bandwidth point");
+        let at3 = frontier.iter().find(|&&(t, _)| t == 3).unwrap();
+        assert_eq!(at3.1, 4, "bandwidth optimum reached at 3 steps");
+    }
+
+    #[test]
+    fn lp_relaxation_bound_sandwiches() {
+        // deficiency ≤ LP relaxation ≤ IP optimum, with the LP strictly
+        // stronger than deficiency when relays are forced.
+        let g = classic::path(3, 1, false);
+        let instance = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(2, [tok(0)])
+            .build()
+            .unwrap();
+        let lp = bandwidth_lp_lower_bound(&instance, 3).unwrap().unwrap();
+        let ip = min_bandwidth_for_horizon(&instance, 3, &MipOptions::default())
+            .unwrap()
+            .unwrap()
+            .bandwidth;
+        let deficiency = ocd_core::bounds::bandwidth_lower_bound(&instance);
+        assert_eq!(deficiency, 1);
+        assert_eq!(lp, 2, "LP sees the forced relay");
+        assert_eq!(ip, 2);
+        assert!(deficiency <= lp && lp <= ip);
+    }
+
+    #[test]
+    fn lp_relaxation_bound_infeasible_horizon() {
+        let instance = single_file(classic::path(3, 1, false), 1, 0);
+        assert!(bandwidth_lp_lower_bound(&instance, 1).unwrap().is_none());
+        assert!(bandwidth_lp_lower_bound(&instance, 0).unwrap().is_none());
+        assert!(bandwidth_lp_lower_bound(&instance, 2).unwrap().is_some());
+    }
+
+    #[test]
+    fn lp_bound_never_exceeds_ip_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut checked = 0;
+        while checked < 8 {
+            let n = rng.random_range(2..4usize);
+            let m = rng.random_range(1..3usize);
+            let mut g = DiGraph::with_nodes(n);
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.random_bool(0.7) {
+                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..3)).unwrap();
+                    }
+                }
+            }
+            let instance = Instance::builder(g, m)
+                .have_set(0, TokenSet::full(m))
+                .want_all_everywhere()
+                .build()
+                .unwrap();
+            if !instance.is_satisfiable() {
+                continue;
+            }
+            for horizon in 1..4usize {
+                let lp = bandwidth_lp_lower_bound(&instance, horizon).unwrap();
+                let ip = min_bandwidth_for_horizon(&instance, horizon, &MipOptions::default())
+                    .unwrap();
+                match (lp, ip) {
+                    (Some(l), Some(r)) => assert!(l <= r.bandwidth, "LP {l} > IP {}", r.bandwidth),
+                    (None, Some(r)) => panic!("LP infeasible but IP found bandwidth {}", r.bandwidth),
+                    _ => {}
+                }
+            }
+            checked += 1;
+        }
+    }
+
+    #[test]
+    fn hybrid_objective_interpolates_the_tradeoff() {
+        use crate::bnb::BnbOptions;
+        let instance = ocd_core::scenario::figure_one();
+        // α = 1: stay at the time optimum, pay the bandwidth premium.
+        let (tau, tight) = min_bandwidth_within_factor(
+            &instance,
+            1.0,
+            &BnbOptions::default(),
+            &MipOptions::default(),
+        )
+        .unwrap();
+        assert_eq!((tau, tight.bandwidth), (2, 6));
+        assert!(tight.schedule.makespan() <= 2);
+        // α = 1.5: one extra step buys the bandwidth optimum.
+        let (_, relaxed) = min_bandwidth_within_factor(
+            &instance,
+            1.5,
+            &BnbOptions::default(),
+            &MipOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(relaxed.bandwidth, 4);
+        assert!(relaxed.schedule.makespan() <= 3);
+        assert!(validate::replay(&instance, &relaxed.schedule).unwrap().is_successful());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least 1")]
+    fn hybrid_rejects_alpha_below_one() {
+        let instance = ocd_core::scenario::figure_one();
+        let _ = min_bandwidth_within_factor(
+            &instance,
+            0.5,
+            &crate::bnb::BnbOptions::default(),
+            &MipOptions::default(),
+        );
+    }
+
+    #[test]
+    fn ip_and_bnb_agree_on_feasibility() {
+        use crate::bnb::{decide_focd, BnbOptions};
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..10 {
+            let n = rng.random_range(2..4usize);
+            let m = rng.random_range(1..3usize);
+            let mut g = DiGraph::with_nodes(n);
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.random_bool(0.8) {
+                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..3)).unwrap();
+                    }
+                }
+            }
+            let instance = Instance::builder(g, m)
+                .have_set(0, TokenSet::full(m))
+                .want_all_everywhere()
+                .build()
+                .unwrap();
+            if !instance.is_satisfiable() {
+                continue;
+            }
+            for tau in 0..4usize {
+                let ip_feasible = min_bandwidth_for_horizon(&instance, tau, &MipOptions::default())
+                    .unwrap()
+                    .is_some();
+                let bnb_feasible = decide_focd(&instance, tau, &BnbOptions::default())
+                    .unwrap()
+                    .is_some();
+                assert_eq!(
+                    ip_feasible, bnb_feasible,
+                    "trial {trial}, horizon {tau}: IP and B&B disagree"
+                );
+            }
+        }
+    }
+}

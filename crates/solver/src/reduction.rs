@@ -1,0 +1,217 @@
+//! The Dominating-Set → FOCD reduction (Theorem 5, Appendix, Figure 7).
+//!
+//! Given a graph `G = (V, E)` with `n = |V|` and an integer `k`, the
+//! reduction builds an FOCD instance on `2n + 2` vertices
+//! `{s, t} ∪ V ∪ V'` with tokens `{0} ∪ {1, …, n-k}`:
+//!
+//! - `s` holds every token; arcs `s → v_i` of capacity 1;
+//! - arcs `v_i → t` of capacity 1; `t` wants `{1, …, n-k}`;
+//! - arcs `v_i → v'_i` for every `i` and `v_i → v'_j` for every
+//!   `(v_i, v_j) ∈ E`; every `v'_i` wants `{0}`.
+//!
+//! **`G` has a dominating set of size ≤ `k` iff the FOCD instance is
+//! satisfiable in 2 timesteps**: in step 1 the dominating vertices
+//! receive token 0 and the other `n - k` vertices receive the distinct
+//! relay tokens; in step 2 the relays feed `t` while the dominators
+//! broadcast 0 across `V'`.
+
+use ocd_core::{Instance, Schedule, Token, TokenSet};
+use ocd_graph::{DiGraph, NodeId};
+
+/// Vertex layout of the reduced instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionLayout {
+    /// Number of vertices in the original Dominating-Set graph.
+    pub n: usize,
+    /// The dominating-set size bound `k`.
+    pub k: usize,
+    /// Index of the source vertex `s` (always 0).
+    pub source: usize,
+    /// Index of the sink `t` (always 1).
+    pub sink: usize,
+    /// `mid_start + i` is the intermediary `v_i` (always 2).
+    pub mid_start: usize,
+    /// `prime_start + i` is the receiver `v'_i` (always `2 + n`).
+    pub prime_start: usize,
+}
+
+/// Builds the FOCD instance deciding whether `g` has a dominating set of
+/// size at most `k`. Dominating is over the undirected view of `g`
+/// (matching [`ocd_graph::algo::dominating_set_exact`]).
+///
+/// # Panics
+///
+/// Panics if `k >= n` (the question is trivial) or `n == 0`.
+#[must_use]
+pub fn focd_from_dominating_set(g: &DiGraph, k: usize) -> (Instance, ReductionLayout) {
+    let n = g.node_count();
+    assert!(n > 0, "dominating set needs a non-empty graph");
+    assert!(k < n, "k = {k} ≥ n = {n} makes the dominating-set question trivial");
+    let m = n - k + 1; // token 0 plus relay tokens 1..=n-k
+    let layout = ReductionLayout {
+        n,
+        k,
+        source: 0,
+        sink: 1,
+        mid_start: 2,
+        prime_start: 2 + n,
+    };
+    let mut fg = DiGraph::with_nodes(2 + 2 * n);
+    let s = fg.node(layout.source);
+    let t = fg.node(layout.sink);
+    for i in 0..n {
+        let vi = fg.node(layout.mid_start + i);
+        fg.add_edge(s, vi, 1).expect("s -> v_i");
+        fg.add_edge(vi, t, 1).expect("v_i -> t");
+        let vpi = fg.node(layout.prime_start + i);
+        fg.add_edge(vi, vpi, 1).expect("v_i -> v'_i");
+    }
+    // v_i -> v'_j for each (undirected) adjacency in g.
+    for e in g.edges() {
+        let (i, j) = (e.src.index(), e.dst.index());
+        let vi = fg.node(layout.mid_start + i);
+        let vpj = fg.node(layout.prime_start + j);
+        let _ = fg.add_edge(vi, vpj, 1); // may merge with existing arc
+        let vj = fg.node(layout.mid_start + j);
+        let vpi = fg.node(layout.prime_start + i);
+        let _ = fg.add_edge(vj, vpi, 1);
+    }
+    let mut builder = Instance::builder(fg, m)
+        .have_set(layout.source, TokenSet::full(m))
+        .want_set(
+            layout.sink,
+            TokenSet::from_range(m, 1..m), // tokens 1..=n-k
+        );
+    for i in 0..n {
+        builder = builder.want(layout.prime_start + i, [Token::new(0)]);
+    }
+    (
+        builder.build().expect("source holds every token"),
+        layout,
+    )
+}
+
+/// Extracts the dominating set witnessed by a successful ≤ 2-step
+/// schedule of the reduced instance: the original vertices whose
+/// intermediary `v_i` received token 0 in step 1.
+///
+/// # Panics
+///
+/// Panics if the schedule is empty.
+#[must_use]
+pub fn dominating_set_from_schedule(
+    layout: &ReductionLayout,
+    instance: &Instance,
+    schedule: &Schedule,
+) -> Vec<NodeId> {
+    assert!(schedule.makespan() >= 1, "need at least one step");
+    let g = instance.graph();
+    let first = &schedule.steps()[0];
+    let mut set = Vec::new();
+    for (edge, tokens) in first.sends() {
+        let arc = g.edge(edge);
+        if arc.src.index() == layout.source && tokens.contains(Token::new(0)) {
+            let dst = arc.dst.index();
+            if (layout.mid_start..layout.mid_start + layout.n).contains(&dst) {
+                set.push(NodeId::new(dst - layout.mid_start));
+            }
+        }
+    }
+    set.sort_unstable();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::{decide_focd, BnbOptions};
+    use ocd_graph::algo::{has_dominating_set_of_size, is_dominating_set};
+    use ocd_graph::generate::classic;
+
+    fn decide_two_steps(instance: &Instance) -> Option<Schedule> {
+        decide_focd(instance, 2, &BnbOptions::default()).expect("within node budget")
+    }
+
+    #[test]
+    fn layout_indices() {
+        let g = classic::path(3, 1, true);
+        let (instance, layout) = focd_from_dominating_set(&g, 1);
+        assert_eq!(instance.num_vertices(), 8);
+        assert_eq!(instance.num_tokens(), 3); // {0, 1, 2}
+        assert_eq!(layout.prime_start, 5);
+        // s holds everything; t wants the relays; primes want 0.
+        assert!(instance.have(instance.graph().node(0)).is_full());
+        assert_eq!(instance.want(instance.graph().node(1)).len(), 2);
+        for i in 0..3 {
+            assert!(instance
+                .want(instance.graph().node(layout.prime_start + i))
+                .contains(Token::new(0)));
+        }
+    }
+
+    #[test]
+    fn star_reduces_positively_for_k1() {
+        // A star has a dominating set of size 1 (the center).
+        let g = classic::star(4, 1, true);
+        let (instance, layout) = focd_from_dominating_set(&g, 1);
+        let schedule = decide_two_steps(&instance).expect("star is dominated by its center");
+        let ds = dominating_set_from_schedule(&layout, &instance, &schedule);
+        assert!(ds.len() <= 1);
+        assert!(is_dominating_set(&g, &ds));
+    }
+
+    #[test]
+    fn path5_negative_for_k1_positive_for_k2() {
+        // P5 has domination number 2.
+        let g = classic::path(5, 1, true);
+        let (instance, _) = focd_from_dominating_set(&g, 1);
+        assert!(decide_two_steps(&instance).is_none(), "P5 needs 2 dominators");
+        let (instance, layout) = focd_from_dominating_set(&g, 2);
+        let schedule = decide_two_steps(&instance).expect("P5 dominated by 2");
+        let ds = dominating_set_from_schedule(&layout, &instance, &schedule);
+        assert!(ds.len() <= 2);
+        assert!(is_dominating_set(&g, &ds));
+    }
+
+    #[test]
+    fn reduction_agrees_with_exact_ds_on_random_graphs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..12 {
+            let n = rng.random_range(2..6usize);
+            let mut g = DiGraph::with_nodes(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random_bool(0.45) {
+                        g.add_edge_symmetric(g.node(u), g.node(v), 1).unwrap();
+                    }
+                }
+            }
+            for k in 1..n {
+                let expected = has_dominating_set_of_size(&g, k);
+                let (instance, layout) = focd_from_dominating_set(&g, k);
+                let schedule = decide_two_steps(&instance);
+                assert_eq!(
+                    schedule.is_some(),
+                    expected,
+                    "trial {trial}, k = {k}, graph {g:?}"
+                );
+                if let Some(s) = schedule {
+                    let ds = dominating_set_from_schedule(&layout, &instance, &s);
+                    assert!(ds.len() <= k, "trial {trial}: witness too large");
+                    assert!(
+                        is_dominating_set(&g, &ds),
+                        "trial {trial}: witness {ds:?} does not dominate"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trivial")]
+    fn k_at_least_n_panics() {
+        let g = classic::path(3, 1, true);
+        let _ = focd_from_dominating_set(&g, 3);
+    }
+}

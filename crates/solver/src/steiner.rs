@@ -1,0 +1,223 @@
+//! Per-token Steiner-tree bandwidth bounds and the serial schedule
+//! (§3.3).
+//!
+//! "To distribute any token using the minimum bandwidth is to distribute
+//! it along the min-cost tree from its source(s) to all nodes that want
+//! that token with unit-cost edges. If we do not care about number of
+//! timesteps, then optimal bandwidth can be achieved by distributing
+//! each token serially over the Steiner tree."
+//!
+//! Directed Steiner tree is itself NP-hard, so this module uses the
+//! shortest-path heuristic from `ocd-graph`. The resulting *serial
+//! schedule* is a real, validated schedule, hence a constructive upper
+//! bound on optimal bandwidth; the instance's total deficiency is the
+//! matching lower bound. Together they sandwich both the optimum and the
+//! heuristics' pruned bandwidth in the experiments.
+
+use crate::SolveError;
+use ocd_core::{Instance, Schedule, Timestep, Token, TokenSet};
+use ocd_graph::algo::steiner_tree_approx;
+
+/// Result of the per-token Steiner construction.
+#[derive(Debug, Clone)]
+pub struct SteinerSchedule {
+    /// The serial schedule: token 0's tree level by level, then token
+    /// 1's, and so on.
+    pub schedule: Schedule,
+    /// Bandwidth of the schedule = Σ per-token tree costs (the §3.3
+    /// bandwidth upper bound).
+    pub bandwidth: u64,
+    /// Per-token tree cost (arcs in each token's tree).
+    pub per_token_cost: Vec<u64>,
+}
+
+/// Builds the serial Steiner schedule for `instance`.
+///
+/// # Errors
+///
+/// [`SolveError::Unsatisfiable`] if some wanted token cannot reach one
+/// of its wanters.
+pub fn serial_steiner_schedule(instance: &Instance) -> Result<SteinerSchedule, SolveError> {
+    let g = instance.graph();
+    let m = instance.num_tokens();
+    let mut schedule = Schedule::new();
+    let mut per_token_cost = Vec::with_capacity(m);
+    for ti in 0..m {
+        let token = Token::new(ti);
+        let terminals: Vec<_> = instance.needers_of(token);
+        if terminals.is_empty() {
+            per_token_cost.push(0);
+            continue;
+        }
+        let sources = instance.havers_of(token);
+        if sources.is_empty() {
+            return Err(SolveError::Unsatisfiable);
+        }
+        let tree =
+            steiner_tree_approx(g, &sources, &terminals).ok_or(SolveError::Unsatisfiable)?;
+        per_token_cost.push(tree.cost);
+        // Level the tree's arcs: an arc can fire once its source is
+        // reached. Sources are level 0; arc (u, v) fires at step
+        // level(u), setting level(v) = level(u) + 1. The tree arcs are
+        // in graft order, which is not topological, so iterate to a
+        // fixed point (tree is acyclic and tiny: this terminates in
+        // ≤ depth passes).
+        let mut level = vec![usize::MAX; g.node_count()];
+        for &s in &sources {
+            level[s.index()] = 0;
+        }
+        let mut fire_step = vec![usize::MAX; tree.edges.len()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (i, &e) in tree.edges.iter().enumerate() {
+                let arc = g.edge(e);
+                if level[arc.src.index()] != usize::MAX && fire_step[i] == usize::MAX {
+                    fire_step[i] = level[arc.src.index()];
+                    let new_level = level[arc.src.index()] + 1;
+                    if new_level < level[arc.dst.index()] || level[arc.dst.index()] == usize::MAX {
+                        level[arc.dst.index()] = new_level;
+                    }
+                    changed = true;
+                }
+            }
+        }
+        let depth = fire_step
+            .iter()
+            .map(|&s| {
+                debug_assert_ne!(s, usize::MAX, "tree arc never became fireable");
+                s + 1
+            })
+            .max()
+            .unwrap_or(0);
+        let single = TokenSet::from_tokens(m, [token]);
+        for step in 0..depth {
+            let mut ts = Timestep::new();
+            for (i, &e) in tree.edges.iter().enumerate() {
+                if fire_step[i] == step {
+                    ts.add_send(e, &single);
+                }
+            }
+            schedule.push_timestep(ts);
+        }
+    }
+    Ok(SteinerSchedule {
+        bandwidth: schedule.bandwidth(),
+        schedule,
+        per_token_cost,
+    })
+}
+
+/// The §3.3 bandwidth upper bound: Σ per-token Steiner-tree costs.
+///
+/// # Errors
+///
+/// [`SolveError::Unsatisfiable`] if the instance is unsatisfiable.
+pub fn bandwidth_upper_bound(instance: &Instance) -> Result<u64, SolveError> {
+    Ok(serial_steiner_schedule(instance)?.bandwidth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocd_core::bounds::bandwidth_lower_bound;
+    use ocd_core::scenario::single_file;
+    use ocd_core::validate;
+    use ocd_graph::generate::classic;
+    use ocd_graph::DiGraph;
+
+    fn tok(i: usize) -> Token {
+        Token::new(i)
+    }
+
+    #[test]
+    fn star_is_tight() {
+        // Direct arcs to every wanter: Steiner = deficiency = optimum.
+        let instance = single_file(classic::star(5, 3, false), 2, 0);
+        let s = serial_steiner_schedule(&instance).unwrap();
+        assert_eq!(s.bandwidth, bandwidth_lower_bound(&instance));
+        let replay = validate::replay(&instance, &s.schedule).unwrap();
+        assert!(replay.is_successful());
+    }
+
+    #[test]
+    fn relay_adds_cost() {
+        let g = classic::path(3, 1, false);
+        let instance = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(2, [tok(0)])
+            .build()
+            .unwrap();
+        let s = serial_steiner_schedule(&instance).unwrap();
+        assert_eq!(s.bandwidth, 2);
+        assert_eq!(s.per_token_cost, vec![2]);
+        assert_eq!(s.schedule.makespan(), 2);
+        assert!(validate::replay(&instance, &s.schedule).unwrap().is_successful());
+    }
+
+    #[test]
+    fn serializes_tokens_one_after_another() {
+        // 2 tokens over a path: token 0's relay finishes before token 1
+        // starts (serial = bandwidth optimal, time horrible; §3.3).
+        let instance = single_file(classic::path(3, 5, false), 2, 0);
+        let s = serial_steiner_schedule(&instance).unwrap();
+        assert_eq!(s.schedule.makespan(), 4, "2 tokens × depth-2 trees");
+        assert_eq!(s.bandwidth, 4);
+        assert!(validate::replay(&instance, &s.schedule).unwrap().is_successful());
+    }
+
+    #[test]
+    fn schedule_respects_unit_capacity_because_serial() {
+        // Capacity 1 everywhere, 3 tokens: a parallel schedule would
+        // overload arcs; the serial construction never does.
+        let instance = single_file(classic::cycle(4, 1, true), 3, 0);
+        let s = serial_steiner_schedule(&instance).unwrap();
+        assert!(validate::replay(&instance, &s.schedule).unwrap().is_successful());
+    }
+
+    #[test]
+    fn sandwiches_the_exact_optimum() {
+        use crate::ip::min_bandwidth_for_horizon;
+        use ocd_lp::MipOptions;
+        let instance = single_file(classic::cycle(4, 2, true), 2, 0);
+        let lower = bandwidth_lower_bound(&instance);
+        let upper = bandwidth_upper_bound(&instance).unwrap();
+        let exact = min_bandwidth_for_horizon(&instance, 6, &MipOptions::default())
+            .unwrap()
+            .unwrap()
+            .bandwidth;
+        assert!(lower <= exact, "{lower} ≤ {exact}");
+        assert!(exact <= upper, "{exact} ≤ {upper}");
+    }
+
+    #[test]
+    fn unsatisfiable_instance_errors() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(g.node(1), g.node(0), 1).unwrap();
+        let instance = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(1, [tok(0)])
+            .build()
+            .unwrap();
+        assert_eq!(
+            serial_steiner_schedule(&instance).unwrap_err(),
+            SolveError::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn multi_source_tokens_use_nearest_source() {
+        // Token held at both ends of a path; wanter in the middle: one
+        // hop suffices.
+        let g = classic::path(5, 1, true);
+        let instance = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .have(4, [tok(0)])
+            .want(3, [tok(0)])
+            .build()
+            .unwrap();
+        let s = serial_steiner_schedule(&instance).unwrap();
+        assert_eq!(s.bandwidth, 1);
+        assert_eq!(s.schedule.makespan(), 1);
+    }
+}

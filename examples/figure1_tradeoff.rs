@@ -1,0 +1,47 @@
+//! Figure 1, interactively: speed and bandwidth cannot always be
+//! optimized together.
+//!
+//! The exact solvers compute the full makespan/bandwidth Pareto frontier
+//! of the paper's Figure 1 instance: finishing in the minimum 2 steps
+//! costs 6 token-transfers, while the bandwidth optimum of 4 needs 3
+//! steps.
+//!
+//! Run with: `cargo run --release --example figure1_tradeoff`
+
+use ocd::prelude::*;
+use ocd::solver::ip::pareto_frontier;
+
+fn main() {
+    let instance = ocd::core::scenario::figure_one();
+    println!("the Figure 1 instance:\n{:?}", instance.graph());
+    for v in instance.graph().nodes() {
+        println!(
+            "  vertex {v}: have {:?}, want {:?}",
+            instance.have(v),
+            instance.want(v)
+        );
+    }
+
+    // Exact minimum makespan by branch and bound.
+    let fastest = solve_focd(&instance, &BnbOptions::default()).expect("satisfiable");
+    println!("\nminimum makespan = {} timesteps; that schedule:", fastest.makespan);
+    println!("{}", fastest.schedule);
+
+    // The whole Pareto frontier by the §3.4 time-indexed IP.
+    let frontier = pareto_frontier(&instance, 1..=5, &Default::default()).expect("mip ok");
+    println!("horizon  →  minimum bandwidth");
+    for (tau, bw) in &frontier {
+        println!("  {tau} steps  →  {bw} transfers");
+    }
+
+    let min_bw =
+        min_bandwidth_for_horizon(&instance, 3, &Default::default())
+            .expect("mip ok")
+            .expect("feasible at 3 steps");
+    println!("\nthe bandwidth-optimal schedule (3 steps, 4 transfers):");
+    println!("{}", min_bw.schedule);
+
+    assert_eq!(frontier.first(), Some(&(2, 6)));
+    assert_eq!(min_bw.bandwidth, 4);
+    println!("→ exactly the paper's caption: (2 steps, 6 bw) vs (3 steps, 4 bw).");
+}

@@ -1,0 +1,61 @@
+//! # ocd — The Overlay Network Content Distribution Problem
+//!
+//! A faithful, self-contained reproduction of *"The Overlay Network
+//! Content Distribution Problem"* (Killian, Vrable, Snoeren, Vahdat,
+//! Pasquale; UCSD / PODC 2005): the formal token-distribution model, its
+//! exact solvers (branch and bound, and the paper's time-indexed integer
+//! program on a from-scratch MILP solver), the paper's five on-line
+//! heuristics, lower bounds, and the full experiment suite.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! - [`graph`] (`ocd-graph`): digraphs, algorithms, topology generators;
+//! - [`core`](mod@core) (`ocd-core`): tokens, instances, schedules,
+//!   validation, pruning, bounds, scenarios;
+//! - [`lp`] (`ocd-lp`): simplex + branch-and-bound MILP;
+//! - [`solver`] (`ocd-solver`): exact FOCD/EOCD, reductions, Steiner
+//!   bounds;
+//! - [`heuristics`] (`ocd-heuristics`): the simulation engine and
+//!   strategies.
+//!
+//! # Quickstart
+//!
+//! Distribute a 64-token file from one seed to every node of a random
+//! overlay and compare two heuristics:
+//!
+//! ```
+//! use ocd::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let topology = ocd::graph::generate::paper_random(40, &mut rng);
+//! let instance = ocd::core::scenario::single_file(topology, 64, 0);
+//!
+//! let mut results = Vec::new();
+//! for kind in [StrategyKind::Random, StrategyKind::Global] {
+//!     let mut strategy = kind.build();
+//!     let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut rng);
+//!     assert!(report.success);
+//!     results.push((kind, report.steps, report.bandwidth));
+//! }
+//! // Coordinated global knowledge never loses to blind flooding on moves.
+//! assert!(results[1].1 <= results[0].1 + 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ocd_core as core;
+pub use ocd_graph as graph;
+pub use ocd_heuristics as heuristics;
+pub use ocd_lp as lp;
+pub use ocd_solver as solver;
+
+/// Convenient glob-import of the names almost every user needs.
+pub mod prelude {
+    pub use ocd_core::{Instance, Move, Schedule, Timestep, Token, TokenSet};
+    pub use ocd_graph::{DiGraph, EdgeId, NodeId};
+    pub use ocd_heuristics::{simulate, SimConfig, SimReport, Strategy, StrategyKind, WorldView};
+    pub use ocd_solver::bnb::{solve_focd, BnbOptions};
+    pub use ocd_solver::ip::min_bandwidth_for_horizon;
+}

@@ -1,0 +1,113 @@
+//! End-to-end integration: scenario generators → heuristic simulation →
+//! independent validation → pruning → bounds, across topology families.
+
+use ocd::core::{bounds, prune, validate};
+use ocd::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_full_pipeline(instance: &Instance, label: &str) {
+    assert!(instance.is_satisfiable(), "{label}: unsatisfiable scenario");
+    let bw_lb = bounds::bandwidth_lower_bound(instance);
+    let ms_lb = bounds::makespan_lower_bound(instance);
+    for kind in StrategyKind::all() {
+        let mut strategy = kind.build();
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let report = simulate(instance, strategy.as_mut(), &SimConfig::default(), &mut rng);
+        assert!(report.success, "{label}/{kind}: did not complete");
+        let replay = validate::replay(instance, &report.schedule)
+            .unwrap_or_else(|e| panic!("{label}/{kind}: invalid schedule: {e}"));
+        assert!(replay.is_successful(), "{label}/{kind}: replay not successful");
+        assert!(
+            report.bandwidth >= bw_lb,
+            "{label}/{kind}: bandwidth {} below lower bound {bw_lb}",
+            report.bandwidth
+        );
+        assert!(
+            report.steps >= ms_lb,
+            "{label}/{kind}: makespan {} below lower bound {ms_lb}",
+            report.steps
+        );
+        let (pruned, stats) = prune::prune(instance, &report.schedule);
+        assert!(pruned.bandwidth() <= report.bandwidth);
+        assert_eq!(
+            pruned.bandwidth() + stats.total_removed(),
+            report.bandwidth,
+            "{label}/{kind}: prune accounting"
+        );
+        assert!(pruned.bandwidth() >= bw_lb, "{label}/{kind}: pruning broke the bound");
+        assert_eq!(pruned.makespan(), report.schedule.makespan());
+        let replay = validate::replay(instance, &pruned)
+            .unwrap_or_else(|e| panic!("{label}/{kind}: pruned schedule invalid: {e}"));
+        assert!(replay.is_successful(), "{label}/{kind}: pruning broke success");
+    }
+}
+
+#[test]
+fn single_file_on_random_graph() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let topology = ocd::graph::generate::paper_random(30, &mut rng);
+    let instance = ocd::core::scenario::single_file(topology, 20, 0);
+    check_full_pipeline(&instance, "single_file/random");
+}
+
+#[test]
+fn single_file_on_transit_stub() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let config = ocd::graph::generate::TransitStubConfig::paper_sized(40);
+    let topology = ocd::graph::generate::transit_stub(&config, &mut rng);
+    let instance = ocd::core::scenario::single_file(topology, 16, 0);
+    check_full_pipeline(&instance, "single_file/transit_stub");
+}
+
+#[test]
+fn receiver_density_mid() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let topology = ocd::graph::generate::paper_random(40, &mut rng);
+    let instance = ocd::core::scenario::receiver_density(topology, 24, 0, 0.4, &mut rng);
+    check_full_pipeline(&instance, "receiver_density");
+}
+
+#[test]
+fn multi_file_partitioned() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let topology = ocd::graph::generate::paper_random(32, &mut rng);
+    let instance = ocd::core::scenario::multi_file(topology, 64, 8, 0);
+    check_full_pipeline(&instance, "multi_file");
+}
+
+#[test]
+fn multi_sender_partitioned() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let topology = ocd::graph::generate::paper_random(32, &mut rng);
+    let instance = ocd::core::scenario::multi_sender(topology, 64, 8, &mut rng);
+    check_full_pipeline(&instance, "multi_sender");
+}
+
+#[test]
+fn classic_topologies() {
+    use ocd::graph::generate::classic;
+    for (label, g) in [
+        ("cycle", classic::cycle(9, 2, true)),
+        ("star", classic::star(9, 3, true)),
+        ("grid", classic::grid(3, 3, 2)),
+        ("tree", classic::balanced_tree(2, 3, 2)),
+        ("complete", classic::complete(6, 1)),
+    ] {
+        let instance = ocd::core::scenario::single_file(g, 6, 0);
+        check_full_pipeline(&instance, label);
+    }
+}
+
+#[test]
+fn directed_cycle_works_one_way() {
+    // Tokens can only flow clockwise; everything still completes.
+    let g = ocd::graph::generate::classic::cycle(7, 2, false);
+    let instance = ocd::core::scenario::single_file(g, 5, 0);
+    check_full_pipeline(&instance, "directed_cycle");
+}
+
+#[test]
+fn figure_one_through_all_heuristics() {
+    check_full_pipeline(&ocd::core::scenario::figure_one(), "figure_one");
+}

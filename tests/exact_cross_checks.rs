@@ -1,0 +1,137 @@
+//! Cross-checks between the two exact solvers, the bounds, and the
+//! heuristics: everything must sandwich consistently.
+
+use ocd::core::{bounds, prune, TokenSet};
+use ocd::prelude::*;
+use ocd::solver::ip::pareto_frontier;
+use ocd::solver::steiner::serial_steiner_schedule;
+use rand::prelude::*;
+
+/// Small random instances with full-universe wants at random vertices.
+fn random_small_instance(rng: &mut StdRng) -> Option<Instance> {
+    let n = rng.random_range(2..5usize);
+    let m = rng.random_range(1..4usize);
+    let mut g = DiGraph::with_nodes(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.random_bool(0.6) {
+                g.add_edge(g.node(u), g.node(v), rng.random_range(1..3)).unwrap();
+            }
+        }
+    }
+    let mut builder = Instance::builder(g, m).have_set(0, TokenSet::full(m));
+    let mut any = false;
+    for v in 1..n {
+        if rng.random_bool(0.7) {
+            builder = builder.want_set(v, TokenSet::full(m));
+            any = true;
+        }
+    }
+    let instance = builder.build().unwrap();
+    (any && instance.is_satisfiable()).then_some(instance)
+}
+
+#[test]
+fn bnb_ip_bounds_and_heuristics_sandwich() {
+    let mut rng = StdRng::seed_from_u64(31337);
+    let mut checked = 0;
+    while checked < 12 {
+        let Some(instance) = random_small_instance(&mut rng) else {
+            continue;
+        };
+        checked += 1;
+
+        // Exact makespan from branch and bound.
+        let exact = solve_focd(&instance, &BnbOptions::default()).expect("satisfiable");
+        // Admissible bound below it.
+        assert!(bounds::makespan_lower_bound(&instance) <= exact.makespan);
+        // The IP agrees on the exact feasibility threshold.
+        if exact.makespan > 0 {
+            assert!(
+                min_bandwidth_for_horizon(&instance, exact.makespan - 1, &Default::default())
+                    .unwrap()
+                    .is_none(),
+                "IP found a schedule faster than the B&B optimum"
+            );
+        }
+        let at_opt = min_bandwidth_for_horizon(&instance, exact.makespan, &Default::default())
+            .unwrap()
+            .expect("IP must agree the optimum horizon is feasible");
+
+        // Bandwidth sandwich: deficiency ≤ IP optimum ≤ Steiner schedule
+        // (at a relaxed horizon where the serial schedule fits).
+        let steiner = serial_steiner_schedule(&instance).expect("satisfiable");
+        let relaxed = min_bandwidth_for_horizon(
+            &instance,
+            steiner.schedule.makespan().max(exact.makespan),
+            &Default::default(),
+        )
+        .unwrap()
+        .expect("feasible at the Steiner horizon");
+        let lb = bounds::bandwidth_lower_bound(&instance);
+        assert!(lb <= relaxed.bandwidth);
+        assert!(relaxed.bandwidth <= steiner.bandwidth);
+        assert!(relaxed.bandwidth <= at_opt.bandwidth, "longer horizon can't cost more");
+
+        // Every heuristic is sandwiched too.
+        for kind in StrategyKind::paper_five() {
+            let mut strategy = kind.build();
+            let mut run_rng = StdRng::seed_from_u64(9);
+            let report =
+                simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut run_rng);
+            assert!(report.success, "{kind}");
+            assert!(report.steps >= exact.makespan, "{kind} beat the exact optimum");
+            let (pruned, _) = prune::prune(&instance, &report.schedule);
+            assert!(pruned.bandwidth() >= relaxed.bandwidth, "{kind} beat exact bandwidth");
+        }
+    }
+}
+
+#[test]
+fn pareto_frontier_is_monotone_nonincreasing() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut checked = 0;
+    while checked < 6 {
+        let Some(instance) = random_small_instance(&mut rng) else {
+            continue;
+        };
+        checked += 1;
+        let frontier = pareto_frontier(&instance, 0..=5, &Default::default()).unwrap();
+        for pair in frontier.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "horizons ascend");
+            assert!(
+                pair[0].1 >= pair[1].1,
+                "more time can never require more bandwidth: {frontier:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure_one_exactly_matches_paper_caption() {
+    let instance = ocd::core::scenario::figure_one();
+    let exact = solve_focd(&instance, &BnbOptions::default()).unwrap();
+    assert_eq!(exact.makespan, 2);
+    let frontier = pareto_frontier(&instance, 1..=4, &Default::default()).unwrap();
+    assert_eq!(frontier, vec![(2, 6), (3, 4), (4, 4)]);
+}
+
+#[test]
+fn gather_then_plan_pays_additive_diameter() {
+    // Theorem-4-adjacent sanity: the §4.2 scheme's makespan is the inner
+    // plan's plus the (symmetrized) diameter, never multiplicative.
+    let mut rng = StdRng::seed_from_u64(5);
+    let topology = ocd::graph::generate::paper_random(24, &mut rng);
+    let diameter = ocd::graph::algo::diameter(&topology).expect("connected") as usize;
+    let instance = ocd::core::scenario::single_file(topology, 12, 0);
+    let run = |kind: StrategyKind| {
+        let mut strategy = kind.build();
+        let mut run_rng = StdRng::seed_from_u64(77);
+        simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut run_rng)
+    };
+    let inner = run(StrategyKind::Global);
+    let gathered = run(StrategyKind::GatherThenPlan);
+    assert!(inner.success && gathered.success);
+    assert_eq!(gathered.steps, inner.steps + diameter);
+    assert_eq!(gathered.bandwidth, inner.bandwidth);
+}

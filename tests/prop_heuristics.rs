@@ -1,0 +1,146 @@
+//! Property-based tests over the heuristics and solvers on random
+//! instances: every strategy always yields a valid, successful,
+//! bound-respecting schedule; the exact solvers stay consistent with
+//! the bounds and with each other.
+
+use ocd::core::{bounds, validate, TokenSet};
+use ocd::prelude::{DiGraph, Instance, SimConfig, StrategyKind, Token, simulate, solve_focd, BnbOptions};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+/// Random connected symmetric instance with arbitrary have/want splits
+/// (every wanted token is owned somewhere by construction).
+fn arbitrary_instance() -> impl Strategy<Value = (Instance, u64)> {
+    (3usize..10, 1usize..6, 0u64..10_000).prop_map(|(n, m, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DiGraph::with_nodes(n);
+        // Random ring + chords: connected and symmetric.
+        for v in 0..n {
+            let u = (v + 1) % n;
+            g.add_edge_symmetric(g.node(v), g.node(u), rng.random_range(1..5)).unwrap();
+        }
+        for u in 0..n {
+            for v in (u + 2)..n {
+                if rng.random_bool(0.25) {
+                    g.add_edge_symmetric(g.node(u), g.node(v), rng.random_range(1..5)).unwrap();
+                }
+            }
+        }
+        let mut builder = Instance::builder(g, m);
+        for t in 0..m {
+            // Each token starts at 1..=2 random owners.
+            for _ in 0..rng.random_range(1..3) {
+                builder = builder.have(rng.random_range(0..n), [Token::new(t)]);
+            }
+        }
+        for v in 0..n {
+            let wants: Vec<Token> = (0..m)
+                .filter(|_| rng.random_bool(0.5))
+                .map(Token::new)
+                .collect();
+            builder = builder.want(v, wants);
+        }
+        (builder.build().unwrap(), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_strategy_completes_validates_and_respects_bounds(
+        (instance, seed) in arbitrary_instance()
+    ) {
+        prop_assert!(instance.is_satisfiable(), "ring graphs are connected");
+        let bw_lb = bounds::bandwidth_lower_bound(&instance);
+        let ms_lb = bounds::makespan_lower_bound(&instance);
+        for kind in StrategyKind::all() {
+            let mut strategy = kind.build();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+            let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut rng);
+            prop_assert!(report.success, "{} failed on seed {}", kind, seed);
+            let replay = validate::replay(&instance, &report.schedule);
+            prop_assert!(replay.is_ok(), "{}: {:?}", kind, replay.err());
+            prop_assert!(replay.unwrap().is_successful());
+            prop_assert!(report.bandwidth >= bw_lb, "{} broke the bandwidth bound", kind);
+            prop_assert!(report.steps >= ms_lb, "{} broke the makespan bound", kind);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed((instance, seed) in arbitrary_instance()) {
+        for kind in StrategyKind::paper_five() {
+            let run = |s: u64| {
+                let mut strategy = kind.build();
+                let mut rng = StdRng::seed_from_u64(s);
+                simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut rng).schedule
+            };
+            prop_assert_eq!(run(seed), run(seed), "{} not deterministic", kind);
+        }
+    }
+
+    #[test]
+    fn knowledge_delay_never_breaks_completion((instance, seed) in arbitrary_instance()) {
+        for delay in [1usize, 4] {
+            let config = SimConfig { knowledge_delay: delay, ..Default::default() };
+            let mut strategy = StrategyKind::Local.build();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report = simulate(&instance, strategy.as_mut(), &config, &mut rng);
+            prop_assert!(report.success, "local failed with delay {} on seed {}", delay, seed);
+        }
+    }
+}
+
+/// Tiny instances where the exact solver is feasible: heuristics never
+/// beat it and the decision procedure is consistent at the boundary.
+fn tiny_instance() -> impl Strategy<Value = Instance> {
+    (2usize..4, 1usize..3, 0u64..10_000).prop_map(|(n, m, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DiGraph::with_nodes(n);
+        for v in 0..n {
+            for u in 0..n {
+                if u != v && rng.random_bool(0.8) {
+                    g.add_edge(g.node(v), g.node(u), rng.random_range(1..3)).unwrap();
+                }
+            }
+        }
+        let mut builder = Instance::builder(g, m).have_set(0, TokenSet::full(m));
+        for v in 1..n {
+            builder = builder.want_set(v, TokenSet::full(m));
+        }
+        builder.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn exact_solver_is_a_true_minimum(instance in tiny_instance()) {
+        if !instance.is_satisfiable() {
+            return Ok(());
+        }
+        let exact = solve_focd(&instance, &BnbOptions::default()).unwrap();
+        // Decision procedure agrees at the boundary.
+        let opts = BnbOptions::default();
+        prop_assert!(ocd::solver::bnb::decide_focd(&instance, exact.makespan, &opts)
+            .unwrap()
+            .is_some());
+        if exact.makespan > 0 {
+            prop_assert!(ocd::solver::bnb::decide_focd(&instance, exact.makespan - 1, &opts)
+                .unwrap()
+                .is_none());
+        }
+        // The witness schedule is genuinely valid and successful.
+        let replay = validate::replay(&instance, &exact.schedule).unwrap();
+        prop_assert!(replay.is_successful());
+        prop_assert_eq!(exact.schedule.makespan(), exact.makespan);
+        // Bounds below, heuristics above.
+        prop_assert!(bounds::makespan_lower_bound(&instance) <= exact.makespan);
+        let mut strategy = StrategyKind::Global.build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut rng);
+        prop_assert!(report.success);
+        prop_assert!(report.steps >= exact.makespan);
+    }
+}

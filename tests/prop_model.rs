@@ -1,0 +1,194 @@
+//! Property-based tests of the core data structures: TokenSet against a
+//! BTreeSet model, schedule replay laws, and pruning invariants.
+
+use ocd::core::{prune, validate, Schedule, Token, TokenSet};
+use ocd::prelude::{DiGraph, Instance};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const UNIVERSE: usize = 180; // straddles several u64 blocks
+
+fn token_vec() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..UNIVERSE, 0..60)
+}
+
+fn to_set(tokens: &[usize]) -> TokenSet {
+    TokenSet::from_tokens(UNIVERSE, tokens.iter().map(|&i| Token::new(i)))
+}
+
+fn to_model(tokens: &[usize]) -> BTreeSet<usize> {
+    tokens.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn tokenset_matches_btreeset_model(a in token_vec(), b in token_vec()) {
+        let (sa, sb) = (to_set(&a), to_set(&b));
+        let (ma, mb) = (to_model(&a), to_model(&b));
+        prop_assert_eq!(sa.len(), ma.len());
+        prop_assert_eq!(sa.is_empty(), ma.is_empty());
+        let union: BTreeSet<usize> = ma.union(&mb).copied().collect();
+        let inter: BTreeSet<usize> = ma.intersection(&mb).copied().collect();
+        let diff: BTreeSet<usize> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(
+            sa.union(&sb).iter().map(Token::index).collect::<BTreeSet<_>>(),
+            union
+        );
+        prop_assert_eq!(
+            sa.intersection(&sb).iter().map(Token::index).collect::<BTreeSet<_>>(),
+            inter
+        );
+        prop_assert_eq!(
+            sa.difference(&sb).iter().map(Token::index).collect::<BTreeSet<_>>(),
+            diff.clone()
+        );
+        prop_assert_eq!(sa.difference_len(&sb), diff.len());
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.intersects(&sb), !ma.is_disjoint(&mb));
+    }
+
+    #[test]
+    fn tokenset_iteration_sorted_dedup(a in token_vec()) {
+        let s = to_set(&a);
+        let items: Vec<usize> = s.iter().map(Token::index).collect();
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(items, sorted);
+    }
+
+    #[test]
+    fn tokenset_truncate_is_prefix(a in token_vec(), n in 0usize..70) {
+        let s = to_set(&a);
+        let mut t = s.clone();
+        t.truncate(n);
+        prop_assert_eq!(t.len(), s.len().min(n));
+        let expected: Vec<Token> = s.iter().take(n).collect();
+        prop_assert_eq!(t.iter().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn tokenset_next_cyclic_always_member(a in token_vec(), from in 0usize..UNIVERSE) {
+        let s = to_set(&a);
+        match s.next_cyclic(Token::new(from)) {
+            None => prop_assert!(s.is_empty()),
+            Some(t) => {
+                prop_assert!(s.contains(t));
+                // It is the smallest member ≥ from, or the overall
+                // smallest if none.
+                let expected = s.iter().find(|t| t.index() >= from).or_else(|| s.first());
+                prop_assert_eq!(Some(t), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn tokenset_serde_round_trip(a in token_vec()) {
+        let s = to_set(&a);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TokenSet = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(s, back);
+    }
+}
+
+/// Builds a random — always valid — schedule on a random symmetric
+/// graph by greedily flooding random subsets, then returns everything
+/// needed to assert replay/prune laws.
+fn arbitrary_valid_run() -> impl Strategy<Value = (Instance, Schedule)> {
+    (2usize..7, 1usize..5, 0u64..1000).prop_map(|(n, m, seed)| {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DiGraph::with_nodes(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.random_bool(0.7) {
+                    g.add_edge_symmetric(g.node(u), g.node(v), rng.random_range(1..4)).unwrap();
+                }
+            }
+        }
+        // Stitch to guarantee satisfiability of all-want-all.
+        let mut builder = Instance::builder(g, m).have_set(0, TokenSet::full(m));
+        for v in 1..n {
+            if rng.random_bool(0.6) {
+                builder = builder.want_set(v, TokenSet::full(m));
+            }
+        }
+        let instance = builder.build().unwrap();
+
+        // Random valid schedule: a few steps of random legal sends.
+        let mut possession: Vec<TokenSet> = instance.have_all().to_vec();
+        let mut schedule = Schedule::new();
+        let steps = rng.random_range(0..6);
+        for _ in 0..steps {
+            let mut sends = Vec::new();
+            let mut arriving: Vec<TokenSet> = possession.clone();
+            for e in instance.graph().edge_ids() {
+                let arc = instance.graph().edge(e);
+                let mut candidates = possession[arc.src.index()].clone();
+                if candidates.is_empty() || rng.random_bool(0.3) {
+                    continue;
+                }
+                // Random subset up to capacity (may include re-sends —
+                // legal, wasteful, exactly what pruning must handle).
+                let mut chosen = TokenSet::new(m);
+                let pool: Vec<Token> = candidates.iter().collect();
+                for t in pool {
+                    if chosen.len() < arc.capacity as usize && rng.random_bool(0.5) {
+                        chosen.insert(t);
+                    }
+                }
+                candidates.clear();
+                if !chosen.is_empty() {
+                    arriving[arc.dst.index()].union_with(&chosen);
+                    sends.push((e, chosen));
+                }
+            }
+            possession = arriving;
+            schedule.push_step(sends);
+        }
+        (instance, schedule)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn replay_accepts_constructed_valid_schedules((instance, schedule) in arbitrary_valid_run()) {
+        let replay = validate::replay(&instance, &schedule);
+        prop_assert!(replay.is_ok(), "constructed-valid schedule rejected: {:?}", replay.err());
+    }
+
+    #[test]
+    fn prune_preserves_validity_success_and_metrics(
+        (instance, schedule) in arbitrary_valid_run()
+    ) {
+        let before = validate::replay(&instance, &schedule).unwrap();
+        let (pruned, stats) = prune::prune(&instance, &schedule);
+        prop_assert_eq!(pruned.makespan(), schedule.makespan());
+        prop_assert_eq!(pruned.bandwidth() + stats.total_removed(), schedule.bandwidth());
+        let after = validate::replay(&instance, &pruned).unwrap();
+        prop_assert_eq!(before.is_successful(), after.is_successful());
+        // Wanted tokens that arrived still arrive.
+        for v in instance.graph().nodes() {
+            let want = instance.want(v);
+            let got_before = want.intersection(before.possession(schedule.makespan(), v));
+            let got_after = want.intersection(after.possession(pruned.makespan(), v));
+            prop_assert_eq!(got_before, got_after, "pruning lost a wanted delivery at {}", v);
+        }
+        // Pruning is idempotent.
+        let (pruned2, stats2) = prune::prune(&instance, &pruned);
+        prop_assert_eq!(stats2.total_removed(), 0, "pruning not idempotent");
+        prop_assert_eq!(pruned2, pruned);
+    }
+
+    #[test]
+    fn schedule_serde_round_trip((instance, schedule) in arbitrary_valid_run()) {
+        let json = serde_json::to_string(&schedule).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &schedule);
+        let json = serde_json::to_string(&instance).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &instance);
+    }
+}

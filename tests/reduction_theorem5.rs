@@ -1,0 +1,64 @@
+//! Theorem 5 as a property: for random graphs, Dominating-Set(k) holds
+//! iff the reduced FOCD instance completes in two timesteps, and the
+//! extracted witness always dominates.
+
+use ocd::graph::algo::{dominating_set_exact, dominating_set_greedy, is_dominating_set};
+use ocd::prelude::*;
+use ocd::solver::bnb::{decide_focd, BnbOptions};
+use ocd::solver::reduction::{dominating_set_from_schedule, focd_from_dominating_set};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+fn random_undirected(n: usize, p: f64, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p) {
+                g.add_edge_symmetric(g.node(u), g.node(v), 1).unwrap();
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reduction_is_an_iff(n in 2usize..6, seed in 0u64..5_000, p in 0.2f64..0.8) {
+        let g = random_undirected(n, p, seed);
+        let gamma = dominating_set_exact(&g).len();
+        for k in 1..n {
+            let (instance, layout) = focd_from_dominating_set(&g, k);
+            let schedule = decide_focd(&instance, 2, &BnbOptions::default()).unwrap();
+            prop_assert_eq!(
+                schedule.is_some(),
+                gamma <= k,
+                "n={} k={} gamma={} seed={}", n, k, gamma, seed
+            );
+            if let Some(s) = schedule {
+                let witness = dominating_set_from_schedule(&layout, &instance, &s);
+                prop_assert!(witness.len() <= k, "witness too large");
+                prop_assert!(is_dominating_set(&g, &witness), "witness does not dominate");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_dominating_set_is_valid_and_bounded(
+        n in 1usize..20, seed in 0u64..5_000, p in 0.0f64..1.0
+    ) {
+        let g = random_undirected(n, p, seed);
+        let greedy = dominating_set_greedy(&g);
+        prop_assert!(is_dominating_set(&g, &greedy));
+        if n <= 10 {
+            let exact = dominating_set_exact(&g);
+            prop_assert!(is_dominating_set(&g, &exact));
+            prop_assert!(exact.len() <= greedy.len());
+            // ln-approximation sanity: greedy ≤ (1 + ln n) · exact.
+            let bound = (1.0 + (n as f64).ln()) * exact.len() as f64;
+            prop_assert!(greedy.len() as f64 <= bound + 1e-9);
+        }
+    }
+}
