@@ -67,7 +67,9 @@ fn kernels(c: &mut Criterion) {
         let g = ocd_graph::generate::classic::path(5, 1, true);
         b.iter(|| {
             let (instance, _) = focd_from_dominating_set(&g, 2);
-            decide_focd(&instance, 2, &BnbOptions::default()).unwrap().is_some()
+            decide_focd(&instance, 2, &BnbOptions::default())
+                .unwrap()
+                .is_some()
         });
     });
 

@@ -36,7 +36,12 @@ fn medium_report() -> (ocd_core::Instance, ocd_core::Schedule) {
     let topology = paper_random(60, &mut rng);
     let instance = single_file(topology, 60, 0);
     let mut strategy = StrategyKind::Random.build();
-    let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut rng);
+    let report = simulate(
+        &instance,
+        strategy.as_mut(),
+        &SimConfig::default(),
+        &mut rng,
+    );
     assert!(report.success);
     (instance, report.schedule)
 }
@@ -91,6 +96,146 @@ fn bench_strategy_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sends exactly one token from the seeder to one neighbour per step,
+/// cycling through (arc, token) pairs. Planning is O(1), so a run's
+/// cost is almost entirely the engine's own step-loop bookkeeping —
+/// exactly what the incremental-aggregates rework targets.
+struct DripFeed {
+    source: usize,
+    out_edges: Vec<ocd_graph::EdgeId>,
+}
+
+impl DripFeed {
+    fn new() -> Self {
+        DripFeed {
+            source: 0,
+            out_edges: Vec::new(),
+        }
+    }
+}
+
+impl ocd_heuristics::Strategy for DripFeed {
+    fn name(&self) -> &'static str {
+        "drip-feed"
+    }
+    fn tier(&self) -> ocd_heuristics::KnowledgeTier {
+        ocd_heuristics::KnowledgeTier::Global
+    }
+    fn reset(&mut self, instance: &ocd_core::Instance) {
+        self.source = instance
+            .have_all()
+            .iter()
+            .position(|h| !h.is_empty())
+            .expect("instance has a seeder");
+        let g = instance.graph();
+        self.out_edges = g
+            .edge_ids()
+            .filter(|&e| g.edge(e).src.index() == self.source)
+            .collect();
+    }
+    fn plan_step(
+        &mut self,
+        view: &WorldView<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Vec<(ocd_graph::EdgeId, TokenSet)> {
+        let m = view.instance.num_tokens();
+        let edge = self.out_edges[view.step % self.out_edges.len()];
+        let token = Token::new((view.step / self.out_edges.len()) % m);
+        vec![(edge, TokenSet::from_tokens(m, [token]))]
+    }
+}
+
+/// Wraps a strategy and redoes, in every `plan_step`, the three full
+/// O(n·m) rescans the engine performed per step before the incremental
+/// aggregates landed: `AggregateKnowledge::compute`, the
+/// `remaining_need` sum, and the per-vertex completion check.
+/// Benchmarking `simulate` with and without this wrapper isolates the
+/// cost the incremental counters removed.
+struct RecomputeEveryStep<S>(S);
+
+impl<S: ocd_heuristics::Strategy> ocd_heuristics::Strategy for RecomputeEveryStep<S> {
+    fn name(&self) -> &'static str {
+        "recompute-every-step"
+    }
+    fn tier(&self) -> ocd_heuristics::KnowledgeTier {
+        self.0.tier()
+    }
+    fn reset(&mut self, instance: &ocd_core::Instance) {
+        self.0.reset(instance);
+    }
+    fn plan_step(
+        &mut self,
+        view: &WorldView<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<(ocd_graph::EdgeId, TokenSet)> {
+        let want = view.instance.want_all();
+        std::hint::black_box(AggregateKnowledge::compute(
+            view.instance.num_tokens(),
+            view.possession,
+            want,
+        ));
+        std::hint::black_box(
+            want.iter()
+                .zip(view.possession)
+                .map(|(w, p)| w.difference_len(p) as u64)
+                .sum::<u64>(),
+        );
+        std::hint::black_box(
+            want.iter()
+                .zip(view.possession)
+                .filter(|(w, p)| w.is_subset(p))
+                .count(),
+        );
+        self.0.plan_step(view, rng)
+    }
+    fn may_idle(&self, step: usize) -> bool {
+        self.0.may_idle(step)
+    }
+}
+
+fn bench_engine_step_loop(c: &mut Criterion) {
+    // The ISSUE's acceptance workload: 200 vertices, 256 tokens. The
+    // drip-feed strategy keeps planning and delivery cost negligible, so
+    // the two arms differ only in the engine-side per-step work.
+    let mut rng = StdRng::seed_from_u64(11);
+    let topology = paper_random(200, &mut rng);
+    let instance = single_file(topology, 256, 0);
+    let config = SimConfig {
+        max_steps: 256,
+        ..SimConfig::default()
+    };
+    let mut group = c.benchmark_group("engine_step_loop_n200_m256");
+    group.sample_size(10);
+    group.bench_function("incremental", |b| {
+        b.iter_batched(
+            || (DripFeed::new(), StdRng::seed_from_u64(1)),
+            |(mut s, mut run_rng)| {
+                let report = simulate(&instance, &mut s, &config, &mut run_rng);
+                assert_eq!(report.steps, 256);
+                report.bandwidth
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("recompute_reference", |b| {
+        b.iter_batched(
+            || {
+                (
+                    RecomputeEveryStep(DripFeed::new()),
+                    StdRng::seed_from_u64(1),
+                )
+            },
+            |(mut s, mut run_rng)| {
+                let report = simulate(&instance, &mut s, &config, &mut run_rng);
+                assert_eq!(report.steps, 256);
+                report.bandwidth
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
 fn bench_exact_solvers(c: &mut Criterion) {
     let instance = figure_one();
     let mut group = c.benchmark_group("exact_small");
@@ -131,6 +276,7 @@ criterion_group!(
     bench_tokenset,
     bench_schedule_ops,
     bench_strategy_step,
+    bench_engine_step_loop,
     bench_exact_solvers,
     bench_generators
 );

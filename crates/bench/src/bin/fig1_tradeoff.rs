@@ -24,16 +24,16 @@ fn main() {
         exact_time.makespan,
         exact_time.schedule.bandwidth()
     );
-    let at_min_time = min_bandwidth_for_horizon(&instance, exact_time.makespan, &MipOptions::default())
-        .expect("mip ok")
-        .expect("feasible at the exact minimum");
+    let at_min_time =
+        min_bandwidth_for_horizon(&instance, exact_time.makespan, &MipOptions::default())
+            .expect("mip ok")
+            .expect("feasible at the exact minimum");
     println!(
         "IP minimum bandwidth at {} steps: {}",
         exact_time.makespan, at_min_time.bandwidth
     );
 
-    let frontier =
-        pareto_frontier(&instance, 1..=5, &MipOptions::default()).expect("mip ok");
+    let frontier = pareto_frontier(&instance, 1..=5, &MipOptions::default()).expect("mip ok");
     let mut table = Table::new(["timesteps", "min_bandwidth"]);
     for (tau, bw) in &frontier {
         table.row([tau.to_string(), bw.to_string()]);
@@ -44,10 +44,7 @@ fn main() {
         .expect("write csv");
 
     let min_time = frontier.first().copied();
-    let min_bw_point = frontier
-        .iter()
-        .copied()
-        .min_by_key(|&(t, b)| (b, t));
+    let min_bw_point = frontier.iter().copied().min_by_key(|&(t, b)| (b, t));
     println!("paper caption:   min-time (2 steps, 6 bw); min-bandwidth (3 steps, 4 bw)");
     println!(
         "measured:        min-time ({} steps, {} bw); min-bandwidth ({} steps, {} bw)",

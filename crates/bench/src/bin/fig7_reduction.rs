@@ -16,7 +16,11 @@ use rand::prelude::*;
 
 fn main() {
     let args = ExpArgs::from_env();
-    let sizes: &[usize] = if args.quick { &[3, 4] } else { &[3, 4, 5, 6, 7] };
+    let sizes: &[usize] = if args.quick {
+        &[3, 4]
+    } else {
+        &[3, 4, 5, 6, 7]
+    };
     let graphs_per_size = if args.quick { 2 } else { 4 };
 
     let mut table = Table::new([

@@ -18,10 +18,8 @@ use ocd_bench::args::ExpArgs;
 use ocd_bench::stats::Summary;
 use ocd_bench::table::Table;
 use ocd_core::{prune, Instance};
-use ocd_heuristics::{
-    simulate, BandwidthCautious, GlobalGreedy, LocalRarest, SimConfig, Strategy,
-};
 use ocd_graph::generate::paper_random;
+use ocd_heuristics::{simulate, BandwidthCautious, GlobalGreedy, LocalRarest, SimConfig, Strategy};
 use rand::prelude::*;
 
 fn variants() -> Vec<Box<dyn Strategy>> {
@@ -61,7 +59,11 @@ fn run_block(table: &mut Table, scenario: &str, instance: &Instance, seeds: &[u6
 
 fn main() {
     let args = ExpArgs::from_env();
-    let (n, tokens, files) = if args.quick { (40, 48, 8) } else { (120, 192, 16) };
+    let (n, tokens, files) = if args.quick {
+        (40, 48, 8)
+    } else {
+        (120, 192, 16)
+    };
     let seeds: Vec<u64> = (0..if args.quick { 2 } else { 5 })
         .map(|i| args.seed.wrapping_add(i))
         .collect();

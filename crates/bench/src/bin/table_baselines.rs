@@ -18,18 +18,31 @@ use rand::prelude::*;
 
 fn contenders() -> Vec<(String, Box<dyn Strategy>)> {
     vec![
-        ("tree-stripe-k1 (Overcast-ish)".into(), Box::new(TreeStripe::new(1)) as Box<dyn Strategy>),
-        ("tree-stripe-k4 (SplitStream-ish)".into(), Box::new(TreeStripe::new(4))),
+        (
+            "tree-stripe-k1 (Overcast-ish)".into(),
+            Box::new(TreeStripe::new(1)) as Box<dyn Strategy>,
+        ),
+        (
+            "tree-stripe-k4 (SplitStream-ish)".into(),
+            Box::new(TreeStripe::new(4)),
+        ),
         ("round-robin".into(), StrategyKind::RoundRobin.build()),
         ("random".into(), StrategyKind::Random.build()),
-        ("local (Bullet-ish mesh)".into(), StrategyKind::Local.build()),
+        (
+            "local (Bullet-ish mesh)".into(),
+            StrategyKind::Local.build(),
+        ),
         ("global".into(), StrategyKind::Global.build()),
     ]
 }
 
 fn main() {
     let args = ExpArgs::from_env();
-    let (n, tokens, runs) = if args.quick { (30, 32, 2) } else { (100, 128, 5) };
+    let (n, tokens, runs) = if args.quick {
+        (30, 32, 2)
+    } else {
+        (100, 128, 5)
+    };
     let mut table = Table::new(["architecture", "moves", "bandwidth", "pruned_bw"]);
 
     let mut rng = StdRng::seed_from_u64(args.seed);
@@ -47,7 +60,12 @@ fn main() {
         let mut pruned_bw = Vec::new();
         for r in 0..runs {
             let mut run_rng = StdRng::seed_from_u64(args.seed ^ r);
-            let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut run_rng);
+            let report = simulate(
+                &instance,
+                strategy.as_mut(),
+                &SimConfig::default(),
+                &mut run_rng,
+            );
             assert!(report.success, "{label} failed");
             moves.push(report.steps as u64);
             bw.push(report.bandwidth);

@@ -23,7 +23,13 @@ fn main() {
         &[1.0, 1.125, 1.25, 1.5, 2.0]
     };
 
-    let mut table = Table::new(["redundancy", "coded_tokens", "steps", "transfers", "steps_lb"]);
+    let mut table = Table::new([
+        "redundancy",
+        "coded_tokens",
+        "steps",
+        "transfers",
+        "steps_lb",
+    ]);
     for &ratio in ratios {
         let coded = ((k as f64) * ratio).round() as usize;
         let mut steps = Vec::new();

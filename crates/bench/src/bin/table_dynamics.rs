@@ -7,11 +7,11 @@ use ocd_bench::args::ExpArgs;
 use ocd_bench::stats::Summary;
 use ocd_bench::table::Table;
 use ocd_core::bounds;
+use ocd_graph::generate::paper_random;
 use ocd_heuristics::dynamics::{
     AdversarialCuts, Churn, CrossTraffic, LinkOutages, NetworkDynamics, StaticNetwork,
 };
 use ocd_heuristics::{simulate_dynamic, SimConfig, StrategyKind};
-use ocd_graph::generate::paper_random;
 use rand::prelude::*;
 
 /// A named factory producing a fresh dynamics model per run.
@@ -20,9 +20,18 @@ type ConditionFactory = Box<dyn FnMut() -> Box<dyn NetworkDynamics>>;
 fn conditions() -> Vec<(&'static str, ConditionFactory)> {
     vec![
         ("static", Box::new(|| Box::new(StaticNetwork))),
-        ("cross-traffic-50%", Box::new(|| Box::new(CrossTraffic::new(0.5)))),
-        ("outages-10/50", Box::new(|| Box::new(LinkOutages::new(0.10, 0.50)))),
-        ("churn-5/30", Box::new(|| Box::new(Churn::new(0.05, 0.30, vec![0])))),
+        (
+            "cross-traffic-50%",
+            Box::new(|| Box::new(CrossTraffic::new(0.5))),
+        ),
+        (
+            "outages-10/50",
+            Box::new(|| Box::new(LinkOutages::new(0.10, 0.50))),
+        ),
+        (
+            "churn-5/30",
+            Box::new(|| Box::new(Churn::new(0.05, 0.30, vec![0]))),
+        ),
         // A rotating adversary (cooldown 2) slows distribution;
         // a persistent one permanently blocks the last needy vertex
         // whenever its budget covers that vertex's useful in-arcs.
@@ -41,7 +50,11 @@ fn main() {
     let args = ExpArgs::from_env();
     let (n, tokens) = if args.quick { (24, 24) } else { (60, 64) };
     let runs = if args.quick { 2 } else { 5 };
-    let kinds = [StrategyKind::Random, StrategyKind::Local, StrategyKind::Global];
+    let kinds = [
+        StrategyKind::Random,
+        StrategyKind::Local,
+        StrategyKind::Global,
+    ];
     let config = SimConfig {
         max_steps: 5_000,
         ..Default::default()

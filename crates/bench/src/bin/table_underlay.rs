@@ -20,9 +20,16 @@ use rand::prelude::*;
 
 fn main() {
     let args = ExpArgs::from_env();
-    let (phys_target, overlay_n, tokens, runs) =
-        if args.quick { (40, 12, 16, 2) } else { (150, 40, 64, 5) };
-    let kinds = [StrategyKind::Random, StrategyKind::Local, StrategyKind::Global];
+    let (phys_target, overlay_n, tokens, runs) = if args.quick {
+        (40, 12, 16, 2)
+    } else {
+        (150, 40, 64, 5)
+    };
+    let kinds = [
+        StrategyKind::Random,
+        StrategyKind::Local,
+        StrategyKind::Global,
+    ];
     let config = SimConfig {
         max_steps: 50_000,
         ..Default::default()
@@ -54,7 +61,9 @@ fn main() {
             // Overlay among the hosts: the paper's random-graph regime.
             let overlay = gnp(&GnpConfig::paper(overlay_n), &mut rng);
             let underlay = Underlay::new(physical.clone(), hosts).expect("hosts in range");
-            let mapping = underlay.map_overlay(&overlay).expect("physical net is connected");
+            let mapping = underlay
+                .map_overlay(&overlay)
+                .expect("physical net is connected");
             let instance = single_file(overlay, tokens, 0);
 
             let mut s1 = kind.build();

@@ -3,7 +3,7 @@
 //! The paper repeats each heuristic 3 times per graph (§5.2, noting the
 //! variance is tiny); [`evaluate`] generalizes that: it runs every
 //! requested strategy across a seed list — in parallel across runs via
-//! `crossbeam` scoped threads — and reports summary statistics of the
+//! [`std::thread::scope`] — and reports summary statistics of the
 //! paper's metrics: **moves** (timesteps, the figures' y-axis name for
 //! makespan), **bandwidth** (token transfers), and **pruned bandwidth**
 //! (after the §5.1 post-processing).
@@ -28,6 +28,9 @@ pub struct StrategyStats {
     pub bandwidth: Summary,
     /// Bandwidth after §5.1 pruning.
     pub pruned_bandwidth: Summary,
+    /// Wall-clock milliseconds per run (successful runs only), from the
+    /// engine's [`ocd_heuristics::SimReport::wall_nanos`] instrumentation.
+    pub wall_ms: Summary,
 }
 
 /// Instance-level bounds quoted alongside the heuristics in the figures.
@@ -67,6 +70,7 @@ pub fn evaluate(
         moves: u64,
         bandwidth: u64,
         pruned: u64,
+        wall_ms: f64,
     }
     let run_one = |kind: StrategyKind, seed: u64| -> RunOutcome {
         let mut strategy = kind.build();
@@ -78,6 +82,7 @@ pub fn evaluate(
             moves: report.steps as u64,
             bandwidth: report.bandwidth,
             pruned: pruned.bandwidth(),
+            wall_ms: report.wall_nanos as f64 / 1e6,
         }
     };
 
@@ -93,11 +98,13 @@ pub fn evaluate(
         .unwrap_or(4)
         .min(jobs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Vec<RunOutcome>>> =
-        kinds.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
-    crossbeam::thread::scope(|scope| {
+    let results: Vec<std::sync::Mutex<Vec<RunOutcome>>> = kinds
+        .iter()
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(ki, seed)) = jobs.get(i) else {
                     break;
@@ -106,8 +113,7 @@ pub fn evaluate(
                 results[ki].lock().expect("no poisoned runs").push(outcome);
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
     kinds
         .iter()
@@ -120,7 +126,10 @@ pub fn evaluate(
                 success_rate: ok.len() as f64 / outcomes.len().max(1) as f64,
                 moves: Summary::of_ints(&ok.iter().map(|o| o.moves).collect::<Vec<_>>()),
                 bandwidth: Summary::of_ints(&ok.iter().map(|o| o.bandwidth).collect::<Vec<_>>()),
-                pruned_bandwidth: Summary::of_ints(&ok.iter().map(|o| o.pruned).collect::<Vec<_>>()),
+                pruned_bandwidth: Summary::of_ints(
+                    &ok.iter().map(|o| o.pruned).collect::<Vec<_>>(),
+                ),
+                wall_ms: Summary::of(&ok.iter().map(|o| o.wall_ms).collect::<Vec<_>>()),
             }
         })
         .collect()
@@ -138,6 +147,7 @@ pub fn figure_table(param: &str) -> crate::table::Table {
         "bandwidth",
         "pruned_bw",
         "success",
+        "run_ms",
         "moves_lb",
         "bw_lb",
         "steiner_ub",
@@ -159,6 +169,7 @@ pub fn push_rows(
             s.bandwidth.to_string(),
             s.pruned_bandwidth.to_string(),
             format!("{:.0}%", s.success_rate * 100.0),
+            s.wall_ms.to_string(),
             bounds.makespan_lower.to_string(),
             bounds.bandwidth_lower.to_string(),
             bounds
@@ -194,6 +205,8 @@ mod tests {
         for s in &stats {
             assert_eq!(s.success_rate, 1.0, "{} failed runs", s.kind);
             assert_eq!(s.moves.n, 3);
+            assert_eq!(s.wall_ms.n, 3);
+            assert!(s.wall_ms.min > 0.0, "{} reported a free run", s.kind);
             assert!(
                 s.bandwidth.min >= bounds.bandwidth_lower as f64,
                 "{} beat the lower bound",

@@ -18,18 +18,24 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarizes a sample. Returns a zeroed summary for an empty one.
+    /// The summary of an empty sample: all statistics zero, `n = 0`.
+    /// Kept explicit (rather than relying on `∞`/`-∞` fold identities
+    /// leaking out of [`Summary::of`]) so "no observations" is an
+    /// honest, comparable value that displays as `-`.
+    pub const EMPTY: Summary = Summary {
+        mean: 0.0,
+        std: 0.0,
+        min: 0.0,
+        max: 0.0,
+        n: 0,
+    };
+
+    /// Summarizes a sample. Returns [`Summary::EMPTY`] for an empty one.
     #[must_use]
     pub fn of(values: &[f64]) -> Summary {
         let n = values.len();
         if n == 0 {
-            return Summary {
-                mean: 0.0,
-                std: 0.0,
-                min: 0.0,
-                max: 0.0,
-                n: 0,
-            };
+            return Summary::EMPTY;
         }
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -54,12 +60,15 @@ impl Summary {
     }
 }
 
+/// `-` for no observations, the bare mean for a single one, and
+/// `mean±std` for real samples — including `±0.0`, so a zero-variance
+/// sample is distinguishable from a singleton in the tables.
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.n <= 1 || self.std == 0.0 {
-            write!(f, "{:.1}", self.mean)
-        } else {
-            write!(f, "{:.1}±{:.1}", self.mean, self.std)
+        match self.n {
+            0 => write!(f, "-"),
+            1 => write!(f, "{:.1}", self.mean),
+            _ => write!(f, "{:.1}±{:.1}", self.mean, self.std),
         }
     }
 }
@@ -71,8 +80,12 @@ mod tests {
     #[test]
     fn empty_sample() {
         let s = Summary::of(&[]);
+        assert_eq!(s, Summary::EMPTY);
         assert_eq!(s.n, 0);
         assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0.0, "no ∞ fold identity may leak");
+        assert_eq!(s.max, 0.0, "no -∞ fold identity may leak");
+        assert_eq!(s.to_string(), "-", "empty samples display explicitly");
     }
 
     #[test]
@@ -82,7 +95,18 @@ mod tests {
         assert_eq!(s.std, 0.0);
         assert_eq!(s.min, 4.0);
         assert_eq!(s.max, 4.0);
-        assert_eq!(s.to_string(), "4.0");
+        assert_eq!(s.to_string(), "4.0", "singletons display the bare mean");
+    }
+
+    #[test]
+    fn zero_variance_sample_still_shows_deviation() {
+        // Before, `std == 0.0` silently collapsed to the bare-mean form,
+        // making a 100-run zero-variance sample indistinguishable from a
+        // single run.
+        let s = Summary::of_ints(&[3, 3, 3]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.to_string(), "3.0±0.0");
     }
 
     #[test]

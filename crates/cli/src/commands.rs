@@ -225,8 +225,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
         }
         Command::Validate { instance, schedule } => {
             let inst = load_instance(instance)?;
-            let text = std::fs::read_to_string(schedule)
-                .map_err(|e| format!("read {schedule}: {e}"))?;
+            let text =
+                std::fs::read_to_string(schedule).map_err(|e| format!("read {schedule}: {e}"))?;
             let sched: Schedule =
                 serde_json::from_str(&text).map_err(|e| format!("parse {schedule}: {e}"))?;
             let replay = ocd_core::validate::replay(&inst, &sched)
@@ -264,7 +264,10 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     let _ = writeln!(
                         out,
                         "witness: {{{}}}",
-                        ds.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                        ds.iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     );
                     debug_assert!(algo::is_dominating_set(&g, &ds));
                 }
@@ -274,7 +277,11 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Compare { instance, runs, seed } => {
+        Command::Compare {
+            instance,
+            runs,
+            seed,
+        } => {
             let inst = load_instance(instance)?;
             let mut out = String::new();
             let _ = writeln!(
@@ -324,10 +331,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
 /// Parses a dynamics spec: `static`, `cross:F`, `outages:P:Q`,
 /// `churn:P:Q` (source vertex 0 pinned), `adversary:B[:C]`.
 fn parse_dynamics(spec: &str) -> Result<Box<dyn ocd_heuristics::NetworkDynamics>, String> {
-    use ocd_heuristics::dynamics::{AdversarialCuts, Churn, CrossTraffic, LinkOutages, StaticNetwork};
+    use ocd_heuristics::dynamics::{
+        AdversarialCuts, Churn, CrossTraffic, LinkOutages, StaticNetwork,
+    };
     let parts: Vec<&str> = spec.split(':').collect();
     let num = |raw: &str| -> Result<f64, String> {
-        raw.parse().map_err(|_| format!("invalid number `{raw}` in dynamics `{spec}`"))
+        raw.parse()
+            .map_err(|_| format!("invalid number `{raw}` in dynamics `{spec}`"))
     };
     match parts.as_slice() {
         ["static"] => Ok(Box::new(StaticNetwork)),
@@ -399,18 +409,41 @@ mod tests {
         let inst = tmp("pipeline_inst.json");
         let sched = tmp("pipeline_sched.json");
         let out = run(&[
-            "generate", "--topology", "random", "--nodes", "12", "--seed", "3", "--out", &topo,
+            "generate",
+            "--topology",
+            "random",
+            "--nodes",
+            "12",
+            "--seed",
+            "3",
+            "--out",
+            &topo,
         ])
         .unwrap();
         assert!(out.contains("written to"));
         run(&[
-            "instance", "--graph", &topo, "--scenario", "single-file", "--tokens", "8", "--out",
+            "instance",
+            "--graph",
+            &topo,
+            "--scenario",
+            "single-file",
+            "--tokens",
+            "8",
+            "--out",
             &inst,
         ])
         .unwrap();
         let report = run(&[
-            "run", "--instance", &inst, "--strategy", "global", "--seed", "5", "--prune",
-            "--schedule", &sched,
+            "run",
+            "--instance",
+            &inst,
+            "--strategy",
+            "global",
+            "--seed",
+            "5",
+            "--prune",
+            "--schedule",
+            &sched,
         ])
         .unwrap();
         assert!(report.contains("success:    true"));
@@ -425,13 +458,25 @@ mod tests {
     fn solve_figure_one_both_objectives() {
         let inst = tmp("fig1.json");
         run(&[
-            "instance", "--graph", "unused", "--scenario", "figure-one", "--out", &inst,
+            "instance",
+            "--graph",
+            "unused",
+            "--scenario",
+            "figure-one",
+            "--out",
+            &inst,
         ])
         .unwrap();
         let time = run(&["solve", "--instance", &inst, "--objective", "time"]).unwrap();
         assert!(time.contains("optimal makespan: 2"));
         let bw = run(&[
-            "solve", "--instance", &inst, "--objective", "bandwidth", "--horizon", "3",
+            "solve",
+            "--instance",
+            &inst,
+            "--objective",
+            "bandwidth",
+            "--horizon",
+            "3",
         ])
         .unwrap();
         assert!(bw.contains("optimal bandwidth within 3 steps: 4"));
@@ -440,7 +485,16 @@ mod tests {
     #[test]
     fn bounds_output() {
         let inst = tmp("bounds.json");
-        run(&["instance", "--graph", "x", "--scenario", "figure-one", "--out", &inst]).unwrap();
+        run(&[
+            "instance",
+            "--graph",
+            "x",
+            "--scenario",
+            "figure-one",
+            "--out",
+            &inst,
+        ])
+        .unwrap();
         let out = run(&["bounds", "--instance", &inst]).unwrap();
         assert!(out.contains("satisfiable:           true"));
         assert!(out.contains("bandwidth lower bound: 4"));
@@ -450,7 +504,15 @@ mod tests {
     fn reduce_ds_star() {
         let topo = tmp("star.txt");
         run(&[
-            "generate", "--topology", "star", "--nodes", "5", "--cap", "1..1", "--out", &topo,
+            "generate",
+            "--topology",
+            "star",
+            "--nodes",
+            "5",
+            "--cap",
+            "1..1",
+            "--out",
+            &topo,
         ])
         .unwrap();
         let yes = run(&["reduce-ds", "--graph", &topo, "--k", "1"]).unwrap();
@@ -462,11 +524,26 @@ mod tests {
         let topo = tmp("cmp_topo.txt");
         let inst = tmp("cmp_inst.json");
         run(&[
-            "generate", "--topology", "cycle", "--nodes", "6", "--cap", "2..2", "--out", &topo,
+            "generate",
+            "--topology",
+            "cycle",
+            "--nodes",
+            "6",
+            "--cap",
+            "2..2",
+            "--out",
+            &topo,
         ])
         .unwrap();
         run(&[
-            "instance", "--graph", &topo, "--scenario", "single-file", "--tokens", "6", "--out",
+            "instance",
+            "--graph",
+            &topo,
+            "--scenario",
+            "single-file",
+            "--tokens",
+            "6",
+            "--out",
             &inst,
         ])
         .unwrap();
@@ -480,26 +557,62 @@ mod tests {
         let topo = tmp("dyn_topo.txt");
         let inst = tmp("dyn_inst.json");
         run(&[
-            "generate", "--topology", "cycle", "--nodes", "8", "--cap", "3..3", "--out", &topo,
+            "generate",
+            "--topology",
+            "cycle",
+            "--nodes",
+            "8",
+            "--cap",
+            "3..3",
+            "--out",
+            &topo,
         ])
         .unwrap();
         run(&[
-            "instance", "--graph", &topo, "--scenario", "single-file", "--tokens", "6", "--out",
+            "instance",
+            "--graph",
+            &topo,
+            "--scenario",
+            "single-file",
+            "--tokens",
+            "6",
+            "--out",
             &inst,
         ])
         .unwrap();
-        for spec in ["static", "cross:0.5", "outages:0.2:0.6", "churn:0.1:0.5", "adversary:1:2"] {
+        for spec in [
+            "static",
+            "cross:0.5",
+            "outages:0.2:0.6",
+            "churn:0.1:0.5",
+            "adversary:1:2",
+        ] {
             let out = run(&[
-                "run", "--instance", &inst, "--strategy", "local", "--dynamics", spec, "--seed",
+                "run",
+                "--instance",
+                &inst,
+                "--strategy",
+                "local",
+                "--dynamics",
+                spec,
+                "--seed",
                 "4",
             ])
             .unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert!(out.contains(&format!("dynamics:   {spec}")), "{spec}");
             assert!(out.contains("success:    true"), "{spec}: {out}");
         }
-        assert!(run(&["run", "--instance", &inst, "--strategy", "local", "--dynamics", "volcano"])
-            .unwrap_err()
-            .contains("unknown dynamics"));
+        assert!(run(&[
+            "run",
+            "--instance",
+            &inst,
+            "--strategy",
+            "local",
+            "--dynamics",
+            "volcano"
+        ])
+        .unwrap_err()
+        .contains("unknown dynamics"));
     }
 
     #[test]
@@ -507,11 +620,22 @@ mod tests {
         assert!(run(&["bounds", "--instance", "/nonexistent.json"])
             .unwrap_err()
             .contains("read"));
-        assert!(run(&["generate", "--topology", "klein-bottle", "--nodes", "4"])
-            .unwrap_err()
-            .contains("unknown topology"));
+        assert!(
+            run(&["generate", "--topology", "klein-bottle", "--nodes", "4"])
+                .unwrap_err()
+                .contains("unknown topology")
+        );
         let inst = tmp("err_inst.json");
-        run(&["instance", "--graph", "x", "--scenario", "figure-one", "--out", &inst]).unwrap();
+        run(&[
+            "instance",
+            "--graph",
+            "x",
+            "--scenario",
+            "figure-one",
+            "--out",
+            &inst,
+        ])
+        .unwrap();
         assert!(run(&["run", "--instance", &inst, "--strategy", "quantum"])
             .unwrap_err()
             .contains("unknown strategy"));

@@ -283,8 +283,17 @@ mod tests {
     #[test]
     fn generate_full() {
         let cmd = parse_ok(&[
-            "generate", "--topology", "random", "--nodes", "50", "--seed", "9", "--cap", "1..4",
-            "--out", "t.txt",
+            "generate",
+            "--topology",
+            "random",
+            "--nodes",
+            "50",
+            "--seed",
+            "9",
+            "--cap",
+            "1..4",
+            "--out",
+            "t.txt",
         ]);
         assert_eq!(
             cmd,
@@ -314,10 +323,20 @@ mod tests {
     #[test]
     fn run_with_switch() {
         let cmd = parse_ok(&[
-            "run", "--instance", "i.json", "--strategy", "global", "--prune",
+            "run",
+            "--instance",
+            "i.json",
+            "--strategy",
+            "global",
+            "--prune",
         ]);
         match cmd {
-            Command::Run { prune, max_steps, dynamics, .. } => {
+            Command::Run {
+                prune,
+                max_steps,
+                dynamics,
+                ..
+            } => {
                 assert!(prune);
                 assert_eq!(max_steps, 10_000);
                 assert!(dynamics.is_none());
@@ -333,8 +352,16 @@ mod tests {
         assert!(parse_err(&["generate", "--nodes", "3"]).contains("--topology"));
         assert!(parse_err(&["generate", "--topology", "path", "--nodes", "x"]).contains("invalid"));
         assert!(parse_err(&["run", "--instance"]).contains("requires a value"));
-        assert!(parse_err(&["generate", "--topology", "path", "--nodes", "3", "--cap", "5..2"])
-            .contains("empty"));
+        assert!(parse_err(&[
+            "generate",
+            "--topology",
+            "path",
+            "--nodes",
+            "3",
+            "--cap",
+            "5..2"
+        ])
+        .contains("empty"));
         assert!(parse_err(&["generate", "positional"]).contains("positional"));
     }
 

@@ -56,7 +56,11 @@ pub fn bandwidth_lower_bound(instance: &Instance) -> u64 {
 /// Panics if slice lengths don't match the graph.
 #[must_use]
 pub fn remaining_makespan(g: &DiGraph, possession: &[TokenSet], want: &[TokenSet]) -> usize {
-    assert_eq!(g.node_count(), possession.len(), "possession length mismatch");
+    assert_eq!(
+        g.node_count(),
+        possession.len(),
+        "possession length mismatch"
+    );
     assert_eq!(g.node_count(), want.len(), "want length mismatch");
     let mut best = 0usize;
     for v in g.nodes() {
@@ -291,7 +295,10 @@ mod tests {
         // Pretend the token already advanced to vertex 2.
         let mut possession = inst.have_all().to_vec();
         possession[2].insert(tok(0));
-        assert_eq!(remaining_makespan(inst.graph(), &possession, inst.want_all()), 2);
+        assert_eq!(
+            remaining_makespan(inst.graph(), &possession, inst.want_all()),
+            2
+        );
     }
 
     #[test]

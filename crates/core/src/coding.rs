@@ -238,7 +238,8 @@ mod tests {
 
     #[test]
     fn single_source_shape() {
-        let inst = CodedInstance::single_source(classic::cycle(5, 2, true), CodedSpec::new(3, 6), 0);
+        let inst =
+            CodedInstance::single_source(classic::cycle(5, 2, true), CodedSpec::new(3, 6), 0);
         assert!(!inst.is_receiver(inst.graph().node(0)));
         assert!(inst.is_receiver(inst.graph().node(3)));
         assert!(!inst.is_satisfied(&inst.have));
@@ -246,7 +247,8 @@ mod tests {
 
     #[test]
     fn threshold_satisfaction() {
-        let inst = CodedInstance::single_source(classic::path(2, 5, false), CodedSpec::new(2, 4), 0);
+        let inst =
+            CodedInstance::single_source(classic::path(2, 5, false), CodedSpec::new(2, 4), 0);
         let mut possession = inst.have.clone();
         possession[1].insert(Token::new(1));
         assert!(!inst.is_satisfied(&possession), "1 of 2 needed");

@@ -70,7 +70,10 @@ impl fmt::Display for InstanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InstanceError::VertexOutOfBounds { vertex, node_count } => {
-                write!(f, "vertex {vertex} out of bounds for a graph with {node_count} nodes")
+                write!(
+                    f,
+                    "vertex {vertex} out of bounds for a graph with {node_count} nodes"
+                )
             }
             InstanceError::OrphanToken { token } => {
                 write!(f, "token {token} is wanted but no vertex initially has it")
@@ -377,7 +380,10 @@ mod tests {
     #[test]
     fn builder_rejects_out_of_bounds_vertex() {
         let g = classic::path(2, 1, true);
-        let err = Instance::builder(g, 1).have(5, [tok(0)]).build().unwrap_err();
+        let err = Instance::builder(g, 1)
+            .have(5, [tok(0)])
+            .build()
+            .unwrap_err();
         assert_eq!(
             err,
             InstanceError::VertexOutOfBounds {

@@ -78,6 +78,53 @@ impl AggregateKnowledge {
     pub fn total_need(&self) -> u64 {
         self.need_counts.iter().map(|&c| u64::from(c)).sum()
     }
+
+    /// Incrementally applies one vertex's deliveries: deliveries are the
+    /// *only* events that change the aggregates, so bumping counters for
+    /// each newly-received token keeps this equal to re-running
+    /// [`AggregateKnowledge::compute`] (the reference implementation)
+    /// at a cost proportional to the tokens actually moved, not `n·m`.
+    ///
+    /// `delivered` must contain only tokens the vertex did **not**
+    /// possess before this delivery (the engine subtracts the prior
+    /// possession first); `want` is that vertex's want set. Returns how
+    /// many of the delivered tokens were wanted, i.e. how much the
+    /// vertex's outstanding need shrank.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug, via indexing) if a token is outside the
+    /// universe, and if a delivered-but-wanted token's need count is
+    /// already zero — which means `delivered` violated the
+    /// not-previously-possessed contract.
+    pub fn apply_delivery(&mut self, delivered: &TokenSet, want: &TokenSet) -> u64 {
+        let mut satisfied = 0u64;
+        for t in delivered {
+            self.have_counts[t.index()] += 1;
+            if want.contains(t) {
+                let need = &mut self.need_counts[t.index()];
+                assert!(
+                    *need > 0,
+                    "delivery of wanted token {t} with zero need count: \
+                     was it already possessed?"
+                );
+                *need -= 1;
+                satisfied += 1;
+            }
+        }
+        satisfied
+    }
+
+    /// Overwrites `self` with `other` without allocating (both counter
+    /// vectors keep their storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn copy_from(&mut self, other: &AggregateKnowledge) {
+        self.have_counts.copy_from_slice(&other.have_counts);
+        self.need_counts.copy_from_slice(&other.need_counts);
+    }
 }
 
 /// A fixed-delay pipeline of [`AggregateKnowledge`] snapshots: vertices
@@ -118,6 +165,22 @@ impl DelayedAggregates {
         self.history.push_back(fresh);
         while self.history.len() > self.delay + 1 {
             self.history.pop_front();
+        }
+        self.history.front().expect("history is never empty")
+    }
+
+    /// Like [`DelayedAggregates::advance`], but copies `fresh` into the
+    /// pipeline by recycling the snapshot that ages out — once the
+    /// pipeline is full (after `delay + 1` pushes) this allocates
+    /// nothing, which is what the simulation engine's steady-state loop
+    /// relies on.
+    pub fn advance_from(&mut self, fresh: &AggregateKnowledge) -> &AggregateKnowledge {
+        if self.history.len() > self.delay {
+            let mut recycled = self.history.pop_front().expect("history is never empty");
+            recycled.copy_from(fresh);
+            self.history.push_back(recycled);
+        } else {
+            self.history.push_back(fresh.clone());
         }
         self.history.front().expect("history is never empty")
     }
@@ -177,7 +240,8 @@ mod tests {
 
     #[test]
     fn delay_two_serves_stale_then_catches_up() {
-        let snap = |have: &[usize]| AggregateKnowledge::compute(1, &[set(1, have)], &[set(1, &[0])]);
+        let snap =
+            |have: &[usize]| AggregateKnowledge::compute(1, &[set(1, have)], &[set(1, &[0])]);
         let (s0, s1, s2, s3) = (snap(&[]), snap(&[]), snap(&[0]), snap(&[0]));
         let mut d = DelayedAggregates::new(2, s0.clone());
         assert_eq!(d.delay(), 2);
@@ -193,5 +257,66 @@ mod tests {
     #[should_panic(expected = "vertex count mismatch")]
     fn mismatched_lengths_panic() {
         let _ = AggregateKnowledge::compute(1, &[set(1, &[])], &[]);
+    }
+
+    #[test]
+    fn apply_delivery_tracks_compute() {
+        // Start: vertex 0 has {0}, vertex 1 has {}; both want {0, 1}.
+        let mut possession = [set(2, &[0]), set(2, &[])];
+        let want = [set(2, &[0, 1]), set(2, &[0, 1])];
+        let mut agg = AggregateKnowledge::compute(2, &possession, &want);
+
+        // Deliver token 0 to vertex 1 (wanted, new).
+        let delivered = set(2, &[0]);
+        let satisfied = agg.apply_delivery(&delivered, &want[1]);
+        possession[1].union_with(&delivered);
+        assert_eq!(satisfied, 1);
+        assert_eq!(agg, AggregateKnowledge::compute(2, &possession, &want));
+
+        // Deliver token 1 to vertex 0 (wanted, new).
+        let delivered = set(2, &[1]);
+        assert_eq!(agg.apply_delivery(&delivered, &want[0]), 1);
+        possession[0].union_with(&delivered);
+        assert_eq!(agg, AggregateKnowledge::compute(2, &possession, &want));
+    }
+
+    #[test]
+    fn apply_delivery_of_unwanted_token_satisfies_nothing() {
+        let possession = [set(2, &[0, 1]), set(2, &[])];
+        let want = [set(2, &[]), set(2, &[0])];
+        let mut agg = AggregateKnowledge::compute(2, &possession, &want);
+        // Vertex 1 receives token 1, which it never wanted.
+        let satisfied = agg.apply_delivery(&set(2, &[1]), &want[1]);
+        assert_eq!(satisfied, 0);
+        assert_eq!(agg.rarity(Token::new(1)), 2);
+        assert!(agg.is_needed(Token::new(0)), "token 0 still needed");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero need count")]
+    fn apply_delivery_rejects_redelivery_of_wanted_token() {
+        let possession = [set(1, &[0])];
+        let want = [set(1, &[0])];
+        let mut agg = AggregateKnowledge::compute(1, &possession, &want);
+        // Token 0 is already possessed: a second "delivery" breaks the
+        // not-previously-possessed contract and must be caught.
+        let _ = agg.apply_delivery(&set(1, &[0]), &want[0]);
+    }
+
+    #[test]
+    fn advance_from_matches_advance() {
+        let snap =
+            |have: &[usize]| AggregateKnowledge::compute(1, &[set(1, have)], &[set(1, &[0])]);
+        let frames = [snap(&[]), snap(&[]), snap(&[0]), snap(&[0]), snap(&[0])];
+        for delay in 0..3 {
+            let mut by_value = DelayedAggregates::new(delay, frames[0].clone());
+            let mut by_copy = DelayedAggregates::new(delay, frames[0].clone());
+            for frame in &frames[1..] {
+                let a = by_value.advance(frame.clone()).clone();
+                let b = by_copy.advance_from(frame).clone();
+                assert_eq!(a, b, "delay {delay}");
+                assert_eq!(by_value.visible(), by_copy.visible());
+            }
+        }
     }
 }

@@ -57,8 +57,8 @@ pub mod coding;
 mod instance;
 pub mod knowledge;
 pub mod prune;
-mod schedule;
 pub mod scenario;
+mod schedule;
 mod token;
 pub mod validate;
 

@@ -58,14 +58,16 @@ pub fn prune(instance: &Instance, schedule: &Schedule) -> (Schedule, PruneStats)
 /// start of the step, keeping only the first of simultaneous duplicate
 /// deliveries (arcs scan in ascending id order). Returns moves removed.
 fn forward_pass(instance: &Instance, schedule: &mut Schedule) -> u64 {
-    let g = instance.graph().clone();
+    let g = instance.graph();
     let mut possession: Vec<TokenSet> = instance.have_all().to_vec();
     let mut removed = 0u64;
+    // Tokens delivered to each vertex during the current step (for
+    // first-wins deduplication of simultaneous duplicates). One buffer
+    // for the whole schedule: only the vertices touched in a step are
+    // folded into possession and cleared afterwards.
+    let mut arriving: Vec<TokenSet> = vec![TokenSet::new(instance.num_tokens()); g.node_count()];
+    let mut touched: Vec<usize> = Vec::with_capacity(g.node_count());
     for step in schedule.steps_mut() {
-        // Tokens delivered to each vertex during this step (for
-        // first-wins deduplication of simultaneous duplicates).
-        let mut arriving: Vec<TokenSet> =
-            vec![TokenSet::new(instance.num_tokens()); g.node_count()];
         for (edge, tokens) in step.sends_mut() {
             let dst = g.edge(edge).dst.index();
             let before = tokens.len() as u64;
@@ -73,10 +75,13 @@ fn forward_pass(instance: &Instance, schedule: &mut Schedule) -> u64 {
             tokens.subtract(&arriving[dst]);
             removed += before - tokens.len() as u64;
             arriving[dst].union_with(tokens);
+            touched.push(dst);
         }
-        for (v, arrived) in arriving.into_iter().enumerate() {
-            possession[v].union_with(&arrived);
+        for &v in &touched {
+            possession[v].union_with(&arriving[v]);
+            arriving[v].clear();
         }
+        touched.clear();
     }
     removed
 }
@@ -87,7 +92,7 @@ fn forward_pass(instance: &Instance, schedule: &mut Schedule) -> u64 {
 /// occurs at most once), so "used" can be tracked with one set per
 /// vertex.
 fn backward_pass(instance: &Instance, schedule: &mut Schedule) -> u64 {
-    let g = instance.graph().clone();
+    let g = instance.graph();
     // need[v] = tokens v must possess (wants, or sends at a later step).
     let mut need: Vec<TokenSet> = instance.want_all().to_vec();
     let mut removed = 0u64;
@@ -95,19 +100,17 @@ fn backward_pass(instance: &Instance, schedule: &mut Schedule) -> u64 {
         // First decide keeps against `need` as of later steps; then fold
         // this step's kept sends into `need` (a send at step i requires
         // possession at the start of step i, i.e. delivery strictly
-        // earlier).
-        let mut senders_needs: Vec<(usize, TokenSet)> = Vec::new();
+        // earlier). Two passes over the same step keep the fold from
+        // seeing this step's own sends — and need no clones.
         for (edge, tokens) in step.sends_mut() {
-            let arc = g.edge(edge);
+            let dst = g.edge(edge).dst.index();
             let before = tokens.len() as u64;
-            tokens.intersect_with(&need[arc.dst.index()]);
+            tokens.intersect_with(&need[dst]);
             removed += before - tokens.len() as u64;
-            if !tokens.is_empty() {
-                senders_needs.push((arc.src.index(), tokens.clone()));
-            }
         }
-        for (src, tokens) in senders_needs {
-            need[src].union_with(&tokens);
+        for (edge, tokens) in step.sends() {
+            let src = g.edge(edge).src.index();
+            need[src].union_with(tokens);
         }
     }
     removed

@@ -57,8 +57,8 @@ pub fn receiver_density<R: Rng + ?Sized>(
     );
     let _ = graph.node(source);
     let n = graph.node_count();
-    let mut builder = Instance::builder(graph, num_tokens)
-        .have_set(source, TokenSet::full(num_tokens));
+    let mut builder =
+        Instance::builder(graph, num_tokens).have_set(source, TokenSet::full(num_tokens));
     for v in 0..n {
         let score: f64 = rng.random();
         if score < threshold {
@@ -129,8 +129,8 @@ pub fn multi_file(
     let files = file_partition(total_tokens, num_files);
     let groups = vertex_partition(graph.node_count(), num_files);
     let n = graph.node_count();
-    let mut builder = Instance::builder(graph, total_tokens)
-        .have_set(source, TokenSet::full(total_tokens));
+    let mut builder =
+        Instance::builder(graph, total_tokens).have_set(source, TokenSet::full(total_tokens));
     for v in 0..n {
         builder = builder.want_set(v, files[groups[v]].clone());
     }
@@ -232,7 +232,10 @@ mod tests {
         assert_eq!(inst.num_tokens(), 1);
         assert_eq!(inst.total_deficiency(), 4);
         assert!(inst.is_satisfiable());
-        assert!(inst.want(inst.graph().node(5)).is_empty(), "r1 is a pure relay");
+        assert!(
+            inst.want(inst.graph().node(5)).is_empty(),
+            "r1 is a pure relay"
+        );
     }
 
     #[test]
@@ -256,7 +259,11 @@ mod tests {
     fn receiver_density_extremes() {
         let mut rng = StdRng::seed_from_u64(1);
         let all = receiver_density(classic::cycle(20, 2, true), 5, 0, 1.0, &mut rng);
-        assert_eq!(all.total_deficiency(), 19 * 5, "threshold 1 = everyone wants");
+        assert_eq!(
+            all.total_deficiency(),
+            19 * 5,
+            "threshold 1 = everyone wants"
+        );
         let none = receiver_density(classic::cycle(20, 2, true), 5, 0, 0.0, &mut rng);
         assert_eq!(none.total_deficiency(), 0);
     }
@@ -332,7 +339,11 @@ mod tests {
             let deficiency = inst.total_deficiency();
             // Each non-source vertex wants exactly 64/k tokens; the
             // source belongs to group 0 and is pre-satisfied.
-            assert_eq!(deficiency, (16 - 16 / k.min(16)) as u64 * (64 / k) as u64 + (16 / k as u64 - 1) * (64 / k) as u64);
+            assert_eq!(
+                deficiency,
+                (16 - 16 / k.min(16)) as u64 * (64 / k) as u64
+                    + (16 / k as u64 - 1) * (64 / k) as u64
+            );
             if let Some(prev) = last {
                 assert!(deficiency <= prev, "deficiency shrinks as files split");
             }
@@ -356,15 +367,28 @@ mod tests {
             assert!(!havers.is_empty(), "file {f} has a source");
             // ...and no haver wants it.
             for h in havers {
-                assert!(!inst.want(h).intersects(file), "source of file {f} wants it");
+                assert!(
+                    !inst.want(h).intersects(file),
+                    "source of file {f} wants it"
+                );
             }
         }
     }
 
     #[test]
     fn multi_sender_deterministic_under_seed() {
-        let a = multi_sender(classic::cycle(12, 3, true), 24, 4, &mut StdRng::seed_from_u64(9));
-        let b = multi_sender(classic::cycle(12, 3, true), 24, 4, &mut StdRng::seed_from_u64(9));
+        let a = multi_sender(
+            classic::cycle(12, 3, true),
+            24,
+            4,
+            &mut StdRng::seed_from_u64(9),
+        );
+        let b = multi_sender(
+            classic::cycle(12, 3, true),
+            24,
+            4,
+            &mut StdRng::seed_from_u64(9),
+        );
         assert_eq!(a, b);
     }
 }

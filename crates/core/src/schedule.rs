@@ -162,8 +162,9 @@ impl Schedule {
     /// token) order.
     pub fn moves(&self) -> impl Iterator<Item = Move> + '_ {
         self.steps.iter().enumerate().flat_map(|(step, ts)| {
-            ts.sends()
-                .flat_map(move |(edge, tokens)| tokens.iter().map(move |token| Move { step, edge, token }))
+            ts.sends().flat_map(move |(edge, tokens)| {
+                tokens.iter().map(move |token| Move { step, edge, token })
+            })
         })
     }
 

@@ -113,8 +113,10 @@ impl TokenSet {
     /// Panics if `hi > universe` or `lo > hi`.
     #[must_use]
     pub fn from_range(universe: usize, range: std::ops::Range<usize>) -> Self {
-        assert!(range.start <= range.end && range.end <= universe,
-            "range {range:?} invalid for universe {universe}");
+        assert!(
+            range.start <= range.end && range.end <= universe,
+            "range {range:?} invalid for universe {universe}"
+        );
         let mut set = TokenSet::new(universe);
         for i in range {
             set.insert(Token::new(i));
@@ -276,7 +278,10 @@ impl TokenSet {
     #[must_use]
     pub fn is_subset(&self, other: &TokenSet) -> bool {
         self.check_same_universe(other);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Whether the sets share at least one token.
@@ -287,7 +292,10 @@ impl TokenSet {
     #[must_use]
     pub fn intersects(&self, other: &TokenSet) -> bool {
         self.check_same_universe(other);
-        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Number of tokens in `self \ other` without materializing it.
@@ -312,6 +320,19 @@ impl TokenSet {
         }
     }
 
+    /// Overwrites `self` with the contents of `other` without
+    /// allocating — the backbone of scratch-buffer reuse in the
+    /// simulation hot path (a derived `clone_from` would still allocate
+    /// through `Vec`'s generic path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn copy_from(&mut self, other: &TokenSet) {
+        self.check_same_universe(other);
+        self.blocks.copy_from_slice(&other.blocks);
+    }
+
     /// Iterates over the tokens in ascending index order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -332,16 +353,26 @@ impl TokenSet {
     /// round-robin queue needs. Returns `None` on the empty set.
     #[must_use]
     pub fn next_cyclic(&self, from: Token) -> Option<Token> {
-        if self.is_empty() {
-            return None;
-        }
         let start = from.index().min(self.universe());
-        // Scan from `start` to the end, then wrap.
-        for i in start..self.universe() {
-            if self.contains(Token::new(i)) {
-                return Some(Token::new(i));
+        // Word-level scan from `start` to the end: mask off the bits
+        // below `start` in its block, then let `trailing_zeros` find
+        // the next member 64 tokens at a time.
+        if start < self.universe() {
+            let first_block = start / BITS;
+            let mut masked = self.blocks[first_block] & (!0u64 << (start % BITS));
+            let mut block = first_block;
+            loop {
+                if masked != 0 {
+                    return Some(Token::new(block * BITS + masked.trailing_zeros() as usize));
+                }
+                block += 1;
+                if block >= self.blocks.len() {
+                    break;
+                }
+                masked = self.blocks[block];
             }
         }
+        // Wrap to the smallest member (None on the empty set).
         self.first()
     }
 
@@ -564,11 +595,55 @@ mod tests {
     }
 
     #[test]
+    fn next_cyclic_matches_linear_scan_on_512_universe() {
+        // Regression for the word-level rewrite: sparse members spread
+        // across all 8 blocks of a 512-token universe, probed from
+        // every position including block boundaries and the wrap.
+        let members = [0usize, 63, 64, 127, 200, 311, 448, 511];
+        let s = TokenSet::from_tokens(512, members.iter().map(|&i| Token::new(i)));
+        let oracle = |from: usize| {
+            (from..512)
+                .chain(0..512)
+                .map(Token::new)
+                .find(|&t| s.contains(t))
+        };
+        for from in 0..512 {
+            assert_eq!(s.next_cyclic(Token::new(from)), oracle(from), "from {from}");
+        }
+        // `from == universe` is allowed and wraps to the first member.
+        assert_eq!(s.next_cyclic(Token::new(512)), Some(Token::new(0)));
+        // Empty and singleton sets.
+        assert_eq!(TokenSet::new(512).next_cyclic(Token::new(17)), None);
+        let single = TokenSet::from_tokens(512, [Token::new(300)]);
+        assert_eq!(single.next_cyclic(Token::new(301)), Some(Token::new(300)));
+        assert_eq!(single.next_cyclic(Token::new(300)), Some(Token::new(300)));
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let src = TokenSet::from_tokens(130, [Token::new(1), Token::new(64), Token::new(129)]);
+        let mut dst = TokenSet::from_tokens(130, [Token::new(0), Token::new(99)]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn copy_from_rejects_universe_mismatch() {
+        let src = TokenSet::new(10);
+        let mut dst = TokenSet::new(11);
+        dst.copy_from(&src);
+    }
+
+    #[test]
     fn truncate_keeps_lowest() {
         let mut s = TokenSet::from_tokens(200, (0..150).map(Token::new));
         s.truncate(70);
         assert_eq!(s.len(), 70);
-        assert_eq!(s.iter().map(Token::index).collect::<Vec<_>>(), (0..70).collect::<Vec<_>>());
+        assert_eq!(
+            s.iter().map(Token::index).collect::<Vec<_>>(),
+            (0..70).collect::<Vec<_>>()
+        );
         let mut t = TokenSet::from_tokens(10, [Token::new(9)]);
         t.truncate(5);
         assert_eq!(t.len(), 1);

@@ -246,13 +246,12 @@ fn replay_impl(
     }
 
     let missing = (0..n)
-        .map(|v| {
-            instance
-                .want(NodeId::new(v))
-                .difference(&current[v])
-        })
+        .map(|v| instance.want(NodeId::new(v)).difference(&current[v]))
         .collect();
-    Ok(Replay { possession, missing })
+    Ok(Replay {
+        possession,
+        missing,
+    })
 }
 
 /// Convenience: replay and additionally require success.

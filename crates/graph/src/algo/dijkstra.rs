@@ -116,7 +116,10 @@ mod tests {
         g.add_edge(g.node(0), g.node(2), 64).unwrap();
         g.add_edge(g.node(2), g.node(1), 64).unwrap();
         let (d, _) = dijkstra(&g, g.node(0), PathCost::InverseCapacity);
-        assert_eq!(d[1], 2, "two fat hops (cost 1+1) beat one thin hop (cost 64)");
+        assert_eq!(
+            d[1], 2,
+            "two fat hops (cost 1+1) beat one thin hop (cost 64)"
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ pub fn dominating_set_greedy(g: &DiGraph) -> Vec<NodeId> {
         }
         let v = best.expect("some vertex must cover an undominated vertex (itself)");
         set.push(v);
-        for u in std::iter::once(v).chain(g.out_neighbors(v)).chain(g.in_neighbors(v)) {
+        for u in std::iter::once(v)
+            .chain(g.out_neighbors(v))
+            .chain(g.in_neighbors(v))
+        {
             if !dominated[u.index()] {
                 dominated[u.index()] = true;
                 remaining -= 1;
@@ -113,7 +116,13 @@ pub fn has_dominating_set_of_size(g: &DiGraph, k: usize) -> bool {
     dominating_set_exact(g).len() <= k
 }
 
-fn search(hoods: &[u64], uncovered: u64, covered_by: u64, current: &mut Vec<usize>, best: &mut Vec<usize>) {
+fn search(
+    hoods: &[u64],
+    uncovered: u64,
+    covered_by: u64,
+    current: &mut Vec<usize>,
+    best: &mut Vec<usize>,
+) {
     if uncovered == 0 {
         if current.len() < best.len() {
             *best = current.clone();

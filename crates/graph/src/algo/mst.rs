@@ -29,7 +29,11 @@ pub fn minimum_spanning_tree_undirected(
         std::collections::HashMap::new();
     for id in g.edge_ids() {
         let e = g.edge(id);
-        let key = if e.src < e.dst { (e.src, e.dst) } else { (e.dst, e.src) };
+        let key = if e.src < e.dst {
+            (e.src, e.dst)
+        } else {
+            (e.dst, e.src)
+        };
         let w = weight(id);
         match best.get(&key) {
             Some(&(bw, _)) if bw <= w => {}
@@ -188,7 +192,8 @@ mod tests {
     #[test]
     fn mst_of_path_takes_all_edges() {
         let g = classic::path(4, 2, true);
-        let (w, edges) = minimum_spanning_tree_undirected(&g, |e| u64::from(g.capacity(e))).unwrap();
+        let (w, edges) =
+            minimum_spanning_tree_undirected(&g, |e| u64::from(g.capacity(e))).unwrap();
         assert_eq!(edges.len(), 3);
         assert_eq!(w, 6);
     }
@@ -200,7 +205,8 @@ mod tests {
         g.add_edge_symmetric(g.node(0), g.node(1), 1).unwrap();
         g.add_edge_symmetric(g.node(1), g.node(2), 1).unwrap();
         g.add_edge_symmetric(g.node(0), g.node(2), 10).unwrap();
-        let (w, edges) = minimum_spanning_tree_undirected(&g, |e| u64::from(g.capacity(e))).unwrap();
+        let (w, edges) =
+            minimum_spanning_tree_undirected(&g, |e| u64::from(g.capacity(e))).unwrap();
         assert_eq!(w, 2);
         assert_eq!(edges.len(), 2);
     }
@@ -214,14 +220,16 @@ mod tests {
     #[test]
     fn mst_empty_graph() {
         let g = DiGraph::new();
-        assert_eq!(minimum_spanning_tree_undirected(&g, |_| 1), Some((0, vec![])));
+        assert_eq!(
+            minimum_spanning_tree_undirected(&g, |_| 1),
+            Some((0, vec![]))
+        );
     }
 
     #[test]
     fn arborescence_of_out_path() {
         let g = classic::path(4, 3, false);
-        let cost =
-            minimum_spanning_arborescence_cost(&g, g.node(0), |e| u64::from(g.capacity(e)));
+        let cost = minimum_spanning_arborescence_cost(&g, g.node(0), |e| u64::from(g.capacity(e)));
         assert_eq!(cost, Some(9));
     }
 
@@ -230,7 +238,10 @@ mod tests {
         let mut g = DiGraph::with_nodes(3);
         g.add_edge(g.node(0), g.node(1), 1).unwrap();
         // node 2 unreachable from 0.
-        assert_eq!(minimum_spanning_arborescence_cost(&g, g.node(0), |_| 1), None);
+        assert_eq!(
+            minimum_spanning_arborescence_cost(&g, g.node(0), |_| 1),
+            None
+        );
     }
 
     #[test]
@@ -257,11 +268,13 @@ mod tests {
             for u in 0..n {
                 for v in 0..n {
                     if u != v && rng.random_bool(0.6) {
-                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..10)).unwrap();
+                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..10))
+                            .unwrap();
                     }
                 }
             }
-            let got = minimum_spanning_arborescence_cost(&g, g.node(0), |e| u64::from(g.capacity(e)));
+            let got =
+                minimum_spanning_arborescence_cost(&g, g.node(0), |e| u64::from(g.capacity(e)));
             let want = brute_force_arborescence(&g, 0);
             assert_eq!(got, want, "trial {trial} graph {g:?}");
         }

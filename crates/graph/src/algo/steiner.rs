@@ -53,7 +53,10 @@ pub fn steiner_tree_approx(
     sources: &[NodeId],
     terminals: &[NodeId],
 ) -> Option<SteinerTree> {
-    assert!(!sources.is_empty(), "steiner tree needs at least one source");
+    assert!(
+        !sources.is_empty(),
+        "steiner tree needs at least one source"
+    );
     let n = g.node_count();
     let mut in_tree = vec![false; n];
     for &s in sources {
@@ -117,7 +120,11 @@ pub fn steiner_tree_approx(
     // Restrict to vertices actually touched by edges plus sources/terminals
     // (isolated sources are kept; they are legitimately part of the tree).
     let cost = edges.len() as u64;
-    Some(SteinerTree { edges, cost, vertices })
+    Some(SteinerTree {
+        edges,
+        cost,
+        vertices,
+    })
 }
 
 #[cfg(test)]
@@ -186,11 +193,20 @@ mod tests {
                     }
                 }
             }
-            let terminals: Vec<NodeId> =
-                (1..n).filter(|_| rng.random_bool(0.5)).map(|i| g.node(i)).collect();
+            let terminals: Vec<NodeId> = (1..n)
+                .filter(|_| rng.random_bool(0.5))
+                .map(|i| g.node(i))
+                .collect();
             if let Some(t) = steiner_tree_approx(&g, &[g.node(0)], &terminals) {
-                assert!(t.cost >= terminals.len() as u64 - terminals.iter().filter(|t| t.index() == 0).count() as u64);
-                assert!(t.cost < n as u64, "a Steiner tree never needs n or more arcs");
+                assert!(
+                    t.cost
+                        >= terminals.len() as u64
+                            - terminals.iter().filter(|t| t.index() == 0).count() as u64
+                );
+                assert!(
+                    t.cost < n as u64,
+                    "a Steiner tree never needs n or more arcs"
+                );
             }
         }
     }

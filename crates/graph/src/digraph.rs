@@ -162,7 +162,12 @@ impl DiGraph {
     /// Returns [`GraphError::NodeOutOfBounds`] if either endpoint does not
     /// exist, [`GraphError::SelfLoop`] if `src == dst`, and
     /// [`GraphError::ZeroCapacity`] if `capacity == 0`.
-    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, capacity: u32) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity: u32,
+    ) -> Result<EdgeId, GraphError> {
         self.check_node(src)?;
         self.check_node(dst)?;
         if src == dst {
@@ -300,12 +305,16 @@ impl DiGraph {
 
     /// Nodes reachable from `v` along a single arc.
     pub fn out_neighbors(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        self.out_adj[v.index()].iter().map(|&e| self.edges[e.index()].dst)
+        self.out_adj[v.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].dst)
     }
 
     /// Nodes with a single arc into `v`.
     pub fn in_neighbors(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        self.in_adj[v.index()].iter().map(|&e| self.edges[e.index()].src)
+        self.in_adj[v.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].src)
     }
 
     /// Nodes adjacent to `v` in either direction, deduplicated, in
@@ -373,7 +382,6 @@ impl DiGraph {
     pub fn is_symmetric(&self) -> bool {
         self.edges.iter().all(|e| self.has_edge(e.dst, e.src))
     }
-
 }
 
 impl fmt::Debug for DiGraph {
@@ -419,7 +427,10 @@ mod tests {
     fn add_nodes_assigns_dense_ids() {
         let mut g = DiGraph::new();
         let ids = g.add_nodes(4);
-        assert_eq!(ids.iter().map(|n| n.index()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            ids.iter().map(|n| n.index()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         assert_eq!(g.node_count(), 4);
     }
 

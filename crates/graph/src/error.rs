@@ -52,7 +52,10 @@ impl fmt::Display for GraphError {
                 "node {node} is out of bounds for a graph with {node_count} nodes"
             ),
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop ({node}, {node}) is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop ({node}, {node}) is not allowed in a simple graph"
+                )
             }
             GraphError::ZeroCapacity { src, dst } => {
                 write!(f, "arc ({src}, {dst}) must have capacity of at least 1")
@@ -76,8 +79,13 @@ mod tests {
             node: NodeId::new(9),
             node_count: 3,
         };
-        assert_eq!(e.to_string(), "node 9 is out of bounds for a graph with 3 nodes");
-        let e = GraphError::SelfLoop { node: NodeId::new(2) };
+        assert_eq!(
+            e.to_string(),
+            "node 9 is out of bounds for a graph with 3 nodes"
+        );
+        let e = GraphError::SelfLoop {
+            node: NodeId::new(2),
+        };
         assert!(e.to_string().contains("self-loop"));
         let e = GraphError::ZeroCapacity {
             src: NodeId::new(0),
@@ -94,6 +102,8 @@ mod tests {
     #[test]
     fn error_is_std_error() {
         fn assert_error<E: Error>(_: &E) {}
-        assert_error(&GraphError::SelfLoop { node: NodeId::new(0) });
+        assert_error(&GraphError::SelfLoop {
+            node: NodeId::new(0),
+        });
     }
 }

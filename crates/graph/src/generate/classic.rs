@@ -19,7 +19,8 @@ pub fn path(n: usize, capacity: u32, symmetric: bool) -> DiGraph {
     for i in 1..n {
         let (u, v) = (g.node(i - 1), g.node(i));
         if symmetric {
-            g.add_edge_symmetric(u, v, capacity).expect("valid path edge");
+            g.add_edge_symmetric(u, v, capacity)
+                .expect("valid path edge");
         } else {
             g.add_edge(u, v, capacity).expect("valid path edge");
         }
@@ -40,7 +41,8 @@ pub fn cycle(n: usize, capacity: u32, symmetric: bool) -> DiGraph {
     let mut g = path(n, capacity, symmetric);
     let (last, first) = (g.node(n - 1), g.node(0));
     if symmetric {
-        g.add_edge_symmetric(last, first, capacity).expect("valid cycle edge");
+        g.add_edge_symmetric(last, first, capacity)
+            .expect("valid cycle edge");
     } else {
         g.add_edge(last, first, capacity).expect("valid cycle edge");
     }
@@ -61,7 +63,8 @@ pub fn star(n: usize, capacity: u32, symmetric: bool) -> DiGraph {
     for i in 1..n {
         let (c, leaf) = (g.node(0), g.node(i));
         if symmetric {
-            g.add_edge_symmetric(c, leaf, capacity).expect("valid star edge");
+            g.add_edge_symmetric(c, leaf, capacity)
+                .expect("valid star edge");
         } else {
             g.add_edge(c, leaf, capacity).expect("valid star edge");
         }

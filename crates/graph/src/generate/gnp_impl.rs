@@ -53,7 +53,10 @@ pub fn gnp<R: Rng + ?Sized>(config: &GnpConfig, rng: &mut R) -> DiGraph {
         "edge probability {} outside [0, 1]",
         config.edge_probability
     );
-    assert!(!config.capacity.is_empty(), "capacity range must be non-empty");
+    assert!(
+        !config.capacity.is_empty(),
+        "capacity range must be non-empty"
+    );
     let n = config.nodes;
     let mut g = DiGraph::with_nodes(n);
     if config.symmetric {
@@ -71,7 +74,8 @@ pub fn gnp<R: Rng + ?Sized>(config: &GnpConfig, rng: &mut R) -> DiGraph {
             for v in 0..n {
                 if u != v && rng.random_bool(config.edge_probability) {
                     let cap = rng.random_range(config.capacity.clone());
-                    g.add_edge(g.node(u), g.node(v), cap).expect("valid gnp edge");
+                    g.add_edge(g.node(u), g.node(v), cap)
+                        .expect("valid gnp edge");
                 }
             }
         }
@@ -150,7 +154,11 @@ mod tests {
             &mut rng,
         );
         assert!(is_weakly_connected(&stitched));
-        assert_eq!(stitched.edge_count(), 18, "spanning tree of 10 nodes = 9 links");
+        assert_eq!(
+            stitched.edge_count(),
+            18,
+            "spanning tree of 10 nodes = 9 links"
+        );
     }
 
     #[test]

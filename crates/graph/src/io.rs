@@ -157,9 +157,18 @@ mod tests {
 
     #[test]
     fn rejects_missing_and_invalid_fields() {
-        assert!(from_edge_list("edge 0 1").unwrap_err().to_string().contains("missing capacity"));
-        assert!(from_edge_list("nodes x").unwrap_err().to_string().contains("invalid node count"));
-        assert!(from_edge_list("nodes 2\nedge 0 1 3 9").unwrap_err().to_string().contains("trailing"));
+        assert!(from_edge_list("edge 0 1")
+            .unwrap_err()
+            .to_string()
+            .contains("missing capacity"));
+        assert!(from_edge_list("nodes x")
+            .unwrap_err()
+            .to_string()
+            .contains("invalid node count"));
+        assert!(from_edge_list("nodes 2\nedge 0 1 3 9")
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
     }
 
     #[test]

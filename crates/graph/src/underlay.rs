@@ -135,7 +135,10 @@ impl OverlayMapping {
     /// The largest link stress, or 0 with no paths.
     #[must_use]
     pub fn max_stress(&self, physical_edges: usize) -> u32 {
-        self.link_stress(physical_edges).into_iter().max().unwrap_or(0)
+        self.link_stress(physical_edges)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -149,7 +152,9 @@ mod tests {
         let physical = classic::path(3, 4, true);
         let hosts = vec![physical.node(0), physical.node(2)];
         let mut overlay = DiGraph::with_nodes(2);
-        overlay.add_edge_symmetric(overlay.node(0), overlay.node(1), 4).unwrap();
+        overlay
+            .add_edge_symmetric(overlay.node(0), overlay.node(1), 4)
+            .unwrap();
         (Underlay::new(physical, hosts).unwrap(), overlay)
     }
 
@@ -173,7 +178,10 @@ mod tests {
         // Every overlay arc crosses two physical arcs through the hub;
         // each host's access link carries multiple overlay arcs.
         let stress = mapping.link_stress(physical.edge_count());
-        assert_eq!(stress.iter().sum::<u32>() as usize, 2 * overlay.edge_count());
+        assert_eq!(
+            stress.iter().sum::<u32>() as usize,
+            2 * overlay.edge_count()
+        );
         assert!(mapping.max_stress(physical.edge_count()) >= 2);
     }
 
@@ -192,7 +200,9 @@ mod tests {
         let physical = DiGraph::with_nodes(2); // no physical links at all
         let hosts = vec![physical.node(0), physical.node(1)];
         let mut overlay = DiGraph::with_nodes(2);
-        overlay.add_edge(overlay.node(0), overlay.node(1), 1).unwrap();
+        overlay
+            .add_edge(overlay.node(0), overlay.node(1), 1)
+            .unwrap();
         let underlay = Underlay::new(physical, hosts).unwrap();
         assert!(underlay.map_overlay(&overlay).is_err());
     }
@@ -205,7 +215,9 @@ mod tests {
         let physical = classic::path(2, 3, true);
         let hosts = vec![physical.node(0), physical.node(1)];
         let mut overlay = DiGraph::with_nodes(2);
-        overlay.add_edge(overlay.node(0), overlay.node(1), 3).unwrap();
+        overlay
+            .add_edge(overlay.node(0), overlay.node(1), 3)
+            .unwrap();
         let underlay = Underlay::new(physical, hosts).unwrap();
         let mapping = underlay.map_overlay(&overlay).unwrap();
         assert_eq!(mapping.paths[0].len(), 1);

@@ -17,7 +17,8 @@ fn digraph(seed: u64, n: usize, p: f64) -> DiGraph {
     for u in 0..n {
         for v in 0..n {
             if u != v && rng.random_bool(p) {
-                g.add_edge(g.node(u), g.node(v), rng.random_range(1..8)).unwrap();
+                g.add_edge(g.node(u), g.node(v), rng.random_range(1..8))
+                    .unwrap();
             }
         }
     }

@@ -64,7 +64,11 @@ impl Strategy for BandwidthCautious {
 
     fn reset(&mut self, _instance: &Instance) {}
 
-    fn plan_step(&mut self, view: &WorldView<'_>, rng: &mut dyn RngCore) -> Vec<(EdgeId, TokenSet)> {
+    fn plan_step(
+        &mut self,
+        view: &WorldView<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<(EdgeId, TokenSet)> {
         let g = view.graph();
         let n = g.node_count();
         let m = view.instance.num_tokens();
@@ -110,10 +114,8 @@ impl Strategy for BandwidthCautious {
             if !distant.is_empty() {
                 let hop_vertices: Vec<NodeId> = g.nodes().filter(|&v| one_hop(v)).collect();
                 let origin = nearest_origin(g, &hop_vertices);
-                let mut relays: Vec<NodeId> = distant
-                    .iter()
-                    .filter_map(|&z| origin[z.index()])
-                    .collect();
+                let mut relays: Vec<NodeId> =
+                    distant.iter().filter_map(|&z| origin[z.index()]).collect();
                 if self.single_relay {
                     relays.sort_unstable();
                     relays.truncate(1);
@@ -254,7 +256,9 @@ mod tests {
             &mut rng,
         );
         assert!(report.success);
-        assert!(validate::replay(&instance, &report.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &report.schedule)
+            .unwrap()
+            .is_successful());
     }
 
     #[test]
@@ -318,7 +322,10 @@ mod tests {
             single.steps > per_needy.steps,
             "single relay serializes the two demand branches"
         );
-        assert_eq!(BandwidthCautious::with_single_relay().name(), "bandwidth-1relay");
+        assert_eq!(
+            BandwidthCautious::with_single_relay().name(),
+            "bandwidth-1relay"
+        );
     }
 
     #[test]

@@ -374,8 +374,7 @@ impl NetworkDynamics for AdversarialCuts {
             .edge_ids()
             .filter(|e| {
                 self.cooldown == 0
-                    || self.last_cut[e.index()]
-                        .is_none_or(|last| step > last + self.cooldown)
+                    || self.last_cut[e.index()].is_none_or(|last| step > last + self.cooldown)
             })
             .map(|e| (self.utility(graph, e), e))
             .collect();
@@ -422,7 +421,12 @@ mod tests {
         let run_plain = || {
             let mut strategy = StrategyKind::Local.build();
             let mut rng = StdRng::seed_from_u64(5);
-            crate::simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut rng)
+            crate::simulate(
+                &instance,
+                strategy.as_mut(),
+                &SimConfig::default(),
+                &mut rng,
+            )
         };
         let plain = run_plain();
         let (_, dynamic) = run_dynamic(&mut StaticNetwork, StrategyKind::Local, 10_000);
@@ -499,7 +503,10 @@ mod tests {
         let mut dynamics = Churn::new(1.0, 0.0, vec![0]);
         let (_, r) = run_dynamic(&mut dynamics, StrategyKind::Random, 50);
         assert!(!r.report.success);
-        assert_eq!(r.report.steps, 50, "ran to the step cap without stalling out");
+        assert_eq!(
+            r.report.steps, 50,
+            "ran to the step cap without stalling out"
+        );
     }
 
     #[test]
@@ -537,11 +544,8 @@ mod tests {
     fn view_capacity_falls_back_to_graph() {
         let instance = single_file(classic::path(2, 7, false), 1, 0);
         let possession = instance.have_all().to_vec();
-        let aggregates = ocd_core::knowledge::AggregateKnowledge::compute(
-            1,
-            &possession,
-            instance.want_all(),
-        );
+        let aggregates =
+            ocd_core::knowledge::AggregateKnowledge::compute(1, &possession, instance.want_all());
         let view = WorldView {
             instance: &instance,
             possession: &possession,

@@ -1,9 +1,20 @@
 //! The step-by-step simulation engine.
+//!
+//! The step loop is written to be **incremental and allocation-free in
+//! steady state**: aggregate knowledge is maintained by counter updates
+//! from each delivery (never recomputed from scratch), per-vertex
+//! outstanding need is tracked as a scalar, duplicate-arc detection uses
+//! a stamped array instead of a fresh `Vec<bool>`, and the knowledge
+//! delay pipeline recycles its buffers. The only per-step heap traffic
+//! is recording the outputs the caller asked for (the schedule, the
+//! trace, and — under dynamics — the capacity trace) and whatever the
+//! strategy allocates for its own sends.
 
 use crate::{Strategy, WorldView};
 use ocd_core::knowledge::{AggregateKnowledge, DelayedAggregates};
 use ocd_core::{Instance, Schedule, Timestep, TokenSet};
 use rand::RngCore;
+use std::time::Instant;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +46,9 @@ pub struct StepRecord {
     pub moves: u64,
     /// Outstanding (vertex, token) needs after the step.
     pub remaining_need: u64,
+    /// Wall-clock nanoseconds the step took (planning + validation +
+    /// application), so figure binaries can report per-step cost.
+    pub nanos: u64,
 }
 
 /// Result of a simulation run.
@@ -54,6 +68,8 @@ pub struct SimReport {
     pub completion_steps: Vec<Option<usize>>,
     /// Per-step counters.
     pub trace: Vec<StepRecord>,
+    /// Wall-clock nanoseconds for the whole run (setup + step loop).
+    pub wall_nanos: u64,
 }
 
 impl SimReport {
@@ -75,19 +91,33 @@ impl SimReport {
             Some(late.iter().sum::<usize>() as f64 / late.len() as f64)
         }
     }
+
+    /// Mean wall-clock nanoseconds per executed step (`None` for a
+    /// zero-step run).
+    #[must_use]
+    pub fn mean_step_nanos(&self) -> Option<f64> {
+        if self.trace.is_empty() {
+            None
+        } else {
+            Some(self.trace.iter().map(|r| r.nanos as f64).sum::<f64>() / self.trace.len() as f64)
+        }
+    }
 }
 
 /// Runs `strategy` on `instance` until success, stall, or the step cap.
 ///
 /// Each step the engine:
 ///
-/// 1. computes the fresh aggregates and pushes them through the
-///    configured knowledge delay;
+/// 1. feeds the incrementally-maintained aggregates through the
+///    configured knowledge delay (with delay 0 the fresh aggregates are
+///    borrowed directly);
 /// 2. hands the strategy a [`WorldView`];
 /// 3. checks the returned sends against the §3.1 restrictions
 ///    (possession, capacity) — violations are strategy bugs and panic;
 /// 4. applies the sends to the possession state (received tokens become
-///    usable next step, per the store-and-forward model).
+///    usable next step, per the store-and-forward model), updating the
+///    aggregates and per-vertex outstanding-need counters from the
+///    deliveries alone.
 ///
 /// # Panics
 ///
@@ -105,7 +135,9 @@ pub fn simulate(
 /// Shared implementation: when `dynamics` is supplied, per-step
 /// capacities come from it (0 = link down), stalls do not abort (a
 /// strategy may be *unable* to move while links are down), and the
-/// capacity trace is returned for later validation.
+/// capacity trace is returned for later validation. Without dynamics the
+/// static capacities are borrowed every step and the returned capacity
+/// trace stays empty.
 pub(crate) fn simulate_inner(
     instance: &Instance,
     strategy: &mut dyn Strategy,
@@ -113,6 +145,7 @@ pub(crate) fn simulate_inner(
     rng: &mut dyn RngCore,
     mut dynamics: Option<&mut dyn crate::dynamics::NetworkDynamics>,
 ) -> (SimReport, Vec<Vec<u32>>) {
+    let run_start = Instant::now();
     let g = instance.graph();
     let n = g.node_count();
     let m = instance.num_tokens();
@@ -125,29 +158,51 @@ pub(crate) fn simulate_inner(
     let mut schedule = Schedule::new();
     let mut trace = Vec::new();
     let mut capacity_trace: Vec<Vec<u32>> = Vec::new();
-    let mut completion_steps: Vec<Option<usize>> = (0..n)
+
+    // Per-vertex outstanding need and its total, maintained from
+    // deliveries instead of re-scanned each step.
+    let mut missing: Vec<usize> = (0..n)
         .map(|v| {
             let v = g.node(v);
-            instance.want(v).is_subset(instance.have(v)).then_some(0)
+            instance.want(v).difference_len(&possession[v.index()])
         })
         .collect();
+    let mut remaining: u64 = missing.iter().map(|&c| c as u64).sum();
+    let mut completion_steps: Vec<Option<usize>> =
+        missing.iter().map(|&c| (c == 0).then_some(0)).collect();
 
-    let initial = AggregateKnowledge::compute(m, &possession, instance.want_all());
-    let mut delayed = DelayedAggregates::new(config.knowledge_delay, initial);
+    // Fresh aggregates are computed once by the reference implementation
+    // and then maintained incrementally; the delay pipeline only exists
+    // when a delay is configured, so the common delay-0 path borrows
+    // `fresh` without any copying.
+    let mut fresh = AggregateKnowledge::compute(m, &possession, instance.want_all());
+    let mut delayed = (config.knowledge_delay > 0)
+        .then(|| DelayedAggregates::new(config.knowledge_delay, fresh.clone()));
     let static_caps: Vec<u32> = g.edge_ids().map(|e| g.capacity(e)).collect();
 
+    // Scratch arena reused across steps: a stamped duplicate-arc
+    // detector (bumping `stamp` invalidates the whole array in O(1))
+    // and a delivery buffer for the newly-received tokens of one send.
+    let mut seen_stamp: Vec<u64> = vec![0; g.edge_count()];
+    let mut stamp = 0u64;
+    let mut delta = TokenSet::new(m);
+
     let mut step = 0usize;
-    let mut success = remaining_need(instance, &possession) == 0;
+    let mut success = remaining == 0;
     while !success && step < config.max_steps {
-        let fresh = AggregateKnowledge::compute(m, &possession, instance.want_all());
-        let visible = delayed.advance(fresh).clone();
-        let caps: Vec<u32> = match dynamics.as_deref_mut() {
+        let step_start = Instant::now();
+        let visible: &AggregateKnowledge = match delayed.as_mut() {
+            Some(d) => d.advance_from(&fresh),
+            None => &fresh,
+        };
+        let dyn_caps: Option<Vec<u32>> = match dynamics.as_deref_mut() {
             Some(d) => {
                 d.observe(&possession);
-                d.capacities(g, step, rng)
+                Some(d.capacities(g, step, rng))
             }
-            None => static_caps.clone(),
+            None => None,
         };
+        let caps: &[u32] = dyn_caps.as_deref().unwrap_or(&static_caps);
         assert_eq!(
             caps.len(),
             g.edge_count(),
@@ -157,15 +212,15 @@ pub(crate) fn simulate_inner(
             let view = WorldView {
                 instance,
                 possession: &possession,
-                aggregates: &visible,
+                aggregates: visible,
                 step,
-                capacities: Some(&caps),
+                capacities: Some(caps),
             };
             strategy.plan_step(&view, rng)
         };
 
         // Enforce the §3.1 restrictions; violations are strategy bugs.
-        let mut seen_edges = vec![false; g.edge_count()];
+        stamp += 1;
         for (edge, tokens) in &sends {
             assert!(
                 edge.index() < g.edge_count(),
@@ -173,7 +228,7 @@ pub(crate) fn simulate_inner(
                 strategy.name()
             );
             assert!(
-                !std::mem::replace(&mut seen_edges[edge.index()], true),
+                std::mem::replace(&mut seen_stamp[edge.index()], stamp) != stamp,
                 "strategy {} duplicated arc {edge} at step {step}",
                 strategy.name()
             );
@@ -197,29 +252,46 @@ pub(crate) fn simulate_inner(
         if moves == 0 && dynamics.is_none() && !strategy.may_idle(step) {
             break; // stall
         }
-        capacity_trace.push(caps);
-        // Apply: receipts land after all sends are read (store & forward).
+        if let Some(caps) = dyn_caps {
+            capacity_trace.push(caps);
+        }
+        // Apply: receipts land after all sends are read (store &
+        // forward; validation above used the pre-step possession). Each
+        // send's *newly received* tokens — `delta` — are the only
+        // events that change the aggregates and need counters.
         for (edge, tokens) in timestep.sends() {
             let dst = g.edge(edge).dst;
-            possession[dst.index()].union_with(tokens);
+            delta.copy_from(tokens);
+            delta.subtract(&possession[dst.index()]);
+            if delta.is_empty() {
+                continue;
+            }
+            possession[dst.index()].union_with(&delta);
+            let satisfied = fresh.apply_delivery(&delta, instance.want(dst));
+            remaining -= satisfied;
+            let missing_dst = &mut missing[dst.index()];
+            *missing_dst -= satisfied as usize;
+            if *missing_dst == 0 && completion_steps[dst.index()].is_none() {
+                completion_steps[dst.index()] = Some(step + 1);
+            }
         }
         schedule.push_timestep(timestep);
         step += 1;
-        for v in g.nodes() {
-            if completion_steps[v.index()].is_none()
-                && instance.want(v).is_subset(&possession[v.index()])
-            {
-                completion_steps[v.index()] = Some(step);
-            }
-        }
-        let remaining = remaining_need(instance, &possession);
         trace.push(StepRecord {
             step: step - 1,
             moves,
             remaining_need: remaining,
+            nanos: step_start.elapsed().as_nanos() as u64,
         });
         success = remaining == 0;
     }
+
+    debug_assert_eq!(
+        fresh,
+        AggregateKnowledge::compute(m, &possession, instance.want_all()),
+        "incremental aggregates diverged from the reference implementation"
+    );
+    debug_assert_eq!(remaining, remaining_need(instance, &possession));
 
     (
         SimReport {
@@ -229,6 +301,7 @@ pub(crate) fn simulate_inner(
             success,
             completion_steps,
             trace,
+            wall_nanos: run_start.elapsed().as_nanos() as u64,
         },
         capacity_trace,
     )
@@ -273,8 +346,8 @@ mod tests {
             let mut out = Vec::new();
             for e in g.edge_ids() {
                 let arc = g.edge(e);
-                let mut send = view.possession[arc.src.index()]
-                    .difference(&view.possession[arc.dst.index()]);
+                let mut send =
+                    view.possession[arc.src.index()].difference(&view.possession[arc.dst.index()]);
                 send.truncate(arc.capacity as usize);
                 if !send.is_empty() {
                     out.push((e, send));
@@ -326,7 +399,11 @@ mod tests {
         let instance = single_file(classic::path(3, 5, true), 2, 0);
         let mut rng = StdRng::seed_from_u64(2);
         let report = simulate(&instance, &mut Flood, &SimConfig::default(), &mut rng);
-        assert_eq!(report.completion_steps[0], Some(0), "source starts satisfied");
+        assert_eq!(
+            report.completion_steps[0],
+            Some(0),
+            "source starts satisfied"
+        );
         assert_eq!(report.completion_steps[1], Some(1));
         assert_eq!(report.completion_steps[2], Some(2));
         assert_eq!(report.mean_completion(), Some(1.5));
@@ -341,6 +418,7 @@ mod tests {
         assert_eq!(report.steps, 0);
         assert_eq!(report.completion_steps[1], None);
         assert_eq!(report.mean_completion(), None);
+        assert_eq!(report.mean_step_nanos(), None);
     }
 
     #[test]
@@ -371,6 +449,40 @@ mod tests {
     }
 
     #[test]
+    fn knowledge_delay_runs_match_zero_delay_outcome_for_flood() {
+        // Flood ignores the aggregates entirely, so any delay must give
+        // the identical schedule — this exercises the delayed
+        // (`advance_from`) pipeline against the borrow-fresh fast path.
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        let baseline = {
+            let mut rng = StdRng::seed_from_u64(11);
+            simulate(&instance, &mut Flood, &SimConfig::default(), &mut rng)
+        };
+        for delay in [1usize, 3, 5] {
+            let config = SimConfig {
+                knowledge_delay: delay,
+                ..Default::default()
+            };
+            let mut rng = StdRng::seed_from_u64(11);
+            let report = simulate(&instance, &mut Flood, &config, &mut rng);
+            assert!(report.success, "delay {delay}");
+            assert_eq!(report.schedule, baseline.schedule, "delay {delay}");
+        }
+    }
+
+    #[test]
+    fn wall_clock_fields_are_recorded() {
+        let instance = single_file(classic::cycle(5, 3, true), 6, 0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let report = simulate(&instance, &mut Flood, &SimConfig::default(), &mut rng);
+        assert!(report.wall_nanos > 0);
+        assert_eq!(report.trace.len(), report.steps);
+        let step_total: u64 = report.trace.iter().map(|r| r.nanos).sum();
+        assert!(step_total <= report.wall_nanos, "steps are part of the run");
+        assert!(report.mean_step_nanos().is_some());
+    }
+
+    #[test]
     #[should_panic(expected = "overfilled")]
     fn capacity_violation_panics() {
         struct Overfill;
@@ -394,6 +506,33 @@ mod tests {
         let instance = single_file(classic::path(2, 1, false), 5, 0);
         let mut rng = StdRng::seed_from_u64(6);
         let _ = simulate(&instance, &mut Overfill, &SimConfig::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicated arc")]
+    fn duplicate_arc_panics() {
+        struct Duplicate;
+        impl Strategy for Duplicate {
+            fn name(&self) -> &'static str {
+                "duplicate"
+            }
+            fn tier(&self) -> KnowledgeTier {
+                KnowledgeTier::Global
+            }
+            fn reset(&mut self, _: &Instance) {}
+            fn plan_step(
+                &mut self,
+                view: &WorldView<'_>,
+                _rng: &mut dyn RngCore,
+            ) -> Vec<(EdgeId, TokenSet)> {
+                let t =
+                    TokenSet::from_tokens(view.instance.num_tokens(), [ocd_core::Token::new(0)]);
+                vec![(EdgeId::new(0), t.clone()), (EdgeId::new(0), t)]
+            }
+        }
+        let instance = single_file(classic::path(2, 2, false), 2, 0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = simulate(&instance, &mut Duplicate, &SimConfig::default(), &mut rng);
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl<S: Strategy> Strategy for GatherThenPlan<S> {
         self.inner.reset(instance);
     }
 
-    fn plan_step(&mut self, view: &WorldView<'_>, rng: &mut dyn RngCore) -> Vec<(EdgeId, TokenSet)> {
+    fn plan_step(
+        &mut self,
+        view: &WorldView<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<(EdgeId, TokenSet)> {
         if view.step < self.gather_steps {
             Vec::new()
         } else {

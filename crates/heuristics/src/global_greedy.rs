@@ -61,7 +61,11 @@ impl Strategy for GlobalGreedy {
 
     fn reset(&mut self, _instance: &Instance) {}
 
-    fn plan_step(&mut self, view: &WorldView<'_>, rng: &mut dyn RngCore) -> Vec<(EdgeId, TokenSet)> {
+    fn plan_step(
+        &mut self,
+        view: &WorldView<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<(EdgeId, TokenSet)> {
         let g = view.graph();
         let m = view.instance.num_tokens();
         let n = g.node_count();
@@ -140,7 +144,12 @@ mod tests {
             .build()
             .unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let report = simulate(&instance, &mut GlobalGreedy::new(), &SimConfig::default(), &mut rng);
+        let report = simulate(
+            &instance,
+            &mut GlobalGreedy::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(report.success);
         assert_eq!(report.steps, 1);
         assert_eq!(report.bandwidth, 4, "each token delivered exactly once");
@@ -150,9 +159,16 @@ mod tests {
     fn completes_and_validates_on_single_file() {
         let instance = single_file(classic::cycle(10, 3, true), 16, 0);
         let mut rng = StdRng::seed_from_u64(2);
-        let report = simulate(&instance, &mut GlobalGreedy::new(), &SimConfig::default(), &mut rng);
+        let report = simulate(
+            &instance,
+            &mut GlobalGreedy::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(report.success);
-        assert!(validate::replay(&instance, &report.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &report.schedule)
+            .unwrap()
+            .is_successful());
     }
 
     #[test]
@@ -166,7 +182,12 @@ mod tests {
             .build()
             .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let report = simulate(&instance, &mut GlobalGreedy::new(), &SimConfig::default(), &mut rng);
+        let report = simulate(
+            &instance,
+            &mut GlobalGreedy::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(report.success);
         assert_eq!(report.steps, 1);
         let first = &report.schedule.steps()[0];
@@ -192,7 +213,12 @@ mod tests {
     fn multi_sender_scenario_completes() {
         let mut rng = StdRng::seed_from_u64(4);
         let instance = multi_sender(classic::cycle(12, 4, true), 24, 4, &mut rng);
-        let report = simulate(&instance, &mut GlobalGreedy::new(), &SimConfig::default(), &mut rng);
+        let report = simulate(
+            &instance,
+            &mut GlobalGreedy::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(report.success);
     }
 }

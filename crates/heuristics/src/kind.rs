@@ -137,9 +137,18 @@ mod tests {
 
     #[test]
     fn aliases_parse() {
-        assert_eq!("rr".parse::<StrategyKind>().unwrap(), StrategyKind::RoundRobin);
-        assert_eq!("bw".parse::<StrategyKind>().unwrap(), StrategyKind::Bandwidth);
-        assert_eq!("rarest".parse::<StrategyKind>().unwrap(), StrategyKind::Local);
+        assert_eq!(
+            "rr".parse::<StrategyKind>().unwrap(),
+            StrategyKind::RoundRobin
+        );
+        assert_eq!(
+            "bw".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Bandwidth
+        );
+        assert_eq!(
+            "rarest".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Local
+        );
     }
 
     #[test]
@@ -155,7 +164,12 @@ mod tests {
         for kind in StrategyKind::all() {
             let mut strategy = kind.build();
             let mut rng = StdRng::seed_from_u64(42);
-            let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut rng);
+            let report = simulate(
+                &instance,
+                strategy.as_mut(),
+                &SimConfig::default(),
+                &mut rng,
+            );
             assert!(report.success, "{kind} failed");
             let replay = validate::replay(&instance, &report.schedule)
                 .unwrap_or_else(|e| panic!("{kind}: {e}"));

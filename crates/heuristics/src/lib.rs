@@ -55,7 +55,6 @@ mod view;
 
 pub use bandwidth::BandwidthCautious;
 pub use dynamics::{simulate_dynamic, DynamicReport, NetworkDynamics};
-pub use underlay::{simulate_underlay, UnderlayReport};
 pub use engine::{simulate, SimConfig, SimReport, StepRecord};
 pub use gather::GatherThenPlan;
 pub use global_greedy::GlobalGreedy;
@@ -64,4 +63,5 @@ pub use local_rarest::LocalRarest;
 pub use random::RandomUseful;
 pub use round_robin::RoundRobin;
 pub use tree_stripe::TreeStripe;
+pub use underlay::{simulate_underlay, UnderlayReport};
 pub use view::{KnowledgeTier, Strategy, WorldView};

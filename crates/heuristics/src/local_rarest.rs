@@ -39,7 +39,9 @@ impl LocalRarest {
     /// Ablated variant without the request-subdivision phase.
     #[must_use]
     pub fn without_subdivision() -> Self {
-        LocalRarest { no_subdivision: true }
+        LocalRarest {
+            no_subdivision: true,
+        }
     }
 }
 
@@ -73,7 +75,11 @@ impl Strategy for LocalRarest {
 
     fn reset(&mut self, _instance: &Instance) {}
 
-    fn plan_step(&mut self, view: &WorldView<'_>, rng: &mut dyn RngCore) -> Vec<(EdgeId, TokenSet)> {
+    fn plan_step(
+        &mut self,
+        view: &WorldView<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<(EdgeId, TokenSet)> {
         let g = view.graph();
         let m = view.instance.num_tokens();
 
@@ -130,8 +136,8 @@ impl Strategy for LocalRarest {
             if send.len() < cap {
                 // Flood fill: rarest tokens the peer lacks, preferring
                 // tokens somebody still needs (the "want" aggregate).
-                let mut candidates = view.possession[arc.src.index()]
-                    .difference(&view.possession[arc.dst.index()]);
+                let mut candidates =
+                    view.possession[arc.src.index()].difference(&view.possession[arc.dst.index()]);
                 candidates.subtract(&send);
                 let mut ranked: Vec<(bool, u32, u32, Token)> = candidates
                     .iter()
@@ -185,9 +191,16 @@ mod tests {
     fn completes_single_file() {
         let instance = single_file(classic::cycle(8, 3, true), 12, 0);
         let mut rng = StdRng::seed_from_u64(1);
-        let report = simulate(&instance, &mut LocalRarest::new(), &SimConfig::default(), &mut rng);
+        let report = simulate(
+            &instance,
+            &mut LocalRarest::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(report.success);
-        assert!(validate::replay(&instance, &report.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &report.schedule)
+            .unwrap()
+            .is_successful());
     }
 
     #[test]
@@ -205,9 +218,17 @@ mod tests {
             .build()
             .unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let report = simulate(&instance, &mut LocalRarest::new(), &SimConfig::default(), &mut rng);
+        let report = simulate(
+            &instance,
+            &mut LocalRarest::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(report.success);
-        assert_eq!(report.steps, 1, "distinct requests fetch both tokens at once");
+        assert_eq!(
+            report.steps, 1,
+            "distinct requests fetch both tokens at once"
+        );
         assert_eq!(report.bandwidth, 2);
     }
 
@@ -215,7 +236,12 @@ mod tests {
     fn handles_multi_file_demand() {
         let instance = multi_file(classic::cycle(12, 4, true), 24, 4, 0);
         let mut rng = StdRng::seed_from_u64(3);
-        let report = simulate(&instance, &mut LocalRarest::new(), &SimConfig::default(), &mut rng);
+        let report = simulate(
+            &instance,
+            &mut LocalRarest::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(report.success);
     }
 
@@ -246,7 +272,10 @@ mod tests {
         assert_eq!(ablated.steps, 2, "duplicate rare sends cost a step");
         assert!(ablated.bandwidth > 2, "and a wasted transfer");
         let subdivided = run(LocalRarest::new());
-        assert_eq!(subdivided.steps, 1, "subdivision fetches both tokens at once");
+        assert_eq!(
+            subdivided.steps, 1,
+            "subdivision fetches both tokens at once"
+        );
         assert_eq!(subdivided.bandwidth, 2);
         assert_eq!(LocalRarest::without_subdivision().name(), "local-nosubdiv");
     }
@@ -260,6 +289,9 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(4);
         let report = simulate(&instance, &mut LocalRarest::new(), &config, &mut rng);
-        assert!(report.success, "stale rarity data degrades but still completes");
+        assert!(
+            report.success,
+            "stale rarity data degrades but still completes"
+        );
     }
 }

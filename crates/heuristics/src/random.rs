@@ -36,7 +36,11 @@ impl Strategy for RandomUseful {
 
     fn reset(&mut self, _instance: &Instance) {}
 
-    fn plan_step(&mut self, view: &WorldView<'_>, rng: &mut dyn RngCore) -> Vec<(EdgeId, TokenSet)> {
+    fn plan_step(
+        &mut self,
+        view: &WorldView<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<(EdgeId, TokenSet)> {
         let g = view.graph();
         let m = view.instance.num_tokens();
         let mut out = Vec::new();
@@ -77,7 +81,12 @@ mod tests {
     fn never_resends_known_tokens() {
         let instance = single_file(classic::cycle(6, 2, true), 8, 0);
         let mut rng = StdRng::seed_from_u64(3);
-        let report = simulate(&instance, &mut RandomUseful::new(), &SimConfig::default(), &mut rng);
+        let report = simulate(
+            &instance,
+            &mut RandomUseful::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(report.success);
         let replay = validate::replay(&instance, &report.schedule).unwrap();
         assert!(replay.is_successful());
@@ -99,7 +108,12 @@ mod tests {
     fn respects_capacity_via_partial_shuffle() {
         let instance = single_file(classic::path(2, 3, false), 10, 0);
         let mut rng = StdRng::seed_from_u64(4);
-        let report = simulate(&instance, &mut RandomUseful::new(), &SimConfig::default(), &mut rng);
+        let report = simulate(
+            &instance,
+            &mut RandomUseful::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(report.success);
         assert_eq!(report.steps, 4, "10 tokens over capacity 3 = 4 steps");
         assert_eq!(report.bandwidth, 10);
@@ -110,7 +124,13 @@ mod tests {
         let instance = single_file(classic::cycle(8, 2, true), 16, 0);
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            simulate(&instance, &mut RandomUseful::new(), &SimConfig::default(), &mut rng).schedule
+            simulate(
+                &instance,
+                &mut RandomUseful::new(),
+                &SimConfig::default(),
+                &mut rng,
+            )
+            .schedule
         };
         assert_eq!(run(7), run(7));
     }
@@ -120,7 +140,13 @@ mod tests {
         let instance = single_file(classic::cycle(8, 2, true), 16, 0);
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            simulate(&instance, &mut RandomUseful::new(), &SimConfig::default(), &mut rng).schedule
+            simulate(
+                &instance,
+                &mut RandomUseful::new(),
+                &SimConfig::default(),
+                &mut rng,
+            )
+            .schedule
         };
         assert_ne!(run(7), run(8));
     }

@@ -44,7 +44,11 @@ impl Strategy for RoundRobin {
         self.cursors = vec![0; instance.graph().edge_count()];
     }
 
-    fn plan_step(&mut self, view: &WorldView<'_>, _rng: &mut dyn RngCore) -> Vec<(EdgeId, TokenSet)> {
+    fn plan_step(
+        &mut self,
+        view: &WorldView<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<(EdgeId, TokenSet)> {
         let g = view.graph();
         let m = view.instance.num_tokens();
         let mut out = Vec::new();
@@ -89,11 +93,8 @@ mod tests {
         let mut rr = RoundRobin::new();
         rr.reset(&instance);
         let possession = instance.have_all().to_vec();
-        let aggregates = ocd_core::knowledge::AggregateKnowledge::compute(
-            5,
-            &possession,
-            instance.want_all(),
-        );
+        let aggregates =
+            ocd_core::knowledge::AggregateKnowledge::compute(5, &possession, instance.want_all());
         let mut rng = StdRng::seed_from_u64(0);
         let view = WorldView {
             instance: &instance,
@@ -118,9 +119,16 @@ mod tests {
     fn completes_single_file_distribution() {
         let instance = single_file(classic::cycle(6, 3, true), 10, 0);
         let mut rng = StdRng::seed_from_u64(1);
-        let report = simulate(&instance, &mut RoundRobin::new(), &SimConfig::default(), &mut rng);
+        let report = simulate(
+            &instance,
+            &mut RoundRobin::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(report.success);
-        assert!(validate::replay(&instance, &report.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &report.schedule)
+            .unwrap()
+            .is_successful());
         // Round robin keeps re-sending: bandwidth strictly exceeds the
         // lower bound on any non-trivial multi-hop topology.
         assert!(report.bandwidth > instance.total_deficiency());
@@ -136,7 +144,12 @@ mod tests {
             .build()
             .unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let report = simulate(&instance, &mut RoundRobin::new(), &SimConfig::default(), &mut rng);
+        let report = simulate(
+            &instance,
+            &mut RoundRobin::new(),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(report.success);
         assert_eq!(report.steps, 1);
         assert_eq!(report.bandwidth, 1, "only the single held token is sent");
@@ -147,7 +160,13 @@ mod tests {
         let instance = single_file(classic::cycle(5, 2, true), 7, 0);
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            simulate(&instance, &mut RoundRobin::new(), &SimConfig::default(), &mut rng).schedule
+            simulate(
+                &instance,
+                &mut RoundRobin::new(),
+                &SimConfig::default(),
+                &mut rng,
+            )
+            .schedule
         };
         assert_eq!(run(1), run(99), "round robin ignores the RNG entirely");
     }

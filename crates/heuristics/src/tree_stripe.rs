@@ -96,12 +96,14 @@ impl Strategy for TreeStripe {
             .nodes()
             .max_by_key(|&v| (instance.have(v).len(), std::cmp::Reverse(v)))
             .expect("non-empty graph");
-        self.trees = (0..self.k)
-            .map(|j| Self::build_tree(g, root, j))
-            .collect();
+        self.trees = (0..self.k).map(|j| Self::build_tree(g, root, j)).collect();
     }
 
-    fn plan_step(&mut self, view: &WorldView<'_>, _rng: &mut dyn RngCore) -> Vec<(EdgeId, TokenSet)> {
+    fn plan_step(
+        &mut self,
+        view: &WorldView<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<(EdgeId, TokenSet)> {
         let g = view.graph();
         let m = view.instance.num_tokens();
         let mut budget: Vec<usize> = g.edge_ids().map(|e| view.capacity(e) as usize).collect();
@@ -155,7 +157,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let report = simulate(&instance, &mut strategy, &SimConfig::default(), &mut rng);
         assert!(report.success);
-        assert!(validate::replay(&instance, &report.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &report.schedule)
+            .unwrap()
+            .is_successful());
         assert_eq!(report.bandwidth, 12, "every token crosses every hop once");
     }
 
@@ -166,7 +170,12 @@ mod tests {
         for k in [1usize, 2, 4] {
             let mut strategy = TreeStripe::new(k);
             let mut run_rng = StdRng::seed_from_u64(2);
-            let report = simulate(&instance, &mut strategy, &SimConfig::default(), &mut run_rng);
+            let report = simulate(
+                &instance,
+                &mut strategy,
+                &SimConfig::default(),
+                &mut run_rng,
+            );
             assert!(report.success, "k = {k}");
             assert!(
                 report.bandwidth >= instance.total_deficiency(),
@@ -204,7 +213,9 @@ mod tests {
         assert!(report.success);
         // Every arc's sent tokens all belong to trees that use that arc;
         // weaker invariant easily checkable: schedule valid + success.
-        assert!(validate::replay(&instance, &report.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &report.schedule)
+            .unwrap()
+            .is_successful());
     }
 
     #[test]

@@ -83,10 +83,7 @@ pub fn admit_physical(
             }
         }
     }
-    let universe = proposed
-        .first()
-        .map(|(_, t)| t.universe())
-        .unwrap_or(0);
+    let universe = proposed.first().map(|(_, t)| t.universe()).unwrap_or(0);
     let admitted = admitted
         .into_iter()
         .filter(|(_, tokens)| !tokens.is_empty())
@@ -118,6 +115,7 @@ pub fn simulate_underlay(
         g.edge_count(),
         "mapping does not cover the overlay's arcs"
     );
+    let run_start = std::time::Instant::now();
     let n = g.node_count();
     let m = instance.num_tokens();
     strategy.reset(instance);
@@ -141,6 +139,7 @@ pub fn simulate_underlay(
         .zip(instance.want_all())
         .all(|(p, w)| w.is_subset(p));
     while !success && step < config.max_steps {
+        let step_start = std::time::Instant::now();
         let fresh = AggregateKnowledge::compute(m, &possession, instance.want_all());
         let visible = delayed.advance(fresh).clone();
         let proposed = {
@@ -196,6 +195,7 @@ pub fn simulate_underlay(
             step: step - 1,
             moves,
             remaining_need: remaining,
+            nanos: step_start.elapsed().as_nanos() as u64,
         });
         success = remaining == 0;
     }
@@ -208,6 +208,7 @@ pub fn simulate_underlay(
             success,
             completion_steps,
             trace,
+            wall_nanos: run_start.elapsed().as_nanos() as u64,
         },
         rejected_per_step,
     }
@@ -244,10 +245,8 @@ mod tests {
         // Host 0 proposes 2 tokens to every other host: 6 proposed
         // moves, but its physical access link (cap 2) admits only 2.
         let full = TokenSet::from_tokens(6, [Token::new(0), Token::new(1)]);
-        let proposed: Vec<(EdgeId, TokenSet)> = g
-            .out_edges(g.node(0))
-            .map(|e| (e, full.clone()))
-            .collect();
+        let proposed: Vec<(EdgeId, TokenSet)> =
+            g.out_edges(g.node(0)).map(|e| (e, full.clone())).collect();
         let (admitted, rejected) = admit_physical(&physical, &mapping, &proposed);
         let admitted_moves: u64 = admitted.iter().map(|(_, t)| t.len() as u64).sum();
         assert_eq!(admitted_moves, 2, "access link capacity 2 caps the fan-out");
@@ -259,10 +258,8 @@ mod tests {
         let (instance, physical, mapping) = star_setup();
         let g = instance.graph();
         let full = TokenSet::from_tokens(6, [Token::new(0), Token::new(1)]);
-        let proposed: Vec<(EdgeId, TokenSet)> = g
-            .out_edges(g.node(0))
-            .map(|e| (e, full.clone()))
-            .collect();
+        let proposed: Vec<(EdgeId, TokenSet)> =
+            g.out_edges(g.node(0)).map(|e| (e, full.clone())).collect();
         let (admitted, _) = admit_physical(&physical, &mapping, &proposed);
         // The 2 admitted tokens go to 2 *different* overlay arcs.
         assert_eq!(admitted.len(), 2);

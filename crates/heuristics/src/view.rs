@@ -81,7 +81,9 @@ impl WorldView<'_> {
     /// Tokens `v` still needs: `w(v) \ p_i(v)`.
     #[must_use]
     pub fn need_of(&self, v: NodeId) -> TokenSet {
-        self.instance.want(v).difference(&self.possession[v.index()])
+        self.instance
+            .want(v)
+            .difference(&self.possession[v.index()])
     }
 
     /// Whether every vertex is satisfied.
@@ -114,7 +116,8 @@ pub trait Strategy {
     fn reset(&mut self, instance: &Instance);
 
     /// Plans the sends of one timestep.
-    fn plan_step(&mut self, view: &WorldView<'_>, rng: &mut dyn RngCore) -> Vec<(EdgeId, TokenSet)>;
+    fn plan_step(&mut self, view: &WorldView<'_>, rng: &mut dyn RngCore)
+        -> Vec<(EdgeId, TokenSet)>;
 
     /// Whether the strategy may legitimately make zero moves while wants
     /// remain unsatisfied at `step` (e.g. a knowledge-gathering phase).

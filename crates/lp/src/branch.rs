@@ -367,8 +367,9 @@ mod tests {
                 .collect();
             let mut cons = Vec::new();
             for _ in 0..nc {
-                let coeffs: Vec<f64> =
-                    (0..nv).map(|_| rng.random_range(-3.0_f64..4.0).round()).collect();
+                let coeffs: Vec<f64> = (0..nv)
+                    .map(|_| rng.random_range(-3.0_f64..4.0).round())
+                    .collect();
                 let rhs = rng.random_range(0.0_f64..6.0).round();
                 p.add_constraint(
                     vars.iter().copied().zip(coeffs.iter().copied()),

@@ -91,14 +91,8 @@ pub(crate) fn solve_lp_with_bounds(
 
     // --- Assemble the tableau. ---
     let m = rows.len();
-    let num_slacks = rows
-        .iter()
-        .filter(|r| r.relation != Relation::Eq)
-        .count();
-    let num_artificials = rows
-        .iter()
-        .filter(|r| r.relation != Relation::Le)
-        .count();
+    let num_slacks = rows.iter().filter(|r| r.relation != Relation::Eq).count();
+    let num_artificials = rows.iter().filter(|r| r.relation != Relation::Le).count();
     let total = n + num_slacks + num_artificials;
     let mut a: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut b: Vec<f64> = Vec::with_capacity(m);
@@ -529,9 +523,7 @@ mod tests {
             let nc = rng.random_range(1..4usize);
             let mut p = Problem::new(Sense::Maximize);
             let vars: Vec<_> = (0..nv)
-                .map(|i| {
-                    p.add_continuous(format!("v{i}"), 0.0, 1.0, rng.random_range(-3.0..3.0))
-                })
+                .map(|i| p.add_continuous(format!("v{i}"), 0.0, 1.0, rng.random_range(-3.0..3.0)))
                 .collect();
             let mut cons = Vec::new();
             for _ in 0..nc {

@@ -12,7 +12,11 @@ fn random_assignment_problems_match_permutation_bruteforce() {
     for trial in 0..20 {
         let n = rng.random_range(2..5usize);
         let costs: Vec<Vec<f64>> = (0..n)
-            .map(|_| (0..n).map(|_| f64::from(rng.random_range(0..20u32))).collect())
+            .map(|_| {
+                (0..n)
+                    .map(|_| f64::from(rng.random_range(0..20u32)))
+                    .collect()
+            })
             .collect();
         let mut p = Problem::new(Sense::Minimize);
         let mut x = Vec::new();
@@ -71,14 +75,12 @@ fn random_weighted_set_cover_matches_subset_bruteforce() {
         let sets: Vec<(u32, Vec<usize>)> = (0..num_sets)
             .map(|_| {
                 let cost = rng.random_range(1..9u32);
-                let members: Vec<usize> =
-                    (0..universe).filter(|_| rng.random_bool(0.5)).collect();
+                let members: Vec<usize> = (0..universe).filter(|_| rng.random_bool(0.5)).collect();
                 (cost, members)
             })
             .collect();
         // Ensure coverability.
-        let coverable = (0..universe)
-            .all(|e| sets.iter().any(|(_, members)| members.contains(&e)));
+        let coverable = (0..universe).all(|e| sets.iter().any(|(_, members)| members.contains(&e)));
         if !coverable {
             continue;
         }
@@ -116,7 +118,8 @@ fn random_weighted_set_cover_matches_subset_bruteforce() {
             }
         }
         assert_eq!(
-            sol.objective.round() as u32, best,
+            sol.objective.round() as u32,
+            best,
             "trial {trial}: MILP disagrees with brute force"
         );
     }
@@ -135,10 +138,18 @@ fn weak_duality_on_random_primal_dual_pairs() {
         let n = rng.random_range(2..4usize);
         let m = rng.random_range(2..4usize);
         let a: Vec<Vec<f64>> = (0..m)
-            .map(|_| (0..n).map(|_| f64::from(rng.random_range(1..5u32))).collect())
+            .map(|_| {
+                (0..n)
+                    .map(|_| f64::from(rng.random_range(1..5u32)))
+                    .collect()
+            })
             .collect();
-        let b: Vec<f64> = (0..m).map(|_| f64::from(rng.random_range(2..10u32))).collect();
-        let c: Vec<f64> = (0..n).map(|_| f64::from(rng.random_range(1..6u32))).collect();
+        let b: Vec<f64> = (0..m)
+            .map(|_| f64::from(rng.random_range(2..10u32)))
+            .collect();
+        let c: Vec<f64> = (0..n)
+            .map(|_| f64::from(rng.random_range(1..6u32)))
+            .collect();
 
         let mut primal = Problem::new(Sense::Maximize);
         let xs: Vec<_> = c
@@ -177,7 +188,10 @@ fn weak_duality_on_random_primal_dual_pairs() {
             d.objective
         );
     }
-    assert!(checked >= 10, "too few feasible primal/dual pairs generated");
+    assert!(
+        checked >= 10,
+        "too few feasible primal/dual pairs generated"
+    );
 }
 
 #[test]

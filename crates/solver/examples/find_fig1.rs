@@ -27,7 +27,8 @@ fn main() {
         for u in 0..n {
             for v in 0..n {
                 if u != v && rng.random_bool(0.4) {
-                    g.add_edge(g.node(u), g.node(v), rng.random_range(1..3)).unwrap();
+                    g.add_edge(g.node(u), g.node(v), rng.random_range(1..3))
+                        .unwrap();
                     edges += 1;
                 }
             }

@@ -157,11 +157,7 @@ impl<'a> Search<'a> {
         if budget == 0 {
             return Ok(None);
         }
-        let bound = remaining_makespan(
-            self.instance.graph(),
-            possession,
-            self.instance.want_all(),
-        );
+        let bound = remaining_makespan(self.instance.graph(), possession, self.instance.want_all());
         if bound > budget {
             return Ok(None);
         }
@@ -239,7 +235,16 @@ impl<'a> Search<'a> {
         // Branch over all cap-subsets of the useful set.
         let tokens: Vec<Token> = useful.iter().collect();
         let mut subset: Vec<Token> = Vec::with_capacity(cap);
-        self.enumerate_subsets(edges, idx, possession, chosen, budget, &tokens, 0, &mut subset)
+        self.enumerate_subsets(
+            edges,
+            idx,
+            possession,
+            chosen,
+            budget,
+            &tokens,
+            0,
+            &mut subset,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -271,7 +276,14 @@ impl<'a> Search<'a> {
         for pick in start..=tokens.len().saturating_sub(needed) {
             subset.push(tokens[pick]);
             let r = self.enumerate_subsets(
-                edges, idx, possession, chosen, budget, tokens, pick + 1, subset,
+                edges,
+                idx,
+                possession,
+                chosen,
+                budget,
+                tokens,
+                pick + 1,
+                subset,
             )?;
             subset.pop();
             if r.is_some() {
@@ -300,7 +312,9 @@ mod tests {
         let instance = single_file(classic::path(2, 1, false), 1, 0);
         let r = solve_focd(&instance, &BnbOptions::default()).unwrap();
         assert_eq!(r.makespan, 1);
-        assert!(validate::replay(&instance, &r.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &r.schedule)
+            .unwrap()
+            .is_successful());
     }
 
     #[test]
@@ -335,7 +349,9 @@ mod tests {
         let instance = ocd_core::scenario::figure_one();
         let r = solve_focd(&instance, &BnbOptions::default()).unwrap();
         assert_eq!(r.makespan, 2);
-        assert!(validate::replay(&instance, &r.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &r.schedule)
+            .unwrap()
+            .is_successful());
     }
 
     #[test]
@@ -349,12 +365,12 @@ mod tests {
             for u in 0..n {
                 for v in 0..n {
                     if u != v && rng.random_bool(0.7) {
-                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..3)).unwrap();
+                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..3))
+                            .unwrap();
                     }
                 }
             }
-            let mut builder = Instance::builder(g, m)
-                .have_set(0, TokenSet::full(m));
+            let mut builder = Instance::builder(g, m).have_set(0, TokenSet::full(m));
             for v in 1..n {
                 if rng.random_bool(0.7) {
                     builder = builder.want_set(v, TokenSet::full(m));
@@ -377,8 +393,8 @@ mod tests {
             assert!(replay.is_successful(), "trial {trial}");
             // Optimality sanity: τ - 1 must be infeasible.
             if r.makespan > 0 {
-                let shorter = decide_focd(&instance, r.makespan - 1, &BnbOptions::default())
-                    .unwrap();
+                let shorter =
+                    decide_focd(&instance, r.makespan - 1, &BnbOptions::default()).unwrap();
                 assert!(shorter.is_none(), "trial {trial}: not actually optimal");
             }
         }
@@ -415,9 +431,15 @@ mod tests {
     #[test]
     fn decide_focd_boundary() {
         let instance = single_file(classic::path(3, 1, false), 1, 0);
-        assert!(decide_focd(&instance, 1, &BnbOptions::default()).unwrap().is_none());
-        assert!(decide_focd(&instance, 2, &BnbOptions::default()).unwrap().is_some());
-        assert!(decide_focd(&instance, 5, &BnbOptions::default()).unwrap().is_some());
+        assert!(decide_focd(&instance, 1, &BnbOptions::default())
+            .unwrap()
+            .is_none());
+        assert!(decide_focd(&instance, 2, &BnbOptions::default())
+            .unwrap()
+            .is_some());
+        assert!(decide_focd(&instance, 5, &BnbOptions::default())
+            .unwrap()
+            .is_some());
     }
 
     #[test]

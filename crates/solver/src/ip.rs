@@ -125,11 +125,7 @@ fn build_ip(instance: &Instance, horizon: usize) -> Option<IpModel> {
         // Capacity on real arcs.
         for (ei, e) in g.edge_ids().enumerate() {
             let cap = f64::from(g.capacity(e));
-            problem.add_constraint(
-                (0..m).map(|t| (moves[i][ei][t], 1.0)),
-                Relation::Le,
-                cap,
-            );
+            problem.add_constraint((0..m).map(|t| (moves[i][ei][t], 1.0)), Relation::Le, cap);
         }
     }
     // Want satisfaction at time τ.
@@ -319,18 +315,24 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(r.bandwidth, 1);
-        assert!(validate::replay(&instance, &r.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &r.schedule)
+            .unwrap()
+            .is_successful());
     }
 
     #[test]
     fn horizon_too_short_is_none() {
         let instance = single_file(classic::path(3, 1, false), 1, 0);
-        assert!(min_bandwidth_for_horizon(&instance, 1, &MipOptions::default())
-            .unwrap()
-            .is_none());
-        assert!(min_bandwidth_for_horizon(&instance, 2, &MipOptions::default())
-            .unwrap()
-            .is_some());
+        assert!(
+            min_bandwidth_for_horizon(&instance, 1, &MipOptions::default())
+                .unwrap()
+                .is_none()
+        );
+        assert!(
+            min_bandwidth_for_horizon(&instance, 2, &MipOptions::default())
+                .unwrap()
+                .is_some()
+        );
     }
 
     #[test]
@@ -346,9 +348,11 @@ mod tests {
     #[test]
     fn zero_horizon_nontrivial_is_none() {
         let instance = single_file(classic::path(2, 1, false), 1, 0);
-        assert!(min_bandwidth_for_horizon(&instance, 0, &MipOptions::default())
-            .unwrap()
-            .is_none());
+        assert!(
+            min_bandwidth_for_horizon(&instance, 0, &MipOptions::default())
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -378,7 +382,11 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(r.bandwidth, 2);
-        assert_eq!(bandwidth_lower_bound(&instance), 1, "bound is not tight here");
+        assert_eq!(
+            bandwidth_lower_bound(&instance),
+            1,
+            "bound is not tight here"
+        );
     }
 
     #[test]
@@ -436,7 +444,8 @@ mod tests {
             for u in 0..n {
                 for v in 0..n {
                     if u != v && rng.random_bool(0.7) {
-                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..3)).unwrap();
+                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..3))
+                            .unwrap();
                     }
                 }
             }
@@ -450,11 +459,13 @@ mod tests {
             }
             for horizon in 1..4usize {
                 let lp = bandwidth_lp_lower_bound(&instance, horizon).unwrap();
-                let ip = min_bandwidth_for_horizon(&instance, horizon, &MipOptions::default())
-                    .unwrap();
+                let ip =
+                    min_bandwidth_for_horizon(&instance, horizon, &MipOptions::default()).unwrap();
                 match (lp, ip) {
                     (Some(l), Some(r)) => assert!(l <= r.bandwidth, "LP {l} > IP {}", r.bandwidth),
-                    (None, Some(r)) => panic!("LP infeasible but IP found bandwidth {}", r.bandwidth),
+                    (None, Some(r)) => {
+                        panic!("LP infeasible but IP found bandwidth {}", r.bandwidth)
+                    }
                     _ => {}
                 }
             }
@@ -486,7 +497,9 @@ mod tests {
         .unwrap();
         assert_eq!(relaxed.bandwidth, 4);
         assert!(relaxed.schedule.makespan() <= 3);
-        assert!(validate::replay(&instance, &relaxed.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &relaxed.schedule)
+            .unwrap()
+            .is_successful());
     }
 
     #[test]
@@ -513,7 +526,8 @@ mod tests {
             for u in 0..n {
                 for v in 0..n {
                     if u != v && rng.random_bool(0.8) {
-                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..3)).unwrap();
+                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..3))
+                            .unwrap();
                     }
                 }
             }

@@ -46,7 +46,10 @@ pub struct ReductionLayout {
 pub fn focd_from_dominating_set(g: &DiGraph, k: usize) -> (Instance, ReductionLayout) {
     let n = g.node_count();
     assert!(n > 0, "dominating set needs a non-empty graph");
-    assert!(k < n, "k = {k} ≥ n = {n} makes the dominating-set question trivial");
+    assert!(
+        k < n,
+        "k = {k} ≥ n = {n} makes the dominating-set question trivial"
+    );
     let m = n - k + 1; // token 0 plus relay tokens 1..=n-k
     let layout = ReductionLayout {
         n,
@@ -85,10 +88,7 @@ pub fn focd_from_dominating_set(g: &DiGraph, k: usize) -> (Instance, ReductionLa
     for i in 0..n {
         builder = builder.want(layout.prime_start + i, [Token::new(0)]);
     }
-    (
-        builder.build().expect("source holds every token"),
-        layout,
-    )
+    (builder.build().expect("source holds every token"), layout)
 }
 
 /// Extracts the dominating set witnessed by a successful ≤ 2-step
@@ -165,7 +165,10 @@ mod tests {
         // P5 has domination number 2.
         let g = classic::path(5, 1, true);
         let (instance, _) = focd_from_dominating_set(&g, 1);
-        assert!(decide_two_steps(&instance).is_none(), "P5 needs 2 dominators");
+        assert!(
+            decide_two_steps(&instance).is_none(),
+            "P5 needs 2 dominators"
+        );
         let (instance, layout) = focd_from_dominating_set(&g, 2);
         let schedule = decide_two_steps(&instance).expect("P5 dominated by 2");
         let ds = dominating_set_from_schedule(&layout, &instance, &schedule);

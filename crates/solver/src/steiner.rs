@@ -53,8 +53,7 @@ pub fn serial_steiner_schedule(instance: &Instance) -> Result<SteinerSchedule, S
         if sources.is_empty() {
             return Err(SolveError::Unsatisfiable);
         }
-        let tree =
-            steiner_tree_approx(g, &sources, &terminals).ok_or(SolveError::Unsatisfiable)?;
+        let tree = steiner_tree_approx(g, &sources, &terminals).ok_or(SolveError::Unsatisfiable)?;
         per_token_cost.push(tree.cost);
         // Level the tree's arcs: an arc can fire once its source is
         // reached. Sources are level 0; arc (u, v) fires at step
@@ -152,7 +151,9 @@ mod tests {
         assert_eq!(s.bandwidth, 2);
         assert_eq!(s.per_token_cost, vec![2]);
         assert_eq!(s.schedule.makespan(), 2);
-        assert!(validate::replay(&instance, &s.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &s.schedule)
+            .unwrap()
+            .is_successful());
     }
 
     #[test]
@@ -163,7 +164,9 @@ mod tests {
         let s = serial_steiner_schedule(&instance).unwrap();
         assert_eq!(s.schedule.makespan(), 4, "2 tokens × depth-2 trees");
         assert_eq!(s.bandwidth, 4);
-        assert!(validate::replay(&instance, &s.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &s.schedule)
+            .unwrap()
+            .is_successful());
     }
 
     #[test]
@@ -172,7 +175,9 @@ mod tests {
         // overload arcs; the serial construction never does.
         let instance = single_file(classic::cycle(4, 1, true), 3, 0);
         let s = serial_steiner_schedule(&instance).unwrap();
-        assert!(validate::replay(&instance, &s.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &s.schedule)
+            .unwrap()
+            .is_successful());
     }
 
     #[test]

@@ -35,10 +35,19 @@ fn main() {
     );
 
     let groups = vertex_partition(n, FILES);
-    for kind in [StrategyKind::Random, StrategyKind::Bandwidth, StrategyKind::Global] {
+    for kind in [
+        StrategyKind::Random,
+        StrategyKind::Bandwidth,
+        StrategyKind::Global,
+    ] {
         let mut strategy = kind.build();
         let mut run_rng = StdRng::seed_from_u64(3);
-        let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut run_rng);
+        let report = simulate(
+            &instance,
+            strategy.as_mut(),
+            &SimConfig::default(),
+            &mut run_rng,
+        );
         assert!(report.success, "{kind} must complete the push");
         let (pruned, _) = ocd::core::prune::prune(&instance, &report.schedule);
         println!(

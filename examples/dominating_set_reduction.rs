@@ -18,7 +18,10 @@ fn main() {
     // A 6-cycle: domination number ⌈6/3⌉ = 2.
     let g = classic::cycle(6, 1, true);
     let exact = dominating_set_exact(&g);
-    println!("graph: C6; exact minimum dominating set: {exact:?} (size {})", exact.len());
+    println!(
+        "graph: C6; exact minimum dominating set: {exact:?} (size {})",
+        exact.len()
+    );
 
     for k in 1..=3 {
         let (instance, layout) = focd_from_dominating_set(&g, k);

@@ -24,7 +24,10 @@ fn main() {
 
     // Exact minimum makespan by branch and bound.
     let fastest = solve_focd(&instance, &BnbOptions::default()).expect("satisfiable");
-    println!("\nminimum makespan = {} timesteps; that schedule:", fastest.makespan);
+    println!(
+        "\nminimum makespan = {} timesteps; that schedule:",
+        fastest.makespan
+    );
     println!("{}", fastest.schedule);
 
     // The whole Pareto frontier by the §3.4 time-indexed IP.
@@ -34,10 +37,9 @@ fn main() {
         println!("  {tau} steps  →  {bw} transfers");
     }
 
-    let min_bw =
-        min_bandwidth_for_horizon(&instance, 3, &Default::default())
-            .expect("mip ok")
-            .expect("feasible at 3 steps");
+    let min_bw = min_bandwidth_for_horizon(&instance, 3, &Default::default())
+        .expect("mip ok")
+        .expect("feasible at 3 steps");
     println!("\nthe bandwidth-optimal schedule (3 steps, 4 transfers):");
     println!("{}", min_bw.schedule);
 

@@ -39,7 +39,10 @@ fn main() {
 
     // The exact solver confirms the bound is tight here.
     let exact = solve_focd(&instance, &BnbOptions::default()).unwrap();
-    println!("exact minimum makespan:                  {}", exact.makespan);
+    println!(
+        "exact minimum makespan:                  {}",
+        exact.makespan
+    );
     assert_eq!(exact.makespan, 3);
 
     // Bandwidth: 6 deliveries to the sink is the floor, but every token
@@ -48,7 +51,10 @@ fn main() {
     let bw_lb = bandwidth_lower_bound(&instance);
     let steiner = serial_steiner_schedule(&instance).unwrap();
     println!("\nbandwidth lower bound (deficiency):      {bw_lb}");
-    println!("Steiner schedule bandwidth (upper):      {}", steiner.bandwidth);
+    println!(
+        "Steiner schedule bandwidth (upper):      {}",
+        steiner.bandwidth
+    );
     let exact_bw = min_bandwidth_for_horizon(&instance, 7, &Default::default())
         .unwrap()
         .expect("feasible")

@@ -30,8 +30,16 @@ fn main() {
 
     // 3. Distribute with the rarest-first Local heuristic.
     let mut strategy = StrategyKind::Local.build();
-    let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut rng);
-    assert!(report.success, "local heuristic always completes on connected overlays");
+    let report = simulate(
+        &instance,
+        strategy.as_mut(),
+        &SimConfig::default(),
+        &mut rng,
+    );
+    assert!(
+        report.success,
+        "local heuristic always completes on connected overlays"
+    );
     println!(
         "local heuristic: {} timesteps, {} token-transfers",
         report.steps, report.bandwidth

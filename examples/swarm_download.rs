@@ -30,7 +30,12 @@ fn main() {
     for kind in StrategyKind::all() {
         let mut strategy = kind.build();
         let mut run_rng = StdRng::seed_from_u64(1);
-        let report = simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut run_rng);
+        let report = simulate(
+            &instance,
+            strategy.as_mut(),
+            &SimConfig::default(),
+            &mut run_rng,
+        );
         assert!(report.success, "{kind} must complete the swarm");
         let (pruned, _) = ocd::core::prune::prune(&instance, &report.schedule);
         println!(
@@ -55,6 +60,9 @@ fn main() {
         let mut run_rng = StdRng::seed_from_u64(1);
         let report = simulate(&instance, strategy.as_mut(), &config, &mut run_rng);
         assert!(report.success);
-        println!("{:>8}  {:>7}  {:>10}", delay, report.steps, report.bandwidth);
+        println!(
+            "{:>8}  {:>7}  {:>10}",
+            delay, report.steps, report.bandwidth
+        );
     }
 }

@@ -13,8 +13,8 @@ use ocd::graph::generate::{paper_random, transit_stub, TransitStubConfig};
 use ocd::graph::underlay::Underlay;
 use ocd::graph::NodeId;
 use ocd::heuristics::dynamics::{Churn, LinkOutages, StaticNetwork};
-use ocd::prelude::*;
 use ocd::heuristics::{simulate_dynamic, simulate_underlay, NetworkDynamics};
+use ocd::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,8 +33,14 @@ fn main() {
     // (a)+(b): dynamics sweep with the Local heuristic.
     let conditions: Vec<(&str, Box<dyn NetworkDynamics>)> = vec![
         ("static", Box::new(StaticNetwork)),
-        ("link outages (15%/50%)", Box::new(LinkOutages::new(0.15, 0.5))),
-        ("churn (8%/40%, seed pinned)", Box::new(Churn::new(0.08, 0.4, vec![0]))),
+        (
+            "link outages (15%/50%)",
+            Box::new(LinkOutages::new(0.15, 0.5)),
+        ),
+        (
+            "churn (8%/40%, seed pinned)",
+            Box::new(Churn::new(0.08, 0.4, vec![0])),
+        ),
     ];
     for (label, mut model) in conditions {
         let mut strategy = StrategyKind::Local.build();
@@ -73,12 +79,19 @@ fn main() {
     let hosts: Vec<NodeId> = (backbone..backbone + 40).map(NodeId::new).collect();
     let overlay = paper_random(40, &mut rng);
     let underlay = Underlay::new(physical.clone(), hosts).expect("hosts exist");
-    let mapping = underlay.map_overlay(&overlay).expect("physical net connected");
+    let mapping = underlay
+        .map_overlay(&overlay)
+        .expect("physical net connected");
     let phys_instance = single_file(overlay, 48, 0);
 
     let mut s1 = StrategyKind::Global.build();
     let mut rng1 = StdRng::seed_from_u64(9);
-    let pure = ocd::heuristics::simulate(&phys_instance, s1.as_mut(), &SimConfig::default(), &mut rng1);
+    let pure = ocd::heuristics::simulate(
+        &phys_instance,
+        s1.as_mut(),
+        &SimConfig::default(),
+        &mut rng1,
+    );
     let mut s2 = StrategyKind::Global.build();
     let mut rng2 = StdRng::seed_from_u64(9);
     let real = simulate_underlay(

@@ -17,7 +17,10 @@ fn check_full_pipeline(instance: &Instance, label: &str) {
         assert!(report.success, "{label}/{kind}: did not complete");
         let replay = validate::replay(instance, &report.schedule)
             .unwrap_or_else(|e| panic!("{label}/{kind}: invalid schedule: {e}"));
-        assert!(replay.is_successful(), "{label}/{kind}: replay not successful");
+        assert!(
+            replay.is_successful(),
+            "{label}/{kind}: replay not successful"
+        );
         assert!(
             report.bandwidth >= bw_lb,
             "{label}/{kind}: bandwidth {} below lower bound {bw_lb}",
@@ -35,11 +38,17 @@ fn check_full_pipeline(instance: &Instance, label: &str) {
             report.bandwidth,
             "{label}/{kind}: prune accounting"
         );
-        assert!(pruned.bandwidth() >= bw_lb, "{label}/{kind}: pruning broke the bound");
+        assert!(
+            pruned.bandwidth() >= bw_lb,
+            "{label}/{kind}: pruning broke the bound"
+        );
         assert_eq!(pruned.makespan(), report.schedule.makespan());
         let replay = validate::replay(instance, &pruned)
             .unwrap_or_else(|e| panic!("{label}/{kind}: pruned schedule invalid: {e}"));
-        assert!(replay.is_successful(), "{label}/{kind}: pruning broke success");
+        assert!(
+            replay.is_successful(),
+            "{label}/{kind}: pruning broke success"
+        );
     }
 }
 

@@ -15,7 +15,8 @@ fn random_small_instance(rng: &mut StdRng) -> Option<Instance> {
     for u in 0..n {
         for v in 0..n {
             if u != v && rng.random_bool(0.6) {
-                g.add_edge(g.node(u), g.node(v), rng.random_range(1..3)).unwrap();
+                g.add_edge(g.node(u), g.node(v), rng.random_range(1..3))
+                    .unwrap();
             }
         }
     }
@@ -71,18 +72,31 @@ fn bnb_ip_bounds_and_heuristics_sandwich() {
         let lb = bounds::bandwidth_lower_bound(&instance);
         assert!(lb <= relaxed.bandwidth);
         assert!(relaxed.bandwidth <= steiner.bandwidth);
-        assert!(relaxed.bandwidth <= at_opt.bandwidth, "longer horizon can't cost more");
+        assert!(
+            relaxed.bandwidth <= at_opt.bandwidth,
+            "longer horizon can't cost more"
+        );
 
         // Every heuristic is sandwiched too.
         for kind in StrategyKind::paper_five() {
             let mut strategy = kind.build();
             let mut run_rng = StdRng::seed_from_u64(9);
-            let report =
-                simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut run_rng);
+            let report = simulate(
+                &instance,
+                strategy.as_mut(),
+                &SimConfig::default(),
+                &mut run_rng,
+            );
             assert!(report.success, "{kind}");
-            assert!(report.steps >= exact.makespan, "{kind} beat the exact optimum");
+            assert!(
+                report.steps >= exact.makespan,
+                "{kind} beat the exact optimum"
+            );
             let (pruned, _) = prune::prune(&instance, &report.schedule);
-            assert!(pruned.bandwidth() >= relaxed.bandwidth, "{kind} beat exact bandwidth");
+            assert!(
+                pruned.bandwidth() >= relaxed.bandwidth,
+                "{kind} beat exact bandwidth"
+            );
         }
     }
 }
@@ -127,7 +141,12 @@ fn gather_then_plan_pays_additive_diameter() {
     let run = |kind: StrategyKind| {
         let mut strategy = kind.build();
         let mut run_rng = StdRng::seed_from_u64(77);
-        simulate(&instance, strategy.as_mut(), &SimConfig::default(), &mut run_rng)
+        simulate(
+            &instance,
+            strategy.as_mut(),
+            &SimConfig::default(),
+            &mut run_rng,
+        )
     };
     let inner = run(StrategyKind::Global);
     let gathered = run(StrategyKind::GatherThenPlan);

@@ -5,11 +5,11 @@
 use ocd::core::coding::{simulate_coded_random, CodedInstance, CodedSpec};
 use ocd::core::scenario::single_file;
 use ocd::core::validate;
-use ocd::heuristics::dynamics::{Churn, CrossTraffic, LinkOutages};
-use ocd::heuristics::{simulate, simulate_dynamic, simulate_underlay, SimConfig, StrategyKind};
 use ocd::graph::generate::{classic, paper_random, transit_stub, TransitStubConfig};
 use ocd::graph::underlay::Underlay;
 use ocd::graph::NodeId;
+use ocd::heuristics::dynamics::{Churn, CrossTraffic, LinkOutages};
+use ocd::heuristics::{simulate, simulate_dynamic, simulate_underlay, SimConfig, StrategyKind};
 use ocd::solver::ip::min_bandwidth_within_factor;
 use rand::prelude::*;
 
@@ -23,7 +23,11 @@ fn dynamics_runs_validate_against_their_traces() {
         Box::new(Churn::new(0.1, 0.4, vec![0])),
     ];
     for mut model in models {
-        for kind in [StrategyKind::Random, StrategyKind::Local, StrategyKind::Global] {
+        for kind in [
+            StrategyKind::Random,
+            StrategyKind::Local,
+            StrategyKind::Global,
+        ] {
             let mut strategy = kind.build();
             let mut run_rng = StdRng::seed_from_u64(11);
             let config = SimConfig {
@@ -122,7 +126,9 @@ fn hybrid_objective_bridges_both_exact_solvers() {
             min_bandwidth_within_factor(&instance, alpha, &Default::default(), &Default::default())
                 .unwrap();
         assert_eq!(tau, 2);
-        assert!(validate::replay(&instance, &result.schedule).unwrap().is_successful());
+        assert!(validate::replay(&instance, &result.schedule)
+            .unwrap()
+            .is_successful());
         points.push(result.bandwidth);
     }
     assert_eq!(points, vec![6, 4, 4], "bandwidth relaxes as α grows");
@@ -140,5 +146,7 @@ fn tree_stripe_baseline_integrates() {
     // Tree push never delivers a token twice to the same vertex, so
     // pruning should remove little-to-nothing beyond unused deliveries.
     assert!(pruned.bandwidth() <= report.bandwidth);
-    assert!(validate::replay(&instance, &pruned).unwrap().is_successful());
+    assert!(validate::replay(&instance, &pruned)
+        .unwrap()
+        .is_successful());
 }

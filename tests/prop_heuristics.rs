@@ -4,7 +4,9 @@
 //! the bounds and with each other.
 
 use ocd::core::{bounds, validate, TokenSet};
-use ocd::prelude::{DiGraph, Instance, SimConfig, StrategyKind, Token, simulate, solve_focd, BnbOptions};
+use ocd::prelude::{
+    simulate, solve_focd, BnbOptions, DiGraph, Instance, SimConfig, StrategyKind, Token,
+};
 use proptest::prelude::*;
 use rand::prelude::*;
 
@@ -17,12 +19,14 @@ fn arbitrary_instance() -> impl Strategy<Value = (Instance, u64)> {
         // Random ring + chords: connected and symmetric.
         for v in 0..n {
             let u = (v + 1) % n;
-            g.add_edge_symmetric(g.node(v), g.node(u), rng.random_range(1..5)).unwrap();
+            g.add_edge_symmetric(g.node(v), g.node(u), rng.random_range(1..5))
+                .unwrap();
         }
         for u in 0..n {
             for v in (u + 2)..n {
                 if rng.random_bool(0.25) {
-                    g.add_edge_symmetric(g.node(u), g.node(v), rng.random_range(1..5)).unwrap();
+                    g.add_edge_symmetric(g.node(u), g.node(v), rng.random_range(1..5))
+                        .unwrap();
                 }
             }
         }
@@ -100,7 +104,8 @@ fn tiny_instance() -> impl Strategy<Value = Instance> {
         for v in 0..n {
             for u in 0..n {
                 if u != v && rng.random_bool(0.8) {
-                    g.add_edge(g.node(v), g.node(u), rng.random_range(1..3)).unwrap();
+                    g.add_edge(g.node(v), g.node(u), rng.random_range(1..3))
+                        .unwrap();
                 }
             }
         }

@@ -102,7 +102,8 @@ fn arbitrary_valid_run() -> impl Strategy<Value = (Instance, Schedule)> {
         for u in 0..n {
             for v in (u + 1)..n {
                 if rng.random_bool(0.7) {
-                    g.add_edge_symmetric(g.node(u), g.node(v), rng.random_range(1..4)).unwrap();
+                    g.add_edge_symmetric(g.node(u), g.node(v), rng.random_range(1..4))
+                        .unwrap();
                 }
             }
         }

@@ -1,0 +1,409 @@
+//! Vendored, dependency-free stand-in for `criterion`: a minimal
+//! wall-clock benchmark harness with the same source-level API surface
+//! this workspace uses ([`Criterion::benchmark_group`],
+//! `bench_function`, `bench_with_input`, [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros).
+//!
+//! Each benchmark is timed with [`std::time::Instant`]: a short warm-up
+//! estimates the per-iteration cost, then `sample_size` samples are
+//! collected and the mean/min/max per-iteration times are printed.
+//! Under `cargo test` (Cargo passes `--test` to `harness = false`
+//! bench targets) every benchmark runs exactly one iteration as a
+//! smoke test, like upstream.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortizes setup cost. The vendored
+/// harness always re-runs setup per iteration, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: per-iteration setup is cheap relative to the routine.
+    SmallInput,
+    /// Large inputs: prefer fewer, bigger batches upstream.
+    LargeInput,
+    /// Each input must be used exactly once.
+    PerIteration,
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a name and a displayable parameter, like upstream's
+    /// `name/parameter` convention.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is only the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    /// `Some(samples)` of per-iteration nanoseconds after the closure ran.
+    samples: Vec<f64>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it many times per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let iters = self.calibrate(|| {
+            black_box(routine());
+        });
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let mut measured = |iters: u64| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        };
+        // Calibrate against measured (routine-only) time.
+        let mut iters = 1u64;
+        loop {
+            let elapsed = measured(iters);
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                let per_iter = (elapsed.as_secs_f64() / iters as f64).max(1e-9);
+                iters = ((Self::SAMPLE_TARGET.as_secs_f64() / per_iter) as u64).clamp(1, 1 << 24);
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let elapsed = measured(iters);
+            self.samples
+                .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Wall-clock budget for one sample.
+    const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+    /// Doubles the iteration count until a run is long enough to time
+    /// reliably, then scales it so one sample hits [`Self::SAMPLE_TARGET`].
+    fn calibrate(&self, mut one: impl FnMut()) -> u64 {
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                one();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                let per_iter = (elapsed.as_secs_f64() / iters as f64).max(1e-9);
+                return ((Self::SAMPLE_TARGET.as_secs_f64() / per_iter) as u64).clamp(1, 1 << 24);
+            }
+            iters *= 2;
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.run(&full, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.run(&full, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, full_name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if !self.criterion.matches(full_name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher);
+        self.criterion.report(full_name, &bencher.samples);
+    }
+
+    /// Ends the group (kept for API parity; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point; normally constructed by
+/// [`criterion_main!`].
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    ran: usize,
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments: `--test` switches
+    /// to one-iteration smoke mode (what `cargo test` passes to
+    /// `harness = false` targets), the first non-flag argument becomes
+    /// a substring filter, and other flags are ignored.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.test_mode = true;
+            } else if !arg.starts_with('-') && c.filter.is_none() {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let name = id.to_string();
+        if !self.matches(&name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 20,
+            test_mode: self.test_mode,
+        };
+        f(&mut bencher);
+        self.report(&name, &bencher.samples);
+    }
+
+    /// Prints the closing line; called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("{} benchmarks smoke-tested", self.ran);
+        } else {
+            println!("{} benchmarks measured", self.ran);
+        }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn report(&mut self, name: &str, samples: &[f64]) {
+        self.ran += 1;
+        if self.test_mode {
+            println!("test {name} ... ok");
+            return;
+        }
+        if samples.is_empty() {
+            println!("{name:<60} (no measurement)");
+            return;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{name:<60} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one group function, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+            ran: 0,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            });
+        });
+        group.finish();
+        assert!(calls > 0);
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+            ran: 0,
+        };
+        let mut calls = 0u64;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match-me".to_string()),
+            test_mode: true,
+            ran: 0,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| {
+                ran = true;
+            });
+        });
+        assert!(!ran);
+        assert_eq!(c.ran, 0);
+        c.bench_function("match-me/now", |b| {
+            b.iter(|| {
+                ran = true;
+            });
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+            ran: 0,
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("union", 64).to_string(), "union/64");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

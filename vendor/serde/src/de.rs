@@ -1,0 +1,217 @@
+//! Deserialization: [`Value`] → types.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Errors a [`Deserializer`] may raise.
+pub trait Error: Sized + fmt::Display {
+    /// Builds an error from any displayable message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A data format that can produce one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: Error;
+
+    /// Produces the input as a fully parsed value.
+    ///
+    /// # Errors
+    ///
+    /// Syntax or I/O errors of the format.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value of `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Format errors and data-shape mismatches.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Shorthand for types deserializable with any lifetime (all of them,
+/// in this owned-value model).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The error of the in-memory [`ValueDeserializer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Deserializer over an already-parsed [`Value`] — the pivot derived
+/// impls and collection impls are written against.
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Deserializes a `T` out of an in-memory value.
+///
+/// # Errors
+///
+/// Data-shape mismatches reported by `T`'s impl.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Looks up and removes struct field `name` from a parsed map, then
+/// deserializes it. The remove keeps repeated lookups O(total), and
+/// ignores unknown fields like upstream serde's default.
+///
+/// # Errors
+///
+/// Missing field, or the field's own deserialization error.
+pub fn take_field<T: DeserializeOwned>(
+    map: &mut Vec<(String, Value)>,
+    struct_name: &str,
+    name: &str,
+) -> Result<T, ValueError> {
+    let idx = map
+        .iter()
+        .position(|(k, _)| k == name)
+        .ok_or_else(|| ValueError(format!("missing field `{name}` of struct {struct_name}")))?;
+    let (_, value) = map.swap_remove(idx);
+    from_value(value)
+        .map_err(|e| ValueError(format!("field `{name}` of struct {struct_name}: {e}")))
+}
+
+fn expected(what: &'static str, got: &Value) -> ValueError {
+    ValueError(format!("expected {what}, got {}", got.kind()))
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::UInt(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)))),
+                    other => Err(D::Error::custom(expected("unsigned integer", &other))),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let out_of_range = |v: &dyn fmt::Display| D::Error::custom(format!(
+                    "integer {v} out of range for {}", stringify!($t)));
+                match deserializer.take_value()? {
+                    Value::UInt(v) => <$t>::try_from(v).map_err(|_| out_of_range(&v)),
+                    Value::Int(v) => <$t>::try_from(v).map_err(|_| out_of_range(&v)),
+                    other => Err(D::Error::custom(expected("integer", &other))),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(expected("bool", &other))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Float(v) => Ok(v),
+            Value::UInt(v) => Ok(v as f64),
+            Value::Int(v) => Ok(v as f64),
+            other => Err(D::Error::custom(expected("number", &other))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(expected("string", &other))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            value => from_value(value).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|item| from_value(item).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::custom(expected("sequence", &other))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal, $($name:ident),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut items = items.into_iter();
+                        Ok(($(
+                            from_value::<$name>(items.next().expect("length checked"))
+                                .map_err(|e| D::Error::custom(e))?,
+                        )+))
+                    }
+                    Value::Seq(items) => Err(D::Error::custom(format!(
+                        "expected tuple of {}, got sequence of {}", $len, items.len()))),
+                    other => Err(D::Error::custom(expected("sequence", &other))),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (1, T0)
+    (2, T0, T1)
+    (3, T0, T1, T2)
+    (4, T0, T1, T2, T3)
+}

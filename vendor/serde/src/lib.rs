@@ -1,0 +1,21 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the slice of serde it uses. The public surface
+//! keeps upstream's shape — `Serialize`/`Deserialize` traits with the
+//! same method signatures, `ser::Error`/`de::Error` with `custom`, and
+//! re-exported derive macros — but the internal data model is a single
+//! self-describing [`value::Value`] tree instead of upstream's visitor
+//! architecture. Serializers implement one method
+//! ([`Serializer::serialize_value`]); deserializers implement one
+//! method ([`Deserializer::take_value`]). `serde_json` (also vendored)
+//! is the only transcoder in the workspace, and derived impls go
+//! through [`value::Value`], so nothing misses the streaming API.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,49 @@
+//! The self-describing data model every vendored serializer and
+//! deserializer speaks.
+
+use std::fmt;
+
+/// A serialized value: the common currency between `Serialize` impls,
+/// `Deserialize` impls, and data formats (JSON in this workspace).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / a missing `Option`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer (always `< 0`; non-negative ints use
+    /// [`Value::UInt`]).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence (arrays, tuples, `Vec`s).
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (structs). Keys are unique.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short noun for error messages ("expected map, got string").
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.kind())
+    }
+}

@@ -1,0 +1,235 @@
+//! Vendored stand-in for `serde_derive`, written against the vendored
+//! `serde`'s value-tree data model.
+//!
+//! Supports exactly what this workspace derives on: non-generic structs
+//! with named fields (serialized as maps) and single-field tuple
+//! structs (newtypes, serialized transparently as their inner value —
+//! which also subsumes `#[serde(transparent)]`). Anything else is a
+//! compile error, loudly, rather than silently wrong.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we need to know about the deriving type.
+struct StructShape {
+    name: String,
+    /// `Some(fields)` for named-field structs, `None` for newtypes.
+    fields: Option<Vec<String>>,
+}
+
+/// Parses the struct item, skipping attributes, visibility, and field
+/// types (only names matter — the generated code lets inference pick
+/// the `Serialize`/`Deserialize` impls for each field's type).
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Item-level attributes (`#[serde(transparent)]`, doc comments, …)
+    // and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => {}
+        other => {
+            return Err(format!(
+                "vendored serde_derive only supports structs, found {other:?}"
+            ))
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    match tokens.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err(format!("generic struct {name} is not supported"))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(StructShape {
+            name,
+            fields: Some(parse_named_fields(g.stream())?),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = tuple_arity(g.stream());
+            if arity == 1 {
+                Ok(StructShape { name, fields: None })
+            } else {
+                Err(format!(
+                    "tuple struct {name} has {arity} fields; only newtypes are supported"
+                ))
+            }
+        }
+        other => Err(format!("expected struct body for {name}, found {other:?}")),
+    }
+}
+
+/// Extracts field names from `{ name: Type, … }`, skipping per-field
+/// attributes and visibility, and skipping types with angle-bracket
+/// depth tracking (`Vec<(A, B)>` contains no top-level comma; a
+/// hypothetical `Map<K, V>` does, inside `<…>`).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("expected field name, found {tree:?}"));
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tree in tokens.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated fields of a tuple-struct body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        if !saw_token {
+            arity += 1;
+            saw_token = true;
+        }
+    }
+    arity
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error")
+}
+
+/// Derives `serde::Serialize` (named structs → maps, newtypes →
+/// transparent).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &shape.name;
+    let body = match &shape.fields {
+        None => "::serde::ser::Serialize::serialize(&self.0, serializer)".to_string(),
+        Some(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push(({f:?}.to_string(), \
+                     ::serde::ser::to_value(&self.{f})\
+                     .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?));\n"
+                ));
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::value::Value)> = ::std::vec::Vec::with_capacity({});\n\
+                 {pushes}\
+                 ::serde::ser::Serializer::serialize_value(\
+                 serializer, ::serde::value::Value::Map(fields))",
+                fields.len()
+            )
+        }
+    };
+    format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S)\n\
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (named structs ← maps, newtypes ←
+/// transparent).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &shape.name;
+    let body = match &shape.fields {
+        None => format!("::serde::de::Deserialize::deserialize(deserializer).map({name})"),
+        Some(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::de::take_field(&mut map, {name:?}, {f:?})\
+                     .map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?,\n"
+                ));
+            }
+            format!(
+                "match ::serde::de::Deserializer::take_value(deserializer)? {{\n\
+                 ::serde::value::Value::Map(mut map) => {{\n\
+                 let _ = &mut map;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})\n}}\n\
+                 other => ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"expected map for struct {name}, got {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D)\n\
+         -> ::core::result::Result<Self, D::Error> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
