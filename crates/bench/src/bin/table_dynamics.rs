@@ -69,11 +69,19 @@ fn main() {
         bounds::bandwidth_lower_bound(&instance)
     );
 
-    let mut table = Table::new(["condition", "strategy", "success", "moves", "bandwidth"]);
+    let mut table = Table::new([
+        "condition",
+        "strategy",
+        "success",
+        "moves",
+        "bandwidth",
+        "duplicate_deliveries",
+    ]);
     for (label, mut make) in conditions() {
         for kind in kinds {
             let mut moves = Vec::new();
             let mut bandwidth = Vec::new();
+            let mut duplicates = Vec::new();
             let mut successes = 0u32;
             for r in 0..runs {
                 let mut strategy = kind.build();
@@ -98,6 +106,7 @@ fn main() {
                     successes += 1;
                     moves.push(outcome.report.steps as u64);
                     bandwidth.push(outcome.report.bandwidth);
+                    duplicates.push(outcome.report.duplicate_deliveries);
                 }
             }
             table.row([
@@ -106,6 +115,7 @@ fn main() {
                 format!("{}/{}", successes, runs),
                 Summary::of_ints(&moves).to_string(),
                 Summary::of_ints(&bandwidth).to_string(),
+                Summary::of_ints(&duplicates).to_string(),
             ]);
         }
     }

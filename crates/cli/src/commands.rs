@@ -6,6 +6,7 @@ use ocd_graph::generate::{classic, gnp, transit_stub, GnpConfig, TransitStubConf
 use ocd_graph::{algo, io as gio, DiGraph};
 use ocd_heuristics::{simulate, SimConfig, StrategyKind};
 use ocd_lp::MipOptions;
+use ocd_net::{run_swarm, FaultPlan, NetConfig, NetPolicy};
 use ocd_solver::bnb::{decide_focd, solve_focd, BnbOptions};
 use ocd_solver::ip::min_bandwidth_for_horizon;
 use ocd_solver::reduction::{dominating_set_from_schedule, focd_from_dominating_set};
@@ -151,6 +152,107 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     pruned.bandwidth(),
                     stats.duplicates_removed,
                     stats.unused_removed
+                );
+            }
+            if let Some(path) = schedule {
+                let json = serde_json::to_string(&report.schedule)
+                    .map_err(|e| format!("serialize schedule: {e}"))?;
+                std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+                let _ = writeln!(out, "schedule written to {path}");
+            }
+            Ok(out)
+        }
+        Command::NetRun {
+            instance,
+            policy,
+            seed,
+            latency,
+            jitter,
+            loss,
+            control_latency,
+            control_loss,
+            max_ticks,
+            crash,
+            trace,
+            schedule,
+        } => {
+            let inst = load_instance(instance)?;
+            let policy: NetPolicy = policy.parse()?;
+            if *latency == 0 {
+                return Err("--latency must be at least 1 tick".to_string());
+            }
+            let config = NetConfig {
+                policy,
+                latency: *latency,
+                jitter: *jitter,
+                loss: *loss,
+                control_latency: *control_latency,
+                control_loss: *control_loss,
+                max_ticks: *max_ticks,
+                ..NetConfig::default()
+            };
+            let faults = match crash {
+                None => FaultPlan::none(),
+                Some((v, down, up)) => {
+                    if *v >= inst.num_vertices() {
+                        return Err(format!("--crash vertex {v} is out of range"));
+                    }
+                    FaultPlan::none().crash_between(inst.graph().node(*v), *down, *up)
+                }
+            };
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let report = run_swarm(&inst, &config, &faults, &mut rng);
+
+            let mut out = String::new();
+            let _ = writeln!(out, "policy:     {policy}");
+            let _ = writeln!(out, "success:    {}", report.success);
+            let _ = writeln!(out, "ticks:      {}", report.ticks);
+            let _ = writeln!(out, "makespan:   {} timesteps", report.makespan());
+            let _ = writeln!(out, "bandwidth:  {} token-transfers", report.bandwidth());
+            let _ = writeln!(
+                out,
+                "delivered:  {} ({} duplicate)",
+                report.tokens_delivered, report.duplicate_deliveries
+            );
+            let _ = writeln!(
+                out,
+                "lost:       {} (+{} dropped at crashed vertices)",
+                report.tokens_lost, report.tokens_dropped_crashed
+            );
+            let _ = writeln!(out, "retransmits: {}", report.retransmits);
+            let done: Vec<u64> = report.completion_ticks.iter().filter_map(|c| *c).collect();
+            if !done.is_empty() {
+                let mean = done.iter().sum::<u64>() as f64 / done.len() as f64;
+                let _ = writeln!(out, "mean completion tick: {mean:.1}");
+            }
+            // The extracted schedule must replay as legal §3.1 moves.
+            let replay = ocd_core::validate::replay(&inst, &report.schedule)
+                .map_err(|e| format!("extracted schedule failed validation: {e}"))?;
+            let _ = writeln!(
+                out,
+                "schedule:   certified ({})",
+                if replay.is_successful() {
+                    "every want satisfied"
+                } else {
+                    "incomplete"
+                }
+            );
+            if let Some(path) = trace {
+                let rendered = if path.ends_with(".csv") {
+                    report.trace.to_csv()
+                } else {
+                    report.trace.to_json()
+                };
+                std::fs::write(path, rendered).map_err(|e| format!("write {path}: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "trace written to {path} ({} events{})",
+                    report.trace.len(),
+                    if report.trace.truncated() {
+                        ", oldest evicted"
+                    } else {
+                        ""
+                    }
                 );
             }
             if let Some(path) = schedule {
@@ -613,6 +715,80 @@ mod tests {
         ])
         .unwrap_err()
         .contains("unknown dynamics"));
+    }
+
+    #[test]
+    fn net_run_reports_and_writes_artifacts() {
+        let topo = tmp("net_topo.txt");
+        let inst = tmp("net_inst.json");
+        let trace = tmp("net_trace.csv");
+        let sched = tmp("net_sched.json");
+        run(&[
+            "generate",
+            "--topology",
+            "cycle",
+            "--nodes",
+            "6",
+            "--cap",
+            "2..2",
+            "--out",
+            &topo,
+        ])
+        .unwrap();
+        run(&[
+            "instance",
+            "--graph",
+            &topo,
+            "--scenario",
+            "single-file",
+            "--tokens",
+            "8",
+            "--out",
+            &inst,
+        ])
+        .unwrap();
+        let out = run(&[
+            "net-run",
+            "--instance",
+            &inst,
+            "--policy",
+            "local",
+            "--latency",
+            "2",
+            "--loss",
+            "0.1",
+            "--crash",
+            "3:2:12",
+            "--seed",
+            "9",
+            "--trace",
+            &trace,
+            "--schedule",
+            &sched,
+        ])
+        .unwrap();
+        assert!(out.contains("success:    true"), "{out}");
+        assert!(out.contains("schedule:   certified (every want satisfied)"));
+        assert!(out.contains("trace written to"));
+        let csv = std::fs::read_to_string(&trace).unwrap();
+        assert!(csv.starts_with("tick,kind,vertex,peer,edge,tokens"));
+        assert!(csv.contains("crash"));
+        // The written schedule round-trips through `ocd validate`.
+        let validation = run(&["validate", "--instance", &inst, "--schedule", &sched]).unwrap();
+        assert!(validation.contains("valid:     yes"));
+        assert!(validation.contains("successful: every want satisfied"));
+        // Bad inputs produce typed errors.
+        assert!(
+            run(&["net-run", "--instance", &inst, "--policy", "psychic"])
+                .unwrap_err()
+                .contains("unknown net policy")
+        );
+        assert!(run(&["net-run", "--instance", &inst, "--crash", "99:1:2"])
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(run(&["net-run", "--instance", &inst, "--latency", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
     }
 
     #[test]

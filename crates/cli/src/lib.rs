@@ -8,6 +8,7 @@
 //! ocd generate --topology random --nodes 50 --seed 1 --out topo.txt
 //! ocd instance --graph topo.txt --scenario single-file --tokens 64 --out inst.json
 //! ocd run --instance inst.json --strategy global --seed 7 --schedule sched.json
+//! ocd net-run --instance inst.json --policy local --latency 3 --loss 0.1 --crash 4:10:60
 //! ocd solve --instance small.json --objective time
 //! ocd bounds --instance inst.json
 //! ocd validate --instance inst.json --schedule sched.json

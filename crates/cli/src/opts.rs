@@ -96,9 +96,51 @@ pub enum Command {
         /// Master seed.
         seed: u64,
     },
+    /// `ocd net-run`: simulate the asynchronous swarm runtime.
+    NetRun {
+        /// Instance JSON path.
+        instance: String,
+        /// Per-neighbor policy name (`random` or `local`).
+        policy: String,
+        /// RNG seed.
+        seed: u64,
+        /// Data-message latency in ticks (≥ 1).
+        latency: u32,
+        /// Maximum extra random delay per data message.
+        jitter: u32,
+        /// Data-message loss probability.
+        loss: f64,
+        /// Control-message latency in ticks (0 = same tick).
+        control_latency: u32,
+        /// Control-message loss probability.
+        control_loss: f64,
+        /// Tick cap.
+        max_ticks: u64,
+        /// Optional scripted fault `V:DOWN:UP` (crash vertex V at tick
+        /// DOWN, restart it at tick UP).
+        crash: Option<(usize, u64, u64)>,
+        /// Optional path for the event trace (`.json` or `.csv`).
+        trace: Option<String>,
+        /// Optional path to write the extracted schedule JSON.
+        schedule: Option<String>,
+    },
     /// `ocd help`.
     Help,
 }
+
+/// The subcommand names, for the unknown-subcommand diagnostic.
+pub(crate) const SUBCOMMANDS: &[&str] = &[
+    "generate",
+    "instance",
+    "run",
+    "net-run",
+    "solve",
+    "bounds",
+    "validate",
+    "reduce-ds",
+    "compare",
+    "help",
+];
 
 pub(crate) const USAGE: &str = "\
 ocd — the Overlay Network Content Distribution toolbox
@@ -111,6 +153,9 @@ USAGE:
   ocd run       --instance <FILE> --strategy <round-robin|random|local|bandwidth|global|gather-then-plan>
                 [--seed <S>] [--delay <K>] [--max-steps <N>] [--schedule <FILE>] [--prune]
                 [--dynamics <static|cross:F|outages:P:Q|churn:P:Q|adversary:B[:C]>]
+  ocd net-run   --instance <FILE> [--policy <random|local>] [--seed <S>]
+                [--latency <T>] [--jitter <J>] [--loss <P>] [--control-latency <T>] [--control-loss <P>]
+                [--max-ticks <N>] [--crash <V:DOWN:UP>] [--trace <FILE.json|FILE.csv>] [--schedule <FILE>]
   ocd solve     --instance <FILE> --objective <time|bandwidth> [--horizon <H>]
   ocd bounds    --instance <FILE>
   ocd validate  --instance <FILE> --schedule <FILE>
@@ -169,6 +214,20 @@ impl Flags {
     }
 }
 
+fn parse_crash(raw: &str) -> Result<(usize, u64, u64), String> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    let [v, down, up] = parts.as_slice() else {
+        return Err(format!("crash spec `{raw}` must look like V:DOWN:UP"));
+    };
+    let v = v.parse().map_err(|_| format!("invalid vertex `{v}`"))?;
+    let down = down.parse().map_err(|_| format!("invalid tick `{down}`"))?;
+    let up = up.parse().map_err(|_| format!("invalid tick `{up}`"))?;
+    if up <= down {
+        return Err(format!("crash window {down}:{up} ends before it starts"));
+    }
+    Ok((v, down, up))
+}
+
 fn parse_cap(raw: &str) -> Result<(u32, u32), String> {
     let (lo, hi) = raw
         .split_once("..")
@@ -190,6 +249,11 @@ pub fn parse(args: Vec<String>) -> Result<Command, String> {
     let Some((sub, rest)) = args.split_first() else {
         return Err(USAGE.to_string());
     };
+    // `ocd <sub> --help` prints usage instead of tripping over a flag
+    // that "requires a value".
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(Command::Help);
+    }
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "generate" => {
@@ -264,7 +328,31 @@ pub fn parse(args: Vec<String>) -> Result<Command, String> {
                 seed: f.opt("seed", 0)?,
             })
         }
-        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+        "net-run" => {
+            let f = Flags::parse(rest, &[])?;
+            let crash = match f.values.get("crash") {
+                None => None,
+                Some(raw) => Some(parse_crash(raw)?),
+            };
+            Ok(Command::NetRun {
+                instance: f.req("instance")?,
+                policy: f.opt("policy", "random".to_string())?,
+                seed: f.opt("seed", 0)?,
+                latency: f.opt("latency", 1)?,
+                jitter: f.opt("jitter", 0)?,
+                loss: f.opt("loss", 0.0)?,
+                control_latency: f.opt("control-latency", 0)?,
+                control_loss: f.opt("control-loss", 0.0)?,
+                max_ticks: f.opt("max-ticks", 100_000)?,
+                crash,
+                trace: f.values.get("trace").cloned(),
+                schedule: f.values.get("schedule").cloned(),
+            })
+        }
+        other => Err(format!(
+            "unknown subcommand `{other}`\navailable subcommands: {}\n\n{USAGE}",
+            SUBCOMMANDS.join(", ")
+        )),
     }
 }
 
@@ -369,5 +457,87 @@ mod tests {
     fn help_variants() {
         assert_eq!(parse_ok(&["help"]), Command::Help);
         assert_eq!(parse_ok(&["--help"]), Command::Help);
+    }
+
+    #[test]
+    fn unknown_subcommand_lists_subcommands() {
+        let err = parse_err(&["frobnicate"]);
+        assert!(err.contains("unknown subcommand `frobnicate`"));
+        assert!(err.contains("available subcommands:"));
+        for sub in SUBCOMMANDS {
+            assert!(err.contains(sub), "diagnostic must list `{sub}`");
+        }
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn subcommand_help_parses_as_help() {
+        // `--help` after a subcommand must not be mistaken for a flag
+        // that requires a value.
+        assert_eq!(parse_ok(&["net-run", "--help"]), Command::Help);
+        assert_eq!(parse_ok(&["net-run", "-h"]), Command::Help);
+        assert_eq!(
+            parse_ok(&["run", "--instance", "i.json", "--help"]),
+            Command::Help
+        );
+    }
+
+    #[test]
+    fn net_run_defaults_and_flags() {
+        let cmd = parse_ok(&["net-run", "--instance", "i.json"]);
+        match cmd {
+            Command::NetRun {
+                policy,
+                latency,
+                loss,
+                crash,
+                ..
+            } => {
+                assert_eq!(policy, "random");
+                assert_eq!(latency, 1);
+                assert_eq!(loss, 0.0);
+                assert!(crash.is_none());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse_ok(&[
+            "net-run",
+            "--instance",
+            "i.json",
+            "--policy",
+            "local",
+            "--latency",
+            "3",
+            "--loss",
+            "0.1",
+            "--crash",
+            "4:10:60",
+            "--trace",
+            "t.csv",
+        ]);
+        match cmd {
+            Command::NetRun {
+                policy,
+                latency,
+                loss,
+                crash,
+                trace,
+                ..
+            } => {
+                assert_eq!(policy, "local");
+                assert_eq!(latency, 3);
+                assert_eq!(loss, 0.1);
+                assert_eq!(crash, Some((4, 10, 60)));
+                assert_eq!(trace.as_deref(), Some("t.csv"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(
+            parse_err(&["net-run", "--instance", "i", "--crash", "4:10"]).contains("V:DOWN:UP")
+        );
+        assert!(
+            parse_err(&["net-run", "--instance", "i", "--crash", "4:60:10"])
+                .contains("ends before it starts")
+        );
     }
 }

@@ -63,6 +63,6 @@ mod token;
 pub mod validate;
 
 pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
-pub use schedule::{Move, Schedule, Timestep};
+pub use schedule::{Move, Schedule, ScheduleRecorder, Timestep};
 pub use token::{Token, TokenSet};
 pub use validate::{Replay, ScheduleError};

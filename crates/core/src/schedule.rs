@@ -180,6 +180,66 @@ impl Schedule {
     }
 }
 
+/// Incrementally extracts a [`Schedule`] from out-of-order transfer
+/// events, e.g. the token departures of an asynchronous simulation.
+///
+/// Unlike [`Schedule::push_step`], events may arrive for any step in any
+/// order; the recorder pads with idle timesteps as needed and unions
+/// repeated `(step, arc)` events. The §3.1 restrictions are *not*
+/// checked here — certify the finished schedule with
+/// [`validate::replay`](crate::validate::replay).
+///
+/// # Examples
+///
+/// ```
+/// use ocd_core::{ScheduleRecorder, Token, TokenSet};
+/// use ocd_graph::EdgeId;
+///
+/// let mut rec = ScheduleRecorder::new();
+/// rec.record(2, EdgeId::new(0), &TokenSet::from_tokens(4, [Token::new(1)]));
+/// rec.record(0, EdgeId::new(1), &TokenSet::from_tokens(4, [Token::new(0)]));
+/// let schedule = rec.finish();
+/// assert_eq!(schedule.makespan(), 3);
+/// assert_eq!(schedule.bandwidth(), 2);
+/// assert!(schedule.steps()[1].is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleRecorder {
+    steps: Vec<Timestep>,
+}
+
+impl ScheduleRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        ScheduleRecorder::default()
+    }
+
+    /// Records that `tokens` crossed `edge` during timestep `step`.
+    /// Empty token sets are ignored.
+    pub fn record(&mut self, step: usize, edge: EdgeId, tokens: &TokenSet) {
+        if tokens.is_empty() {
+            return;
+        }
+        while self.steps.len() <= step {
+            self.steps.push(Timestep::new());
+        }
+        self.steps[step].add_send(edge, tokens);
+    }
+
+    /// Total tokens recorded so far.
+    #[must_use]
+    pub fn bandwidth(&self) -> u64 {
+        self.steps.iter().map(Timestep::bandwidth).sum()
+    }
+
+    /// Finalizes into a schedule, trailing idle steps trimmed.
+    #[must_use]
+    pub fn finish(self) -> Schedule {
+        Schedule { steps: self.steps }.trimmed()
+    }
+}
+
 impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -286,6 +346,32 @@ mod tests {
         assert!(text.contains("1 token-transfers"));
         assert!(text.contains("(idle)"));
         assert!(text.contains("arc 0"));
+    }
+
+    #[test]
+    fn recorder_handles_out_of_order_events() {
+        let mut rec = ScheduleRecorder::new();
+        let (e0, t0) = ts(4, 0, &[1]);
+        let (e1, t1) = ts(4, 1, &[2]);
+        rec.record(3, e0, &t0);
+        rec.record(1, e1, &t1);
+        rec.record(3, e0, &ts(4, 0, &[3]).1); // union into an existing cell
+        rec.record(1, e1, &TokenSet::new(4)); // empty: ignored
+        assert_eq!(rec.bandwidth(), 3);
+        let s = rec.finish();
+        assert_eq!(s.makespan(), 4);
+        assert!(s.steps()[0].is_empty());
+        assert_eq!(s.steps()[3].sent_on(e0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn recorder_trims_trailing_idle() {
+        let mut rec = ScheduleRecorder::new();
+        rec.record(5, EdgeId::new(0), &TokenSet::new(4)); // empty: no padding
+        assert_eq!(rec.clone().finish().makespan(), 0);
+        let (e, t) = ts(4, 0, &[0]);
+        rec.record(1, e, &t);
+        assert_eq!(rec.finish().makespan(), 2);
     }
 
     #[test]

@@ -397,6 +397,47 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_replay_zero_capacity_step_rejects_used_arc() {
+        // The static capacity would allow the send; the recorded dynamic
+        // trace says the link was down (capacity 0) that step, so the
+        // replay must reject it with a typed error.
+        let inst = relay_instance();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0])]);
+        s.push_step([send(1, 1, &[0])]);
+        let caps_ok = vec![vec![1, 1], vec![1, 1]];
+        assert!(replay_with_capacities(&inst, &s, &caps_ok).is_ok());
+        let caps_down = vec![vec![1, 1], vec![1, 0]]; // arc 1 down at step 1
+        assert_eq!(
+            replay_with_capacities(&inst, &s, &caps_down).unwrap_err(),
+            ScheduleError::CapacityExceeded {
+                step: 1,
+                edge: EdgeId::new(1),
+                sent: 1,
+                capacity: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn dynamic_replay_rejects_nonexistent_arc() {
+        // The graph has arcs 0 and 1; the schedule sends on arc 7. The
+        // unknown-arc check must fire before any capacity lookup indexes
+        // the (shorter) capacity row.
+        let inst = relay_instance();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 7, &[0])]);
+        let caps = vec![vec![1, 1]];
+        assert_eq!(
+            replay_with_capacities(&inst, &s, &caps).unwrap_err(),
+            ScheduleError::UnknownEdge {
+                step: 0,
+                edge: EdgeId::new(7)
+            }
+        );
+    }
+
+    #[test]
     fn empty_schedule_on_trivial_instance() {
         let g = classic::path(2, 1, true);
         let inst = Instance::builder(g, 1).have(0, [tok(0)]).build().unwrap();

@@ -134,8 +134,7 @@ impl Strategy for BandwidthCautious {
                 continue;
             }
             let in_edges: Vec<EdgeId> = g.in_edges(v).collect();
-            for t in crate::local_rarest::rarest_first(&to_obtain[v.index()], view.aggregates, rng)
-            {
+            for t in crate::policy::rarest_first(&to_obtain[v.index()], view.aggregates, rng) {
                 let mut best: Option<(usize, EdgeId)> = None;
                 for &e in &in_edges {
                     let arc = g.edge(e);

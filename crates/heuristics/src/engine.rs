@@ -68,6 +68,12 @@ pub struct SimReport {
     pub completion_steps: Vec<Option<usize>>,
     /// Per-step counters.
     pub trace: Vec<StepRecord>,
+    /// Tokens delivered to a vertex that already held them — waste from
+    /// simultaneous duplicate sends (the only duplicates the lockstep
+    /// model permits). Comparable with the asynchronous runtime's
+    /// duplicate-token counter, which additionally counts retransmission
+    /// overshoot.
+    pub duplicate_deliveries: u64,
     /// Wall-clock nanoseconds for the whole run (setup + step loop).
     pub wall_nanos: u64,
 }
@@ -186,6 +192,7 @@ pub(crate) fn simulate_inner(
     let mut seen_stamp: Vec<u64> = vec![0; g.edge_count()];
     let mut stamp = 0u64;
     let mut delta = TokenSet::new(m);
+    let mut duplicate_deliveries = 0u64;
 
     let mut step = 0usize;
     let mut success = remaining == 0;
@@ -263,6 +270,7 @@ pub(crate) fn simulate_inner(
             let dst = g.edge(edge).dst;
             delta.copy_from(tokens);
             delta.subtract(&possession[dst.index()]);
+            duplicate_deliveries += (tokens.len() - delta.len()) as u64;
             if delta.is_empty() {
                 continue;
             }
@@ -301,6 +309,7 @@ pub(crate) fn simulate_inner(
             success,
             completion_steps,
             trace,
+            duplicate_deliveries,
             wall_nanos: run_start.elapsed().as_nanos() as u64,
         },
         capacity_trace,

@@ -47,6 +47,7 @@ mod gather;
 mod global_greedy;
 mod kind;
 mod local_rarest;
+pub mod policy;
 mod random;
 mod round_robin;
 mod tree_stripe;

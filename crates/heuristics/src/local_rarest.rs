@@ -12,11 +12,11 @@
 //! capacity floods rarest-first (the Local heuristic is still a flooding
 //! heuristic: it fills links whenever doing so "can increase knowledge").
 
+use crate::policy::{rarest_flood_fill, subdivide_requests};
 use crate::{KnowledgeTier, Strategy, WorldView};
-use ocd_core::knowledge::AggregateKnowledge;
-use ocd_core::{Instance, Token, TokenSet};
+use ocd_core::{Instance, TokenSet};
 use ocd_graph::EdgeId;
-use rand::{Rng, RngCore};
+use rand::RngCore;
 
 /// Rarest-random with per-peer request subdivision.
 #[derive(Debug, Default)]
@@ -45,21 +45,6 @@ impl LocalRarest {
     }
 }
 
-/// Sorts `tokens` ascending by aggregate rarity (fewest holders first),
-/// breaking ties uniformly at random.
-pub(crate) fn rarest_first(
-    tokens: &TokenSet,
-    aggregates: &AggregateKnowledge,
-    rng: &mut dyn RngCore,
-) -> Vec<Token> {
-    let mut keyed: Vec<(u32, u32, Token)> = tokens
-        .iter()
-        .map(|t| (aggregates.rarity(t), rng.next_u32(), t))
-        .collect();
-    keyed.sort_unstable();
-    keyed.into_iter().map(|(_, _, t)| t).collect()
-}
-
 impl Strategy for LocalRarest {
     fn name(&self) -> &'static str {
         if self.no_subdivision {
@@ -85,8 +70,9 @@ impl Strategy for LocalRarest {
 
         // --- Receiver side: subdivide needs into per-in-arc requests. ---
         // requests[e] = tokens the destination of arc e asks for on e.
+        // The actual rule lives in [`crate::policy::subdivide_requests`],
+        // shared with the asynchronous runtime.
         let mut requests: Vec<TokenSet> = vec![TokenSet::new(m); g.edge_count()];
-        let mut request_load: Vec<usize> = vec![0; g.edge_count()];
         let subdividing = !self.no_subdivision;
         for v in g.nodes().filter(|_| subdividing) {
             let need = view.need_of(v);
@@ -97,28 +83,16 @@ impl Strategy for LocalRarest {
             if in_edges.is_empty() {
                 continue;
             }
-            // Rarest tokens get assigned first so they claim scarce slots.
-            for t in rarest_first(&need, view.aggregates, rng) {
-                // Eligible arcs: the peer holds the token and the request
-                // list has capacity left.
-                let mut best: Option<(usize, u32, EdgeId)> = None; // (load, jitter, edge)
-                for &e in &in_edges {
-                    let arc = g.edge(e);
-                    if request_load[e.index()] >= view.capacity(e) as usize {
-                        continue;
-                    }
-                    if !view.possession[arc.src.index()].contains(t) {
-                        continue;
-                    }
-                    let key = (request_load[e.index()], rng.next_u32(), e);
-                    if best.is_none_or(|b| key < b) {
-                        best = Some(key);
-                    }
-                }
-                if let Some((_, _, e)) = best {
-                    requests[e.index()].insert(t);
-                    request_load[e.index()] += 1;
-                }
+            let assigned = subdivide_requests(
+                &need,
+                &in_edges,
+                &|e, t| view.possession[g.edge(e).src.index()].contains(t),
+                &|e| view.capacity(e),
+                view.aggregates,
+                rng,
+            );
+            for (&e, req) in in_edges.iter().zip(assigned) {
+                requests[e.index()] = req;
             }
         }
 
@@ -139,21 +113,8 @@ impl Strategy for LocalRarest {
                 let mut candidates =
                     view.possession[arc.src.index()].difference(&view.possession[arc.dst.index()]);
                 candidates.subtract(&send);
-                let mut ranked: Vec<(bool, u32, u32, Token)> = candidates
-                    .iter()
-                    .map(|t| {
-                        (
-                            !view.aggregates.is_needed(t), // needed first
-                            view.aggregates.rarity(t),
-                            rng.random::<u32>(),
-                            t,
-                        )
-                    })
-                    .collect();
-                ranked.sort_unstable();
-                for (_, _, _, t) in ranked.into_iter().take(cap - send.len()) {
-                    send.insert(t);
-                }
+                let room = cap - send.len();
+                rarest_flood_fill(&mut send, &candidates, room, view.aggregates, rng);
             }
             if !send.is_empty() {
                 out.push((e, send));
@@ -166,9 +127,12 @@ impl Strategy for LocalRarest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::rarest_first;
     use crate::{simulate, SimConfig};
+    use ocd_core::knowledge::AggregateKnowledge;
     use ocd_core::scenario::{multi_file, single_file};
     use ocd_core::validate;
+    use ocd_core::Token;
     use ocd_graph::generate::classic;
     use rand::prelude::*;
 

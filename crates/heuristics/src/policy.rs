@@ -1,0 +1,229 @@
+//! Per-neighbor decision primitives shared by the lockstep strategies
+//! and the asynchronous [`ocd-net`] runtime.
+//!
+//! The §5.1 heuristics are defined as *local* rules — what one sender
+//! puts on one arc, what one receiver requests from its in-peers — and
+//! the lockstep engine merely iterates those rules in a fixed order.
+//! The asynchronous runtime makes the same decisions from each actor's
+//! *believed* peer state instead of the true possession. Factoring the
+//! rules here means both executions run literally the same code, so the
+//! differential test (`ocd-net` at latency 1 / loss 0 vs. the lockstep
+//! engine) can demand bit-identical RNG consumption, not just similar
+//! outcomes.
+//!
+//! Every function draws from the RNG in a documented, input-determined
+//! order; callers that interleave these calls identically see identical
+//! decisions.
+//!
+//! [`ocd-net`]: https://docs.rs/ocd-net
+
+use ocd_core::knowledge::AggregateKnowledge;
+use ocd_core::{Token, TokenSet};
+use ocd_graph::EdgeId;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+/// Sorts `tokens` ascending by aggregate rarity (fewest holders first),
+/// breaking ties uniformly at random. Draws exactly one `u32` per token,
+/// in ascending token order.
+pub fn rarest_first(
+    tokens: &TokenSet,
+    aggregates: &AggregateKnowledge,
+    rng: &mut dyn RngCore,
+) -> Vec<Token> {
+    let mut keyed: Vec<(u32, u32, Token)> = tokens
+        .iter()
+        .map(|t| (aggregates.rarity(t), rng.next_u32(), t))
+        .collect();
+    keyed.sort_unstable();
+    keyed.into_iter().map(|(_, _, t)| t).collect()
+}
+
+/// The Random heuristic's per-arc rule: a uniform random subset of size
+/// `cap` of the candidate tokens, or all of them if they fit. Draws from
+/// the RNG only when `candidates.len() > cap` (a `partial_shuffle` of
+/// `cap` slots).
+pub fn random_fill(candidates: TokenSet, cap: usize, rng: &mut dyn RngCore) -> TokenSet {
+    let mut pool: Vec<Token> = candidates.iter().collect();
+    if pool.len() <= cap {
+        candidates
+    } else {
+        let (chosen, _) = pool.partial_shuffle(rng, cap);
+        TokenSet::from_tokens(candidates.universe(), chosen.iter().copied())
+    }
+}
+
+/// The Local heuristic's flood rule: extend `send` with up to `room`
+/// tokens from `candidates`, rarest first, preferring tokens some vertex
+/// still needs, ties broken uniformly at random. `candidates` must be
+/// disjoint from `send`. Draws one `u32` per candidate (in ascending
+/// token order) even when everything fits — ranking happens before
+/// truncation.
+pub fn rarest_flood_fill(
+    send: &mut TokenSet,
+    candidates: &TokenSet,
+    room: usize,
+    aggregates: &AggregateKnowledge,
+    rng: &mut dyn RngCore,
+) {
+    let mut ranked: Vec<(bool, u32, u32, Token)> = candidates
+        .iter()
+        .map(|t| {
+            (
+                !aggregates.is_needed(t), // needed first
+                aggregates.rarity(t),
+                rng.random::<u32>(),
+                t,
+            )
+        })
+        .collect();
+    ranked.sort_unstable();
+    for (_, _, _, t) in ranked.into_iter().take(room) {
+        send.insert(t);
+    }
+}
+
+/// The Local heuristic's receiver rule: subdivide `need` into per-in-arc
+/// requests so no two in-peers are asked for the same token. Rarest
+/// tokens are assigned first (they claim scarce slots); each token goes
+/// to the eligible arc — peer believed to hold it, request list below
+/// `capacity` — with the lightest load so far, ties broken uniformly at
+/// random. Returns one request set per entry of `in_edges`, aligned by
+/// index.
+///
+/// RNG consumption: one draw per token of `need` (via [`rarest_first`]),
+/// then one draw per *eligible* arc per token, in `in_edges` order.
+pub fn subdivide_requests(
+    need: &TokenSet,
+    in_edges: &[EdgeId],
+    peer_has: &dyn Fn(EdgeId, Token) -> bool,
+    capacity: &dyn Fn(EdgeId) -> u32,
+    aggregates: &AggregateKnowledge,
+    rng: &mut dyn RngCore,
+) -> Vec<TokenSet> {
+    let m = need.universe();
+    let mut load: Vec<usize> = vec![0; in_edges.len()];
+    let mut requests: Vec<TokenSet> = vec![TokenSet::new(m); in_edges.len()];
+    for t in rarest_first(need, aggregates, rng) {
+        // Eligible arcs: the peer holds the token and the request list
+        // has capacity left.
+        let mut best: Option<(usize, u32, EdgeId, usize)> = None; // (load, jitter, edge, slot)
+        for (slot, &e) in in_edges.iter().enumerate() {
+            if load[slot] >= capacity(e) as usize {
+                continue;
+            }
+            if !peer_has(e, t) {
+                continue;
+            }
+            let key = (load[slot], rng.next_u32(), e, slot);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        if let Some((_, _, _, slot)) = best {
+            requests[slot].insert(t);
+            load[slot] += 1;
+        }
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn uniform_aggregates(m: usize) -> AggregateKnowledge {
+        AggregateKnowledge {
+            have_counts: vec![1; m],
+            need_counts: vec![1; m],
+        }
+    }
+
+    #[test]
+    fn random_fill_returns_everything_when_it_fits() {
+        let candidates = TokenSet::from_tokens(8, [Token::new(1), Token::new(5)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let before = rng.clone();
+        let send = random_fill(candidates.clone(), 3, &mut rng);
+        assert_eq!(send, candidates);
+        // No draw happened: the RNG state is untouched.
+        assert_eq!(rng.random::<u64>(), before.clone().random::<u64>());
+    }
+
+    #[test]
+    fn random_fill_respects_cap() {
+        let candidates = TokenSet::full(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let send = random_fill(candidates.clone(), 5, &mut rng);
+        assert_eq!(send.len(), 5);
+        assert!(send.is_subset(&candidates));
+    }
+
+    #[test]
+    fn rarest_flood_fill_prefers_needed_then_rare() {
+        let aggregates = AggregateKnowledge {
+            have_counts: vec![5, 1, 3],
+            need_counts: vec![0, 1, 1], // token 0 no longer needed anywhere
+        };
+        let mut send = TokenSet::new(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        rarest_flood_fill(&mut send, &TokenSet::full(3), 2, &aggregates, &mut rng);
+        assert!(send.contains(Token::new(1)), "rarest needed token first");
+        assert!(send.contains(Token::new(2)));
+        assert!(!send.contains(Token::new(0)), "unneeded token loses");
+    }
+
+    #[test]
+    fn subdivide_never_duplicates_a_token() {
+        let need = TokenSet::full(4);
+        let in_edges = [EdgeId::new(0), EdgeId::new(1)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let requests = subdivide_requests(
+            &need,
+            &in_edges,
+            &|_, _| true,
+            &|_| 2,
+            &uniform_aggregates(4),
+            &mut rng,
+        );
+        assert_eq!(requests.len(), 2);
+        assert!(!requests[0].intersects(&requests[1]));
+        assert_eq!(requests[0].len() + requests[1].len(), 4);
+        assert!(requests.iter().all(|r| r.len() <= 2));
+    }
+
+    #[test]
+    fn subdivide_skips_peers_without_the_token() {
+        let need = TokenSet::full(2);
+        let in_edges = [EdgeId::new(0), EdgeId::new(1)];
+        let mut rng = StdRng::seed_from_u64(4);
+        // Only arc 1's peer holds anything.
+        let requests = subdivide_requests(
+            &need,
+            &in_edges,
+            &|e, _| e.index() == 1,
+            &|_| 4,
+            &uniform_aggregates(2),
+            &mut rng,
+        );
+        assert!(requests[0].is_empty());
+        assert_eq!(requests[1].len(), 2);
+    }
+
+    #[test]
+    fn subdivide_respects_per_arc_capacity() {
+        let need = TokenSet::full(6);
+        let in_edges = [EdgeId::new(0)];
+        let mut rng = StdRng::seed_from_u64(5);
+        let requests = subdivide_requests(
+            &need,
+            &in_edges,
+            &|_, _| true,
+            &|_| 2,
+            &uniform_aggregates(6),
+            &mut rng,
+        );
+        assert_eq!(requests[0].len(), 2, "capacity bounds the request list");
+    }
+}

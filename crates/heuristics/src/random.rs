@@ -6,10 +6,10 @@
 //! over the edge." It floods — any token the peer lacks is fair game,
 //! wanted or not — but never re-sends what the peer already holds.
 
+use crate::policy::random_fill;
 use crate::{KnowledgeTier, Strategy, WorldView};
-use ocd_core::{Instance, Token, TokenSet};
+use ocd_core::{Instance, TokenSet};
 use ocd_graph::EdgeId;
-use rand::seq::SliceRandom;
 use rand::RngCore;
 
 /// Random-useful flooding: per arc, a uniform random subset (of size up
@@ -42,7 +42,6 @@ impl Strategy for RandomUseful {
         rng: &mut dyn RngCore,
     ) -> Vec<(EdgeId, TokenSet)> {
         let g = view.graph();
-        let m = view.instance.num_tokens();
         let mut out = Vec::new();
         for e in g.edge_ids() {
             let arc = g.edge(e);
@@ -55,14 +54,7 @@ impl Strategy for RandomUseful {
             if candidates.is_empty() {
                 continue;
             }
-            let mut pool: Vec<Token> = candidates.iter().collect();
-            let send = if pool.len() <= cap {
-                candidates
-            } else {
-                let (chosen, _) = pool.partial_shuffle(rng, cap);
-                TokenSet::from_tokens(m, chosen.iter().copied())
-            };
-            out.push((e, send));
+            out.push((e, random_fill(candidates, cap, rng)));
         }
         out
     }

@@ -124,6 +124,7 @@ pub fn simulate_underlay(
     let mut schedule = Schedule::new();
     let mut trace = Vec::new();
     let mut rejected_per_step = Vec::new();
+    let mut duplicate_deliveries = 0u64;
     let mut completion_steps: Vec<Option<usize>> = (0..n)
         .map(|v| {
             let v = g.node(v);
@@ -173,7 +174,9 @@ pub fn simulate_underlay(
             break; // true stall: nothing proposed
         }
         for (edge, tokens) in timestep.sends() {
-            possession[g.edge(edge).dst.index()].union_with(tokens);
+            let dst = g.edge(edge).dst.index();
+            duplicate_deliveries += (tokens.len() - tokens.difference_len(&possession[dst])) as u64;
+            possession[dst].union_with(tokens);
         }
         schedule.push_timestep(timestep);
         rejected_per_step.push(rejected);
@@ -208,6 +211,7 @@ pub fn simulate_underlay(
             success,
             completion_steps,
             trace,
+            duplicate_deliveries,
             wall_nanos: run_start.elapsed().as_nanos() as u64,
         },
         rejected_per_step,

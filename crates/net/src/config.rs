@@ -1,0 +1,188 @@
+//! Runtime configuration: which per-neighbor policy drives the actors
+//! and how the links and timers behave.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which §5.1 heuristic the actors run as their per-neighbor policy.
+///
+/// Both variants call the exact decision code of the lockstep strategies
+/// (via [`ocd_heuristics::policy`]), applied to each actor's *believed*
+/// peer state instead of the true possession.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetPolicy {
+    /// Random-useful flooding ([`ocd_heuristics::RandomUseful`]):
+    /// senders push random tokens the peer is believed to lack.
+    Random,
+    /// Rarest-random with request subdivision
+    /// ([`ocd_heuristics::LocalRarest`]): receivers spread requests over
+    /// in-peers, senders serve queues then flood rarest-first.
+    Local,
+}
+
+impl NetPolicy {
+    /// Short name used in reports and CSV columns.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NetPolicy::Random => "random",
+            NetPolicy::Local => "local",
+        }
+    }
+}
+
+impl fmt::Display for NetPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for NetPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "random" | "rnd" => Ok(NetPolicy::Random),
+            "local" | "rarest" | "local-rarest" => Ok(NetPolicy::Local),
+            other => Err(format!(
+                "unknown net policy `{other}` (expected: random, local)"
+            )),
+        }
+    }
+}
+
+/// Configuration of the asynchronous runtime.
+///
+/// The default is the *ideal mode* used by the differential tests: data
+/// latency 1, no jitter, no loss, a same-tick control plane — exactly
+/// the lockstep engine's synchronized-round model.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// The per-neighbor decision policy.
+    pub policy: NetPolicy,
+    /// Ticks a data (`Token`) message spends on a link. Must be ≥ 1
+    /// (store-and-forward: a token sent at tick `t` is usable at
+    /// `t + latency` at the earliest).
+    pub latency: u32,
+    /// Maximum extra ticks of random per-message delay (uniform in
+    /// `0..=jitter`); with per-arc capacities this reorders deliveries.
+    /// 0 = no jitter and no RNG draw.
+    pub jitter: u32,
+    /// Probability a data message is dropped in flight. 0.0 = no loss
+    /// and no RNG draw.
+    pub loss: f64,
+    /// Ticks a control message (`Have`/`Request`/`Cancel`) spends on a
+    /// link. 0 = delivered within the same tick (the paper's
+    /// synchronized-knowledge assumption).
+    pub control_latency: u32,
+    /// Probability a control message is dropped. 0.0 = no loss and no
+    /// RNG draw.
+    pub control_loss: f64,
+    /// Ticks a receiver waits for a requested token before re-requesting
+    /// (the base of the exponential backoff), and ticks a sender keeps a
+    /// token marked in-flight before it becomes floodable again. `None`
+    /// derives a safe value from the latencies.
+    pub request_timeout: Option<u32>,
+    /// Cap on backoff doublings: the `k`-th retry of the same token
+    /// waits `timeout * 2^min(k, max_backoff_exp)` ticks.
+    pub max_backoff_exp: u32,
+    /// Every `have_refresh` ticks each live vertex re-announces its full
+    /// possession bitmap to its neighbors, repairing beliefs after lost
+    /// `Have` messages or restarts. 0 = never.
+    pub have_refresh: u64,
+    /// Hard cap on simulated ticks; an incomplete run reports failure.
+    pub max_ticks: u64,
+    /// Capacity of the ring-buffered event log (oldest events are
+    /// overwritten once full).
+    pub trace_capacity: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            policy: NetPolicy::Random,
+            latency: 1,
+            jitter: 0,
+            loss: 0.0,
+            control_latency: 0,
+            control_loss: 0.0,
+            request_timeout: None,
+            max_backoff_exp: 6,
+            have_refresh: 10,
+            max_ticks: 100_000,
+            trace_capacity: 1 << 16,
+        }
+    }
+}
+
+impl NetConfig {
+    /// The effective retry/in-flight timeout: the configured value, or a
+    /// derived one covering a full round trip (request there, token
+    /// back, worst-case jitter) with slack.
+    #[must_use]
+    pub fn effective_timeout(&self) -> u32 {
+        self.request_timeout
+            .unwrap_or(2 * self.control_latency + self.latency + self.jitter + 2)
+            .max(1)
+    }
+
+    /// Backoff-scaled timeout for the `attempts`-th retry.
+    #[must_use]
+    pub fn backoff_timeout(&self, attempts: u32) -> u64 {
+        u64::from(self.effective_timeout()) << attempts.min(self.max_backoff_exp)
+    }
+
+    /// Whether this configuration is the lockstep-equivalent ideal mode
+    /// (the differential-test precondition).
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        self.latency == 1
+            && self.jitter == 0
+            && self.loss == 0.0
+            && self.control_latency == 0
+            && self.control_loss == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses_and_prints() {
+        assert_eq!("random".parse::<NetPolicy>().unwrap(), NetPolicy::Random);
+        assert_eq!("LOCAL".parse::<NetPolicy>().unwrap(), NetPolicy::Local);
+        assert_eq!("rarest".parse::<NetPolicy>().unwrap().to_string(), "local");
+        assert!("bogus".parse::<NetPolicy>().is_err());
+    }
+
+    #[test]
+    fn default_is_ideal_mode() {
+        assert!(NetConfig::default().is_ideal());
+        let lossy = NetConfig {
+            loss: 0.1,
+            ..NetConfig::default()
+        };
+        assert!(!lossy.is_ideal());
+    }
+
+    #[test]
+    fn timeout_derivation_and_backoff() {
+        let config = NetConfig {
+            latency: 3,
+            jitter: 1,
+            control_latency: 1,
+            ..NetConfig::default()
+        };
+        assert_eq!(config.effective_timeout(), 8);
+        assert_eq!(config.backoff_timeout(0), 8);
+        assert_eq!(config.backoff_timeout(2), 32);
+        // Backoff saturates at max_backoff_exp doublings.
+        assert_eq!(config.backoff_timeout(99), 8 << 6);
+        let fixed = NetConfig {
+            request_timeout: Some(5),
+            ..NetConfig::default()
+        };
+        assert_eq!(fixed.effective_timeout(), 5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Scripted vertex crash/restart fault injection.
+//!
+//! Faults are deterministic scripts, not random processes: the
+//! differential and fault-injection tests need the exact same fault at
+//! the exact same tick on every run. (Random churn belongs to the
+//! lockstep engine's [`dynamics`](ocd_heuristics::dynamics) models; here
+//! the point is reproducing a *specific* failure and watching the
+//! retry/backoff machinery recover.)
+
+use ocd_graph::NodeId;
+
+/// One scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The vertex stops: in-flight messages to it are dropped on
+    /// arrival, its volatile state (beliefs, queues, outstanding
+    /// requests) is lost. Its possession survives (durable store).
+    Crash(NodeId),
+    /// The vertex comes back: volatile state empty, possession intact;
+    /// it re-announces its possession to all neighbors.
+    Restart(NodeId),
+}
+
+impl FaultEvent {
+    /// The vertex the fault applies to.
+    #[must_use]
+    pub fn vertex(self) -> NodeId {
+        match self {
+            FaultEvent::Crash(v) | FaultEvent::Restart(v) => v,
+        }
+    }
+}
+
+/// A time-ordered script of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<(u64, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a crash of `v` at `tick`.
+    #[must_use]
+    pub fn crash_at(mut self, tick: u64, v: NodeId) -> Self {
+        self.events.push((tick, FaultEvent::Crash(v)));
+        self
+    }
+
+    /// Schedules a restart of `v` at `tick`.
+    #[must_use]
+    pub fn restart_at(mut self, tick: u64, v: NodeId) -> Self {
+        self.events.push((tick, FaultEvent::Restart(v)));
+        self
+    }
+
+    /// Convenience: crash `v` at `down` and restart it at `up`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `up <= down`.
+    #[must_use]
+    pub fn crash_between(self, v: NodeId, down: u64, up: u64) -> Self {
+        assert!(up > down, "restart must come after the crash");
+        self.crash_at(down, v).restart_at(up, v)
+    }
+
+    /// Whether any fault remains at or after `tick`.
+    #[must_use]
+    pub fn pending_after(&self, tick: u64) -> bool {
+        self.events.iter().any(|&(t, _)| t >= tick)
+    }
+
+    /// The faults scheduled for exactly `tick`, in insertion order.
+    pub fn at(&self, tick: u64) -> impl Iterator<Item = FaultEvent> + '_ {
+        self.events
+            .iter()
+            .filter(move |&&(t, _)| t == tick)
+            .map(|&(_, e)| e)
+    }
+
+    /// Total scripted faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders_and_lookup() {
+        let v = NodeId::new(3);
+        let plan = FaultPlan::none().crash_between(v, 5, 9);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.at(5).collect::<Vec<_>>(), vec![FaultEvent::Crash(v)]);
+        assert_eq!(plan.at(9).collect::<Vec<_>>(), vec![FaultEvent::Restart(v)]);
+        assert_eq!(plan.at(7).count(), 0);
+        assert!(plan.pending_after(6));
+        assert!(!plan.pending_after(10));
+        assert_eq!(FaultEvent::Crash(v).vertex(), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must come after")]
+    fn crash_between_rejects_inverted_window() {
+        let _ = FaultPlan::none().crash_between(NodeId::new(0), 9, 5);
+    }
+}

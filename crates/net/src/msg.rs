@@ -1,0 +1,129 @@
+//! The typed protocol messages actors exchange.
+//!
+//! Grammar (one message per line on the wire; all sets are token
+//! bitmaps over the instance's universe):
+//!
+//! ```text
+//! msg     ::= HAVE(have: TokenSet)          # full possession snapshot
+//!           | REQUEST(want: TokenSet)       # "send me these on this arc"
+//!           | TOKEN(payload: TokenSet)      # data: the tokens themselves
+//!           | CANCEL(stale: TokenSet)       # "got these elsewhere, dequeue"
+//! ```
+//!
+//! `Have` carries the sender's *entire* possession set rather than a
+//! delta: snapshots are idempotent and order-insensitive, so reordered
+//! or lost announcements can never corrupt a belief (possession only
+//! grows, and beliefs merge by union). `Request`/`Cancel` address the
+//! specific arc they were received on; `Token` is the only message that
+//! consumes link (data) capacity.
+
+use ocd_core::TokenSet;
+use ocd_graph::{EdgeId, NodeId};
+
+/// The four protocol message kinds, used to index per-kind counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// A possession-bitmap announcement.
+    Have,
+    /// A request for tokens on the receiving arc.
+    Request,
+    /// A data payload.
+    Token,
+    /// A request withdrawal.
+    Cancel,
+}
+
+impl MsgKind {
+    /// All kinds, in counter-index order.
+    pub const ALL: [MsgKind; 4] = [
+        MsgKind::Have,
+        MsgKind::Request,
+        MsgKind::Token,
+        MsgKind::Cancel,
+    ];
+
+    /// Stable index into per-kind counter arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Lower-case wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::Have => "have",
+            MsgKind::Request => "request",
+            MsgKind::Token => "token",
+            MsgKind::Cancel => "cancel",
+        }
+    }
+}
+
+/// A data message in flight on an arc: the only message kind metered by
+/// the arc's capacity.
+#[derive(Debug, Clone)]
+pub struct DataMsg {
+    /// The arc being traversed.
+    pub edge: EdgeId,
+    /// The payload.
+    pub tokens: TokenSet,
+    /// Departure tick (the schedule step this transfer is recorded at).
+    pub sent_at: u64,
+}
+
+/// The payload of a control message.
+#[derive(Debug, Clone)]
+pub enum CtrlPayload {
+    /// Full possession snapshot of the sender.
+    Have(TokenSet),
+    /// Tokens requested on the data arc `sender → receiver`.
+    Request(TokenSet),
+    /// Tokens obtained elsewhere; drop them from the send queue.
+    Cancel(TokenSet),
+}
+
+impl CtrlPayload {
+    /// The counter kind of this payload.
+    #[must_use]
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            CtrlPayload::Have(_) => MsgKind::Have,
+            CtrlPayload::Request(_) => MsgKind::Request,
+            CtrlPayload::Cancel(_) => MsgKind::Cancel,
+        }
+    }
+}
+
+/// A control message in flight between two vertices (unmetered: the
+/// control plane models out-of-band coordination traffic).
+#[derive(Debug, Clone)]
+pub struct CtrlMsg {
+    /// Originating vertex.
+    pub from: NodeId,
+    /// Destination vertex.
+    pub to: NodeId,
+    /// The payload.
+    pub payload: CtrlPayload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_stable() {
+        for (i, k) in MsgKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(MsgKind::Token.name(), "token");
+    }
+
+    #[test]
+    fn payload_kind_matches() {
+        let s = TokenSet::new(4);
+        assert_eq!(CtrlPayload::Have(s.clone()).kind(), MsgKind::Have);
+        assert_eq!(CtrlPayload::Request(s.clone()).kind(), MsgKind::Request);
+        assert_eq!(CtrlPayload::Cancel(s).kind(), MsgKind::Cancel);
+    }
+}

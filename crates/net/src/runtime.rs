@@ -1,0 +1,954 @@
+//! The discrete-event swarm runtime.
+//!
+//! Each vertex is an actor: it holds its durable token store
+//! (possession), volatile *beliefs* about each neighbor's possession
+//! (fed by `Have` announcements), an outstanding-request table with
+//! timeouts and exponential backoff, and one FIFO send queue per
+//! out-neighbor. Links carry typed messages with per-arc latency,
+//! optional jitter (reordering) and probabilistic loss; data messages
+//! are metered by the arc capacity, control messages model out-of-band
+//! coordination traffic and are unmetered.
+//!
+//! # Tick phases
+//!
+//! Time advances in ticks; each tick runs fixed phases so that equal
+//! seeds give identical event orders (the determinism guarantee):
+//!
+//! 1. **Faults** — scripted crashes/restarts fire.
+//! 2. **Data delivery** — `Token` messages scheduled for this tick are
+//!    applied in send order: possession grows, duplicates are counted,
+//!    completions detected, `Have` deltas and cross-arc `Cancel`s go
+//!    out.
+//! 3. **Control delivery** — delayed `Have`/`Request`/`Cancel` messages
+//!    are applied (with a zero-latency control plane they were applied
+//!    the moment they were sent).
+//! 4. **Receiver decisions** (Local policy) — expired request timers
+//!    re-arm with backoff, then each vertex subdivides its outstanding
+//!    need over its in-arcs and sends `Request`s, via the same
+//!    [`policy`](ocd_heuristics::policy) code the lockstep strategy
+//!    runs.
+//! 5. **Sender decisions** — each arc (ascending id) drains its queue
+//!    up to capacity, flood-fills the remainder from believed-missing
+//!    tokens (minus in-flight and queued), transmits at most one data
+//!    message, and records the departure in the extracted [`Schedule`].
+//! 6. **Belief refresh** — periodically each vertex re-announces its
+//!    full possession, repairing beliefs after lost messages.
+//!
+//! With the default ("ideal") configuration — latency 1, no jitter, no
+//! loss, same-tick control — the phases collapse to exactly the
+//! lockstep engine's synchronized rounds, and the runtime consumes the
+//! RNG identically to [`ocd_heuristics::simulate`] running the matching
+//! strategy: the differential test checks schedules for equality, not
+//! mere similarity.
+
+use crate::config::{NetConfig, NetPolicy};
+use crate::fault::{FaultEvent, FaultPlan};
+use crate::msg::{CtrlMsg, CtrlPayload, DataMsg, MsgKind};
+use crate::trace::{
+    CompletionHistogram, EventKind, EventTrace, LinkCounters, TraceEvent, VertexCounters, NO_FIELD,
+};
+use ocd_core::knowledge::AggregateKnowledge;
+use ocd_core::{Instance, Schedule, ScheduleRecorder, Token, TokenSet};
+use ocd_graph::{EdgeId, NodeId};
+use ocd_heuristics::policy::{random_fill, rarest_flood_fill, subdivide_requests};
+use rand::{Rng, RngCore};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Result of an asynchronous run.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Whether every want was satisfied within the tick budget.
+    pub success: bool,
+    /// Ticks simulated (the completion tick on success).
+    pub ticks: u64,
+    /// The extracted schedule: every data departure, recorded at its
+    /// departure tick. Valid by construction — certify it with
+    /// [`ocd_core::validate::replay`].
+    pub schedule: Schedule,
+    /// For each vertex, the tick its want set completed (0 = satisfied
+    /// from the start); `None` if never.
+    pub completion_ticks: Vec<Option<u64>>,
+    /// Tokens delivered to vertices that already held them.
+    pub duplicate_deliveries: u64,
+    /// Data tokens delivered in total (including duplicates).
+    pub tokens_delivered: u64,
+    /// Data tokens dropped by link loss.
+    pub tokens_lost: u64,
+    /// Data tokens dropped at crashed destinations.
+    pub tokens_dropped_crashed: u64,
+    /// Data tokens still in flight when the run ended.
+    pub tokens_unresolved: u64,
+    /// Data tokens re-sent on an arc that had already carried them.
+    pub retransmits: u64,
+    /// Messages sent over the whole run, indexed by [`MsgKind::index`].
+    pub messages_sent: [u64; 4],
+    /// Per-vertex counters.
+    pub vertex_counters: Vec<VertexCounters>,
+    /// Per-arc counters.
+    pub link_counters: Vec<LinkCounters>,
+    /// The ring-buffered event log.
+    pub trace: EventTrace,
+}
+
+impl NetReport {
+    /// Makespan of the extracted schedule (= last departure tick + 1).
+    #[must_use]
+    pub fn makespan(&self) -> usize {
+        self.schedule.makespan()
+    }
+
+    /// Total data tokens put on the wire (= `schedule.bandwidth()`).
+    #[must_use]
+    pub fn bandwidth(&self) -> u64 {
+        self.schedule.bandwidth()
+    }
+
+    /// The conservation check the fault-injection tests rely on: every
+    /// token put on the wire is delivered, lost, dropped at a crashed
+    /// vertex, or still in flight — nothing vanishes unaccounted.
+    #[must_use]
+    pub fn accounts_for_every_token(&self) -> bool {
+        self.bandwidth()
+            == self.tokens_delivered
+                + self.tokens_lost
+                + self.tokens_dropped_crashed
+                + self.tokens_unresolved
+    }
+
+    /// Completion-tick histogram with the given bucket width.
+    #[must_use]
+    pub fn completion_histogram(&self, bucket_width: u64) -> CompletionHistogram {
+        CompletionHistogram::from_completions(&self.completion_ticks, bucket_width)
+    }
+}
+
+/// An entry in a receiver's outstanding-request table.
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    /// The in-arc the request went out on.
+    edge: EdgeId,
+    /// Tick at which the request expires and is retried with backoff.
+    expiry: u64,
+}
+
+struct Runtime<'a> {
+    instance: &'a Instance,
+    config: &'a NetConfig,
+    timeout: u32,
+    n: usize,
+    m: usize,
+    // --- actor state ---
+    alive: Vec<bool>,
+    possession: Vec<TokenSet>,
+    /// Sorted undirected neighbor list per vertex.
+    neighbors: Vec<Vec<NodeId>>,
+    /// `belief[v][i]` = what `v` believes `neighbors[v][i]` possesses.
+    belief: Vec<Vec<TokenSet>>,
+    outstanding: Vec<Vec<Option<Outstanding>>>,
+    outstanding_set: Vec<TokenSet>,
+    attempts: Vec<Vec<u32>>,
+    // --- per-arc link state ---
+    queue: Vec<VecDeque<Token>>,
+    queued_set: Vec<TokenSet>,
+    inflight_expiry: Vec<Vec<Option<u64>>>,
+    inflight_set: Vec<TokenSet>,
+    sent_ever: Vec<TokenSet>,
+    // --- event calendar ---
+    data_cal: BTreeMap<u64, Vec<DataMsg>>,
+    ctrl_cal: BTreeMap<u64, Vec<CtrlMsg>>,
+    // --- progress tracking ---
+    aggregates: AggregateKnowledge,
+    missing: Vec<usize>,
+    remaining: u64,
+    completion_ticks: Vec<Option<u64>>,
+    // --- instrumentation ---
+    recorder: ScheduleRecorder,
+    trace: EventTrace,
+    vcount: Vec<VertexCounters>,
+    lcount: Vec<LinkCounters>,
+    duplicate_deliveries: u64,
+    tokens_delivered: u64,
+    tokens_lost: u64,
+    tokens_dropped_crashed: u64,
+}
+
+/// Runs the asynchronous swarm on `instance` under `config` and the
+/// scripted `faults`, drawing all randomness (policy tie-breaks, loss,
+/// jitter) from `rng`. Same instance + config + faults + seed ⇒
+/// identical event order, trace, and schedule.
+pub fn run_swarm(
+    instance: &Instance,
+    config: &NetConfig,
+    faults: &FaultPlan,
+    rng: &mut dyn RngCore,
+) -> NetReport {
+    assert!(config.latency >= 1, "data latency must be at least 1 tick");
+    let g = instance.graph();
+    let n = g.node_count();
+    let m = instance.num_tokens();
+
+    let possession: Vec<TokenSet> = instance.have_all().to_vec();
+    let neighbors: Vec<Vec<NodeId>> = g
+        .nodes()
+        .map(|v| {
+            let mut peers: Vec<NodeId> = g.out_neighbors(v).chain(g.in_neighbors(v)).collect();
+            peers.sort_unstable();
+            peers.dedup();
+            peers
+        })
+        .collect();
+    let belief: Vec<Vec<TokenSet>> = neighbors
+        .iter()
+        .map(|peers| vec![TokenSet::new(m); peers.len()])
+        .collect();
+    let missing: Vec<usize> = g
+        .nodes()
+        .map(|v| instance.want(v).difference_len(&possession[v.index()]))
+        .collect();
+    let remaining: u64 = missing.iter().map(|&c| c as u64).sum();
+    let completion_ticks: Vec<Option<u64>> =
+        missing.iter().map(|&c| (c == 0).then_some(0)).collect();
+    let aggregates = AggregateKnowledge::compute(m, &possession, instance.want_all());
+
+    let mut rt = Runtime {
+        instance,
+        config,
+        timeout: config.effective_timeout(),
+        n,
+        m,
+        alive: vec![true; n],
+        possession,
+        neighbors,
+        belief,
+        outstanding: vec![vec![None; m]; n],
+        outstanding_set: vec![TokenSet::new(m); n],
+        attempts: vec![vec![0; m]; n],
+        queue: vec![VecDeque::new(); g.edge_count()],
+        queued_set: vec![TokenSet::new(m); g.edge_count()],
+        inflight_expiry: vec![vec![None; m]; g.edge_count()],
+        inflight_set: vec![TokenSet::new(m); g.edge_count()],
+        sent_ever: vec![TokenSet::new(m); g.edge_count()],
+        data_cal: BTreeMap::new(),
+        ctrl_cal: BTreeMap::new(),
+        aggregates,
+        missing,
+        remaining,
+        completion_ticks,
+        recorder: ScheduleRecorder::new(),
+        trace: EventTrace::new(config.trace_capacity),
+        vcount: vec![VertexCounters::default(); n],
+        lcount: vec![LinkCounters::default(); g.edge_count()],
+        duplicate_deliveries: 0,
+        tokens_delivered: 0,
+        tokens_lost: 0,
+        tokens_dropped_crashed: 0,
+    };
+    rt.run(faults, rng)
+}
+
+impl Runtime<'_> {
+    fn run(&mut self, faults: &FaultPlan, rng: &mut dyn RngCore) -> NetReport {
+        let mut success = self.remaining == 0;
+        let mut now: u64 = 0;
+        if !success {
+            // Bootstrap: every vertex announces its initial possession.
+            for v in 0..self.n {
+                self.announce_have(NodeId::new(v), now, rng);
+            }
+        }
+        while !success && now < self.config.max_ticks {
+            self.apply_faults(faults, now, rng);
+            self.deliver_data(now, rng);
+            self.deliver_ctrl(now, rng);
+            if self.remaining == 0 {
+                success = true;
+                break;
+            }
+            let sent = self.decide(now, rng);
+            self.refresh_haves(now, rng);
+            if sent == 0 && self.quiescent(faults, now) {
+                break; // nothing in flight, queued, pending, or scripted
+            }
+            now += 1;
+        }
+
+        let tokens_unresolved: u64 = self
+            .data_cal
+            .values()
+            .flatten()
+            .map(|msg| msg.tokens.len() as u64)
+            .sum();
+        let mut messages_sent = [0u64; 4];
+        for vc in &self.vcount {
+            for (total, sent) in messages_sent.iter_mut().zip(vc.sent) {
+                *total += sent;
+            }
+        }
+        NetReport {
+            success,
+            ticks: now,
+            schedule: std::mem::take(&mut self.recorder).finish(),
+            completion_ticks: std::mem::take(&mut self.completion_ticks),
+            duplicate_deliveries: self.duplicate_deliveries,
+            tokens_delivered: self.tokens_delivered,
+            tokens_lost: self.tokens_lost,
+            tokens_dropped_crashed: self.tokens_dropped_crashed,
+            tokens_unresolved,
+            retransmits: self.lcount.iter().map(|l| l.retransmits).sum(),
+            messages_sent,
+            vertex_counters: std::mem::take(&mut self.vcount),
+            link_counters: std::mem::take(&mut self.lcount),
+            trace: std::mem::replace(&mut self.trace, EventTrace::new(1)),
+        }
+    }
+
+    /// True when no future event can ever fire: the run is stuck.
+    fn quiescent(&self, faults: &FaultPlan, now: u64) -> bool {
+        self.data_cal.is_empty()
+            && self.ctrl_cal.is_empty()
+            && !faults.pending_after(now + 1)
+            && self.queued_set.iter().all(TokenSet::is_empty)
+            && self.inflight_set.iter().all(TokenSet::is_empty)
+            && self.outstanding_set.iter().all(TokenSet::is_empty)
+    }
+
+    fn event(&mut self, e: TraceEvent) {
+        self.trace.push(e);
+    }
+
+    // ---------- phase 1: faults ----------
+
+    fn apply_faults(&mut self, faults: &FaultPlan, now: u64, rng: &mut dyn RngCore) {
+        let fired: Vec<FaultEvent> = faults.at(now).collect();
+        for f in fired {
+            match f {
+                FaultEvent::Crash(v) => self.crash(v, now),
+                FaultEvent::Restart(v) => self.restart(v, now, rng),
+            }
+        }
+    }
+
+    fn crash(&mut self, v: NodeId, now: u64) {
+        if !self.alive[v.index()] {
+            return;
+        }
+        self.alive[v.index()] = false;
+        self.vcount[v.index()].crashes += 1;
+        // Volatile state is lost; the durable token store survives.
+        for b in &mut self.belief[v.index()] {
+            b.clear();
+        }
+        self.outstanding[v.index()].fill(None);
+        self.outstanding_set[v.index()].clear();
+        self.attempts[v.index()].fill(0);
+        for e in self.instance.graph().out_edges(v) {
+            self.queue[e.index()].clear();
+            self.queued_set[e.index()].clear();
+            self.inflight_expiry[e.index()].fill(None);
+            self.inflight_set[e.index()].clear();
+        }
+        self.event(TraceEvent {
+            tick: now,
+            kind: EventKind::Crash,
+            vertex: v.index() as u32,
+            peer: NO_FIELD,
+            edge: NO_FIELD,
+            tokens: 0,
+        });
+    }
+
+    fn restart(&mut self, v: NodeId, now: u64, rng: &mut dyn RngCore) {
+        if self.alive[v.index()] {
+            return;
+        }
+        self.alive[v.index()] = true;
+        self.event(TraceEvent {
+            tick: now,
+            kind: EventKind::Restart,
+            vertex: v.index() as u32,
+            peer: NO_FIELD,
+            edge: NO_FIELD,
+            tokens: 0,
+        });
+        // Rejoin: tell the neighborhood what survived on disk.
+        self.announce_have(v, now, rng);
+    }
+
+    // ---------- phase 2: data delivery ----------
+
+    fn deliver_data(&mut self, now: u64, rng: &mut dyn RngCore) {
+        let Some(batch) = self.data_cal.remove(&now) else {
+            return;
+        };
+        let g = self.instance.graph();
+        for msg in batch {
+            let arc = g.edge(msg.edge);
+            let dst = arc.dst;
+            if !self.alive[dst.index()] {
+                self.tokens_dropped_crashed += msg.tokens.len() as u64;
+                self.lcount[msg.edge.index()].tokens_dropped_crashed += msg.tokens.len() as u64;
+                self.event(TraceEvent {
+                    tick: now,
+                    kind: EventKind::DataDroppedCrashed,
+                    vertex: dst.index() as u32,
+                    peer: arc.src.index() as u32,
+                    edge: msg.edge.index() as u32,
+                    tokens: msg.tokens.len() as u32,
+                });
+                continue;
+            }
+            let new = msg.tokens.difference(&self.possession[dst.index()]);
+            let dup = (msg.tokens.len() - new.len()) as u64;
+            self.duplicate_deliveries += dup;
+            self.vcount[dst.index()].duplicate_tokens += dup;
+            self.vcount[dst.index()].received[MsgKind::Token.index()] += 1;
+            self.tokens_delivered += msg.tokens.len() as u64;
+            self.lcount[msg.edge.index()].tokens_delivered += msg.tokens.len() as u64;
+            self.event(TraceEvent {
+                tick: now,
+                kind: EventKind::DataDeliver,
+                vertex: dst.index() as u32,
+                peer: arc.src.index() as u32,
+                edge: msg.edge.index() as u32,
+                tokens: msg.tokens.len() as u32,
+            });
+
+            // Clear satisfied requests; cancel duplicates ordered
+            // elsewhere so the other sender can reuse the slot.
+            let mut cancels: Vec<(EdgeId, Token)> = Vec::new();
+            for t in msg.tokens.iter() {
+                if let Some(req) = self.outstanding[dst.index()][t.index()].take() {
+                    self.outstanding_set[dst.index()].remove(t);
+                    if req.edge != msg.edge {
+                        cancels.push((req.edge, t));
+                    }
+                }
+                self.attempts[dst.index()][t.index()] = 0;
+            }
+
+            if !new.is_empty() {
+                self.possession[dst.index()].union_with(&new);
+                let satisfied = self
+                    .aggregates
+                    .apply_delivery(&new, self.instance.want(dst));
+                self.remaining -= satisfied;
+                self.missing[dst.index()] -= satisfied as usize;
+                if self.missing[dst.index()] == 0 && self.completion_ticks[dst.index()].is_none() {
+                    self.completion_ticks[dst.index()] = Some(now);
+                    self.event(TraceEvent {
+                        tick: now,
+                        kind: EventKind::Complete,
+                        vertex: dst.index() as u32,
+                        peer: NO_FIELD,
+                        edge: NO_FIELD,
+                        tokens: 0,
+                    });
+                }
+                // Announce the enlarged possession to the neighborhood.
+                self.announce_have(dst, now, rng);
+            }
+
+            for (edge, t) in cancels {
+                let peer = g.edge(edge).src;
+                let set = TokenSet::from_tokens(self.m, [t]);
+                self.send_ctrl(dst, peer, CtrlPayload::Cancel(set), now, rng);
+            }
+        }
+    }
+
+    // ---------- phase 3: control delivery ----------
+
+    fn deliver_ctrl(&mut self, now: u64, rng: &mut dyn RngCore) {
+        let Some(batch) = self.ctrl_cal.remove(&now) else {
+            return;
+        };
+        for msg in batch {
+            self.apply_ctrl(msg, now, rng);
+        }
+    }
+
+    fn apply_ctrl(&mut self, msg: CtrlMsg, now: u64, _rng: &mut dyn RngCore) {
+        let to = msg.to;
+        if !self.alive[to.index()] {
+            self.event(TraceEvent {
+                tick: now,
+                kind: EventKind::CtrlDroppedCrashed,
+                vertex: to.index() as u32,
+                peer: msg.from.index() as u32,
+                edge: NO_FIELD,
+                tokens: 0,
+            });
+            return;
+        }
+        self.vcount[to.index()].received[msg.payload.kind().index()] += 1;
+        self.event(TraceEvent {
+            tick: now,
+            kind: EventKind::CtrlDeliver,
+            vertex: to.index() as u32,
+            peer: msg.from.index() as u32,
+            edge: NO_FIELD,
+            tokens: match &msg.payload {
+                CtrlPayload::Have(s) | CtrlPayload::Request(s) | CtrlPayload::Cancel(s) => {
+                    s.len() as u32
+                }
+            },
+        });
+        let g = self.instance.graph();
+        match msg.payload {
+            CtrlPayload::Have(snapshot) => {
+                // Beliefs merge by union: possession only grows, so a
+                // reordered stale snapshot can never regress a belief.
+                if let Some(slot) = self.neighbor_slot(to, msg.from) {
+                    self.belief[to.index()][slot].union_with(&snapshot);
+                }
+                // The snapshot also acknowledges data on the arc to → from.
+                if let Some(e) = g.find_edge(to, msg.from) {
+                    let acked = self.inflight_set[e.index()].intersection(&snapshot);
+                    for t in acked.iter() {
+                        self.inflight_expiry[e.index()][t.index()] = None;
+                    }
+                    self.inflight_set[e.index()].subtract(&acked);
+                }
+            }
+            CtrlPayload::Request(wanted) => {
+                // Requests address the data arc to → from.
+                let Some(e) = g.find_edge(to, msg.from) else {
+                    return;
+                };
+                for t in wanted.iter() {
+                    if !self.possession[to.index()].contains(t) {
+                        continue; // stale belief: the requester will retry
+                    }
+                    if self.queued_set[e.index()].contains(t) {
+                        continue; // already queued
+                    }
+                    if self.inflight_expiry[e.index()][t.index()].is_some_and(|exp| exp > now) {
+                        continue; // already on the wire
+                    }
+                    self.queue[e.index()].push_back(t);
+                    self.queued_set[e.index()].insert(t);
+                    let depth = self.queue[e.index()].len();
+                    let lc = &mut self.lcount[e.index()];
+                    lc.max_queue_depth = lc.max_queue_depth.max(depth);
+                }
+            }
+            CtrlPayload::Cancel(stale) => {
+                if let Some(e) = g.find_edge(to, msg.from) {
+                    // Lazy deletion: stale deque entries are skipped at
+                    // drain time because they left the membership set.
+                    self.queued_set[e.index()].subtract(&stale);
+                }
+            }
+        }
+    }
+
+    // ---------- phase 4+5: decisions ----------
+
+    /// Receiver then sender decisions; returns data tokens transmitted.
+    fn decide(&mut self, now: u64, rng: &mut dyn RngCore) -> u64 {
+        if self.config.policy == NetPolicy::Local {
+            self.receiver_decisions(now, rng);
+        }
+        self.sender_decisions(now, rng)
+    }
+
+    fn receiver_decisions(&mut self, now: u64, rng: &mut dyn RngCore) {
+        let g = self.instance.graph();
+        for vi in 0..self.n {
+            let v = NodeId::new(vi);
+            if !self.alive[vi] {
+                continue;
+            }
+            // Expire overdue requests: the token becomes requestable
+            // again right now, with a longer (backed-off) patience.
+            let overdue: Vec<Token> = self.outstanding_set[vi]
+                .iter()
+                .filter(|t| self.outstanding[vi][t.index()].is_some_and(|o| o.expiry <= now))
+                .collect();
+            for t in overdue {
+                self.outstanding[vi][t.index()] = None;
+                self.outstanding_set[vi].remove(t);
+                self.vcount[vi].request_timeouts += 1;
+                self.event(TraceEvent {
+                    tick: now,
+                    kind: EventKind::RequestTimeout,
+                    vertex: vi as u32,
+                    peer: NO_FIELD,
+                    edge: NO_FIELD,
+                    tokens: 1,
+                });
+            }
+
+            let mut need = self.instance.want(v).difference(&self.possession[vi]);
+            need.subtract(&self.outstanding_set[vi]);
+            if need.is_empty() {
+                continue;
+            }
+            let in_edges: Vec<EdgeId> = g.in_edges(v).collect();
+            if in_edges.is_empty() {
+                continue;
+            }
+            let assigned = {
+                let belief = &self.belief;
+                let neighbors = &self.neighbors;
+                let peer_has = |e: EdgeId, t: Token| {
+                    let src = g.edge(e).src;
+                    match neighbors[vi].binary_search(&src) {
+                        Ok(slot) => belief[vi][slot].contains(t),
+                        Err(_) => false,
+                    }
+                };
+                subdivide_requests(
+                    &need,
+                    &in_edges,
+                    &peer_has,
+                    &|e| g.capacity(e),
+                    &self.aggregates,
+                    rng,
+                )
+            };
+            for (&e, req) in in_edges.iter().zip(assigned) {
+                if req.is_empty() {
+                    continue;
+                }
+                for t in req.iter() {
+                    let patience = self.config.backoff_timeout(self.attempts[vi][t.index()]);
+                    self.attempts[vi][t.index()] = self.attempts[vi][t.index()].saturating_add(1);
+                    self.outstanding[vi][t.index()] = Some(Outstanding {
+                        edge: e,
+                        expiry: now + patience,
+                    });
+                    self.outstanding_set[vi].insert(t);
+                }
+                let peer = g.edge(e).src;
+                self.send_ctrl(v, peer, CtrlPayload::Request(req), now, rng);
+            }
+        }
+    }
+
+    fn sender_decisions(&mut self, now: u64, rng: &mut dyn RngCore) -> u64 {
+        let g = self.instance.graph();
+        let mut transmitted = 0u64;
+        for e in g.edge_ids() {
+            let arc = g.edge(e);
+            let (src, dst) = (arc.src, arc.dst);
+            if !self.alive[src.index()] {
+                continue;
+            }
+            let cap = arc.capacity as usize;
+
+            // Expire in-flight markers: unacknowledged tokens become
+            // floodable again (the data or its Have ack was lost).
+            let expired: Vec<Token> = self.inflight_set[e.index()]
+                .iter()
+                .filter(|t| {
+                    self.inflight_expiry[e.index()][t.index()].is_some_and(|exp| exp <= now)
+                })
+                .collect();
+            for t in expired {
+                self.inflight_expiry[e.index()][t.index()] = None;
+                self.inflight_set[e.index()].remove(t);
+            }
+
+            // Serve the per-neighbor queue first (FIFO), then flood.
+            let mut send = TokenSet::new(self.m);
+            let mut budget = cap;
+            while budget > 0 {
+                let Some(t) = self.queue[e.index()].pop_front() else {
+                    break;
+                };
+                if !self.queued_set[e.index()].contains(t) {
+                    continue; // canceled while queued
+                }
+                self.queued_set[e.index()].remove(t);
+                debug_assert!(self.possession[src.index()].contains(t));
+                send.insert(t);
+                budget -= 1;
+            }
+            if budget > 0 {
+                let believed = match self.neighbor_slot(src, dst) {
+                    Some(slot) => &self.belief[src.index()][slot],
+                    None => unreachable!("arc endpoints are neighbors"),
+                };
+                let mut candidates = self.possession[src.index()].difference(believed);
+                candidates.subtract(&send);
+                candidates.subtract(&self.inflight_set[e.index()]);
+                candidates.subtract(&self.queued_set[e.index()]);
+                match self.config.policy {
+                    NetPolicy::Random => {
+                        if !candidates.is_empty() {
+                            send.union_with(&random_fill(candidates, budget, rng));
+                        }
+                    }
+                    NetPolicy::Local => {
+                        rarest_flood_fill(&mut send, &candidates, budget, &self.aggregates, rng);
+                    }
+                }
+            }
+            if send.is_empty() {
+                continue;
+            }
+
+            // One data message per arc per tick, metered by capacity.
+            debug_assert!(send.len() <= cap);
+            let retrans = send.intersection(&self.sent_ever[e.index()]).len() as u64;
+            self.lcount[e.index()].retransmits += retrans;
+            self.sent_ever[e.index()].union_with(&send);
+            for t in send.iter() {
+                self.inflight_expiry[e.index()][t.index()] = Some(now + u64::from(self.timeout));
+            }
+            self.inflight_set[e.index()].union_with(&send);
+            self.recorder.record(now as usize, e, &send);
+            transmitted += send.len() as u64;
+            self.lcount[e.index()].tokens_sent += send.len() as u64;
+            self.vcount[src.index()].sent[MsgKind::Token.index()] += 1;
+            self.event(TraceEvent {
+                tick: now,
+                kind: EventKind::DataSend,
+                vertex: src.index() as u32,
+                peer: dst.index() as u32,
+                edge: e.index() as u32,
+                tokens: send.len() as u32,
+            });
+
+            if self.config.loss > 0.0 && rng.random_bool(self.config.loss) {
+                self.tokens_lost += send.len() as u64;
+                self.lcount[e.index()].tokens_lost += send.len() as u64;
+                self.event(TraceEvent {
+                    tick: now,
+                    kind: EventKind::DataLost,
+                    vertex: src.index() as u32,
+                    peer: dst.index() as u32,
+                    edge: e.index() as u32,
+                    tokens: send.len() as u32,
+                });
+                continue;
+            }
+            let mut arrival = now + u64::from(self.config.latency);
+            if self.config.jitter > 0 {
+                arrival += u64::from(rng.random_range(0..=self.config.jitter));
+            }
+            self.data_cal.entry(arrival).or_default().push(DataMsg {
+                edge: e,
+                tokens: send,
+                sent_at: now,
+            });
+        }
+        transmitted
+    }
+
+    // ---------- phase 6: belief refresh ----------
+
+    fn refresh_haves(&mut self, now: u64, rng: &mut dyn RngCore) {
+        let period = self.config.have_refresh;
+        if period == 0 || !(now + 1).is_multiple_of(period) {
+            return;
+        }
+        for v in 0..self.n {
+            if self.alive[v] {
+                self.announce_have(NodeId::new(v), now, rng);
+            }
+        }
+    }
+
+    // ---------- messaging ----------
+
+    fn neighbor_slot(&self, v: NodeId, peer: NodeId) -> Option<usize> {
+        self.neighbors[v.index()].binary_search(&peer).ok()
+    }
+
+    /// Sends `v`'s full possession snapshot to every neighbor.
+    fn announce_have(&mut self, v: NodeId, now: u64, rng: &mut dyn RngCore) {
+        let peers = self.neighbors[v.index()].clone();
+        let snapshot = self.possession[v.index()].clone();
+        for peer in peers {
+            self.send_ctrl(v, peer, CtrlPayload::Have(snapshot.clone()), now, rng);
+        }
+    }
+
+    fn send_ctrl(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: CtrlPayload,
+        now: u64,
+        rng: &mut dyn RngCore,
+    ) {
+        self.vcount[from.index()].sent[payload.kind().index()] += 1;
+        self.event(TraceEvent {
+            tick: now,
+            kind: EventKind::CtrlSend,
+            vertex: from.index() as u32,
+            peer: to.index() as u32,
+            edge: NO_FIELD,
+            tokens: match &payload {
+                CtrlPayload::Have(s) | CtrlPayload::Request(s) | CtrlPayload::Cancel(s) => {
+                    s.len() as u32
+                }
+            },
+        });
+        if self.config.control_loss > 0.0 && rng.random_bool(self.config.control_loss) {
+            self.event(TraceEvent {
+                tick: now,
+                kind: EventKind::CtrlLost,
+                vertex: from.index() as u32,
+                peer: to.index() as u32,
+                edge: NO_FIELD,
+                tokens: 0,
+            });
+            return;
+        }
+        let msg = CtrlMsg { from, to, payload };
+        if self.config.control_latency == 0 {
+            // Same-tick control plane: apply immediately, preserving the
+            // lockstep engine's synchronized-knowledge semantics.
+            self.apply_ctrl(msg, now, rng);
+        } else {
+            self.ctrl_cal
+                .entry(now + u64::from(self.config.control_latency))
+                .or_default()
+                .push(msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocd_core::scenario::single_file;
+    use ocd_core::validate;
+    use ocd_graph::generate::classic;
+    use rand::prelude::*;
+
+    fn run(config: &NetConfig, seed: u64) -> NetReport {
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        run_swarm(&instance, config, &FaultPlan::none(), &mut rng)
+    }
+
+    #[test]
+    fn ideal_run_completes_and_validates() {
+        let report = run(&NetConfig::default(), 7);
+        assert!(report.success);
+        assert!(report.completion_ticks.iter().all(Option::is_some));
+        assert_eq!(report.bandwidth(), report.tokens_delivered);
+        assert!(report.accounts_for_every_token());
+        assert_eq!(report.retransmits, 0, "nothing lost, nothing re-sent");
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        let replay = validate::replay(&instance, &report.schedule).unwrap();
+        assert!(replay.is_successful());
+    }
+
+    #[test]
+    fn local_policy_completes_with_latency_and_loss() {
+        let config = NetConfig {
+            policy: NetPolicy::Local,
+            latency: 3,
+            jitter: 2,
+            loss: 0.15,
+            control_latency: 1,
+            control_loss: 0.05,
+            have_refresh: 8,
+            ..NetConfig::default()
+        };
+        let report = run(&config, 11);
+        assert!(report.success, "ARQ must recover from loss");
+        assert!(report.accounts_for_every_token());
+        assert!(
+            report.tokens_lost > 0,
+            "15% loss over a whole run drops something"
+        );
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        assert!(validate::replay(&instance, &report.schedule).is_ok());
+    }
+
+    #[test]
+    fn same_seed_same_event_order_different_seed_differs() {
+        let config = NetConfig {
+            policy: NetPolicy::Local,
+            latency: 2,
+            jitter: 1,
+            loss: 0.2,
+            ..NetConfig::default()
+        };
+        let a = run(&config, 5);
+        let b = run(&config, 5);
+        assert_eq!(a.schedule, b.schedule);
+        let ea: Vec<_> = a.trace.iter().collect();
+        let eb: Vec<_> = b.trace.iter().collect();
+        assert_eq!(ea, eb, "same seed ⇒ identical event order");
+        let c = run(&config, 6);
+        assert_ne!(a.schedule, c.schedule, "different seed ⇒ different run");
+    }
+
+    #[test]
+    fn trivially_satisfied_instance_sends_nothing() {
+        let g = classic::path(2, 1, true);
+        let instance = ocd_core::Instance::builder(g, 1)
+            .have(0, [Token::new(0)])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = run_swarm(
+            &instance,
+            &NetConfig::default(),
+            &FaultPlan::none(),
+            &mut rng,
+        );
+        assert!(report.success);
+        assert_eq!(report.ticks, 0);
+        assert_eq!(report.bandwidth(), 0);
+        assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_run_goes_quiescent_not_forever() {
+        // Vertex 0 wants token 1, held only downstream of the one-way
+        // arc 0 → 1: the run must detect quiescence and stop well
+        // before max_ticks.
+        let g = classic::path(2, 1, false);
+        let instance = ocd_core::Instance::builder(g, 2)
+            .have(0, [Token::new(0)])
+            .have(1, [Token::new(1)])
+            .want(0, [Token::new(1)])
+            .want(1, [Token::new(0)])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = NetConfig {
+            max_ticks: 50_000,
+            ..NetConfig::default()
+        };
+        let report = run_swarm(&instance, &config, &FaultPlan::none(), &mut rng);
+        assert!(!report.success);
+        assert!(
+            report.ticks < 1_000,
+            "quiescence detection stopped the run at tick {}",
+            report.ticks
+        );
+        assert_eq!(report.tokens_delivered, 1, "token 0 still arrives");
+    }
+
+    #[test]
+    fn crash_drops_messages_and_restart_recovers() {
+        let instance = single_file(classic::cycle(5, 2, true), 6, 0);
+        let faults = FaultPlan::none().crash_between(instance.graph().node(2), 1, 6);
+        let config = NetConfig {
+            policy: NetPolicy::Local,
+            have_refresh: 4,
+            ..NetConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = run_swarm(&instance, &config, &faults, &mut rng);
+        assert!(report.success, "restarted vertex still completes");
+        assert!(report.completion_ticks[2].is_some());
+        assert_eq!(report.vertex_counters[2].crashes, 1);
+        assert!(report.accounts_for_every_token());
+        assert!(
+            report.trace.iter().any(|e| e.kind == EventKind::Crash),
+            "crash recorded in the trace"
+        );
+        let replay = validate::replay(&instance, &report.schedule).unwrap();
+        assert!(replay.is_successful());
+    }
+}

@@ -1,0 +1,365 @@
+//! Structured run instrumentation: a ring-buffered event log,
+//! per-vertex and per-link counters, and a time-to-completion
+//! histogram, all serializable to JSON and CSV.
+//!
+//! The event log is the runtime's flight recorder: bounded memory
+//! (oldest events overwritten), every record tagged with its tick, so a
+//! failing fault-injection run can be reconstructed post mortem. The
+//! counters are the cheap always-on aggregates the `table_async`
+//! experiment reports.
+
+use std::fmt::Write as _;
+
+/// What happened, as recorded in the event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A data message departed on an arc.
+    DataSend,
+    /// A data message arrived and was applied.
+    DataDeliver,
+    /// A data message was dropped by link loss.
+    DataLost,
+    /// A data message arrived at a crashed vertex and was discarded.
+    DataDroppedCrashed,
+    /// A control message departed.
+    CtrlSend,
+    /// A control message arrived and was applied.
+    CtrlDeliver,
+    /// A control message was dropped by link loss.
+    CtrlLost,
+    /// A control message arrived at a crashed vertex and was discarded.
+    CtrlDroppedCrashed,
+    /// A receiver's request timer expired; the token will be
+    /// re-requested with backoff.
+    RequestTimeout,
+    /// A vertex crashed.
+    Crash,
+    /// A vertex restarted.
+    Restart,
+    /// A vertex received the last token of its want set.
+    Complete,
+}
+
+impl EventKind {
+    /// Stable lower-case name used in serialized output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::DataSend => "data_send",
+            EventKind::DataDeliver => "data_deliver",
+            EventKind::DataLost => "data_lost",
+            EventKind::DataDroppedCrashed => "data_dropped_crashed",
+            EventKind::CtrlSend => "ctrl_send",
+            EventKind::CtrlDeliver => "ctrl_deliver",
+            EventKind::CtrlLost => "ctrl_lost",
+            EventKind::CtrlDroppedCrashed => "ctrl_dropped_crashed",
+            EventKind::RequestTimeout => "request_timeout",
+            EventKind::Crash => "crash",
+            EventKind::Restart => "restart",
+            EventKind::Complete => "complete",
+        }
+    }
+}
+
+/// One record of the event log. `vertex` is the acting vertex (receiver
+/// for deliveries, sender for sends); `peer`/`edge` are `u32::MAX` when
+/// not applicable; `tokens` is the payload size (0 for pure control
+/// events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation tick.
+    pub tick: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Acting vertex index.
+    pub vertex: u32,
+    /// The other endpoint, or `u32::MAX`.
+    pub peer: u32,
+    /// The arc involved, or `u32::MAX`.
+    pub edge: u32,
+    /// Tokens carried.
+    pub tokens: u32,
+}
+
+/// Sentinel for "no peer / no arc" in a [`TraceEvent`].
+pub const NO_FIELD: u32 = u32::MAX;
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct EventTrace {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest retained event (once the buffer wrapped).
+    head: usize,
+    /// Total events ever recorded (≥ `buf.len()`).
+    recorded: u64,
+}
+
+impl EventTrace {
+    /// Creates a trace retaining at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventTrace {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest once full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.recorded += 1;
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..].iter().chain(&self.buf[..self.head])
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Whether older events were evicted.
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        self.recorded > self.buf.len() as u64
+    }
+
+    /// Serializes the retained events as a JSON array (oldest first).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tick\":{},\"kind\":\"{}\",\"vertex\":{},\"peer\":{},\"edge\":{},\"tokens\":{}}}",
+                e.tick,
+                e.kind.name(),
+                e.vertex,
+                json_opt(e.peer),
+                json_opt(e.edge),
+                e.tokens
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    /// Serializes the retained events as CSV with a header row.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("tick,kind,vertex,peer,edge,tokens\n");
+        for e in self.iter() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                e.tick,
+                e.kind.name(),
+                e.vertex,
+                csv_opt(e.peer),
+                csv_opt(e.edge),
+                e.tokens
+            );
+        }
+        out
+    }
+}
+
+fn json_opt(v: u32) -> String {
+    if v == NO_FIELD {
+        "null".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+fn csv_opt(v: u32) -> String {
+    if v == NO_FIELD {
+        String::new()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Per-vertex message and fault counters.
+#[derive(Debug, Clone, Default)]
+pub struct VertexCounters {
+    /// Messages sent, indexed by [`MsgKind::index`](crate::msg::MsgKind::index).
+    pub sent: [u64; 4],
+    /// Messages received (and applied), indexed by
+    /// [`MsgKind::index`](crate::msg::MsgKind::index).
+    pub received: [u64; 4],
+    /// Tokens delivered that the vertex already held.
+    pub duplicate_tokens: u64,
+    /// Request timers that expired (each triggers a backed-off retry).
+    pub request_timeouts: u64,
+    /// Times the vertex crashed.
+    pub crashes: u64,
+}
+
+/// Per-arc link counters.
+#[derive(Debug, Clone, Default)]
+pub struct LinkCounters {
+    /// Data tokens put on the wire.
+    pub tokens_sent: u64,
+    /// Data tokens delivered (including duplicates).
+    pub tokens_delivered: u64,
+    /// Data tokens dropped by loss.
+    pub tokens_lost: u64,
+    /// Data tokens dropped because the destination was crashed.
+    pub tokens_dropped_crashed: u64,
+    /// Data tokens sent on this arc that had already been sent on it
+    /// before (retransmission overhead).
+    pub retransmits: u64,
+    /// High-water mark of the per-neighbor send queue.
+    pub max_queue_depth: usize,
+}
+
+/// A histogram of per-vertex completion ticks, in fixed-width buckets.
+#[derive(Debug, Clone)]
+pub struct CompletionHistogram {
+    /// Bucket width in ticks.
+    pub bucket_width: u64,
+    /// `counts[i]` = vertices completing in `[i*w, (i+1)*w)`.
+    pub counts: Vec<u64>,
+    /// Vertices that never completed.
+    pub unfinished: u64,
+}
+
+impl CompletionHistogram {
+    /// Builds the histogram from per-vertex completion ticks.
+    #[must_use]
+    pub fn from_completions(completions: &[Option<u64>], bucket_width: u64) -> Self {
+        let bucket_width = bucket_width.max(1);
+        let mut counts = Vec::new();
+        let mut unfinished = 0;
+        for c in completions {
+            match c {
+                Some(tick) => {
+                    let b = (tick / bucket_width) as usize;
+                    if counts.len() <= b {
+                        counts.resize(b + 1, 0);
+                    }
+                    counts[b] += 1;
+                }
+                None => unfinished += 1,
+            }
+        }
+        CompletionHistogram {
+            bucket_width,
+            counts,
+            unfinished,
+        }
+    }
+
+    /// CSV rendering: `bucket_start,bucket_end,count` rows plus an
+    /// `unfinished` row when applicable.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bucket_start,bucket_end,count\n");
+        for (i, c) in self.counts.iter().enumerate() {
+            let lo = i as u64 * self.bucket_width;
+            let _ = writeln!(out, "{},{},{}", lo, lo + self.bucket_width, c);
+        }
+        if self.unfinished > 0 {
+            let _ = writeln!(out, "unfinished,,{}", self.unfinished);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::MsgKind;
+
+    fn ev(tick: u64) -> TraceEvent {
+        TraceEvent {
+            tick,
+            kind: EventKind::DataSend,
+            vertex: 0,
+            peer: 1,
+            edge: 2,
+            tokens: 3,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut trace = EventTrace::new(3);
+        for t in 0..5 {
+            trace.push(ev(t));
+        }
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.total_recorded(), 5);
+        assert!(trace.truncated());
+        let ticks: Vec<u64> = trace.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, vec![2, 3, 4], "oldest first, earliest evicted");
+    }
+
+    #[test]
+    fn json_and_csv_shapes() {
+        let mut trace = EventTrace::new(8);
+        trace.push(ev(1));
+        trace.push(TraceEvent {
+            tick: 2,
+            kind: EventKind::Crash,
+            vertex: 4,
+            peer: NO_FIELD,
+            edge: NO_FIELD,
+            tokens: 0,
+        });
+        let json = trace.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"kind\":\"data_send\""));
+        assert!(json.contains("\"peer\":null"));
+        let csv = trace.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(2).unwrap().starts_with("2,crash,4,,,"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_unfinished() {
+        let completions = [Some(0), Some(3), Some(4), Some(11), None];
+        let h = CompletionHistogram::from_completions(&completions, 4);
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.unfinished, 1);
+        let csv = h.to_csv();
+        assert!(csv.contains("0,4,2"));
+        assert!(csv.contains("unfinished,,1"));
+    }
+
+    #[test]
+    fn counters_default_to_zero() {
+        let v = VertexCounters::default();
+        assert_eq!(v.sent[MsgKind::Token.index()], 0);
+        let l = LinkCounters::default();
+        assert_eq!(l.retransmits, 0);
+    }
+}

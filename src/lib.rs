@@ -16,7 +16,11 @@
 //! - [`solver`] (`ocd-solver`): exact FOCD/EOCD, reductions, Steiner
 //!   bounds;
 //! - [`heuristics`] (`ocd-heuristics`): the simulation engine and
-//!   strategies.
+//!   strategies;
+//! - [`net`] (`ocd-net`): the asynchronous message-passing swarm
+//!   runtime (per-neighbor queues, latency/jitter/loss, crash/restart
+//!   fault injection, event traces) whose ideal mode reproduces the
+//!   lockstep engine exactly.
 //!
 //! # Quickstart
 //!
@@ -49,6 +53,7 @@ pub use ocd_core as core;
 pub use ocd_graph as graph;
 pub use ocd_heuristics as heuristics;
 pub use ocd_lp as lp;
+pub use ocd_net as net;
 pub use ocd_solver as solver;
 
 /// Convenient glob-import of the names almost every user needs.
@@ -56,6 +61,7 @@ pub mod prelude {
     pub use ocd_core::{Instance, Move, Schedule, Timestep, Token, TokenSet};
     pub use ocd_graph::{DiGraph, EdgeId, NodeId};
     pub use ocd_heuristics::{simulate, SimConfig, SimReport, Strategy, StrategyKind, WorldView};
+    pub use ocd_net::{run_swarm, FaultPlan, NetConfig, NetPolicy, NetReport};
     pub use ocd_solver::bnb::{solve_focd, BnbOptions};
     pub use ocd_solver::ip::min_bandwidth_for_horizon;
 }
