@@ -236,6 +236,82 @@ fn bench_engine_step_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// The three transmission media on the same n=200/m=256 drip-feed
+/// workload as `engine_step_loop`: the run cost is dominated by the
+/// engine's per-step bookkeeping, so the arms expose how much each
+/// medium adds on top of the ideal (static-capacity) loop. The
+/// physical-underlay arm uses an identity mapping (every overlay arc
+/// rides its own dedicated physical arc), so admission control runs at
+/// full tilt without changing the schedule.
+fn bench_engine_mediums(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let topology = paper_random(200, &mut rng);
+    let instance = single_file(topology.clone(), 256, 0);
+    let config = SimConfig {
+        max_steps: 256,
+        ..SimConfig::default()
+    };
+    let hosts: Vec<ocd_graph::NodeId> = topology.nodes().collect();
+    let underlay = ocd_graph::underlay::Underlay::new(topology.clone(), hosts).unwrap();
+    let mapping = underlay.map_overlay(&topology).unwrap();
+
+    let mut group = c.benchmark_group("engine_mediums_n200_m256");
+    group.sample_size(10);
+    group.bench_function("ideal", |b| {
+        b.iter_batched(
+            || (DripFeed::new(), StdRng::seed_from_u64(1)),
+            |(mut s, mut run_rng)| {
+                let report = simulate(&instance, &mut s, &config, &mut run_rng);
+                assert_eq!(report.steps, 256);
+                report.bandwidth
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("dynamic_cross_traffic", |b| {
+        b.iter_batched(
+            || {
+                (
+                    DripFeed::new(),
+                    ocd_heuristics::dynamics::CrossTraffic::new(0.5),
+                    StdRng::seed_from_u64(1),
+                )
+            },
+            |(mut s, mut d, mut run_rng)| {
+                let outcome = ocd_heuristics::simulate_dynamic(
+                    &instance,
+                    &mut s,
+                    &mut d,
+                    &config,
+                    &mut run_rng,
+                );
+                assert_eq!(outcome.report.steps, 256);
+                outcome.report.bandwidth
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("physical_underlay", |b| {
+        b.iter_batched(
+            || (DripFeed::new(), StdRng::seed_from_u64(1)),
+            |(mut s, mut run_rng)| {
+                let outcome = ocd_heuristics::simulate_underlay(
+                    &instance,
+                    &mut s,
+                    &topology,
+                    &mapping,
+                    &config,
+                    &mut run_rng,
+                );
+                assert_eq!(outcome.report.steps, 256);
+                outcome.report.bandwidth
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
 fn bench_exact_solvers(c: &mut Criterion) {
     let instance = figure_one();
     let mut group = c.benchmark_group("exact_small");
@@ -277,6 +353,7 @@ criterion_group!(
     bench_schedule_ops,
     bench_strategy_step,
     bench_engine_step_loop,
+    bench_engine_mediums,
     bench_exact_solvers,
     bench_generators
 );

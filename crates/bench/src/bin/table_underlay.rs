@@ -7,6 +7,13 @@
 //! physical admission control (overlay links sharing a physical link
 //! share its capacity). The table reports the completion-time inflation
 //! and the physical link stress.
+//!
+//! Constrained runs are reported through the shared
+//! [`RunRecord`](ocd_core::RunRecord) artifact: each metric column is
+//! read back out of the record, every
+//! record is re-certified before being quoted, and the first record per
+//! strategy is written to `{out_dir}/logs/` as an exemplar JSON
+//! artifact.
 
 use ocd_bench::args::ExpArgs;
 use ocd_bench::stats::Summary;
@@ -15,7 +22,7 @@ use ocd_core::scenario::single_file;
 use ocd_graph::generate::{gnp, transit_stub, GnpConfig, TransitStubConfig};
 use ocd_graph::underlay::Underlay;
 use ocd_graph::NodeId;
-use ocd_heuristics::{simulate, simulate_underlay, SimConfig, StrategyKind};
+use ocd_heuristics::{simulate, simulate_with, PhysicalUnderlay, SimConfig, StrategyKind};
 use rand::prelude::*;
 
 fn main() {
@@ -41,13 +48,17 @@ fn main() {
         "inflation",
         "rejected",
         "max_stress",
+        "run_ms",
     ]);
+    let logs_dir = format!("{}/logs", args.out_dir);
+    std::fs::create_dir_all(&logs_dir).expect("create logs dir");
 
     for kind in kinds {
         let mut overlay_moves = Vec::new();
         let mut physical_moves = Vec::new();
         let mut rejected = Vec::new();
         let mut stress = Vec::new();
+        let mut run_ms = Vec::new();
         for r in 0..runs {
             let mut rng = StdRng::seed_from_u64(args.seed ^ (r << 11));
             // Physical network: transit-stub with hosts in the stubs.
@@ -72,19 +83,26 @@ fn main() {
             assert!(pure.success, "{kind} failed on the pure overlay");
             let mut s2 = kind.build();
             let mut rng2 = StdRng::seed_from_u64(args.seed ^ r);
-            let constrained = simulate_underlay(
-                &instance,
-                s2.as_mut(),
-                &physical,
-                &mapping,
-                &config,
-                &mut rng2,
-            );
-            assert!(constrained.report.success, "{kind} failed under admission");
+            let mut medium = PhysicalUnderlay::new(&physical, &mapping);
+            let constrained =
+                simulate_with(&instance, s2.as_mut(), &mut medium, &config, &mut rng2).to_record(
+                    &instance,
+                    kind.name(),
+                    "physical-underlay",
+                    args.seed ^ r,
+                );
+            assert!(constrained.success, "{kind} failed under admission");
+            constrained.certify().expect("underlay record re-validates");
+            if r == 0 {
+                constrained
+                    .write_json(format!("{logs_dir}/underlay_{kind}.json").as_ref())
+                    .expect("write run record");
+            }
             overlay_moves.push(pure.steps as u64);
-            physical_moves.push(constrained.report.steps as u64);
+            physical_moves.push(constrained.steps as u64);
             rejected.push(constrained.total_rejected());
             stress.push(u64::from(mapping.max_stress(physical.edge_count())));
+            run_ms.push(constrained.run_ms());
         }
         let om = Summary::of_ints(&overlay_moves);
         let pm = Summary::of_ints(&physical_moves);
@@ -95,6 +113,7 @@ fn main() {
             format!("{:.2}x", pm.mean / om.mean.max(1.0)),
             Summary::of_ints(&rejected).to_string(),
             Summary::of_ints(&stress).to_string(),
+            Summary::of(&run_ms).to_string(),
         ]);
     }
     println!("{}", table.render());

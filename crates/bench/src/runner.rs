@@ -9,8 +9,8 @@
 //! (after the §5.1 post-processing).
 
 use crate::stats::Summary;
-use ocd_core::{bounds, prune, Instance};
-use ocd_heuristics::{simulate, SimConfig, StrategyKind};
+use ocd_core::{bounds, prune, Instance, RunRecord};
+use ocd_heuristics::{simulate_with, Ideal, SimConfig, StrategyKind};
 use ocd_solver::steiner;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,6 +55,24 @@ pub fn bounds_of(instance: &Instance) -> BoundsReport {
     }
 }
 
+/// One seeded run of `kind` on `instance` under the ideal medium,
+/// reported as the shared [`RunRecord`] artifact (the same JSON schema
+/// the CLI's `run --record` emits). Every metric the table pipeline
+/// quotes is read back out of the record, so a saved artifact
+/// reproduces the tables exactly.
+#[must_use]
+pub fn record_run(
+    instance: &Instance,
+    kind: StrategyKind,
+    config: &SimConfig,
+    seed: u64,
+) -> RunRecord {
+    let mut strategy = kind.build();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outcome = simulate_with(instance, strategy.as_mut(), &mut Ideal, config, &mut rng);
+    outcome.to_record(instance, kind.name(), "ideal", seed)
+}
+
 /// Runs each strategy once per seed (in parallel across runs) and
 /// aggregates the metrics. Failed runs (step cap) are excluded from the
 /// metric summaries but reflected in `success_rate`.
@@ -73,16 +91,14 @@ pub fn evaluate(
         wall_ms: f64,
     }
     let run_one = |kind: StrategyKind, seed: u64| -> RunOutcome {
-        let mut strategy = kind.build();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let report = simulate(instance, strategy.as_mut(), config, &mut rng);
-        let (pruned, _) = prune::prune(instance, &report.schedule);
+        let record = record_run(instance, kind, config, seed);
+        let (pruned, _) = prune::prune(instance, &record.schedule);
         RunOutcome {
-            success: report.success,
-            moves: report.steps as u64,
-            bandwidth: report.bandwidth,
+            success: record.success,
+            moves: record.steps as u64,
+            bandwidth: record.bandwidth,
             pruned: pruned.bandwidth(),
-            wall_ms: report.wall_nanos as f64 / 1e6,
+            wall_ms: record.run_ms(),
         }
     };
 
@@ -223,6 +239,19 @@ mod tests {
         // bandwidth from... above is not guaranteed per-run, but it must
         // be at least the lower bound.
         assert!(bounds.steiner_upper.unwrap() >= bounds.bandwidth_lower);
+    }
+
+    #[test]
+    fn record_run_artifact_is_self_certifying() {
+        let instance = single_file(classic::cycle(6, 3, true), 8, 0);
+        let record = record_run(&instance, StrategyKind::Local, &SimConfig::default(), 7);
+        assert_eq!(record.medium, "ideal");
+        assert_eq!(record.seed, 7);
+        let replay = record.certify().expect("artifact re-validates standalone");
+        assert!(replay.is_successful());
+        // Round-trip through the wire format stays certifiable.
+        let back = ocd_core::RunRecord::from_json(&record.to_json().unwrap()).unwrap();
+        back.certify().unwrap();
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::opts::{Command, USAGE};
 use ocd_core::{bounds, prune, Instance, Schedule};
 use ocd_graph::generate::{classic, gnp, transit_stub, GnpConfig, TransitStubConfig};
 use ocd_graph::{algo, io as gio, DiGraph};
-use ocd_heuristics::{simulate, SimConfig, StrategyKind};
+use ocd_heuristics::{simulate, simulate_with, Dynamic, Ideal, SimConfig, StrategyKind};
 use ocd_lp::MipOptions;
 use ocd_net::{run_swarm, FaultPlan, NetConfig, NetPolicy};
 use ocd_solver::bnb::{decide_focd, solve_focd, BnbOptions};
@@ -103,6 +103,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             schedule,
             prune: do_prune,
             dynamics,
+            record,
         } => {
             let instance = load_instance(instance)?;
             let kind: StrategyKind = strategy.parse().map_err(|e| format!("{e}"))?;
@@ -112,17 +113,18 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 knowledge_delay: *delay,
             };
             let mut rng = StdRng::seed_from_u64(*seed);
-            let report = match dynamics {
-                None => simulate(&instance, s.as_mut(), &config, &mut rng),
+            let (outcome, medium_name) = match dynamics {
+                None => {
+                    let outcome =
+                        simulate_with(&instance, s.as_mut(), &mut Ideal, &config, &mut rng);
+                    (outcome, "ideal".to_string())
+                }
                 Some(spec) => {
                     let mut model = parse_dynamics(spec)?;
-                    let outcome = ocd_heuristics::simulate_dynamic(
-                        &instance,
-                        s.as_mut(),
-                        model.as_mut(),
-                        &config,
-                        &mut rng,
-                    );
+                    let medium_name = model.name().to_string();
+                    let mut medium = Dynamic::new(model.as_mut());
+                    let outcome =
+                        simulate_with(&instance, s.as_mut(), &mut medium, &config, &mut rng);
                     // Re-validate against the recorded capacity trace.
                     ocd_core::validate::replay_with_capacities(
                         &instance,
@@ -130,9 +132,10 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                         &outcome.capacity_trace,
                     )
                     .map_err(|e| format!("dynamic schedule failed validation: {e}"))?;
-                    outcome.report
+                    (outcome, medium_name)
                 }
             };
+            let report = &outcome.report;
             let mut out = String::new();
             let _ = writeln!(out, "strategy:   {} ({})", kind.name(), s.tier());
             if let Some(spec) = dynamics {
@@ -159,6 +162,12 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     .map_err(|e| format!("serialize schedule: {e}"))?;
                 std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
                 let _ = writeln!(out, "schedule written to {path}");
+            }
+            if let Some(path) = record {
+                let rec = outcome.to_record(&instance, kind.name(), &medium_name, *seed);
+                rec.write_json(path.as_ref())
+                    .map_err(|e| format!("write {path}: {e}"))?;
+                let _ = writeln!(out, "run record written to {path}");
             }
             Ok(out)
         }
@@ -510,6 +519,7 @@ mod tests {
         let topo = tmp("pipeline_topo.txt");
         let inst = tmp("pipeline_inst.json");
         let sched = tmp("pipeline_sched.json");
+        let record = tmp("pipeline_record.json");
         let out = run(&[
             "generate",
             "--topology",
@@ -546,14 +556,24 @@ mod tests {
             "--prune",
             "--schedule",
             &sched,
+            "--record",
+            &record,
         ])
         .unwrap();
         assert!(report.contains("success:    true"));
         assert!(report.contains("pruned bandwidth"));
+        assert!(report.contains("run record written to"));
         // And the written schedule validates.
         let validation = run(&["validate", "--instance", &inst, "--schedule", &sched]).unwrap();
         assert!(validation.contains("valid:     yes"));
         assert!(validation.contains("successful: every want satisfied"));
+        // The run record re-certifies from the artifact alone.
+        let rec = ocd_core::RunRecord::read_json(record.as_ref()).unwrap();
+        assert_eq!(rec.strategy, "global");
+        assert_eq!(rec.medium, "ideal");
+        assert_eq!(rec.seed, 5);
+        let replay = rec.certify().unwrap();
+        assert!(replay.is_successful());
     }
 
     #[test]
@@ -715,6 +735,27 @@ mod tests {
         ])
         .unwrap_err()
         .contains("unknown dynamics"));
+        // A dynamic run's record embeds the capacity trace and still
+        // certifies standalone.
+        let record = tmp("dyn_record.json");
+        run(&[
+            "run",
+            "--instance",
+            &inst,
+            "--strategy",
+            "local",
+            "--dynamics",
+            "outages:0.2:0.6",
+            "--seed",
+            "4",
+            "--record",
+            &record,
+        ])
+        .unwrap();
+        let rec = ocd_core::RunRecord::read_json(record.as_ref()).unwrap();
+        assert_eq!(rec.medium, "link-outages");
+        assert!(!rec.capacity_trace.is_empty());
+        rec.certify().unwrap();
     }
 
     #[test]

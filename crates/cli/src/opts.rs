@@ -58,6 +58,9 @@ pub enum Command {
         /// Optional network-dynamics spec, e.g. `churn:0.05:0.3`,
         /// `outages:0.1:0.5`, `cross:0.5`, `adversary:2:1`, `static`.
         dynamics: Option<String>,
+        /// Optional path to write the run as a self-certifying
+        /// `RunRecord` JSON artifact.
+        record: Option<String>,
     },
     /// `ocd solve`: exact optimization.
     Solve {
@@ -152,7 +155,7 @@ USAGE:
                 [--tokens <M>] [--files <K>] [--source <V>] [--threshold <T>] [--seed <S>] [--out <FILE>]
   ocd run       --instance <FILE> --strategy <round-robin|random|local|bandwidth|global|gather-then-plan>
                 [--seed <S>] [--delay <K>] [--max-steps <N>] [--schedule <FILE>] [--prune]
-                [--dynamics <static|cross:F|outages:P:Q|churn:P:Q|adversary:B[:C]>]
+                [--dynamics <static|cross:F|outages:P:Q|churn:P:Q|adversary:B[:C]>] [--record <FILE>]
   ocd net-run   --instance <FILE> [--policy <random|local>] [--seed <S>]
                 [--latency <T>] [--jitter <J>] [--loss <P>] [--control-latency <T>] [--control-loss <P>]
                 [--max-ticks <N>] [--crash <V:DOWN:UP>] [--trace <FILE.json|FILE.csv>] [--schedule <FILE>]
@@ -290,6 +293,7 @@ pub fn parse(args: Vec<String>) -> Result<Command, String> {
                 schedule: f.values.get("schedule").cloned(),
                 prune: f.has("prune"),
                 dynamics: f.values.get("dynamics").cloned(),
+                record: f.values.get("record").cloned(),
             })
         }
         "solve" => {
@@ -423,11 +427,13 @@ mod tests {
                 prune,
                 max_steps,
                 dynamics,
+                record,
                 ..
             } => {
                 assert!(prune);
                 assert_eq!(max_steps, 10_000);
                 assert!(dynamics.is_none());
+                assert!(record.is_none());
             }
             other => panic!("wrong parse: {other:?}"),
         }

@@ -24,6 +24,8 @@
 //! - [`bounds`]: the paper's §5.1 lower bounds (remaining bandwidth,
 //!   radius/capacity makespan bound `M_i(v)`, one-step lookahead).
 //! - [`knowledge`]: the LOCD (§4.1) aggregate-knowledge model.
+//! - [`record`]: the self-certifying JSON run artifact ([`RunRecord`])
+//!   shared by the engine, the CLI, and the bench pipeline.
 //! - [`scenario`]: generators for every experimental scenario in §5.
 //!
 //! # Examples
@@ -57,12 +59,14 @@ pub mod coding;
 mod instance;
 pub mod knowledge;
 pub mod prune;
+pub mod record;
 pub mod scenario;
 mod schedule;
 mod token;
 pub mod validate;
 
 pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
+pub use record::{RecordError, RunRecord, StepTrace};
 pub use schedule::{Move, Schedule, ScheduleRecorder, Timestep};
 pub use token::{Token, TokenSet};
 pub use validate::{Replay, ScheduleError};

@@ -26,7 +26,8 @@
 //!   the arcs currently most useful to the protocol (the
 //!   denial-of-service flavor).
 
-use crate::engine::{simulate_inner, SimConfig, SimReport};
+use crate::engine::{simulate_with, SimConfig, SimReport};
+use crate::medium::Dynamic;
 use crate::Strategy;
 use ocd_core::{Instance, TokenSet};
 use ocd_graph::{DiGraph, EdgeId};
@@ -40,14 +41,24 @@ pub trait NetworkDynamics {
     /// Called once at simulation start.
     fn reset(&mut self, graph: &DiGraph);
 
-    /// Effective capacity of every arc for timestep `step`, indexed by
-    /// [`EdgeId::index`]. 0 disables the arc for this step. Called
-    /// exactly once per step, in step order.
-    fn capacities(&mut self, graph: &DiGraph, step: usize, rng: &mut dyn RngCore) -> Vec<u32>;
+    /// Writes the effective capacity of every arc for timestep `step`
+    /// into `out`, indexed by [`EdgeId::index`]. 0 disables the arc for
+    /// this step. Called exactly once per step, in step order, always
+    /// with `out.len() == graph.edge_count()` — the engine's
+    /// [`Dynamic`] medium owns the buffer and reuses it across steps,
+    /// so a model never allocates per step.
+    fn capacities_into(
+        &mut self,
+        graph: &DiGraph,
+        step: usize,
+        rng: &mut dyn RngCore,
+        out: &mut [u32],
+    );
 
     /// Optional hook giving knowledge-equipped models (adversaries) the
-    /// current possession state before [`capacities`](Self::capacities)
-    /// is called for the same step. Default: ignored.
+    /// current possession state before
+    /// [`capacities_into`](Self::capacities_into) is called for the same
+    /// step. Default: ignored.
     fn observe(&mut self, possession: &[TokenSet]) {
         let _ = possession;
     }
@@ -79,10 +90,11 @@ pub fn simulate_dynamic(
     config: &SimConfig,
     rng: &mut dyn RngCore,
 ) -> DynamicReport {
-    let (report, capacity_trace) = simulate_inner(instance, strategy, config, rng, Some(dynamics));
+    let mut medium = Dynamic::new(dynamics);
+    let outcome = simulate_with(instance, strategy, &mut medium, config, rng);
     DynamicReport {
-        report,
-        capacity_trace,
+        report: outcome.report,
+        capacity_trace: outcome.capacity_trace,
     }
 }
 
@@ -96,8 +108,16 @@ impl NetworkDynamics for StaticNetwork {
         "static"
     }
     fn reset(&mut self, _graph: &DiGraph) {}
-    fn capacities(&mut self, graph: &DiGraph, _step: usize, _rng: &mut dyn RngCore) -> Vec<u32> {
-        graph.edge_ids().map(|e| graph.capacity(e)).collect()
+    fn capacities_into(
+        &mut self,
+        graph: &DiGraph,
+        _step: usize,
+        _rng: &mut dyn RngCore,
+        out: &mut [u32],
+    ) {
+        for e in graph.edge_ids() {
+            out[e.index()] = graph.capacity(e);
+        }
     }
 }
 
@@ -130,14 +150,17 @@ impl NetworkDynamics for CrossTraffic {
         "cross-traffic"
     }
     fn reset(&mut self, _graph: &DiGraph) {}
-    fn capacities(&mut self, graph: &DiGraph, _step: usize, rng: &mut dyn RngCore) -> Vec<u32> {
-        graph
-            .edge_ids()
-            .map(|e| {
-                let fraction = rng.random_range(self.min_fraction..=1.0);
-                (f64::from(graph.capacity(e)) * fraction).ceil().max(1.0) as u32
-            })
-            .collect()
+    fn capacities_into(
+        &mut self,
+        graph: &DiGraph,
+        _step: usize,
+        rng: &mut dyn RngCore,
+        out: &mut [u32],
+    ) {
+        for e in graph.edge_ids() {
+            let fraction = rng.random_range(self.min_fraction..=1.0);
+            out[e.index()] = (f64::from(graph.capacity(e)) * fraction).ceil().max(1.0) as u32;
+        }
     }
 }
 
@@ -196,7 +219,13 @@ impl NetworkDynamics for LinkOutages {
         self.state = vec![true; graph.edge_count()];
     }
 
-    fn capacities(&mut self, graph: &DiGraph, _step: usize, rng: &mut dyn RngCore) -> Vec<u32> {
+    fn capacities_into(
+        &mut self,
+        graph: &DiGraph,
+        _step: usize,
+        rng: &mut dyn RngCore,
+        out: &mut [u32],
+    ) {
         // Advance each group exactly once (groups are identified by the
         // arcs whose group id equals their own index).
         for e in 0..self.state.len() {
@@ -212,16 +241,13 @@ impl NetworkDynamics for LinkOutages {
                 }
             }
         }
-        graph
-            .edge_ids()
-            .map(|e| {
-                if self.state[self.group_of[e.index()]] {
-                    graph.capacity(e)
-                } else {
-                    0
-                }
-            })
-            .collect()
+        for e in graph.edge_ids() {
+            out[e.index()] = if self.state[self.group_of[e.index()]] {
+                graph.capacity(e)
+            } else {
+                0
+            };
+        }
     }
 }
 
@@ -274,7 +300,13 @@ impl NetworkDynamics for Churn {
         self.present = vec![true; graph.node_count()];
     }
 
-    fn capacities(&mut self, graph: &DiGraph, _step: usize, rng: &mut dyn RngCore) -> Vec<u32> {
+    fn capacities_into(
+        &mut self,
+        graph: &DiGraph,
+        _step: usize,
+        rng: &mut dyn RngCore,
+        out: &mut [u32],
+    ) {
         for v in 0..self.present.len() {
             if self.pinned.contains(&v) {
                 continue;
@@ -288,17 +320,14 @@ impl NetworkDynamics for Churn {
                 self.present[v] = !self.present[v];
             }
         }
-        graph
-            .edge_ids()
-            .map(|e| {
-                let arc = graph.edge(e);
-                if self.present[arc.src.index()] && self.present[arc.dst.index()] {
-                    graph.capacity(e)
-                } else {
-                    0
-                }
-            })
-            .collect()
+        for e in graph.edge_ids() {
+            let arc = graph.edge(e);
+            out[e.index()] = if self.present[arc.src.index()] && self.present[arc.dst.index()] {
+                graph.capacity(e)
+            } else {
+                0
+            };
+        }
     }
 }
 
@@ -369,7 +398,13 @@ impl NetworkDynamics for AdversarialCuts {
         self.possession = possession.to_vec();
     }
 
-    fn capacities(&mut self, graph: &DiGraph, step: usize, _rng: &mut dyn RngCore) -> Vec<u32> {
+    fn capacities_into(
+        &mut self,
+        graph: &DiGraph,
+        step: usize,
+        _rng: &mut dyn RngCore,
+        out: &mut [u32],
+    ) {
         let mut scored: Vec<(usize, EdgeId)> = graph
             .edge_ids()
             .filter(|e| {
@@ -379,14 +414,15 @@ impl NetworkDynamics for AdversarialCuts {
             .map(|e| (self.utility(graph, e), e))
             .collect();
         scored.sort_unstable_by(|a, b| b.cmp(a));
-        let mut caps: Vec<u32> = graph.edge_ids().map(|e| graph.capacity(e)).collect();
+        for e in graph.edge_ids() {
+            out[e.index()] = graph.capacity(e);
+        }
         for &(useful, e) in scored.iter().take(self.budget) {
             if useful > 0 {
-                caps[e.index()] = 0;
+                out[e.index()] = 0;
                 self.last_cut[e.index()] = Some(step);
             }
         }
-        caps
     }
 }
 
@@ -472,8 +508,9 @@ mod tests {
         let mut dynamics = LinkOutages::new(0.5, 0.5);
         dynamics.reset(&g);
         let mut rng = StdRng::seed_from_u64(1);
+        let mut caps = vec![0u32; g.edge_count()];
         for step in 0..20 {
-            let caps = dynamics.capacities(&g, step, &mut rng);
+            dynamics.capacities_into(&g, step, &mut rng, &mut caps);
             for e in g.edge_ids() {
                 let arc = g.edge(e);
                 let rev = g.find_edge(arc.dst, arc.src).expect("symmetric cycle");

@@ -1,17 +1,26 @@
 //! The step-by-step simulation engine.
 //!
-//! The step loop is written to be **incremental and allocation-free in
+//! There is exactly **one** step loop — [`simulate_with`], generic over
+//! the transmission [`Medium`] — shared by the ideal §3.1 model
+//! ([`crate::simulate`]), changing network conditions
+//! ([`crate::simulate_dynamic`]), and physical-underlay admission
+//! control ([`crate::simulate_underlay`]).
+//!
+//! The loop is written to be **incremental and allocation-free in
 //! steady state**: aggregate knowledge is maintained by counter updates
 //! from each delivery (never recomputed from scratch), per-vertex
 //! outstanding need is tracked as a scalar, duplicate-arc detection uses
 //! a stamped array instead of a fresh `Vec<bool>`, and the knowledge
 //! delay pipeline recycles its buffers. The only per-step heap traffic
 //! is recording the outputs the caller asked for (the schedule, the
-//! trace, and — under dynamics — the capacity trace) and whatever the
-//! strategy allocates for its own sends.
+//! trace, and — when the medium requests them — the capacity trace and
+//! rejection counts) and whatever the strategy allocates for its own
+//! sends.
 
+use crate::medium::{Ideal, Medium};
 use crate::{Strategy, WorldView};
 use ocd_core::knowledge::{AggregateKnowledge, DelayedAggregates};
+use ocd_core::record::{RunRecord, StepTrace, RUN_RECORD_VERSION};
 use ocd_core::{Instance, Schedule, Timestep, TokenSet};
 use rand::RngCore;
 use std::time::Instant;
@@ -110,20 +119,71 @@ impl SimReport {
     }
 }
 
-/// Runs `strategy` on `instance` until success, stall, or the step cap.
+/// Everything one [`simulate_with`] run produced: the usual report plus
+/// the medium-specific extras (empty unless the medium records them).
 ///
-/// Each step the engine:
-///
-/// 1. feeds the incrementally-maintained aggregates through the
-///    configured knowledge delay (with delay 0 the fresh aggregates are
-///    borrowed directly);
-/// 2. hands the strategy a [`WorldView`];
-/// 3. checks the returned sends against the §3.1 restrictions
-///    (possession, capacity) — violations are strategy bugs and panic;
-/// 4. applies the sends to the possession state (received tokens become
-///    usable next step, per the store-and-forward model), updating the
-///    aggregates and per-vertex outstanding-need counters from the
-///    deliveries alone.
+/// Convert to the shared machine-readable artifact with
+/// [`SimOutcome::to_record`].
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// The simulation report (schedule, metrics, trace).
+    pub report: SimReport,
+    /// `capacity_trace[i][e]` = effective capacity of arc `e` at step
+    /// `i`; empty unless the medium
+    /// [records it](Medium::records_capacity_trace).
+    pub capacity_trace: Vec<Vec<u32>>,
+    /// Token-moves rejected by admission control, per step; empty
+    /// unless the medium [records it](Medium::records_rejections).
+    pub rejected_per_step: Vec<u64>,
+}
+
+impl SimOutcome {
+    /// Builds the shared [`RunRecord`] artifact: the instance, the
+    /// schedule, every recorded metric, and the medium extras, in the
+    /// JSON schema every layer of the suite emits and consumes.
+    /// [`RunRecord::certify`] can re-validate the run from the artifact
+    /// alone.
+    #[must_use]
+    pub fn to_record(
+        &self,
+        instance: &Instance,
+        strategy: &str,
+        medium: &str,
+        seed: u64,
+    ) -> RunRecord {
+        RunRecord {
+            version: RUN_RECORD_VERSION,
+            strategy: strategy.to_string(),
+            medium: medium.to_string(),
+            seed,
+            instance: instance.clone(),
+            schedule: self.report.schedule.clone(),
+            success: self.report.success,
+            steps: self.report.steps,
+            bandwidth: self.report.bandwidth,
+            duplicate_deliveries: self.report.duplicate_deliveries,
+            wall_nanos: self.report.wall_nanos,
+            completion_steps: self.report.completion_steps.clone(),
+            trace: self
+                .report
+                .trace
+                .iter()
+                .map(|r| StepTrace {
+                    step: r.step,
+                    moves: r.moves,
+                    remaining_need: r.remaining_need,
+                    nanos: r.nanos,
+                })
+                .collect(),
+            capacity_trace: self.capacity_trace.clone(),
+            rejected_per_step: self.rejected_per_step.clone(),
+        }
+    }
+}
+
+/// Runs `strategy` on `instance` under the ideal §3.1 medium (static
+/// capacities, every proposal admitted) until success, stall, or the
+/// step cap. Equivalent to `simulate_with(.., &mut Ideal, ..)`.
 ///
 /// # Panics
 ///
@@ -135,35 +195,58 @@ pub fn simulate(
     config: &SimConfig,
     rng: &mut dyn RngCore,
 ) -> SimReport {
-    simulate_inner(instance, strategy, config, rng, None).0
+    simulate_with(instance, strategy, &mut Ideal, config, rng).report
 }
 
-/// Shared implementation: when `dynamics` is supplied, per-step
-/// capacities come from it (0 = link down), stalls do not abort (a
-/// strategy may be *unable* to move while links are down), and the
-/// capacity trace is returned for later validation. Without dynamics the
-/// static capacities are borrowed every step and the returned capacity
-/// trace stays empty.
-pub(crate) fn simulate_inner(
+/// The one step loop: runs `strategy` on `instance` over `medium`.
+///
+/// Each step the engine:
+///
+/// 1. feeds the incrementally-maintained aggregates through the
+///    configured knowledge delay (with delay 0 the fresh aggregates are
+///    borrowed directly);
+/// 2. asks the medium for this step's effective capacities (the ideal
+///    medium borrows the static capacities without copying);
+/// 3. hands the strategy a [`WorldView`];
+/// 4. checks the returned sends against the §3.1 restrictions
+///    (possession, capacity) — violations are strategy bugs and panic;
+/// 5. passes the proposal through the medium's admission control;
+/// 6. applies the admitted sends to the possession state (received
+///    tokens become usable next step, per the store-and-forward model),
+///    updating the aggregates and per-vertex outstanding-need counters
+///    from the deliveries alone.
+///
+/// A step with zero admitted moves and zero rejections aborts the run
+/// as a stall if the medium says [stalls abort](Medium::stall_aborts)
+/// and the strategy does not claim the right to idle.
+///
+/// # Panics
+///
+/// Panics if the strategy violates capacity or possession, sends on a
+/// non-existent arc, or duplicates an arc within a step; also on a
+/// medium that produces a malformed capacity vector.
+pub fn simulate_with<M: Medium>(
     instance: &Instance,
     strategy: &mut dyn Strategy,
+    medium: &mut M,
     config: &SimConfig,
     rng: &mut dyn RngCore,
-    mut dynamics: Option<&mut dyn crate::dynamics::NetworkDynamics>,
-) -> (SimReport, Vec<Vec<u32>>) {
+) -> SimOutcome {
     let run_start = Instant::now();
     let g = instance.graph();
     let n = g.node_count();
     let m = instance.num_tokens();
     strategy.reset(instance);
-    if let Some(d) = dynamics.as_deref_mut() {
-        d.reset(g);
-    }
+    medium.reset(g);
+    let record_capacity_trace = medium.records_capacity_trace();
+    let record_rejections = medium.records_rejections();
+    let stall_aborts = medium.stall_aborts();
 
     let mut possession: Vec<TokenSet> = instance.have_all().to_vec();
     let mut schedule = Schedule::new();
     let mut trace = Vec::new();
     let mut capacity_trace: Vec<Vec<u32>> = Vec::new();
+    let mut rejected_per_step: Vec<u64> = Vec::new();
 
     // Per-vertex outstanding need and its total, maintained from
     // deliveries instead of re-scanned each step.
@@ -202,20 +285,14 @@ pub(crate) fn simulate_inner(
             Some(d) => d.advance_from(&fresh),
             None => &fresh,
         };
-        let dyn_caps: Option<Vec<u32>> = match dynamics.as_deref_mut() {
-            Some(d) => {
-                d.observe(&possession);
-                Some(d.capacities(g, step, rng))
-            }
-            None => None,
-        };
-        let caps: &[u32] = dyn_caps.as_deref().unwrap_or(&static_caps);
+        medium.observe(&possession);
+        let caps: &[u32] = medium.capacities(g, &static_caps, step, rng);
         assert_eq!(
             caps.len(),
             g.edge_count(),
-            "dynamics produced a malformed capacity vector"
+            "medium produced a malformed capacity vector"
         );
-        let sends = {
+        let mut sends = {
             let view = WorldView {
                 instance,
                 possession: &possession,
@@ -254,13 +331,17 @@ pub(crate) fn simulate_inner(
             );
         }
 
+        if record_capacity_trace {
+            capacity_trace.push(caps.to_vec());
+        }
+        let rejected = medium.admit(&mut sends);
         let timestep = Timestep::from_sends(sends);
         let moves = timestep.bandwidth();
-        if moves == 0 && dynamics.is_none() && !strategy.may_idle(step) {
+        if moves == 0 && rejected == 0 && stall_aborts && !strategy.may_idle(step) {
             break; // stall
         }
-        if let Some(caps) = dyn_caps {
-            capacity_trace.push(caps);
+        if record_rejections {
+            rejected_per_step.push(rejected);
         }
         // Apply: receipts land after all sends are read (store &
         // forward; validation above used the pre-step possession). Each
@@ -301,8 +382,8 @@ pub(crate) fn simulate_inner(
     );
     debug_assert_eq!(remaining, remaining_need(instance, &possession));
 
-    (
-        SimReport {
+    SimOutcome {
+        report: SimReport {
             steps: schedule.makespan(),
             bandwidth: schedule.bandwidth(),
             schedule,
@@ -313,7 +394,8 @@ pub(crate) fn simulate_inner(
             wall_nanos: run_start.elapsed().as_nanos() as u64,
         },
         capacity_trace,
-    )
+        rejected_per_step,
+    }
 }
 
 fn remaining_need(instance: &Instance, possession: &[TokenSet]) -> u64 {

@@ -47,6 +47,7 @@ mod gather;
 mod global_greedy;
 mod kind;
 mod local_rarest;
+pub mod medium;
 pub mod policy;
 mod random;
 mod round_robin;
@@ -56,11 +57,12 @@ mod view;
 
 pub use bandwidth::BandwidthCautious;
 pub use dynamics::{simulate_dynamic, DynamicReport, NetworkDynamics};
-pub use engine::{simulate, SimConfig, SimReport, StepRecord};
+pub use engine::{simulate, simulate_with, SimConfig, SimOutcome, SimReport, StepRecord};
 pub use gather::GatherThenPlan;
 pub use global_greedy::GlobalGreedy;
 pub use kind::StrategyKind;
 pub use local_rarest::LocalRarest;
+pub use medium::{Dynamic, Ideal, Medium, PhysicalUnderlay};
 pub use random::RandomUseful;
 pub use round_robin::RoundRobin;
 pub use tree_stripe::TreeStripe;

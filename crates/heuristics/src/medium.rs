@@ -1,0 +1,349 @@
+//! The pluggable transmission **medium** — the single extension point
+//! that answers, per step, "what effective capacity does each arc have,
+//! and is this proposed move admitted?".
+//!
+//! The paper's §6 sketches every network-realism extension as a
+//! restriction layered on the same scheduling loop: changing conditions
+//! alter per-arc capacities between turns, and physical underlays make
+//! overlay capacities non-independent. A [`Medium`] captures exactly
+//! that contract, so [`crate::simulate_with`] runs the one incremental
+//! step loop for all three worlds:
+//!
+//! - [`Ideal`]: the graph's static capacities, every proposal admitted.
+//!   All hooks are no-ops, so the monomorphized loop compiles down to
+//!   the plain engine — using `Ideal` costs nothing over the pre-medium
+//!   engine.
+//! - [`Dynamic`]: wraps any [`NetworkDynamics`] model; per-step
+//!   capacities are written into a reusable buffer (no per-step `Vec`),
+//!   the capacity trace is recorded for later re-validation, and idle
+//!   steps never abort the run (the network may simply be down).
+//! - [`PhysicalUnderlay`]: overlay arcs ride physical paths with shared
+//!   capacities; each proposed timestep passes through round-robin
+//!   physical admission control before being applied.
+//!
+//! # Contract
+//!
+//! For every step the engine calls, in order: [`Medium::observe`] (the
+//! true possession state, for knowledge-equipped media),
+//! [`Medium::capacities`] (exactly once, in step order), and — after
+//! the strategy has planned and the §3.1 checks have passed —
+//! [`Medium::admit`]. Admission may only *remove* proposed token-moves:
+//! it must never add tokens, touch arcs the strategy did not use, or
+//! reorder sends, so an admitted timestep is always a subset of a
+//! schedule that already satisfied possession and capacity.
+
+use crate::dynamics::NetworkDynamics;
+use ocd_core::{Token, TokenSet};
+use ocd_graph::underlay::OverlayMapping;
+use ocd_graph::{DiGraph, EdgeId};
+use rand::RngCore;
+
+/// A transmission medium: per-step effective capacities plus admission
+/// control, plugged into the engine's single incremental step loop by
+/// [`crate::simulate_with`].
+///
+/// Implementations are monomorphized into the loop; the default hook
+/// bodies are no-ops so a medium only pays for what it overrides.
+pub trait Medium {
+    /// Human-readable medium name used in experiment output and
+    /// [`ocd_core::record::RunRecord::medium`].
+    fn name(&self) -> &'static str;
+
+    /// Called once before a simulation starts, with the overlay graph
+    /// the run distributes over.
+    fn reset(&mut self, graph: &DiGraph);
+
+    /// Hook giving knowledge-equipped media (e.g. adversarial dynamics)
+    /// the true possession state at the start of the step, before
+    /// [`capacities`](Self::capacities) is called for the same step.
+    fn observe(&mut self, possession: &[TokenSet]) {
+        let _ = possession;
+    }
+
+    /// Effective capacity of every arc for timestep `step`, indexed by
+    /// [`EdgeId::index`]; 0 disables an arc for this step. Called
+    /// exactly once per step, in step order. `static_caps` holds the
+    /// graph's static capacities; media without per-step variation
+    /// return it unchanged (no copy), while dynamic media fill and
+    /// return an internal reusable buffer.
+    fn capacities<'a>(
+        &'a mut self,
+        graph: &DiGraph,
+        static_caps: &'a [u32],
+        step: usize,
+        rng: &mut dyn RngCore,
+    ) -> &'a [u32];
+
+    /// Clips one proposed (already §3.1-validated) timestep to what the
+    /// medium admits, in place, returning the number of rejected
+    /// token-moves. The default admits everything.
+    fn admit(&mut self, proposed: &mut Vec<(EdgeId, TokenSet)>) -> u64 {
+        let _ = proposed;
+        0
+    }
+
+    /// Whether the engine should record the per-step capacity vectors
+    /// (needed to re-validate schedules produced under changing
+    /// capacities, see [`ocd_core::validate::replay_with_capacities`]).
+    fn records_capacity_trace(&self) -> bool {
+        false
+    }
+
+    /// Whether the engine should record per-step rejected-move counts
+    /// (media with admission control).
+    fn records_rejections(&self) -> bool {
+        false
+    }
+
+    /// Whether a step with zero admitted moves and zero rejections
+    /// aborts the run as a stall. Media whose conditions change over
+    /// time answer `false`: a strategy may be *unable* to move while
+    /// links are down, so non-completion is only declared at the step
+    /// cap.
+    fn stall_aborts(&self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for dyn Medium + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Medium({})", self.name())
+    }
+}
+
+/// The paper's §3.1 baseline medium: static capacities, every proposal
+/// admitted, idle steps abort as stalls. Every hook is a no-op, so
+/// `simulate_with::<Ideal>` monomorphizes to the plain incremental
+/// engine with zero overhead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ideal;
+
+impl Medium for Ideal {
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+    fn reset(&mut self, _graph: &DiGraph) {}
+    fn capacities<'a>(
+        &'a mut self,
+        _graph: &DiGraph,
+        static_caps: &'a [u32],
+        _step: usize,
+        _rng: &mut dyn RngCore,
+    ) -> &'a [u32] {
+        static_caps
+    }
+}
+
+/// Changing network conditions (§6): adapts any [`NetworkDynamics`]
+/// model to the [`Medium`] contract. Capacities are written into an
+/// internal buffer reused across steps, the capacity trace is recorded,
+/// and idle steps do not abort.
+#[derive(Debug)]
+pub struct Dynamic<'a> {
+    dynamics: &'a mut dyn NetworkDynamics,
+    /// Reusable per-step capacity buffer (sized to the arc count on
+    /// reset; no per-step allocation).
+    buf: Vec<u32>,
+}
+
+impl<'a> Dynamic<'a> {
+    /// Wraps a dynamics model.
+    pub fn new(dynamics: &'a mut dyn NetworkDynamics) -> Self {
+        Dynamic {
+            dynamics,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl Medium for Dynamic<'_> {
+    fn name(&self) -> &'static str {
+        self.dynamics.name()
+    }
+    fn reset(&mut self, graph: &DiGraph) {
+        self.dynamics.reset(graph);
+        self.buf.clear();
+        self.buf.resize(graph.edge_count(), 0);
+    }
+    fn observe(&mut self, possession: &[TokenSet]) {
+        self.dynamics.observe(possession);
+    }
+    fn capacities<'a>(
+        &'a mut self,
+        graph: &DiGraph,
+        _static_caps: &'a [u32],
+        step: usize,
+        rng: &mut dyn RngCore,
+    ) -> &'a [u32] {
+        self.dynamics
+            .capacities_into(graph, step, rng, &mut self.buf);
+        &self.buf
+    }
+    fn records_capacity_trace(&self) -> bool {
+        true
+    }
+    fn stall_aborts(&self) -> bool {
+        false
+    }
+}
+
+/// Physically-constrained transmission (§6, "realistic topologies"):
+/// overlay arcs ride physical paths, and overlay links sharing a
+/// physical link share its capacity. Strategies plan against the
+/// overlay's own (naive) static capacities; each proposed timestep is
+/// then clipped by round-robin *physical admission control* — every
+/// physical arc has its capacity as a per-step budget, and overlay arcs
+/// take turns admitting one token each (ascending token order within an
+/// arc) so no overlay link starves.
+///
+/// All scratch state (physical budgets, per-arc token queues, cursors)
+/// is reused across steps.
+#[derive(Debug)]
+pub struct PhysicalUnderlay<'a> {
+    physical: &'a DiGraph,
+    mapping: &'a OverlayMapping,
+    /// Per-physical-arc remaining budget for the current step.
+    budget: Vec<u32>,
+    /// Recycled per-proposal token queues (the tokens awaiting
+    /// admission, in ascending order).
+    queues: Vec<Vec<Token>>,
+    /// `cursors[slot]` = next token of `queues[slot]` to admit.
+    cursors: Vec<usize>,
+}
+
+impl<'a> PhysicalUnderlay<'a> {
+    /// Creates the medium for a physical graph and an overlay-to-path
+    /// mapping (see [`ocd_graph::underlay::Underlay::map_overlay`]).
+    #[must_use]
+    pub fn new(physical: &'a DiGraph, mapping: &'a OverlayMapping) -> Self {
+        PhysicalUnderlay {
+            physical,
+            mapping,
+            budget: Vec::new(),
+            queues: Vec::new(),
+            cursors: Vec::new(),
+        }
+    }
+}
+
+impl Medium for PhysicalUnderlay<'_> {
+    fn name(&self) -> &'static str {
+        "physical-underlay"
+    }
+
+    fn reset(&mut self, graph: &DiGraph) {
+        assert_eq!(
+            self.mapping.paths.len(),
+            graph.edge_count(),
+            "mapping does not cover the overlay's arcs"
+        );
+        self.budget.clear();
+        self.budget.reserve(self.physical.edge_count());
+    }
+
+    fn capacities<'a>(
+        &'a mut self,
+        _graph: &DiGraph,
+        static_caps: &'a [u32],
+        _step: usize,
+        _rng: &mut dyn RngCore,
+    ) -> &'a [u32] {
+        // The *overlay* believes in its static capacities; physical
+        // feasibility is enforced by admission instead.
+        static_caps
+    }
+
+    fn admit(&mut self, proposed: &mut Vec<(EdgeId, TokenSet)>) -> u64 {
+        self.budget.clear();
+        self.budget
+            .extend(self.physical.edge_ids().map(|e| self.physical.capacity(e)));
+        while self.queues.len() < proposed.len() {
+            self.queues.push(Vec::new());
+        }
+        self.cursors.clear();
+        self.cursors.resize(proposed.len(), 0);
+        // Drain each proposed set into its recycled queue; the set is
+        // then refilled with the admitted tokens only.
+        for (slot, (_, tokens)) in proposed.iter_mut().enumerate() {
+            let queue = &mut self.queues[slot];
+            queue.clear();
+            queue.extend(tokens.iter());
+            tokens.clear();
+        }
+        let mut rejected = 0u64;
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for (slot, (e, admitted)) in proposed.iter_mut().enumerate() {
+                let queue = &self.queues[slot];
+                let cursor = &mut self.cursors[slot];
+                if *cursor >= queue.len() {
+                    continue;
+                }
+                let path = &self.mapping.paths[e.index()];
+                let feasible = path.iter().all(|pe| self.budget[pe.index()] > 0);
+                if feasible {
+                    for pe in path {
+                        self.budget[pe.index()] -= 1;
+                    }
+                    admitted.insert(queue[*cursor]);
+                    *cursor += 1;
+                    progress = true;
+                } else {
+                    // Physical path saturated: everything left on this
+                    // arc is rejected this step.
+                    rejected += (queue.len() - *cursor) as u64;
+                    *cursor = queue.len();
+                }
+            }
+        }
+        proposed.retain(|(_, tokens)| !tokens.is_empty());
+        rejected
+    }
+
+    fn records_rejections(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn ideal_passes_static_caps_through() {
+        let g = ocd_graph::generate::classic::cycle(4, 3, true);
+        let static_caps: Vec<u32> = g.edge_ids().map(|e| g.capacity(e)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ideal = Ideal;
+        ideal.reset(&g);
+        let caps = ideal.capacities(&g, &static_caps, 0, &mut rng);
+        assert!(std::ptr::eq(caps.as_ptr(), static_caps.as_ptr()), "no copy");
+        assert!(ideal.stall_aborts());
+        assert!(!ideal.records_capacity_trace());
+        assert!(!ideal.records_rejections());
+        let mut proposal = vec![(EdgeId::new(0), TokenSet::full(2))];
+        assert_eq!(ideal.admit(&mut proposal), 0);
+        assert_eq!(proposal.len(), 1, "ideal admission is the identity");
+    }
+
+    #[test]
+    fn dynamic_reuses_its_capacity_buffer() {
+        let g = ocd_graph::generate::classic::cycle(4, 3, true);
+        let static_caps: Vec<u32> = g.edge_ids().map(|e| g.capacity(e)).collect();
+        let mut model = crate::dynamics::StaticNetwork;
+        let mut medium = Dynamic::new(&mut model);
+        medium.reset(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        let first_ptr = {
+            let caps = medium.capacities(&g, &static_caps, 0, &mut rng);
+            assert_eq!(caps, static_caps.as_slice());
+            caps.as_ptr()
+        };
+        let second_ptr = medium.capacities(&g, &static_caps, 1, &mut rng).as_ptr();
+        assert!(std::ptr::eq(first_ptr, second_ptr), "buffer is recycled");
+        assert!(!medium.stall_aborts());
+        assert!(medium.records_capacity_trace());
+    }
+}

@@ -2,9 +2,9 @@
 //! topologies").
 //!
 //! Overlay links that share a physical link do not have independent
-//! capacities. [`simulate_underlay`] runs a strategy exactly like the
-//! ordinary engine, but passes every proposed timestep through
-//! *physical admission control*: each physical arc has its capacity as
+//! capacities. [`simulate_underlay`] runs a strategy through the
+//! ordinary engine loop ([`crate::simulate_with`]) under the
+//! [`PhysicalUnderlay`] medium: each physical arc has its capacity as
 //! a per-step budget, and a token is admitted on an overlay arc only if
 //! every physical arc on that overlay arc's path still has budget.
 //! Admission is round-robin across overlay arcs (one token per arc per
@@ -14,10 +14,10 @@
 //! the pure-overlay model — how optimistic the independence assumption
 //! was (see the `table_underlay` experiment).
 
-use crate::engine::{SimConfig, SimReport, StepRecord};
-use crate::{Strategy, WorldView};
-use ocd_core::knowledge::{AggregateKnowledge, DelayedAggregates};
-use ocd_core::{Instance, Schedule, Timestep, Token, TokenSet};
+use crate::engine::{simulate_with, SimConfig, SimReport};
+use crate::medium::{Medium, PhysicalUnderlay};
+use crate::Strategy;
+use ocd_core::{Instance, TokenSet};
 use ocd_graph::underlay::OverlayMapping;
 use ocd_graph::{DiGraph, EdgeId};
 use rand::RngCore;
@@ -43,52 +43,17 @@ impl UnderlayReport {
 /// Clips one proposed timestep to physical feasibility. Returns the
 /// admitted sends and the number of rejected token-moves.
 ///
-/// Round-robin admission: overlay arcs take turns admitting one token
-/// each (ascending token order within an arc) until neither budget nor
-/// pending tokens remain.
+/// This is [`PhysicalUnderlay::admit`] exposed as a standalone
+/// function for analysis code and tests; the engine path goes through
+/// the medium directly.
 pub fn admit_physical(
     physical: &DiGraph,
     mapping: &OverlayMapping,
     proposed: &[(EdgeId, TokenSet)],
 ) -> (Vec<(EdgeId, TokenSet)>, u64) {
-    let mut budget: Vec<u32> = physical.edge_ids().map(|e| physical.capacity(e)).collect();
-    let mut pending: Vec<(EdgeId, Vec<Token>, usize)> = proposed
-        .iter()
-        .map(|(e, tokens)| (*e, tokens.iter().collect::<Vec<Token>>(), 0usize))
-        .collect();
-    let mut admitted: Vec<(EdgeId, Vec<Token>)> =
-        proposed.iter().map(|(e, _)| (*e, Vec::new())).collect();
-    let mut rejected = 0u64;
-    let mut progress = true;
-    while progress {
-        progress = false;
-        for (slot, (e, tokens, cursor)) in pending.iter_mut().enumerate() {
-            if *cursor >= tokens.len() {
-                continue;
-            }
-            let path = &mapping.paths[e.index()];
-            let feasible = path.iter().all(|pe| budget[pe.index()] > 0);
-            if feasible {
-                for pe in path {
-                    budget[pe.index()] -= 1;
-                }
-                admitted[slot].1.push(tokens[*cursor]);
-                *cursor += 1;
-                progress = true;
-            } else {
-                // Physical path saturated: everything left on this arc
-                // is rejected this step.
-                rejected += (tokens.len() - *cursor) as u64;
-                *cursor = tokens.len();
-            }
-        }
-    }
-    let universe = proposed.first().map(|(_, t)| t.universe()).unwrap_or(0);
-    let admitted = admitted
-        .into_iter()
-        .filter(|(_, tokens)| !tokens.is_empty())
-        .map(|(e, tokens)| (e, TokenSet::from_tokens(universe, tokens)))
-        .collect();
+    let mut medium = PhysicalUnderlay::new(physical, mapping);
+    let mut admitted = proposed.to_vec();
+    let rejected = medium.admit(&mut admitted);
     (admitted, rejected)
 }
 
@@ -109,112 +74,11 @@ pub fn simulate_underlay(
     config: &SimConfig,
     rng: &mut dyn RngCore,
 ) -> UnderlayReport {
-    let g = instance.graph();
-    assert_eq!(
-        mapping.paths.len(),
-        g.edge_count(),
-        "mapping does not cover the overlay's arcs"
-    );
-    let run_start = std::time::Instant::now();
-    let n = g.node_count();
-    let m = instance.num_tokens();
-    strategy.reset(instance);
-
-    let mut possession: Vec<TokenSet> = instance.have_all().to_vec();
-    let mut schedule = Schedule::new();
-    let mut trace = Vec::new();
-    let mut rejected_per_step = Vec::new();
-    let mut duplicate_deliveries = 0u64;
-    let mut completion_steps: Vec<Option<usize>> = (0..n)
-        .map(|v| {
-            let v = g.node(v);
-            instance.want(v).is_subset(instance.have(v)).then_some(0)
-        })
-        .collect();
-    let initial = AggregateKnowledge::compute(m, &possession, instance.want_all());
-    let mut delayed = DelayedAggregates::new(config.knowledge_delay, initial);
-
-    let mut step = 0usize;
-    let mut success = possession
-        .iter()
-        .zip(instance.want_all())
-        .all(|(p, w)| w.is_subset(p));
-    while !success && step < config.max_steps {
-        let step_start = std::time::Instant::now();
-        let fresh = AggregateKnowledge::compute(m, &possession, instance.want_all());
-        let visible = delayed.advance(fresh).clone();
-        let proposed = {
-            let view = WorldView {
-                instance,
-                possession: &possession,
-                aggregates: &visible,
-                step,
-                capacities: None,
-            };
-            strategy.plan_step(&view, rng)
-        };
-        // The usual overlay-level contract checks.
-        for (edge, tokens) in &proposed {
-            let arc = g.edge(*edge);
-            assert!(
-                tokens.len() <= arc.capacity as usize,
-                "strategy {} overfilled overlay arc {edge}",
-                strategy.name()
-            );
-            assert!(
-                tokens.is_subset(&possession[arc.src.index()]),
-                "strategy {} sent unpossessed tokens on {edge}",
-                strategy.name()
-            );
-        }
-        let (admitted, rejected) = admit_physical(physical, mapping, &proposed);
-        let timestep = Timestep::from_sends(admitted);
-        let moves = timestep.bandwidth();
-        if moves == 0 && rejected == 0 && !strategy.may_idle(step) {
-            break; // true stall: nothing proposed
-        }
-        for (edge, tokens) in timestep.sends() {
-            let dst = g.edge(edge).dst.index();
-            duplicate_deliveries += (tokens.len() - tokens.difference_len(&possession[dst])) as u64;
-            possession[dst].union_with(tokens);
-        }
-        schedule.push_timestep(timestep);
-        rejected_per_step.push(rejected);
-        step += 1;
-        for v in g.nodes() {
-            if completion_steps[v.index()].is_none()
-                && instance.want(v).is_subset(&possession[v.index()])
-            {
-                completion_steps[v.index()] = Some(step);
-            }
-        }
-        let remaining: u64 = instance
-            .want_all()
-            .iter()
-            .zip(&possession)
-            .map(|(w, p)| w.difference_len(p) as u64)
-            .sum();
-        trace.push(StepRecord {
-            step: step - 1,
-            moves,
-            remaining_need: remaining,
-            nanos: step_start.elapsed().as_nanos() as u64,
-        });
-        success = remaining == 0;
-    }
-
+    let mut medium = PhysicalUnderlay::new(physical, mapping);
+    let outcome = simulate_with(instance, strategy, &mut medium, config, rng);
     UnderlayReport {
-        report: SimReport {
-            steps: schedule.makespan(),
-            bandwidth: schedule.bandwidth(),
-            schedule,
-            success,
-            completion_steps,
-            trace,
-            duplicate_deliveries,
-            wall_nanos: run_start.elapsed().as_nanos() as u64,
-        },
-        rejected_per_step,
+        report: outcome.report,
+        rejected_per_step: outcome.rejected_per_step,
     }
 }
 
@@ -224,6 +88,7 @@ mod tests {
     use crate::{simulate, StrategyKind};
     use ocd_core::scenario::single_file;
     use ocd_core::validate;
+    use ocd_core::Token;
     use ocd_graph::generate::classic;
     use ocd_graph::underlay::Underlay;
     use ocd_graph::NodeId;

@@ -11,7 +11,7 @@
 use ocd_core::validate;
 use ocd_core::{scenario, Instance};
 use ocd_graph::generate::{classic, paper_random};
-use ocd_heuristics::{simulate, SimConfig, StrategyKind};
+use ocd_heuristics::{simulate_with, Ideal, SimConfig, StrategyKind};
 use ocd_net::{run_swarm, EventKind, FaultPlan, NetConfig, NetPolicy};
 use rand::prelude::*;
 
@@ -36,13 +36,18 @@ fn assert_lockstep_equivalence(instance: &Instance, policy: NetPolicy, seed: u64
     };
     let (kind, policy) = lockstep_pair(kind, policy);
 
+    // The baseline targets the generic step loop directly under the
+    // ideal medium — the exact path `crate::simulate` wraps — so this
+    // differential also pins `simulate_with::<Ideal>`.
     let mut lock_rng = StdRng::seed_from_u64(seed);
-    let lock = simulate(
+    let lock = simulate_with(
         instance,
         kind.build().as_mut(),
+        &mut Ideal,
         &SimConfig::default(),
         &mut lock_rng,
-    );
+    )
+    .report;
     assert!(lock.success, "lockstep baseline must complete");
 
     let config = NetConfig {
