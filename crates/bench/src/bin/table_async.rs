@@ -36,6 +36,8 @@ fn main() {
         ("loss-25%+crash", 3, 2, 0.25, true),
     ];
 
+    // The trailing metrics column group is read from the unified
+    // `net.*` metrics snapshot rather than ad-hoc report fields.
     let mut table = Table::new([
         "condition",
         "policy",
@@ -44,6 +46,9 @@ fn main() {
         "bandwidth",
         "retransmits",
         "duplicate_deliveries",
+        "timeouts",
+        "ctrl_msgs",
+        "max_queue",
     ]);
     for (label, latency, jitter, loss, with_crash) in conditions {
         for policy in [NetPolicy::Random, NetPolicy::Local] {
@@ -66,6 +71,9 @@ fn main() {
             let mut bandwidth = Vec::new();
             let mut retransmits = Vec::new();
             let mut duplicates = Vec::new();
+            let mut timeouts = Vec::new();
+            let mut ctrl_msgs = Vec::new();
+            let mut max_queue = Vec::new();
             let mut successes = 0u32;
             for r in 0..runs {
                 let mut run_rng = StdRng::seed_from_u64(args.seed ^ ((r as u64) << 7));
@@ -77,10 +85,21 @@ fn main() {
                 if report.success {
                     assert!(replay.is_successful());
                     successes += 1;
+                    let snap = report.metrics_snapshot();
                     ticks.push(report.ticks);
                     bandwidth.push(report.bandwidth());
                     retransmits.push(report.retransmits);
                     duplicates.push(report.duplicate_deliveries);
+                    timeouts.push(snap.counter("net.request_timeouts").unwrap_or(0));
+                    ctrl_msgs.push(
+                        snap.counter("net.msgs_sent.have").unwrap_or(0)
+                            + snap.counter("net.msgs_sent.request").unwrap_or(0)
+                            + snap.counter("net.msgs_sent.cancel").unwrap_or(0),
+                    );
+                    max_queue.push(
+                        snap.series("net.arc_max_queue_depth")
+                            .map_or(0, |s| s.iter().copied().max().unwrap_or(0)),
+                    );
                 }
             }
             table.row([
@@ -91,6 +110,9 @@ fn main() {
                 Summary::of_ints(&bandwidth).to_string(),
                 Summary::of_ints(&retransmits).to_string(),
                 Summary::of_ints(&duplicates).to_string(),
+                Summary::of_ints(&timeouts).to_string(),
+                Summary::of_ints(&ctrl_msgs).to_string(),
+                Summary::of_ints(&max_queue).to_string(),
             ]);
         }
     }

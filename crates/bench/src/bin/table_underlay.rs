@@ -39,8 +39,12 @@ fn main() {
     ];
     let config = SimConfig {
         max_steps: 50_000,
+        metrics: true,
         ..Default::default()
     };
+    // The trailing metrics column group (`util_max`, `util_mean`) is
+    // read from the record's embedded `engine.arc_tokens` utilization
+    // series — per-arc data the old ad-hoc counters threw away.
     let mut table = Table::new([
         "strategy",
         "overlay_moves",
@@ -48,6 +52,8 @@ fn main() {
         "inflation",
         "rejected",
         "max_stress",
+        "util_max",
+        "util_mean",
         "run_ms",
     ]);
     let logs_dir = format!("{}/logs", args.out_dir);
@@ -58,6 +64,8 @@ fn main() {
         let mut physical_moves = Vec::new();
         let mut rejected = Vec::new();
         let mut stress = Vec::new();
+        let mut util_max = Vec::new();
+        let mut util_mean = Vec::new();
         let mut run_ms = Vec::new();
         for r in 0..runs {
             let mut rng = StdRng::seed_from_u64(args.seed ^ (r << 11));
@@ -98,6 +106,13 @@ fn main() {
                     .write_json(format!("{logs_dir}/underlay_{kind}.json").as_ref())
                     .expect("write run record");
             }
+            let arc_tokens = constrained
+                .metrics
+                .as_ref()
+                .and_then(|snap| snap.series("engine.arc_tokens"))
+                .expect("metrics-enabled record embeds the utilization series");
+            util_max.push(arc_tokens.iter().copied().max().unwrap_or(0));
+            util_mean.push(arc_tokens.iter().sum::<u64>() / (arc_tokens.len().max(1) as u64));
             overlay_moves.push(pure.steps as u64);
             physical_moves.push(constrained.steps as u64);
             rejected.push(constrained.total_rejected());
@@ -113,6 +128,8 @@ fn main() {
             format!("{:.2}x", pm.mean / om.mean.max(1.0)),
             Summary::of_ints(&rejected).to_string(),
             Summary::of_ints(&stress).to_string(),
+            Summary::of_ints(&util_max).to_string(),
+            Summary::of_ints(&util_mean).to_string(),
             Summary::of(&run_ms).to_string(),
         ]);
     }

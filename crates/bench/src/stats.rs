@@ -31,11 +31,27 @@ impl Summary {
     };
 
     /// Summarizes a sample. Returns [`Summary::EMPTY`] for an empty one.
+    ///
+    /// **NaN contract:** if any observation is NaN, *every* statistic
+    /// (`mean`, `std`, `min`, `max`) is NaN. Previously the mean went
+    /// NaN while the `f64::min`/`f64::max` folds silently skipped NaN,
+    /// leaving a summary that looked half-valid; a poisoned sample now
+    /// poisons the whole summary consistently ([`Summary::is_nan`]).
+    /// `n` still counts the observations.
     #[must_use]
     pub fn of(values: &[f64]) -> Summary {
         let n = values.len();
         if n == 0 {
             return Summary::EMPTY;
+        }
+        if values.iter().any(|v| v.is_nan()) {
+            return Summary {
+                mean: f64::NAN,
+                std: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                n,
+            };
         }
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -57,6 +73,13 @@ impl Summary {
     pub fn of_ints(values: &[u64]) -> Summary {
         let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
         Summary::of(&floats)
+    }
+
+    /// Whether the sample was poisoned by a NaN observation (see the
+    /// NaN contract on [`Summary::of`]).
+    #[must_use]
+    pub fn is_nan(&self) -> bool {
+        self.mean.is_nan()
     }
 }
 
@@ -107,6 +130,28 @@ mod tests {
         assert_eq!(s.n, 3);
         assert_eq!(s.std, 0.0);
         assert_eq!(s.to_string(), "3.0±0.0");
+    }
+
+    #[test]
+    fn nan_poisons_every_statistic() {
+        // Regression: min/max used `f64::min`/`f64::max` folds, which
+        // skip NaN — a poisoned sample reported a NaN mean next to
+        // valid-looking extrema.
+        for sample in [
+            vec![f64::NAN],
+            vec![1.0, f64::NAN, 3.0],
+            vec![f64::NAN, f64::NAN],
+        ] {
+            let s = Summary::of(&sample);
+            assert!(s.is_nan(), "{sample:?}");
+            assert!(s.mean.is_nan(), "{sample:?}");
+            assert!(s.std.is_nan(), "{sample:?}");
+            assert!(s.min.is_nan(), "{sample:?}: min must not look valid");
+            assert!(s.max.is_nan(), "{sample:?}: max must not look valid");
+            assert_eq!(s.n, sample.len(), "n still counts observations");
+        }
+        assert!(!Summary::of(&[1.0, 2.0]).is_nan());
+        assert!(!Summary::EMPTY.is_nan());
     }
 
     #[test]

@@ -90,14 +90,24 @@ impl Table {
         out
     }
 
-    /// Serializes as CSV (no quoting: cells must not contain commas or
-    /// newlines, which experiment output never does).
+    /// Serializes as CSV with minimal RFC-4180 quoting: a cell
+    /// containing a comma, double quote, or line break is wrapped in
+    /// double quotes (embedded quotes doubled); all other cells are
+    /// emitted verbatim. Previously such cells were joined unquoted,
+    /// silently corrupting the row structure.
     #[must_use]
     pub fn to_csv(&self) -> String {
+        fn quote(cell: &str) -> String {
+            if cell.contains(['"', ',', '\n', '\r']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.columns.join(","));
-        for row in &self.rows {
-            let _ = writeln!(out, "{}", row.join(","));
+        for cells in std::iter::once(&self.columns).chain(&self.rows) {
+            let quoted: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            let _ = writeln!(out, "{}", quoted.join(","));
         }
         out
     }
@@ -141,6 +151,26 @@ mod tests {
         assert_eq!(t.to_csv(), "a,b,c\n1,2,3\n");
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        // Regression: cells containing separators used to be joined
+        // verbatim, silently corrupting the CSV row structure.
+        let mut t = Table::new(["plain", "with,comma"]);
+        t.row(["a,b", "c"]);
+        t.row(["say \"hi\"", "line\nbreak"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.split("\r\n").collect();
+        assert_eq!(lines.len(), 1, "no CRLF introduced");
+        assert_eq!(
+            csv,
+            "plain,\"with,comma\"\n\"a,b\",c\n\"say \"\"hi\"\"\",\"line\nbreak\"\n"
+        );
+        // Unremarkable cells stay unquoted.
+        let mut plain = Table::new(["a", "b"]);
+        plain.row(["1", "2"]);
+        assert_eq!(plain.to_csv(), "a,b\n1,2\n");
     }
 
     #[test]

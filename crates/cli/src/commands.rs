@@ -104,6 +104,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             prune: do_prune,
             dynamics,
             record,
+            metrics,
         } => {
             let instance = load_instance(instance)?;
             let kind: StrategyKind = strategy.parse().map_err(|e| format!("{e}"))?;
@@ -111,6 +112,11 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             let config = SimConfig {
                 max_steps: *max_steps,
                 knowledge_delay: *delay,
+                // Only the deterministic metric set: `--metrics`
+                // snapshots must be byte-identical across equal-seed
+                // invocations, so wall-clock timings stay off.
+                metrics: metrics.is_some(),
+                ..SimConfig::default()
             };
             let mut rng = StdRng::seed_from_u64(*seed);
             let (outcome, medium_name) = match dynamics {
@@ -169,6 +175,61 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     .map_err(|e| format!("write {path}: {e}"))?;
                 let _ = writeln!(out, "run record written to {path}");
             }
+            if let Some(path) = metrics {
+                let snap = outcome
+                    .metrics
+                    .as_ref()
+                    .expect("--metrics enables collection");
+                let rendered = if path.ends_with(".csv") {
+                    snap.to_csv()
+                } else {
+                    snap.to_json()
+                };
+                std::fs::write(path, rendered).map_err(|e| format!("write {path}: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "metrics snapshot written to {path} ({} counters, {} histograms, {} series)",
+                    snap.counters.len(),
+                    snap.histograms.len(),
+                    snap.series.len()
+                );
+            }
+            Ok(out)
+        }
+        Command::Certify { record } => {
+            let rec = ocd_core::RunRecord::read_json(record.as_ref())
+                .map_err(|e| format!("read {record}: {e}"))?;
+            let replay = rec
+                .certify()
+                .map_err(|e| format!("{record}: certification FAILED: {e}"))?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{record}: certified (version {}, strategy {}, medium {}, {} steps, {} token-transfers, {})",
+                rec.version,
+                rec.strategy,
+                rec.medium,
+                rec.steps,
+                rec.bandwidth,
+                if replay.is_successful() {
+                    "every want satisfied"
+                } else {
+                    "incomplete"
+                }
+            );
+            let _ = writeln!(
+                out,
+                "metrics:    {}",
+                match &rec.metrics {
+                    Some(snap) => format!(
+                        "embedded ({} counters, {} histograms, {} series)",
+                        snap.counters.len(),
+                        snap.histograms.len(),
+                        snap.series.len()
+                    ),
+                    None => "none".to_string(),
+                }
+            );
             Ok(out)
         }
         Command::NetRun {
@@ -574,6 +635,91 @@ mod tests {
         assert_eq!(rec.seed, 5);
         let replay = rec.certify().unwrap();
         assert!(replay.is_successful());
+    }
+
+    #[test]
+    fn run_metrics_snapshot_and_certify_subcommand() {
+        let inst = tmp("metrics_inst.json");
+        run(&[
+            "instance",
+            "--graph",
+            "unused",
+            "--scenario",
+            "figure-one",
+            "--out",
+            &inst,
+        ])
+        .unwrap();
+        let record = tmp("metrics_record.json");
+        let snap_a = tmp("metrics_a.json");
+        let snap_b = tmp("metrics_b.json");
+        let run_once = |snap: &str| {
+            let out = run(&[
+                "run",
+                "--instance",
+                &inst,
+                "--strategy",
+                "random",
+                "--seed",
+                "9",
+                "--record",
+                &record,
+                "--metrics",
+                snap,
+            ])
+            .unwrap();
+            assert!(out.contains("metrics snapshot written to"));
+        };
+        run_once(&snap_a);
+        run_once(&snap_b);
+        // Same seed ⇒ byte-identical snapshot files.
+        let a = std::fs::read_to_string(&snap_a).unwrap();
+        assert_eq!(a, std::fs::read_to_string(&snap_b).unwrap());
+        let snap = ocd_core::MetricsSnapshot::from_json(&a).unwrap();
+        assert!(snap.counter("engine.steps").unwrap() > 0);
+        // The CSV rendering is also supported, keyed off the extension.
+        let csv = tmp("metrics.csv");
+        run(&[
+            "run",
+            "--instance",
+            &inst,
+            "--strategy",
+            "random",
+            "--seed",
+            "9",
+            "--metrics",
+            &csv,
+        ])
+        .unwrap();
+        let csv_text = std::fs::read_to_string(&csv).unwrap();
+        assert!(csv_text.starts_with("kind,name,key,value"));
+        assert!(csv_text.contains("counter,engine.steps"));
+        // `certify` accepts the metrics-embedding (v2) record...
+        let certified = run(&["certify", "--record", &record]).unwrap();
+        assert!(certified.contains("certified (version 2"), "{certified}");
+        assert!(certified.contains("embedded ("), "{certified}");
+        // ...and a record without metrics reports `none`.
+        let plain_record = tmp("metrics_plain_record.json");
+        run(&[
+            "run",
+            "--instance",
+            &inst,
+            "--strategy",
+            "random",
+            "--seed",
+            "9",
+            "--record",
+            &plain_record,
+        ])
+        .unwrap();
+        let plain = run(&["certify", "--record", &plain_record]).unwrap();
+        assert!(plain.contains("metrics:    none"), "{plain}");
+        // A tampered record fails certification with a clear error.
+        let mut rec = ocd_core::RunRecord::read_json(record.as_ref()).unwrap();
+        rec.bandwidth += 1;
+        rec.write_json(record.as_ref()).unwrap();
+        let err = run(&["certify", "--record", &record]).unwrap_err();
+        assert!(err.contains("certification FAILED"), "{err}");
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub enum Command {
         /// Optional path to write the run as a self-certifying
         /// `RunRecord` JSON artifact.
         record: Option<String>,
+        /// Optional path to write the run's metrics snapshot
+        /// (`.csv` writes CSV, anything else JSON). Enables metrics
+        /// collection for the run; the recorded set is deterministic,
+        /// so equal seeds produce byte-identical snapshots.
+        metrics: Option<String>,
     },
     /// `ocd solve`: exact optimization.
     Solve {
@@ -127,6 +132,12 @@ pub enum Command {
         /// Optional path to write the extracted schedule JSON.
         schedule: Option<String>,
     },
+    /// `ocd certify`: re-certify a `RunRecord` artifact from the file
+    /// alone.
+    Certify {
+        /// RunRecord JSON path.
+        record: String,
+    },
     /// `ocd help`.
     Help,
 }
@@ -142,6 +153,7 @@ pub(crate) const SUBCOMMANDS: &[&str] = &[
     "validate",
     "reduce-ds",
     "compare",
+    "certify",
     "help",
 ];
 
@@ -156,6 +168,7 @@ USAGE:
   ocd run       --instance <FILE> --strategy <round-robin|random|local|bandwidth|global|gather-then-plan>
                 [--seed <S>] [--delay <K>] [--max-steps <N>] [--schedule <FILE>] [--prune]
                 [--dynamics <static|cross:F|outages:P:Q|churn:P:Q|adversary:B[:C]>] [--record <FILE>]
+                [--metrics <FILE.json|FILE.csv>]
   ocd net-run   --instance <FILE> [--policy <random|local>] [--seed <S>]
                 [--latency <T>] [--jitter <J>] [--loss <P>] [--control-latency <T>] [--control-loss <P>]
                 [--max-ticks <N>] [--crash <V:DOWN:UP>] [--trace <FILE.json|FILE.csv>] [--schedule <FILE>]
@@ -164,6 +177,7 @@ USAGE:
   ocd validate  --instance <FILE> --schedule <FILE>
   ocd reduce-ds --graph <FILE> --k <K>
   ocd compare   --instance <FILE> [--runs <N>] [--seed <S>]
+  ocd certify   --record <FILE>
   ocd help
 ";
 
@@ -294,6 +308,13 @@ pub fn parse(args: Vec<String>) -> Result<Command, String> {
                 prune: f.has("prune"),
                 dynamics: f.values.get("dynamics").cloned(),
                 record: f.values.get("record").cloned(),
+                metrics: f.values.get("metrics").cloned(),
+            })
+        }
+        "certify" => {
+            let f = Flags::parse(rest, &[])?;
+            Ok(Command::Certify {
+                record: f.req("record")?,
             })
         }
         "solve" => {
@@ -428,15 +449,41 @@ mod tests {
                 max_steps,
                 dynamics,
                 record,
+                metrics,
                 ..
             } => {
                 assert!(prune);
                 assert_eq!(max_steps, 10_000);
                 assert!(dynamics.is_none());
                 assert!(record.is_none());
+                assert!(metrics.is_none());
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn run_metrics_flag_and_certify() {
+        let cmd = parse_ok(&[
+            "run",
+            "--instance",
+            "i.json",
+            "--strategy",
+            "random",
+            "--metrics",
+            "m.json",
+        ]);
+        match cmd {
+            Command::Run { metrics, .. } => assert_eq!(metrics.as_deref(), Some("m.json")),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(
+            parse_ok(&["certify", "--record", "r.json"]),
+            Command::Certify {
+                record: "r.json".into()
+            }
+        );
+        assert!(parse_err(&["certify"]).contains("--record"));
     }
 
     #[test]

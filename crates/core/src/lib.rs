@@ -24,6 +24,9 @@
 //! - [`bounds`]: the paper's §5.1 lower bounds (remaining bandwidth,
 //!   radius/capacity makespan bound `M_i(v)`, one-step lookahead).
 //! - [`knowledge`]: the LOCD (§4.1) aggregate-knowledge model.
+//! - [`metrics`]: the suite-wide observability layer — a dependency-free
+//!   registry of counters/gauges/log2-histograms behind a [`Recorder`]
+//!   trait whose no-op impl monomorphizes away.
 //! - [`record`]: the self-certifying JSON run artifact ([`RunRecord`])
 //!   shared by the engine, the CLI, and the bench pipeline.
 //! - [`scenario`]: generators for every experimental scenario in §5.
@@ -58,6 +61,7 @@ pub mod bounds;
 pub mod coding;
 mod instance;
 pub mod knowledge;
+pub mod metrics;
 pub mod prune;
 pub mod record;
 pub mod scenario;
@@ -66,6 +70,7 @@ mod token;
 pub mod validate;
 
 pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 pub use record::{RecordError, RunRecord, StepTrace};
 pub use schedule::{Move, Schedule, ScheduleRecorder, Timestep};
 pub use token::{Token, TokenSet};

@@ -13,6 +13,7 @@
 //! records (`ocd-heuristics`' `SimOutcome::to_record`), the CLI `run
 //! --record` writes them, and `ocd-bench` consumes them for its tables.
 
+use crate::metrics::MetricsSnapshot;
 use crate::validate::{self, ScheduleError};
 use crate::{Instance, Schedule};
 use serde::{Deserialize, Serialize};
@@ -21,7 +22,14 @@ use std::fmt;
 use std::path::Path;
 
 /// Current schema version; bump when a field changes meaning.
-pub const RUN_RECORD_VERSION: u32 = 1;
+///
+/// Version history: **1** — original schema; **2** — adds the optional
+/// embedded [`MetricsSnapshot`]. Version-1 artifacts remain readable
+/// and certifiable (see [`RUN_RECORD_MIN_VERSION`]).
+pub const RUN_RECORD_VERSION: u32 = 2;
+
+/// Oldest schema version [`RunRecord::certify`] still accepts.
+pub const RUN_RECORD_MIN_VERSION: u32 = 1;
 
 /// Per-step counters, the serialized form of the engine's step trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,6 +79,10 @@ pub struct RunRecord {
     /// Token-moves rejected by admission control, per step; empty for
     /// media without admission control.
     pub rejected_per_step: Vec<u64>,
+    /// Metrics snapshot of the run, when metrics were enabled
+    /// (schema version ≥ 2; `None` when absent or on version-1
+    /// artifacts).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Why a [`RunRecord`] failed certification or (de)serialization.
@@ -111,7 +123,8 @@ impl fmt::Display for RecordError {
         match self {
             RecordError::Version { found } => write!(
                 f,
-                "unsupported run record version {found} (this build understands {RUN_RECORD_VERSION})"
+                "unsupported run record version {found} (this build understands \
+                 {RUN_RECORD_MIN_VERSION}..={RUN_RECORD_VERSION})"
             ),
             RecordError::TraceTooShort {
                 trace_steps,
@@ -189,7 +202,7 @@ impl RunRecord {
     /// the schedule does not replay, and [`RecordError::Mismatch`] when
     /// a claimed metric disagrees with the replay.
     pub fn certify(&self) -> Result<validate::Replay, RecordError> {
-        if self.version != RUN_RECORD_VERSION {
+        if !(RUN_RECORD_MIN_VERSION..=RUN_RECORD_VERSION).contains(&self.version) {
             return Err(RecordError::Version {
                 found: self.version,
             });
@@ -311,6 +324,7 @@ mod tests {
             ],
             capacity_trace: Vec::new(),
             rejected_per_step: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -357,6 +371,41 @@ mod tests {
             record.certify().unwrap_err(),
             RecordError::Version { found: 99 }
         ));
+        record.version = 0;
+        assert!(matches!(
+            record.certify().unwrap_err(),
+            RecordError::Version { found: 0 }
+        ));
+    }
+
+    #[test]
+    fn certify_accepts_both_schema_versions() {
+        // A version-1 artifact has no `metrics` key at all; it must
+        // still parse (metrics = None) and certify.
+        let mut record = sample_record();
+        record.version = 1;
+        let v1_json = record
+            .to_json()
+            .unwrap()
+            .replace(",\n  \"metrics\": null", "");
+        assert!(
+            !v1_json.contains("metrics"),
+            "v1 fixture must omit the field"
+        );
+        let v1 = RunRecord::from_json(&v1_json).unwrap();
+        assert_eq!(v1.version, 1);
+        assert!(v1.metrics.is_none());
+        v1.certify().unwrap();
+        // And a current-version record with an embedded snapshot
+        // certifies and round-trips it.
+        let mut v2 = sample_record();
+        let mut reg = crate::metrics::MetricsRegistry::new();
+        let c = crate::metrics::Recorder::counter(&mut reg, "engine.moves");
+        crate::metrics::Recorder::add(&mut reg, c, 2);
+        v2.metrics = Some(reg.snapshot());
+        v2.certify().unwrap();
+        let back = RunRecord::from_json(&v2.to_json().unwrap()).unwrap();
+        assert_eq!(back.metrics, v2.metrics);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Schema-version tolerance: a committed version-1 `RunRecord`
+//! artifact (written before the metrics layer existed, so it has no
+//! `metrics` key at all) must keep parsing and certifying under the
+//! current schema. The CI metrics smoke step certifies the same file
+//! through the CLI.
+
+use ocd_core::record::{RUN_RECORD_MIN_VERSION, RUN_RECORD_VERSION};
+use ocd_core::RunRecord;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/run_record_v1.json"
+);
+
+#[test]
+fn committed_v1_artifact_still_certifies() {
+    let text = std::fs::read_to_string(FIXTURE).expect("fixture exists");
+    assert!(
+        !text.contains("\"metrics\""),
+        "fixture must predate the metrics field"
+    );
+    let record = RunRecord::from_json(&text).expect("v1 artifact parses");
+    assert_eq!(record.version, RUN_RECORD_MIN_VERSION);
+    assert!(record.version < RUN_RECORD_VERSION, "fixture is old-schema");
+    assert!(record.metrics.is_none(), "absent field reads as None");
+    let replay = record.certify().expect("v1 artifact certifies");
+    assert!(replay.is_successful());
+    // Round-tripping through the current serializer upgrades nothing
+    // silently: the version field is preserved as written.
+    let back = RunRecord::from_json(&record.to_json().unwrap()).unwrap();
+    assert_eq!(back.version, RUN_RECORD_MIN_VERSION);
+    back.certify().unwrap();
+}

@@ -20,6 +20,7 @@
 use crate::medium::{Ideal, Medium};
 use crate::{Strategy, WorldView};
 use ocd_core::knowledge::{AggregateKnowledge, DelayedAggregates};
+use ocd_core::metrics::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 use ocd_core::record::{RunRecord, StepTrace, RUN_RECORD_VERSION};
 use ocd_core::{Instance, Schedule, Timestep, TokenSet};
 use rand::RngCore;
@@ -35,6 +36,19 @@ pub struct SimConfig {
     /// strategies see — the paper's "state `k` turns ago" relaxation
     /// (§5.1). 0 = fresh aggregates, the paper's default assumption.
     pub knowledge_delay: usize,
+    /// Record run metrics (headline counters, the per-step move
+    /// histogram, per-arc utilization series) into a
+    /// [`MetricsSnapshot`] on the outcome. The recorded set is fully
+    /// deterministic: equal-seed runs snapshot byte-identically. Off by
+    /// default — the disabled path monomorphizes over
+    /// [`NoopRecorder`] and costs nothing.
+    pub metrics: bool,
+    /// Additionally record wall-clock phase timings (`engine.plan_nanos`
+    /// / `engine.admit_nanos` / `engine.apply_nanos` histograms).
+    /// Timings are inherently nondeterministic, so this breaks the
+    /// byte-identical-snapshot guarantee; keep it off for comparable
+    /// artifacts. No effect unless `metrics` is also set.
+    pub metric_timings: bool,
 }
 
 impl Default for SimConfig {
@@ -42,6 +56,8 @@ impl Default for SimConfig {
         SimConfig {
             max_steps: 10_000,
             knowledge_delay: 0,
+            metrics: false,
+            metric_timings: false,
         }
     }
 }
@@ -135,6 +151,9 @@ pub struct SimOutcome {
     /// Token-moves rejected by admission control, per step; empty
     /// unless the medium [records it](Medium::records_rejections).
     pub rejected_per_step: Vec<u64>,
+    /// Metrics snapshot of the run; `None` unless
+    /// [`SimConfig::metrics`] was set.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl SimOutcome {
@@ -177,6 +196,7 @@ impl SimOutcome {
                 .collect(),
             capacity_trace: self.capacity_trace.clone(),
             rejected_per_step: self.rejected_per_step.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -220,6 +240,13 @@ pub fn simulate(
 /// as a stall if the medium says [stalls abort](Medium::stall_aborts)
 /// and the strategy does not claim the right to idle.
 ///
+/// When [`SimConfig::metrics`] is set the run additionally produces a
+/// [`MetricsSnapshot`] (`engine.*` metrics: headline counters, per-step
+/// move histogram, per-arc utilization series, instance-shape gauges;
+/// phase-timing histograms too under [`SimConfig::metric_timings`]).
+/// When unset, the loop monomorphizes over [`NoopRecorder`] and the
+/// instrumentation compiles away.
+///
 /// # Panics
 ///
 /// Panics if the strategy violates capacity or possession, sends on a
@@ -232,6 +259,27 @@ pub fn simulate_with<M: Medium>(
     config: &SimConfig,
     rng: &mut dyn RngCore,
 ) -> SimOutcome {
+    if config.metrics {
+        let mut registry = MetricsRegistry::new();
+        let mut outcome = run_loop(instance, strategy, medium, config, rng, &mut registry);
+        outcome.metrics = Some(registry.snapshot());
+        outcome
+    } else {
+        run_loop(instance, strategy, medium, config, rng, &mut NoopRecorder)
+    }
+}
+
+/// The monomorphized loop body behind [`simulate_with`]: `R` is either
+/// the live [`MetricsRegistry`] or [`NoopRecorder`] (whose inlined
+/// no-ops make the disabled path identical to the uninstrumented loop).
+fn run_loop<M: Medium, R: Recorder>(
+    instance: &Instance,
+    strategy: &mut dyn Strategy,
+    medium: &mut M,
+    config: &SimConfig,
+    rng: &mut dyn RngCore,
+    rec: &mut R,
+) -> SimOutcome {
     let run_start = Instant::now();
     let g = instance.graph();
     let n = g.node_count();
@@ -241,6 +289,27 @@ pub fn simulate_with<M: Medium>(
     let record_capacity_trace = medium.records_capacity_trace();
     let record_rejections = medium.records_rejections();
     let stall_aborts = medium.stall_aborts();
+
+    // Metric handles are interned once here; on the Noop path every
+    // call below is an inlined empty body. `timed` is constant-false
+    // for Noop, so the clock reads fold away too.
+    let timed = config.metric_timings && rec.enabled();
+    let m_steps = rec.counter("engine.steps");
+    let m_moves = rec.counter("engine.moves");
+    let m_dups = rec.counter("engine.duplicate_deliveries");
+    let m_rejected = rec.counter("engine.rejected_moves");
+    let m_step_moves = rec.histogram("engine.step_moves");
+    let m_plan = rec.histogram("engine.plan_nanos");
+    let m_admit = rec.histogram("engine.admit_nanos");
+    let m_apply = rec.histogram("engine.apply_nanos");
+    let m_arc_tokens = rec.series("engine.arc_tokens", g.edge_count());
+    let g_vertices = rec.gauge("engine.vertices");
+    let g_arcs = rec.gauge("engine.arcs");
+    let g_tokens = rec.gauge("engine.tokens");
+    let g_remaining = rec.gauge("engine.remaining_need");
+    rec.set(g_vertices, n as i64);
+    rec.set(g_arcs, g.edge_count() as i64);
+    rec.set(g_tokens, m as i64);
 
     let mut possession: Vec<TokenSet> = instance.have_all().to_vec();
     let mut schedule = Schedule::new();
@@ -281,6 +350,7 @@ pub fn simulate_with<M: Medium>(
     let mut success = remaining == 0;
     while !success && step < config.max_steps {
         let step_start = Instant::now();
+        let phase_start = timed.then(Instant::now);
         let visible: &AggregateKnowledge = match delayed.as_mut() {
             Some(d) => d.advance_from(&fresh),
             None => &fresh,
@@ -334,23 +404,34 @@ pub fn simulate_with<M: Medium>(
         if record_capacity_trace {
             capacity_trace.push(caps.to_vec());
         }
+        let phase_start = phase_start.map(|t| {
+            rec.observe(m_plan, t.elapsed().as_nanos() as u64);
+            Instant::now()
+        });
         let rejected = medium.admit(&mut sends);
         let timestep = Timestep::from_sends(sends);
         let moves = timestep.bandwidth();
+        let phase_start = phase_start.map(|t| {
+            rec.observe(m_admit, t.elapsed().as_nanos() as u64);
+            Instant::now()
+        });
         if moves == 0 && rejected == 0 && stall_aborts && !strategy.may_idle(step) {
             break; // stall
         }
         if record_rejections {
             rejected_per_step.push(rejected);
         }
+        rec.add(m_rejected, rejected);
         // Apply: receipts land after all sends are read (store &
         // forward; validation above used the pre-step possession). Each
         // send's *newly received* tokens — `delta` — are the only
         // events that change the aggregates and need counters.
         for (edge, tokens) in timestep.sends() {
             let dst = g.edge(edge).dst;
+            rec.series_add(m_arc_tokens, edge.index(), tokens.len() as u64);
             delta.copy_from(tokens);
             delta.subtract(&possession[dst.index()]);
+            rec.add(m_dups, (tokens.len() - delta.len()) as u64);
             duplicate_deliveries += (tokens.len() - delta.len()) as u64;
             if delta.is_empty() {
                 continue;
@@ -365,6 +446,12 @@ pub fn simulate_with<M: Medium>(
             }
         }
         schedule.push_timestep(timestep);
+        if let Some(t) = phase_start {
+            rec.observe(m_apply, t.elapsed().as_nanos() as u64);
+        }
+        rec.add(m_steps, 1);
+        rec.add(m_moves, moves);
+        rec.observe(m_step_moves, moves);
         step += 1;
         trace.push(StepRecord {
             step: step - 1,
@@ -374,6 +461,7 @@ pub fn simulate_with<M: Medium>(
         });
         success = remaining == 0;
     }
+    rec.set(g_remaining, remaining as i64);
 
     debug_assert_eq!(
         fresh,
@@ -395,6 +483,7 @@ pub fn simulate_with<M: Medium>(
         },
         capacity_trace,
         rejected_per_step,
+        metrics: None,
     }
 }
 
@@ -571,6 +660,125 @@ mod tests {
         let step_total: u64 = report.trace.iter().map(|r| r.nanos).sum();
         assert!(step_total <= report.wall_nanos, "steps are part of the run");
         assert!(report.mean_step_nanos().is_some());
+    }
+
+    #[test]
+    fn metrics_snapshot_matches_report() {
+        let instance = single_file(classic::cycle(5, 3, true), 6, 0);
+        let config = SimConfig {
+            metrics: true,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        let outcome = simulate_with(
+            &instance,
+            &mut Flood,
+            &mut crate::medium::Ideal,
+            &config,
+            &mut rng,
+        );
+        let snap = outcome.metrics.as_ref().expect("metrics enabled");
+        assert_eq!(
+            snap.counter("engine.steps"),
+            Some(outcome.report.steps as u64)
+        );
+        assert_eq!(snap.counter("engine.moves"), Some(outcome.report.bandwidth));
+        assert_eq!(
+            snap.counter("engine.duplicate_deliveries"),
+            Some(outcome.report.duplicate_deliveries)
+        );
+        assert_eq!(snap.counter("engine.rejected_moves"), Some(0));
+        assert_eq!(snap.gauge("engine.vertices"), Some(5));
+        assert_eq!(snap.gauge("engine.remaining_need"), Some(0));
+        let arc_tokens = snap.series("engine.arc_tokens").expect("per-arc series");
+        assert_eq!(
+            arc_tokens.len(),
+            instance.graph().edge_count(),
+            "one slot per arc"
+        );
+        assert_eq!(
+            arc_tokens.iter().sum::<u64>(),
+            outcome.report.bandwidth,
+            "arc utilization sums to total bandwidth"
+        );
+        let hist = snap.histogram("engine.step_moves").expect("move histogram");
+        assert_eq!(hist.count, outcome.report.steps as u64);
+        assert_eq!(hist.sum, outcome.report.bandwidth);
+        // Timings were not requested: histograms exist but stay empty,
+        // keeping the snapshot deterministic.
+        assert_eq!(snap.histogram("engine.plan_nanos").unwrap().count, 0);
+        // Embedding survives the record round trip.
+        let record = outcome.to_record(&instance, "flood", "ideal", 21);
+        record.certify().unwrap();
+        assert_eq!(record.metrics.as_ref(), Some(snap));
+    }
+
+    #[test]
+    fn metrics_disabled_yields_none() {
+        let instance = single_file(classic::cycle(5, 3, true), 6, 0);
+        let mut rng = StdRng::seed_from_u64(22);
+        let outcome = simulate_with(
+            &instance,
+            &mut Flood,
+            &mut crate::medium::Ideal,
+            &SimConfig::default(),
+            &mut rng,
+        );
+        assert!(outcome.metrics.is_none());
+        let record = outcome.to_record(&instance, "flood", "ideal", 22);
+        record.certify().unwrap();
+    }
+
+    #[test]
+    fn same_seed_snapshots_are_byte_identical() {
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        let config = SimConfig {
+            metrics: true,
+            ..Default::default()
+        };
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(33);
+            let mut strategy = crate::StrategyKind::Random.build();
+            simulate_with(
+                &instance,
+                strategy.as_mut(),
+                &mut crate::medium::Ideal,
+                &config,
+                &mut rng,
+            )
+            .metrics
+            .unwrap()
+            .to_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn metric_timings_populate_phase_histograms() {
+        let instance = single_file(classic::cycle(5, 3, true), 6, 0);
+        let config = SimConfig {
+            metrics: true,
+            metric_timings: true,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(23);
+        let outcome = simulate_with(
+            &instance,
+            &mut Flood,
+            &mut crate::medium::Ideal,
+            &config,
+            &mut rng,
+        );
+        let snap = outcome.metrics.unwrap();
+        let steps = outcome.report.steps as u64;
+        for name in [
+            "engine.plan_nanos",
+            "engine.admit_nanos",
+            "engine.apply_nanos",
+        ] {
+            let h = snap.histogram(name).unwrap();
+            assert_eq!(h.count, steps, "{name} observed once per step");
+        }
     }
 
     #[test]

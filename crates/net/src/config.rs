@@ -116,20 +116,56 @@ impl Default for NetConfig {
 }
 
 impl NetConfig {
+    /// Checks the configuration for values the runtime cannot honor.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when `latency` is 0 (store-and-forward
+    /// needs at least one tick on the link) or a loss probability is
+    /// outside `[0, 1]` / non-finite.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.latency == 0 {
+            return Err("net config: latency must be >= 1 (store-and-forward)".into());
+        }
+        for (name, p) in [("loss", self.loss), ("control_loss", self.control_loss)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!(
+                    "net config: {name} must be a probability in [0, 1], got {p}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// The effective retry/in-flight timeout: the configured value, or a
     /// derived one covering a full round trip (request there, token
-    /// back, worst-case jitter) with slack.
+    /// back, worst-case jitter) with slack. The derivation saturates
+    /// instead of wrapping, so extreme configured latencies degrade to
+    /// `u32::MAX` rather than to a uselessly small timeout.
     #[must_use]
     pub fn effective_timeout(&self) -> u32 {
         self.request_timeout
-            .unwrap_or(2 * self.control_latency + self.latency + self.jitter + 2)
+            .unwrap_or_else(|| {
+                self.control_latency
+                    .saturating_mul(2)
+                    .saturating_add(self.latency)
+                    .saturating_add(self.jitter)
+                    .saturating_add(2)
+            })
             .max(1)
     }
 
     /// Backoff-scaled timeout for the `attempts`-th retry.
+    ///
+    /// The doubling count is capped at `max_backoff_exp` *and* at 63 —
+    /// a `u64` cannot represent more doublings, and a configured
+    /// `max_backoff_exp >= 64` must not turn into a shift overflow
+    /// (debug panic / release wraparound to a tiny timeout). The
+    /// multiply saturates to `u64::MAX` for the same reason.
     #[must_use]
     pub fn backoff_timeout(&self, attempts: u32) -> u64 {
-        u64::from(self.effective_timeout()) << attempts.min(self.max_backoff_exp)
+        let exp = attempts.min(self.max_backoff_exp).min(63);
+        u64::from(self.effective_timeout()).saturating_mul(1u64 << exp)
     }
 
     /// Whether this configuration is the lockstep-equivalent ideal mode
@@ -184,5 +220,83 @@ mod tests {
             ..NetConfig::default()
         };
         assert_eq!(fixed.effective_timeout(), 5);
+    }
+
+    #[test]
+    fn backoff_exponent_clamps_instead_of_overflowing() {
+        // Regression: `max_backoff_exp >= 64` used to overflow the
+        // `u64 <<` (debug panic, release wrap to a tiny timeout).
+        let base = u64::from(NetConfig::default().effective_timeout());
+        for exp in [63, 64, u32::MAX] {
+            let config = NetConfig {
+                max_backoff_exp: exp,
+                ..NetConfig::default()
+            };
+            assert_eq!(config.backoff_timeout(0), base, "exp {exp}: no retries yet");
+            let huge = config.backoff_timeout(u32::MAX);
+            assert_eq!(
+                huge,
+                base.saturating_mul(1u64 << 63),
+                "exp {exp}: doublings cap at 63"
+            );
+            assert!(huge >= config.backoff_timeout(62), "monotone in attempts");
+        }
+        // A base timeout of 2+ saturates the multiply at u64::MAX.
+        let config = NetConfig {
+            request_timeout: Some(2),
+            max_backoff_exp: u32::MAX,
+            ..NetConfig::default()
+        };
+        assert_eq!(config.backoff_timeout(63), u64::MAX);
+    }
+
+    #[test]
+    fn derived_timeout_saturates_on_extreme_latencies() {
+        // Regression: the round-trip derivation used plain u32
+        // arithmetic and wrapped for large configured latencies.
+        let config = NetConfig {
+            latency: u32::MAX,
+            jitter: u32::MAX,
+            control_latency: u32::MAX,
+            ..NetConfig::default()
+        };
+        assert_eq!(config.effective_timeout(), u32::MAX);
+        let near = NetConfig {
+            control_latency: u32::MAX / 2,
+            ..NetConfig::default()
+        };
+        assert_eq!(near.effective_timeout(), u32::MAX, "2x control saturates");
+        // An explicit request_timeout bypasses the derivation entirely.
+        let fixed = NetConfig {
+            latency: u32::MAX,
+            request_timeout: Some(7),
+            ..NetConfig::default()
+        };
+        assert_eq!(fixed.effective_timeout(), 7);
+    }
+
+    #[test]
+    fn validate_rejects_unusable_configs() {
+        assert!(NetConfig::default().validate().is_ok());
+        let zero_latency = NetConfig {
+            latency: 0,
+            ..NetConfig::default()
+        };
+        assert!(zero_latency.validate().unwrap_err().contains("latency"));
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let lossy = NetConfig {
+                loss: bad,
+                ..NetConfig::default()
+            };
+            assert!(lossy.validate().unwrap_err().contains("loss"), "{bad}");
+            let ctrl = NetConfig {
+                control_loss: bad,
+                ..NetConfig::default()
+            };
+            assert!(
+                ctrl.validate().unwrap_err().contains("control_loss"),
+                "{bad}"
+            );
+        }
     }
 }

@@ -120,6 +120,68 @@ impl NetReport {
     pub fn completion_histogram(&self, bucket_width: u64) -> CompletionHistogram {
         CompletionHistogram::from_completions(&self.completion_ticks, bucket_width)
     }
+
+    /// Feeds the report's vertex/link counters and token accounting
+    /// into the suite-wide metrics registry and returns the snapshot —
+    /// the `net.*` counterpart of the engine's `engine.*` metrics, in
+    /// the same [`MetricsSnapshot`](ocd_core::MetricsSnapshot) schema
+    /// the bench rollups and `RunRecord` artifacts consume.
+    ///
+    /// Everything here derives from the deterministic run state, so
+    /// equal-seed runs snapshot byte-identically.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> ocd_core::MetricsSnapshot {
+        use ocd_core::{MetricsRegistry, Recorder};
+        let mut reg = MetricsRegistry::new();
+        for (name, value) in [
+            ("net.ticks", self.ticks),
+            ("net.tokens_delivered", self.tokens_delivered),
+            ("net.tokens_lost", self.tokens_lost),
+            ("net.tokens_dropped_crashed", self.tokens_dropped_crashed),
+            ("net.tokens_unresolved", self.tokens_unresolved),
+            ("net.duplicate_deliveries", self.duplicate_deliveries),
+            ("net.retransmits", self.retransmits),
+        ] {
+            let c = reg.counter(name);
+            reg.add(c, value);
+        }
+        for kind in MsgKind::ALL {
+            let c = reg.counter(&format!("net.msgs_sent.{}", kind.name()));
+            reg.add(c, self.messages_sent[kind.index()]);
+        }
+        let timeouts = reg.counter("net.request_timeouts");
+        let crashes = reg.counter("net.crashes");
+        let vertex_timeouts = reg.series("net.vertex_request_timeouts", self.vertex_counters.len());
+        for (v, vc) in self.vertex_counters.iter().enumerate() {
+            reg.add(timeouts, vc.request_timeouts);
+            reg.add(crashes, vc.crashes);
+            reg.series_add(vertex_timeouts, v, vc.request_timeouts);
+        }
+        let arcs = self.link_counters.len();
+        let sent = reg.series("net.arc_tokens_sent", arcs);
+        let delivered = reg.series("net.arc_tokens_delivered", arcs);
+        let lost = reg.series("net.arc_tokens_lost", arcs);
+        let retrans = reg.series("net.arc_retransmits", arcs);
+        let depth = reg.series("net.arc_max_queue_depth", arcs);
+        for (e, lc) in self.link_counters.iter().enumerate() {
+            reg.series_add(sent, e, lc.tokens_sent);
+            reg.series_add(delivered, e, lc.tokens_delivered);
+            reg.series_add(lost, e, lc.tokens_lost);
+            reg.series_add(retrans, e, lc.retransmits);
+            reg.series_add(depth, e, lc.max_queue_depth as u64);
+        }
+        let completion = reg.histogram("net.completion_ticks");
+        let mut unfinished = 0i64;
+        for c in &self.completion_ticks {
+            match c {
+                Some(tick) => reg.observe(completion, *tick),
+                None => unfinished += 1,
+            }
+        }
+        let g = reg.gauge("net.unfinished_vertices");
+        reg.set(g, unfinished);
+        reg.snapshot()
+    }
 }
 
 /// An entry in a receiver's outstanding-request table.
@@ -182,7 +244,7 @@ pub fn run_swarm(
     faults: &FaultPlan,
     rng: &mut dyn RngCore,
 ) -> NetReport {
-    assert!(config.latency >= 1, "data latency must be at least 1 tick");
+    config.validate().expect("invalid net config");
     let g = instance.graph();
     let n = g.node_count();
     let m = instance.num_tokens();
@@ -860,6 +922,71 @@ mod tests {
         );
         let instance = single_file(classic::cycle(6, 2, true), 8, 0);
         assert!(validate::replay(&instance, &report.schedule).is_ok());
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_report_counters() {
+        let config = NetConfig {
+            policy: NetPolicy::Local,
+            latency: 3,
+            jitter: 2,
+            loss: 0.15,
+            control_latency: 1,
+            ..NetConfig::default()
+        };
+        let report = run(&config, 11);
+        let snap = report.metrics_snapshot();
+        assert_eq!(snap.counter("net.ticks"), Some(report.ticks));
+        assert_eq!(
+            snap.counter("net.tokens_delivered"),
+            Some(report.tokens_delivered)
+        );
+        assert_eq!(snap.counter("net.tokens_lost"), Some(report.tokens_lost));
+        assert_eq!(snap.counter("net.retransmits"), Some(report.retransmits));
+        assert_eq!(
+            snap.counter("net.msgs_sent.token"),
+            Some(report.messages_sent[MsgKind::Token.index()])
+        );
+        let timeouts: u64 = report
+            .vertex_counters
+            .iter()
+            .map(|v| v.request_timeouts)
+            .sum();
+        assert_eq!(snap.counter("net.request_timeouts"), Some(timeouts));
+        assert_eq!(
+            snap.series("net.vertex_request_timeouts")
+                .unwrap()
+                .iter()
+                .sum::<u64>(),
+            timeouts,
+            "per-vertex series sums to the total"
+        );
+        let sent = snap.series("net.arc_tokens_sent").unwrap();
+        assert_eq!(sent.len(), report.link_counters.len());
+        assert_eq!(
+            sent.iter().sum::<u64>(),
+            report.bandwidth(),
+            "per-arc sends sum to total bandwidth"
+        );
+        let completion = snap.histogram("net.completion_ticks").unwrap();
+        assert_eq!(completion.count, 6, "every vertex completed");
+        assert_eq!(snap.gauge("net.unfinished_vertices"), Some(0));
+        // Derived deterministically from the report: same seed,
+        // byte-identical snapshot.
+        assert_eq!(
+            run(&config, 11).metrics_snapshot().to_json(),
+            snap.to_json()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid net config")]
+    fn run_swarm_rejects_invalid_config() {
+        let config = NetConfig {
+            loss: 2.0,
+            ..NetConfig::default()
+        };
+        let _ = run(&config, 1);
     }
 
     #[test]

@@ -79,18 +79,24 @@ pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
 /// deserializes it. The remove keeps repeated lookups O(total), and
 /// ignores unknown fields like upstream serde's default.
 ///
+/// A field absent from the map deserializes as [`Value::Null`], which
+/// only `Option<T>` accepts (as `None`) — so adding an `Option` field
+/// to a struct keeps older serialized data readable (schema-version
+/// tolerance), while a missing mandatory field still errors.
+///
 /// # Errors
 ///
-/// Missing field, or the field's own deserialization error.
+/// Missing non-optional field, or the field's own deserialization
+/// error.
 pub fn take_field<T: DeserializeOwned>(
     map: &mut Vec<(String, Value)>,
     struct_name: &str,
     name: &str,
 ) -> Result<T, ValueError> {
-    let idx = map
-        .iter()
-        .position(|(k, _)| k == name)
-        .ok_or_else(|| ValueError(format!("missing field `{name}` of struct {struct_name}")))?;
+    let Some(idx) = map.iter().position(|(k, _)| k == name) else {
+        return from_value(Value::Null)
+            .map_err(|_| ValueError(format!("missing field `{name}` of struct {struct_name}")));
+    };
     let (_, value) = map.swap_remove(idx);
     from_value(value)
         .map_err(|e| ValueError(format!("field `{name}` of struct {struct_name}: {e}")))
