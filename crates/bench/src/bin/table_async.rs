@@ -17,6 +17,19 @@ use ocd_graph::generate::paper_random;
 use ocd_net::{run_swarm, FaultPlan, NetConfig, NetPolicy};
 use rand::prelude::*;
 
+/// The most frequent bottleneck arc across runs (ties to the
+/// lexicographically smallest label), or `-` when no run had one.
+fn modal_arc(labels: &[String]) -> String {
+    let mut counts = std::collections::BTreeMap::new();
+    for label in labels {
+        *counts.entry(label.as_str()).or_insert(0u32) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|(a, ca), (b, cb)| ca.cmp(cb).then(b.cmp(a)))
+        .map_or_else(|| "-".to_string(), |(label, _)| label.to_string())
+}
+
 fn main() {
     let args = ExpArgs::from_env();
     let (n, tokens) = if args.quick { (20, 16) } else { (40, 48) };
@@ -37,7 +50,9 @@ fn main() {
     ];
 
     // The trailing metrics column group is read from the unified
-    // `net.*` metrics snapshot rather than ad-hoc report fields.
+    // `net.*` metrics snapshot rather than ad-hoc report fields;
+    // `crit_len`/`crit_arc` come from the runtime-recorded causal
+    // provenance (the trace survives loss, crashes, and retries).
     let mut table = Table::new([
         "condition",
         "policy",
@@ -49,6 +64,8 @@ fn main() {
         "timeouts",
         "ctrl_msgs",
         "max_queue",
+        "crit_len",
+        "crit_arc",
     ]);
     for (label, latency, jitter, loss, with_crash) in conditions {
         for policy in [NetPolicy::Random, NetPolicy::Local] {
@@ -60,6 +77,7 @@ fn main() {
                 control_latency: 1.min(latency - 1),
                 control_loss: loss / 2.0,
                 have_refresh: 6,
+                record_provenance: true,
                 ..NetConfig::default()
             };
             let faults = if with_crash {
@@ -74,6 +92,8 @@ fn main() {
             let mut timeouts = Vec::new();
             let mut ctrl_msgs = Vec::new();
             let mut max_queue = Vec::new();
+            let mut crit_len = Vec::new();
+            let mut crit_arcs = Vec::new();
             let mut successes = 0u32;
             for r in 0..runs {
                 let mut run_rng = StdRng::seed_from_u64(args.seed ^ ((r as u64) << 7));
@@ -100,6 +120,13 @@ fn main() {
                         snap.series("net.arc_max_queue_depth")
                             .map_or(0, |s| s.iter().copied().max().unwrap_or(0)),
                     );
+                    let prov = report.provenance.as_ref().expect("record_provenance is on");
+                    let analysis = prov.analyze(&instance);
+                    crit_len.push(analysis.crit_len() as u64);
+                    if let Some(arc) = analysis.crit_arc() {
+                        let e = instance.graph().edge(arc);
+                        crit_arcs.push(format!("{}->{}", e.src.index(), e.dst.index()));
+                    }
                 }
             }
             table.row([
@@ -113,6 +140,8 @@ fn main() {
                 Summary::of_ints(&timeouts).to_string(),
                 Summary::of_ints(&ctrl_msgs).to_string(),
                 Summary::of_ints(&max_queue).to_string(),
+                Summary::of_ints(&crit_len).to_string(),
+                modal_arc(&crit_arcs),
             ]);
         }
     }

@@ -6,7 +6,7 @@
 use ocd_bench::args::ExpArgs;
 use ocd_bench::stats::Summary;
 use ocd_bench::table::Table;
-use ocd_core::bounds;
+use ocd_core::{bounds, ProvenanceTrace};
 use ocd_graph::generate::paper_random;
 use ocd_heuristics::dynamics::{
     AdversarialCuts, Churn, CrossTraffic, LinkOutages, NetworkDynamics, StaticNetwork,
@@ -46,6 +46,19 @@ fn conditions() -> Vec<(&'static str, ConditionFactory)> {
     ]
 }
 
+/// The most frequent bottleneck arc across runs (ties to the
+/// lexicographically smallest label), or `-` when no run had one.
+fn modal_arc(labels: &[String]) -> String {
+    let mut counts = std::collections::BTreeMap::new();
+    for label in labels {
+        *counts.entry(label.as_str()).or_insert(0u32) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|(a, ca), (b, cb)| ca.cmp(cb).then(b.cmp(a)))
+        .map_or_else(|| "-".to_string(), |(label, _)| label.to_string())
+}
+
 fn main() {
     let args = ExpArgs::from_env();
     let (n, tokens) = if args.quick { (24, 24) } else { (60, 64) };
@@ -76,12 +89,16 @@ fn main() {
         "moves",
         "bandwidth",
         "duplicate_deliveries",
+        "crit_len",
+        "crit_arc",
     ]);
     for (label, mut make) in conditions() {
         for kind in kinds {
             let mut moves = Vec::new();
             let mut bandwidth = Vec::new();
             let mut duplicates = Vec::new();
+            let mut crit_len = Vec::new();
+            let mut crit_arcs = Vec::new();
             let mut successes = 0u32;
             for r in 0..runs {
                 let mut strategy = kind.build();
@@ -107,6 +124,16 @@ fn main() {
                     moves.push(outcome.report.steps as u64);
                     bandwidth.push(outcome.report.bandwidth);
                     duplicates.push(outcome.report.duplicate_deliveries);
+                    // Post-hoc causal provenance: critical-path length
+                    // and the arc carrying the most critical hops.
+                    let analysis =
+                        ProvenanceTrace::from_schedule(&instance, &outcome.report.schedule)
+                            .analyze(&instance);
+                    crit_len.push(analysis.crit_len() as u64);
+                    if let Some(arc) = analysis.crit_arc() {
+                        let e = instance.graph().edge(arc);
+                        crit_arcs.push(format!("{}->{}", e.src.index(), e.dst.index()));
+                    }
                 }
             }
             table.row([
@@ -116,6 +143,8 @@ fn main() {
                 Summary::of_ints(&moves).to_string(),
                 Summary::of_ints(&bandwidth).to_string(),
                 Summary::of_ints(&duplicates).to_string(),
+                Summary::of_ints(&crit_len).to_string(),
+                modal_arc(&crit_arcs),
             ]);
         }
     }

@@ -1,7 +1,7 @@
 //! Command execution for the `ocd` tool.
 
 use crate::opts::{Command, USAGE};
-use ocd_core::{bounds, prune, Instance, Schedule};
+use ocd_core::{bounds, prune, Instance, ProvenanceTrace, Schedule};
 use ocd_graph::generate::{classic, gnp, transit_stub, GnpConfig, TransitStubConfig};
 use ocd_graph::{algo, io as gio, DiGraph};
 use ocd_heuristics::{simulate, simulate_with, Dynamic, Ideal, SimConfig, StrategyKind};
@@ -116,6 +116,10 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 // snapshots must be byte-identical across equal-seed
                 // invocations, so wall-clock timings stay off.
                 metrics: metrics.is_some(),
+                // `--record` artifacts embed the causal provenance
+                // digest (RunRecord schema v3), which `certify`
+                // cross-checks against a schedule replay.
+                provenance: record.is_some(),
                 ..SimConfig::default()
             };
             let mut rng = StdRng::seed_from_u64(*seed);
@@ -230,7 +234,54 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     None => "none".to_string(),
                 }
             );
+            let _ = writeln!(
+                out,
+                "provenance: {}",
+                match &rec.provenance {
+                    Some(digest) =>
+                        format!("embedded ({} first-acquisitions)", digest.entries.len()),
+                    None => "none".to_string(),
+                }
+            );
             Ok(out)
+        }
+        Command::TraceAnalyze { record } => {
+            let (rec, trace) = load_certified_trace(record)?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "record:     {record} (strategy {}, medium {}, seed {})",
+                rec.strategy, rec.medium, rec.seed
+            );
+            let _ = writeln!(
+                out,
+                "provenance: {}",
+                if rec.provenance.is_some() {
+                    "embedded digest"
+                } else {
+                    "derived from schedule replay"
+                }
+            );
+            out.push_str(&trace.analyze(&rec.instance).render(&rec.instance));
+            Ok(out)
+        }
+        Command::TraceExport {
+            record,
+            format,
+            out,
+        } => {
+            let (rec, trace) = load_certified_trace(record)?;
+            let rendered = match format.as_str() {
+                "chrome" => trace.to_chrome_json(&rec.instance),
+                "json" => trace.to_json(),
+                "csv" => trace.to_csv(),
+                other => {
+                    return Err(format!(
+                        "unknown trace format `{other}` (use chrome|json|csv)"
+                    ))
+                }
+            };
+            emit(out.as_deref(), rendered)
         }
         Command::NetRun {
             instance,
@@ -307,6 +358,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     "incomplete"
                 }
             );
+            if report.trace.truncated() {
+                let _ = writeln!(
+                    out,
+                    "warning: event trace ring buffer wrapped; {} oldest events dropped",
+                    report.trace.events_dropped()
+                );
+            }
             if let Some(path) = trace {
                 let rendered = if path.ends_with(".csv") {
                     report.trace.to_csv()
@@ -550,6 +608,22 @@ fn load_graph(path: &str) -> Result<DiGraph, String> {
     }
 }
 
+/// Loads a `RunRecord`, certifies it, and produces its provenance
+/// trace: the embedded digest when present, otherwise derived post hoc
+/// by replaying the certified schedule (both agree by construction —
+/// `certify` cross-checks any embedded digest against the replay).
+fn load_certified_trace(path: &str) -> Result<(ocd_core::RunRecord, ProvenanceTrace), String> {
+    let rec =
+        ocd_core::RunRecord::read_json(path.as_ref()).map_err(|e| format!("read {path}: {e}"))?;
+    rec.certify()
+        .map_err(|e| format!("{path}: certification FAILED: {e}"))?;
+    let trace = match &rec.provenance {
+        Some(digest) => ProvenanceTrace::from_record(digest),
+        None => ProvenanceTrace::from_schedule(&rec.instance, &rec.schedule),
+    };
+    Ok((rec, trace))
+}
+
 fn load_instance(path: &str) -> Result<Instance, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
@@ -694,10 +768,12 @@ mod tests {
         let csv_text = std::fs::read_to_string(&csv).unwrap();
         assert!(csv_text.starts_with("kind,name,key,value"));
         assert!(csv_text.contains("counter,engine.steps"));
-        // `certify` accepts the metrics-embedding (v2) record...
+        // `certify` accepts the metrics- and provenance-embedding (v3)
+        // record...
         let certified = run(&["certify", "--record", &record]).unwrap();
-        assert!(certified.contains("certified (version 2"), "{certified}");
-        assert!(certified.contains("embedded ("), "{certified}");
+        assert!(certified.contains("certified (version 3"), "{certified}");
+        assert!(certified.contains("metrics:    embedded ("), "{certified}");
+        assert!(certified.contains("provenance: embedded ("), "{certified}");
         // ...and a record without metrics reports `none`.
         let plain_record = tmp("metrics_plain_record.json");
         run(&[
@@ -719,6 +795,94 @@ mod tests {
         rec.bandwidth += 1;
         rec.write_json(record.as_ref()).unwrap();
         let err = run(&["certify", "--record", &record]).unwrap_err();
+        assert!(err.contains("certification FAILED"), "{err}");
+    }
+
+    #[test]
+    fn trace_analyze_and_export_artifacts() {
+        let inst = tmp("trace_inst.json");
+        run(&[
+            "instance",
+            "--graph",
+            "unused",
+            "--scenario",
+            "figure-one",
+            "--out",
+            &inst,
+        ])
+        .unwrap();
+        let record = tmp("trace_record.json");
+        let make_record = || {
+            run(&[
+                "run",
+                "--instance",
+                &inst,
+                "--strategy",
+                "random",
+                "--seed",
+                "11",
+                "--record",
+                &record,
+            ])
+            .unwrap();
+        };
+        make_record();
+        // Analysis certifies the record, then prints the critical path
+        // and the per-arc bottleneck table.
+        let analysis = run(&["trace", "analyze", "--record", &record]).unwrap();
+        assert!(
+            analysis.contains("provenance: embedded digest"),
+            "{analysis}"
+        );
+        assert!(analysis.contains("critical path:"), "{analysis}");
+        assert!(
+            analysis.contains("per-arc bottleneck attribution"),
+            "{analysis}"
+        );
+        assert!(
+            analysis.contains("token dissemination trees:"),
+            "{analysis}"
+        );
+        // All three export formats write, and equal seeds give
+        // byte-identical artifact *files*.
+        let chrome_a = tmp("trace_a.chrome.json");
+        let chrome_b = tmp("trace_b.chrome.json");
+        run(&["trace", "export", "--record", &record, "--out", &chrome_a]).unwrap();
+        make_record();
+        run(&[
+            "trace", "export", "--record", &record, "--format", "chrome", "--out", &chrome_b,
+        ])
+        .unwrap();
+        let a = std::fs::read(&chrome_a).unwrap();
+        assert_eq!(a, std::fs::read(&chrome_b).unwrap());
+        assert!(std::str::from_utf8(&a)
+            .unwrap()
+            .starts_with("{\"traceEvents\":["));
+        let csv = run(&["trace", "export", "--record", &record, "--format", "csv"]).unwrap();
+        assert!(csv.starts_with("vertex,token,src,edge,step\n"), "{csv}");
+        let json = run(&["trace", "export", "--record", &record, "--format", "json"]).unwrap();
+        assert!(json.contains("\"entries\""), "{json}");
+        assert!(
+            run(&["trace", "export", "--record", &record, "--format", "dot"])
+                .unwrap_err()
+                .contains("unknown trace format")
+        );
+        // A record without an embedded digest still analyzes: the trace
+        // is derived by replaying the certified schedule.
+        let text = std::fs::read_to_string(&record).unwrap();
+        let mut rec: ocd_core::RunRecord = serde_json::from_str(&text).unwrap();
+        rec.provenance = None;
+        rec.write_json(record.as_ref()).unwrap();
+        let derived = run(&["trace", "analyze", "--record", &record]).unwrap();
+        assert!(
+            derived.contains("provenance: derived from schedule replay"),
+            "{derived}"
+        );
+        assert!(derived.contains("critical path:"), "{derived}");
+        // A tampered record is rejected before any analysis.
+        rec.bandwidth += 1;
+        rec.write_json(record.as_ref()).unwrap();
+        let err = run(&["trace", "analyze", "--record", &record]).unwrap_err();
         assert!(err.contains("certification FAILED"), "{err}");
     }
 

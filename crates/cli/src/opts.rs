@@ -138,6 +138,22 @@ pub enum Command {
         /// RunRecord JSON path.
         record: String,
     },
+    /// `ocd trace analyze`: critical path + per-arc bottleneck
+    /// attribution of a certified `RunRecord`.
+    TraceAnalyze {
+        /// RunRecord JSON path.
+        record: String,
+    },
+    /// `ocd trace export`: render a run's causal provenance trace as
+    /// Chrome/Perfetto, native JSON, or CSV.
+    TraceExport {
+        /// RunRecord JSON path.
+        record: String,
+        /// Output format: `chrome`, `json`, or `csv`.
+        format: String,
+        /// Output file (stdout if `None`).
+        out: Option<String>,
+    },
     /// `ocd help`.
     Help,
 }
@@ -154,6 +170,7 @@ pub(crate) const SUBCOMMANDS: &[&str] = &[
     "reduce-ds",
     "compare",
     "certify",
+    "trace",
     "help",
 ];
 
@@ -178,6 +195,8 @@ USAGE:
   ocd reduce-ds --graph <FILE> --k <K>
   ocd compare   --instance <FILE> [--runs <N>] [--seed <S>]
   ocd certify   --record <FILE>
+  ocd trace     analyze --record <FILE>
+  ocd trace     export  --record <FILE> [--format <chrome|json|csv>] [--out <FILE>]
   ocd help
 ";
 
@@ -316,6 +335,32 @@ pub fn parse(args: Vec<String>) -> Result<Command, String> {
             Ok(Command::Certify {
                 record: f.req("record")?,
             })
+        }
+        "trace" => {
+            let Some((mode, rest)) = rest.split_first() else {
+                return Err(format!(
+                    "trace requires a mode: analyze | export\n\n{USAGE}"
+                ));
+            };
+            match mode.as_str() {
+                "analyze" => {
+                    let f = Flags::parse(rest, &[])?;
+                    Ok(Command::TraceAnalyze {
+                        record: f.req("record")?,
+                    })
+                }
+                "export" => {
+                    let f = Flags::parse(rest, &[])?;
+                    Ok(Command::TraceExport {
+                        record: f.req("record")?,
+                        format: f.opt("format", "chrome".to_string())?,
+                        out: f.values.get("out").cloned(),
+                    })
+                }
+                other => Err(format!(
+                    "unknown trace mode `{other}` (use analyze | export)"
+                )),
+            }
         }
         "solve" => {
             let f = Flags::parse(rest, &[])?;
@@ -484,6 +529,38 @@ mod tests {
             }
         );
         assert!(parse_err(&["certify"]).contains("--record"));
+    }
+
+    #[test]
+    fn trace_modes_parse() {
+        assert_eq!(
+            parse_ok(&["trace", "analyze", "--record", "r.json"]),
+            Command::TraceAnalyze {
+                record: "r.json".into()
+            }
+        );
+        assert_eq!(
+            parse_ok(&["trace", "export", "--record", "r.json"]),
+            Command::TraceExport {
+                record: "r.json".into(),
+                format: "chrome".into(),
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse_ok(&[
+                "trace", "export", "--record", "r.json", "--format", "csv", "--out", "t.csv",
+            ]),
+            Command::TraceExport {
+                record: "r.json".into(),
+                format: "csv".into(),
+                out: Some("t.csv".into()),
+            }
+        );
+        assert!(parse_err(&["trace"]).contains("analyze | export"));
+        assert!(parse_err(&["trace", "splice"]).contains("unknown trace mode"));
+        assert!(parse_err(&["trace", "analyze"]).contains("--record"));
+        assert_eq!(parse_ok(&["trace", "analyze", "--help"]), Command::Help);
     }
 
     #[test]

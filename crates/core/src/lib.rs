@@ -27,6 +27,9 @@
 //! - [`metrics`]: the suite-wide observability layer — a dependency-free
 //!   registry of counters/gauges/log2-histograms behind a [`Recorder`]
 //!   trait whose no-op impl monomorphizes away.
+//! - [`provenance`]: the causal token-provenance layer — who delivered
+//!   each token to each vertex, with critical-path/bottleneck analysis
+//!   and Chrome/Perfetto export, behind a zero-cost [`ProvenanceHook`].
 //! - [`record`]: the self-certifying JSON run artifact ([`RunRecord`])
 //!   shared by the engine, the CLI, and the bench pipeline.
 //! - [`scenario`]: generators for every experimental scenario in §5.
@@ -62,6 +65,7 @@ pub mod coding;
 mod instance;
 pub mod knowledge;
 pub mod metrics;
+pub mod provenance;
 pub mod prune;
 pub mod record;
 pub mod scenario;
@@ -71,6 +75,7 @@ pub mod validate;
 
 pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
+pub use provenance::{NoopProvenance, ProvenanceHook, ProvenanceRecord, ProvenanceTrace};
 pub use record::{RecordError, RunRecord, StepTrace};
 pub use schedule::{Move, Schedule, ScheduleRecorder, Timestep};
 pub use token::{Token, TokenSet};

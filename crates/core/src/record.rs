@@ -14,6 +14,7 @@
 //! --record` writes them, and `ocd-bench` consumes them for its tables.
 
 use crate::metrics::MetricsSnapshot;
+use crate::provenance::{ProvenanceRecord, ProvenanceTrace};
 use crate::validate::{self, ScheduleError};
 use crate::{Instance, Schedule};
 use serde::{Deserialize, Serialize};
@@ -24,9 +25,12 @@ use std::path::Path;
 /// Current schema version; bump when a field changes meaning.
 ///
 /// Version history: **1** — original schema; **2** — adds the optional
-/// embedded [`MetricsSnapshot`]. Version-1 artifacts remain readable
-/// and certifiable (see [`RUN_RECORD_MIN_VERSION`]).
-pub const RUN_RECORD_VERSION: u32 = 2;
+/// embedded [`MetricsSnapshot`]; **3** — adds the optional embedded
+/// provenance digest ([`ProvenanceRecord`]), which [`RunRecord::certify`]
+/// cross-checks against the digest derived from replaying the embedded
+/// schedule. Version-1 and version-2 artifacts remain readable and
+/// certifiable (see [`RUN_RECORD_MIN_VERSION`]).
+pub const RUN_RECORD_VERSION: u32 = 3;
 
 /// Oldest schema version [`RunRecord::certify`] still accepts.
 pub const RUN_RECORD_MIN_VERSION: u32 = 1;
@@ -83,6 +87,11 @@ pub struct RunRecord {
     /// (schema version ≥ 2; `None` when absent or on version-1
     /// artifacts).
     pub metrics: Option<MetricsSnapshot>,
+    /// Token-provenance digest of the run, when provenance was enabled
+    /// (schema version ≥ 3; `None` when absent or on older artifacts).
+    /// [`RunRecord::certify`] checks it against the embedded schedule.
+    #[serde(default)]
+    pub provenance: Option<ProvenanceRecord>,
 }
 
 /// Why a [`RunRecord`] failed certification or (de)serialization.
@@ -236,6 +245,17 @@ impl RunRecord {
                 });
             }
         }
+        if let Some(claimed) = &self.provenance {
+            let derived =
+                ProvenanceTrace::from_schedule(&self.instance, &self.schedule).to_record();
+            if *claimed != derived {
+                return Err(RecordError::Mismatch {
+                    field: "provenance",
+                    claimed: format!("digest with {} entries", claimed.entries.len()),
+                    derived: format!("digest with {} entries", derived.entries.len()),
+                });
+            }
+        }
         Ok(replay)
     }
 
@@ -325,6 +345,7 @@ mod tests {
             capacity_trace: Vec::new(),
             rejected_per_step: Vec::new(),
             metrics: None,
+            provenance: None,
         }
     }
 
@@ -379,33 +400,69 @@ mod tests {
     }
 
     #[test]
-    fn certify_accepts_both_schema_versions() {
-        // A version-1 artifact has no `metrics` key at all; it must
-        // still parse (metrics = None) and certify.
+    fn certify_accepts_all_schema_versions() {
+        // A version-1 artifact has neither a `metrics` nor a
+        // `provenance` key; it must still parse (both = None) and
+        // certify.
         let mut record = sample_record();
         record.version = 1;
         let v1_json = record
             .to_json()
             .unwrap()
-            .replace(",\n  \"metrics\": null", "");
+            .replace(",\n  \"metrics\": null", "")
+            .replace(",\n  \"provenance\": null", "");
         assert!(
-            !v1_json.contains("metrics"),
-            "v1 fixture must omit the field"
+            !v1_json.contains("metrics") && !v1_json.contains("provenance"),
+            "v1 fixture must omit both optional fields"
         );
         let v1 = RunRecord::from_json(&v1_json).unwrap();
         assert_eq!(v1.version, 1);
         assert!(v1.metrics.is_none());
+        assert!(v1.provenance.is_none());
         v1.certify().unwrap();
-        // And a current-version record with an embedded snapshot
-        // certifies and round-trips it.
-        let mut v2 = sample_record();
+        // A version-2 artifact carries metrics but no `provenance` key.
+        let mut record = sample_record();
+        record.version = 2;
         let mut reg = crate::metrics::MetricsRegistry::new();
         let c = crate::metrics::Recorder::counter(&mut reg, "engine.moves");
         crate::metrics::Recorder::add(&mut reg, c, 2);
-        v2.metrics = Some(reg.snapshot());
+        record.metrics = Some(reg.snapshot());
+        let v2_json = record
+            .to_json()
+            .unwrap()
+            .replace(",\n  \"provenance\": null", "");
+        assert!(!v2_json.contains("provenance"));
+        let v2 = RunRecord::from_json(&v2_json).unwrap();
+        assert_eq!(v2.version, 2);
+        assert!(v2.provenance.is_none());
+        assert_eq!(v2.metrics, record.metrics);
         v2.certify().unwrap();
-        let back = RunRecord::from_json(&v2.to_json().unwrap()).unwrap();
-        assert_eq!(back.metrics, v2.metrics);
+        // And a current-version record with both embedded extras
+        // certifies and round-trips them.
+        let mut v3 = sample_record();
+        v3.metrics = record.metrics.clone();
+        v3.provenance =
+            Some(ProvenanceTrace::from_schedule(&v3.instance, &v3.schedule).to_record());
+        v3.certify().unwrap();
+        let back = RunRecord::from_json(&v3.to_json().unwrap()).unwrap();
+        assert_eq!(back.metrics, v3.metrics);
+        assert_eq!(back.provenance, v3.provenance);
+    }
+
+    #[test]
+    fn certify_rejects_tampered_provenance() {
+        let mut record = sample_record();
+        let mut digest =
+            ProvenanceTrace::from_schedule(&record.instance, &record.schedule).to_record();
+        digest.entries[0].step += 1; // forge a later acquisition
+        record.provenance = Some(digest);
+        assert!(matches!(
+            record.certify().unwrap_err(),
+            RecordError::Mismatch {
+                field: "provenance",
+                ..
+            }
+        ));
     }
 
     #[test]

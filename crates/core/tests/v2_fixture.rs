@@ -1,0 +1,40 @@
+//! Schema-version tolerance, second rung: a committed version-2
+//! `RunRecord` artifact (written when metrics embedding existed but
+//! before the provenance digest, so it has a `metrics` key and no
+//! `provenance` key) must keep parsing and certifying under the
+//! current (v3) schema. The CI trace smoke step certifies the same
+//! file through the CLI.
+
+use ocd_core::record::{RUN_RECORD_MIN_VERSION, RUN_RECORD_VERSION};
+use ocd_core::RunRecord;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/run_record_v2.json"
+);
+
+#[test]
+fn committed_v2_artifact_still_certifies() {
+    let text = std::fs::read_to_string(FIXTURE).expect("fixture exists");
+    assert!(
+        text.contains("\"metrics\""),
+        "fixture must carry the v2 metrics field"
+    );
+    assert!(
+        !text.contains("\"provenance\""),
+        "fixture must predate the provenance field"
+    );
+    let record = RunRecord::from_json(&text).expect("v2 artifact parses");
+    assert_eq!(record.version, 2);
+    assert!(record.version > RUN_RECORD_MIN_VERSION);
+    assert!(record.version < RUN_RECORD_VERSION, "fixture is old-schema");
+    assert!(record.metrics.is_some(), "v2 fixture embeds metrics");
+    assert!(record.provenance.is_none(), "absent field reads as None");
+    let replay = record.certify().expect("v2 artifact certifies");
+    assert!(replay.is_successful());
+    // Round-tripping through the current serializer upgrades nothing
+    // silently: the version field is preserved as written.
+    let back = RunRecord::from_json(&record.to_json().unwrap()).unwrap();
+    assert_eq!(back.version, 2);
+    back.certify().unwrap();
+}

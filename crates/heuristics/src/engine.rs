@@ -21,6 +21,7 @@ use crate::medium::{Ideal, Medium};
 use crate::{Strategy, WorldView};
 use ocd_core::knowledge::{AggregateKnowledge, DelayedAggregates};
 use ocd_core::metrics::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
+use ocd_core::provenance::{NoopProvenance, ProvenanceHook, ProvenanceTrace};
 use ocd_core::record::{RunRecord, StepTrace, RUN_RECORD_VERSION};
 use ocd_core::{Instance, Schedule, Timestep, TokenSet};
 use rand::RngCore;
@@ -49,6 +50,12 @@ pub struct SimConfig {
     /// byte-identical-snapshot guarantee; keep it off for comparable
     /// artifacts. No effect unless `metrics` is also set.
     pub metric_timings: bool,
+    /// Record causal token provenance (the first-acquisition forest;
+    /// see [`ocd_core::provenance`]) into a [`ProvenanceTrace`] on the
+    /// outcome. Fully deterministic: equal-seed runs produce
+    /// byte-identical trace artifacts. Off by default — the disabled
+    /// path monomorphizes over [`NoopProvenance`] and costs nothing.
+    pub provenance: bool,
 }
 
 impl Default for SimConfig {
@@ -58,6 +65,7 @@ impl Default for SimConfig {
             knowledge_delay: 0,
             metrics: false,
             metric_timings: false,
+            provenance: false,
         }
     }
 }
@@ -154,6 +162,11 @@ pub struct SimOutcome {
     /// Metrics snapshot of the run; `None` unless
     /// [`SimConfig::metrics`] was set.
     pub metrics: Option<MetricsSnapshot>,
+    /// Causal token-provenance trace of the run; `None` unless
+    /// [`SimConfig::provenance`] was set. Identical to the trace
+    /// [`ProvenanceTrace::from_schedule`] derives from the outcome's
+    /// schedule — the live hook just avoids the replay.
+    pub provenance: Option<ProvenanceTrace>,
 }
 
 impl SimOutcome {
@@ -197,6 +210,7 @@ impl SimOutcome {
             capacity_trace: self.capacity_trace.clone(),
             rejected_per_step: self.rejected_per_step.clone(),
             metrics: self.metrics.clone(),
+            provenance: self.provenance.as_ref().map(ProvenanceTrace::to_record),
         }
     }
 }
@@ -244,7 +258,9 @@ pub fn simulate(
 /// [`MetricsSnapshot`] (`engine.*` metrics: headline counters, per-step
 /// move histogram, per-arc utilization series, instance-shape gauges;
 /// phase-timing histograms too under [`SimConfig::metric_timings`]).
-/// When unset, the loop monomorphizes over [`NoopRecorder`] and the
+/// When [`SimConfig::provenance`] is set it also produces a
+/// [`ProvenanceTrace`] of first acquisitions. When unset, the loop
+/// monomorphizes over [`NoopRecorder`] / [`NoopProvenance`] and the
 /// instrumentation compiles away.
 ///
 /// # Panics
@@ -259,26 +275,76 @@ pub fn simulate_with<M: Medium>(
     config: &SimConfig,
     rng: &mut dyn RngCore,
 ) -> SimOutcome {
-    if config.metrics {
-        let mut registry = MetricsRegistry::new();
-        let mut outcome = run_loop(instance, strategy, medium, config, rng, &mut registry);
-        outcome.metrics = Some(registry.snapshot());
-        outcome
-    } else {
-        run_loop(instance, strategy, medium, config, rng, &mut NoopRecorder)
+    let new_trace = || ProvenanceTrace::new(instance.graph().node_count(), instance.num_tokens());
+    match (config.metrics, config.provenance) {
+        (true, true) => {
+            let mut registry = MetricsRegistry::new();
+            let mut prov = new_trace();
+            let mut outcome = run_loop(
+                instance,
+                strategy,
+                medium,
+                config,
+                rng,
+                &mut registry,
+                &mut prov,
+            );
+            outcome.metrics = Some(registry.snapshot());
+            outcome.provenance = Some(prov);
+            outcome
+        }
+        (true, false) => {
+            let mut registry = MetricsRegistry::new();
+            let mut outcome = run_loop(
+                instance,
+                strategy,
+                medium,
+                config,
+                rng,
+                &mut registry,
+                &mut NoopProvenance,
+            );
+            outcome.metrics = Some(registry.snapshot());
+            outcome
+        }
+        (false, true) => {
+            let mut prov = new_trace();
+            let mut outcome = run_loop(
+                instance,
+                strategy,
+                medium,
+                config,
+                rng,
+                &mut NoopRecorder,
+                &mut prov,
+            );
+            outcome.provenance = Some(prov);
+            outcome
+        }
+        (false, false) => run_loop(
+            instance,
+            strategy,
+            medium,
+            config,
+            rng,
+            &mut NoopRecorder,
+            &mut NoopProvenance,
+        ),
     }
 }
 
 /// The monomorphized loop body behind [`simulate_with`]: `R` is either
-/// the live [`MetricsRegistry`] or [`NoopRecorder`] (whose inlined
-/// no-ops make the disabled path identical to the uninstrumented loop).
-fn run_loop<M: Medium, R: Recorder>(
+/// the live [`MetricsRegistry`] or [`NoopRecorder`], and `P` either the
+/// live [`ProvenanceTrace`] or [`NoopProvenance`] (whose inlined no-ops
+/// make the disabled paths identical to the uninstrumented loop).
+fn run_loop<M: Medium, R: Recorder, P: ProvenanceHook>(
     instance: &Instance,
     strategy: &mut dyn Strategy,
     medium: &mut M,
     config: &SimConfig,
     rng: &mut dyn RngCore,
     rec: &mut R,
+    prov: &mut P,
 ) -> SimOutcome {
     let run_start = Instant::now();
     let g = instance.graph();
@@ -427,7 +493,8 @@ fn run_loop<M: Medium, R: Recorder>(
         // send's *newly received* tokens — `delta` — are the only
         // events that change the aggregates and need counters.
         for (edge, tokens) in timestep.sends() {
-            let dst = g.edge(edge).dst;
+            let arc = g.edge(edge);
+            let dst = arc.dst;
             rec.series_add(m_arc_tokens, edge.index(), tokens.len() as u64);
             delta.copy_from(tokens);
             delta.subtract(&possession[dst.index()]);
@@ -437,6 +504,7 @@ fn run_loop<M: Medium, R: Recorder>(
                 continue;
             }
             possession[dst.index()].union_with(&delta);
+            prov.record_delivery(step as u64, edge, arc.src, dst, &delta);
             let satisfied = fresh.apply_delivery(&delta, instance.want(dst));
             remaining -= satisfied;
             let missing_dst = &mut missing[dst.index()];
@@ -484,6 +552,7 @@ fn run_loop<M: Medium, R: Recorder>(
         capacity_trace,
         rejected_per_step,
         metrics: None,
+        provenance: None,
     }
 }
 
@@ -778,6 +847,138 @@ mod tests {
         ] {
             let h = snap.histogram(name).unwrap();
             assert_eq!(h.count, steps, "{name} observed once per step");
+        }
+    }
+
+    #[test]
+    fn provenance_trace_matches_schedule_derivation() {
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        let config = SimConfig {
+            provenance: true,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut strategy = crate::StrategyKind::Random.build();
+        let outcome = simulate_with(
+            &instance,
+            strategy.as_mut(),
+            &mut crate::medium::Ideal,
+            &config,
+            &mut rng,
+        );
+        let live = outcome.provenance.as_ref().expect("provenance enabled");
+        let derived = ProvenanceTrace::from_schedule(&instance, &outcome.report.schedule);
+        assert_eq!(
+            *live, derived,
+            "live hook and schedule replay must agree exactly"
+        );
+        // Every unsatisfied (vertex, token) need that got satisfied has
+        // a recorded parent delivery.
+        assert!(outcome.report.success);
+        assert!(live.critical_path(&instance).is_some());
+        // Embedding survives the record round trip and certifies.
+        let record = outcome.to_record(&instance, "random", "ideal", 41);
+        record.certify().unwrap();
+        assert_eq!(record.provenance.as_ref(), Some(&live.to_record()));
+    }
+
+    #[test]
+    fn provenance_disabled_yields_none() {
+        let instance = single_file(classic::cycle(5, 3, true), 6, 0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let outcome = simulate_with(
+            &instance,
+            &mut Flood,
+            &mut crate::medium::Ideal,
+            &SimConfig::default(),
+            &mut rng,
+        );
+        assert!(outcome.provenance.is_none());
+        let record = outcome.to_record(&instance, "flood", "ideal", 42);
+        assert!(record.provenance.is_none());
+        record.certify().unwrap();
+    }
+
+    #[test]
+    fn same_seed_provenance_artifacts_are_byte_identical() {
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        let config = SimConfig {
+            provenance: true,
+            ..Default::default()
+        };
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(43);
+            let mut strategy = crate::StrategyKind::Random.build();
+            let outcome = simulate_with(
+                &instance,
+                strategy.as_mut(),
+                &mut crate::medium::Ideal,
+                &config,
+                &mut rng,
+            );
+            let trace = outcome.provenance.unwrap();
+            (
+                trace.to_json(),
+                trace.to_csv(),
+                trace.to_chrome_json(&instance),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mean_completion_and_step_nanos_on_empty_report() {
+        // A trivially satisfied instance runs zero steps: no trace, no
+        // late finishers — both means are undefined.
+        let g = classic::path(2, 1, true);
+        let instance = ocd_core::Instance::builder(g, 1)
+            .have(0, [ocd_core::Token::new(0)])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(44);
+        let report = simulate(&instance, &mut Flood, &SimConfig::default(), &mut rng);
+        assert!(report.success);
+        assert!(report.trace.is_empty());
+        assert_eq!(report.mean_completion(), None);
+        assert_eq!(report.mean_step_nanos(), None);
+    }
+
+    #[test]
+    fn mean_completion_and_step_nanos_on_single_step_run() {
+        let instance = single_file(classic::path(2, 5, true), 2, 0);
+        let mut rng = StdRng::seed_from_u64(45);
+        let report = simulate(&instance, &mut Flood, &SimConfig::default(), &mut rng);
+        assert!(report.success);
+        assert_eq!(report.steps, 1);
+        assert_eq!(report.mean_completion(), Some(1.0));
+        let mean = report.mean_step_nanos().expect("one step recorded");
+        assert!((mean - report.trace[0].nanos as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_record_certifies_for_every_extras_combination() {
+        let instance = single_file(classic::cycle(5, 3, true), 6, 0);
+        for (metrics, provenance) in [(false, false), (true, false), (false, true), (true, true)] {
+            let config = SimConfig {
+                metrics,
+                provenance,
+                ..Default::default()
+            };
+            let mut rng = StdRng::seed_from_u64(46);
+            let outcome = simulate_with(
+                &instance,
+                &mut Flood,
+                &mut crate::medium::Ideal,
+                &config,
+                &mut rng,
+            );
+            let record = outcome.to_record(&instance, "flood", "ideal", 46);
+            assert_eq!(record.metrics.is_some(), metrics);
+            assert_eq!(record.provenance.is_some(), provenance);
+            record.certify().unwrap();
+            // And the JSON round trip stays certifiable.
+            let back = ocd_core::RunRecord::from_json(&record.to_json().unwrap()).unwrap();
+            back.certify().unwrap();
         }
     }
 

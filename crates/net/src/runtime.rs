@@ -48,6 +48,7 @@ use crate::trace::{
     CompletionHistogram, EventKind, EventTrace, LinkCounters, TraceEvent, VertexCounters, NO_FIELD,
 };
 use ocd_core::knowledge::AggregateKnowledge;
+use ocd_core::provenance::{ProvenanceHook, ProvenanceTrace};
 use ocd_core::{Instance, Schedule, ScheduleRecorder, Token, TokenSet};
 use ocd_graph::{EdgeId, NodeId};
 use ocd_heuristics::policy::{random_fill, rarest_flood_fill, subdivide_requests};
@@ -88,6 +89,15 @@ pub struct NetReport {
     pub link_counters: Vec<LinkCounters>,
     /// The ring-buffered event log.
     pub trace: EventTrace,
+    /// Causal token-provenance trace; `None` unless
+    /// [`NetConfig::record_provenance`] was set. Acquisition steps are
+    /// the *departure* ticks of the delivering messages, so in ideal
+    /// mode the trace equals the one
+    /// [`ProvenanceTrace::from_schedule`] derives from the extracted
+    /// schedule; under jitter the applied-delivery order may differ
+    /// from the departure order, and the runtime-recorded trace is the
+    /// causal truth.
+    pub provenance: Option<ProvenanceTrace>,
 }
 
 impl NetReport {
@@ -232,6 +242,7 @@ struct Runtime<'a> {
     tokens_delivered: u64,
     tokens_lost: u64,
     tokens_dropped_crashed: u64,
+    provenance: Option<ProvenanceTrace>,
 }
 
 /// Runs the asynchronous swarm on `instance` under `config` and the
@@ -304,6 +315,7 @@ pub fn run_swarm(
         tokens_delivered: 0,
         tokens_lost: 0,
         tokens_dropped_crashed: 0,
+        provenance: config.record_provenance.then(|| ProvenanceTrace::new(n, m)),
     };
     rt.run(faults, rng)
 }
@@ -361,6 +373,7 @@ impl Runtime<'_> {
             vertex_counters: std::mem::take(&mut self.vcount),
             link_counters: std::mem::take(&mut self.lcount),
             trace: std::mem::replace(&mut self.trace, EventTrace::new(1)),
+            provenance: self.provenance.take(),
         }
     }
 
@@ -490,6 +503,13 @@ impl Runtime<'_> {
 
             if !new.is_empty() {
                 self.possession[dst.index()].union_with(&new);
+                // The message's departure tick (`sent_at`) is the
+                // provenance step, so the parent edge survives loss,
+                // crash drops, and retransmission: only the applied
+                // delivery gets here.
+                if let Some(prov) = &mut self.provenance {
+                    prov.record_delivery(msg.sent_at, msg.edge, arc.src, dst, &new);
+                }
                 let satisfied = self
                     .aggregates
                     .apply_delivery(&new, self.instance.want(dst));
@@ -1054,6 +1074,73 @@ mod tests {
             report.ticks
         );
         assert_eq!(report.tokens_delivered, 1, "token 0 still arrives");
+    }
+
+    #[test]
+    fn provenance_disabled_by_default() {
+        let report = run(&NetConfig::default(), 7);
+        assert!(report.provenance.is_none());
+    }
+
+    #[test]
+    fn ideal_provenance_matches_schedule_derivation() {
+        // In ideal mode (latency 1, no jitter/loss) delivery order is
+        // departure order, so the live trace must equal the one derived
+        // by replaying the extracted schedule.
+        let config = NetConfig {
+            record_provenance: true,
+            ..NetConfig::default()
+        };
+        let report = run(&config, 7);
+        assert!(report.success);
+        let live = report.provenance.as_ref().expect("provenance enabled");
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        let derived = ProvenanceTrace::from_schedule(&instance, &report.schedule);
+        assert_eq!(*live, derived);
+        assert!(live.critical_path(&instance).is_some());
+    }
+
+    #[test]
+    fn provenance_survives_loss_and_crashes_deterministically() {
+        let instance = single_file(classic::cycle(5, 2, true), 6, 0);
+        let faults = FaultPlan::none().crash_between(instance.graph().node(2), 1, 6);
+        let config = NetConfig {
+            policy: NetPolicy::Local,
+            latency: 2,
+            jitter: 1,
+            loss: 0.2,
+            have_refresh: 4,
+            record_provenance: true,
+            ..NetConfig::default()
+        };
+        let run_once = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            run_swarm(&instance, &config, &faults, &mut rng)
+        };
+        let report = run_once();
+        assert!(report.success, "ARQ recovers despite loss and a crash");
+        let live = report.provenance.as_ref().unwrap();
+        // Every vertex's satisfied wants trace back to a recorded
+        // parent (or a seed), even though some deliveries were lost or
+        // dropped at the crashed vertex: only applied deliveries are
+        // parents.
+        for v in instance.graph().nodes() {
+            for t in instance.want(v).iter() {
+                assert!(
+                    live.parent(v, t).is_some() || instance.have(v).contains(t),
+                    "vertex {v:?} token {t:?} has no provenance"
+                );
+            }
+        }
+        // Same seed ⇒ byte-identical artifacts in every export format.
+        let again = run_once();
+        let other = again.provenance.as_ref().unwrap();
+        assert_eq!(live.to_json(), other.to_json());
+        assert_eq!(live.to_csv(), other.to_csv());
+        assert_eq!(
+            live.to_chrome_json(&instance),
+            other.to_chrome_json(&instance)
+        );
     }
 
     #[test]

@@ -97,6 +97,13 @@ pub struct EventTrace {
 
 impl EventTrace {
     /// Creates a trace retaining at most `capacity` events (min 1).
+    ///
+    /// Memory is allocated **lazily**: only the first
+    /// `min(capacity, 4096)` slots are reserved up front, and the
+    /// buffer grows on demand as events beyond that are pushed — a
+    /// huge configured capacity costs nothing until a run actually
+    /// records that many events. The retention bound is always the
+    /// full `capacity`, independent of the initial reservation.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
@@ -148,10 +155,24 @@ impl EventTrace {
         self.recorded > self.buf.len() as u64
     }
 
-    /// Serializes the retained events as a JSON array (oldest first).
+    /// Events evicted by the ring buffer (`recorded - retained`).
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Serializes the trace as a JSON object: the retained events
+    /// (oldest first) plus explicit `recorded` / `retained` /
+    /// `events_dropped` counts, so truncation by the ring buffer is
+    /// never silent.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("[");
+        let mut out = format!(
+            "{{\"recorded\":{},\"retained\":{},\"events_dropped\":{},\"events\":[",
+            self.recorded,
+            self.buf.len(),
+            self.events_dropped()
+        );
         for (i, e) in self.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -167,11 +188,14 @@ impl EventTrace {
                 e.tokens
             );
         }
-        out.push(']');
+        out.push_str("]}");
         out
     }
 
-    /// Serializes the retained events as CSV with a header row.
+    /// Serializes the retained events as CSV with a header row, plus a
+    /// trailing `#`-comment line carrying the `recorded` / `retained` /
+    /// `events_dropped` counts, so truncation is visible in this
+    /// format too.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from("tick,kind,vertex,peer,edge,tokens\n");
@@ -187,6 +211,13 @@ impl EventTrace {
                 e.tokens
             );
         }
+        let _ = writeln!(
+            out,
+            "# recorded={} retained={} events_dropped={}",
+            self.recorded,
+            self.buf.len(),
+            self.events_dropped()
+        );
         out
     }
 }
@@ -336,12 +367,53 @@ mod tests {
             tokens: 0,
         });
         let json = trace.to_json();
-        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.starts_with("{\"recorded\":2,\"retained\":2,\"events_dropped\":0,"));
+        assert!(json.ends_with("]}"));
         assert!(json.contains("\"kind\":\"data_send\""));
         assert!(json.contains("\"peer\":null"));
         let csv = trace.to_csv();
-        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("tick,kind,vertex,peer,edge,tokens\n"));
+        assert_eq!(csv.lines().count(), 4);
         assert!(csv.lines().nth(2).unwrap().starts_with("2,crash,4,,,"));
+        assert_eq!(
+            csv.lines().last().unwrap(),
+            "# recorded=2 retained=2 events_dropped=0"
+        );
+    }
+
+    #[test]
+    fn serialized_truncation_counts_are_explicit() {
+        let mut trace = EventTrace::new(2);
+        for t in 0..5 {
+            trace.push(ev(t));
+        }
+        assert_eq!(trace.events_dropped(), 3);
+        let json = trace.to_json();
+        assert!(json.starts_with("{\"recorded\":5,\"retained\":2,\"events_dropped\":3,"));
+        assert_eq!(
+            trace.to_csv().lines().last().unwrap(),
+            "# recorded=5 retained=2 events_dropped=3"
+        );
+    }
+
+    #[test]
+    fn wraparound_keeps_exact_window_in_oldest_first_order() {
+        // Regression for the lazy-growth ring: push well past capacity
+        // and check both the retained window and the iteration order.
+        let capacity = 100;
+        let pushes = 250u64;
+        let mut trace = EventTrace::new(capacity);
+        assert!(trace.is_empty());
+        for t in 0..pushes {
+            trace.push(ev(t));
+        }
+        assert_eq!(trace.len(), capacity);
+        assert_eq!(trace.total_recorded(), pushes);
+        assert_eq!(trace.events_dropped(), pushes - capacity as u64);
+        assert!(trace.truncated());
+        let ticks: Vec<u64> = trace.iter().map(|e| e.tick).collect();
+        let expected: Vec<u64> = (pushes - capacity as u64..pushes).collect();
+        assert_eq!(ticks, expected, "exact window, oldest first");
     }
 
     #[test]
