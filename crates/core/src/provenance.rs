@@ -240,11 +240,14 @@ impl ProvenanceTrace {
         for v in 0..self.vertices {
             for t in 0..self.tokens {
                 if let Some(acq) = self.parents[v * self.tokens + t] {
+                    // Lossless by construction: the digest fields are u64
+                    // and every id domain in the system is at most that
+                    // wide, so no index is ever silently truncated.
                     entries.push(ProvEntry {
-                        vertex: v as u32,
-                        token: t as u32,
-                        src: acq.src.index() as u32,
-                        edge: acq.edge.index() as u32,
+                        vertex: v as u64,
+                        token: t as u64,
+                        src: acq.src.index() as u64,
+                        edge: acq.edge.index() as u64,
                         step: acq.step,
                     });
                 }
@@ -257,21 +260,31 @@ impl ProvenanceTrace {
         }
     }
 
-    /// Rebuilds a trace from its digest form. Entries out of range are
-    /// ignored; for duplicate `(vertex, token)` entries the first wins.
+    /// Rebuilds a trace from its digest form. Entries out of range —
+    /// including ids that exceed the in-memory id domains, which a forged
+    /// or corrupted digest can carry now that the schema is u64-wide —
+    /// are ignored; for duplicate `(vertex, token)` entries the first
+    /// wins.
     #[must_use]
     pub fn from_record(record: &ProvenanceRecord) -> Self {
         let mut trace = ProvenanceTrace::new(record.vertices, record.tokens);
         for e in &record.entries {
-            let (v, t) = (e.vertex as usize, e.token as usize);
+            let (Ok(v), Ok(t)) = (usize::try_from(e.vertex), usize::try_from(e.token)) else {
+                continue;
+            };
             if v >= record.vertices || t >= record.tokens {
                 continue;
             }
+            // NodeId/EdgeId are u32-indexed; wider values cannot name any
+            // in-memory object and would otherwise panic in the ctors.
+            let (Ok(src), Ok(edge)) = (u32::try_from(e.src), u32::try_from(e.edge)) else {
+                continue;
+            };
             let slot = &mut trace.parents[v * record.tokens + t];
             if slot.is_none() {
                 *slot = Some(Acquisition {
-                    edge: EdgeId::new(e.edge as usize),
-                    src: NodeId::new(e.src as usize),
+                    edge: EdgeId::new(edge as usize),
+                    src: NodeId::new(src as usize),
                     step: e.step,
                 });
             }
@@ -517,14 +530,16 @@ impl ProvenanceTrace {
 /// acquisition in serializable form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProvEntry {
-    /// The acquiring vertex.
-    pub vertex: u32,
+    /// The acquiring vertex. u64-wide so indices above 2³² export
+    /// losslessly — the previous u32 schema truncated them silently,
+    /// producing a wrong-but-certifiable digest.
+    pub vertex: u64,
     /// The acquired token.
-    pub token: u32,
+    pub token: u64,
     /// The sending vertex.
-    pub src: u32,
+    pub src: u64,
     /// The arc the token arrived over.
-    pub edge: u32,
+    pub edge: u64,
     /// The timestep/tick of the delivering send.
     pub step: u64,
 }
@@ -877,6 +892,76 @@ mod tests {
         let trace = ProvenanceTrace::from_record(&record);
         let path = trace.critical_path(&instance).unwrap();
         assert_eq!(path.hops.len(), 1, "cycle cut at the monotonicity guard");
+    }
+
+    #[test]
+    fn digest_ids_above_u32_are_not_truncated() {
+        // Regression: the export schema used `as u32` casts, so an index
+        // of 2³² + 5 silently became 5 — a wrong but internally
+        // consistent digest. The u64 schema must round-trip such values
+        // exactly through serde.
+        let big = (1u64 << 32) + 5;
+        let entry = ProvEntry {
+            vertex: big,
+            token: big + 1,
+            src: big + 2,
+            edge: big + 3,
+            step: u64::MAX,
+        };
+        let json = serde_json::to_string(&entry).unwrap();
+        let back: ProvEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entry);
+        assert!(
+            json.contains(&big.to_string()),
+            "value must appear unmodified in the wire form: {json}"
+        );
+    }
+
+    #[test]
+    fn from_record_ignores_unrepresentable_ids_without_panicking() {
+        // Ids wider than the u32 NodeId/EdgeId domain cannot name any
+        // in-memory object; a digest carrying them (corrupt or forged)
+        // must be skipped, not truncated into a *different* valid id and
+        // not panic in the id constructors.
+        let record = ProvenanceRecord {
+            vertices: 2,
+            tokens: 1,
+            entries: vec![
+                ProvEntry {
+                    vertex: (1 << 33) + 1, // out of range: ignored
+                    token: 0,
+                    src: 0,
+                    edge: 0,
+                    step: 0,
+                },
+                ProvEntry {
+                    vertex: 1,
+                    token: 0,
+                    src: 1 << 40, // unrepresentable src: ignored
+                    edge: 0,
+                    step: 0,
+                },
+                ProvEntry {
+                    vertex: 1,
+                    token: 0,
+                    src: 0,
+                    edge: 1 << 40, // unrepresentable edge: ignored
+                    step: 0,
+                },
+                ProvEntry {
+                    vertex: 1,
+                    token: 0,
+                    src: 0,
+                    edge: 0,
+                    step: 7,
+                },
+            ],
+        };
+        let trace = ProvenanceTrace::from_record(&record);
+        assert_eq!(trace.len(), 1, "only the representable entry survives");
+        let acq = trace.parent(NodeId::new(1), Token::new(0)).unwrap();
+        assert_eq!(acq.step, 7);
+        assert_eq!(acq.src, NodeId::new(0));
     }
 
     #[test]

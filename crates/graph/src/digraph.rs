@@ -1,9 +1,9 @@
-//! The core directed graph data structure.
+//! The core directed graph data structure, stored in CSR form.
 
 use crate::{EdgeId, GraphError, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A directed edge (arc) with an integer capacity.
 ///
@@ -20,12 +20,54 @@ pub struct Edge {
     pub capacity: u32,
 }
 
+/// Sentinel terminating the intrusive adjacency lists. An arc id of
+/// `u32::MAX` is unreachable in practice (the arc arrays alone would need
+/// > 48 GiB), so the sentinel cannot collide with a real arc.
+const NIL: u32 = u32::MAX;
+
+/// The lazily built compressed-sparse-row index: all arcs sorted by
+/// endpoint with per-node offset ranges, in both directions. Within a
+/// node's range, arcs appear in insertion order (the build is a stable
+/// counting sort over ascending arc ids), matching the iteration order of
+/// the old per-node `Vec<EdgeId>` adjacency exactly.
+#[derive(Debug)]
+struct CsrIndex {
+    /// `out_start[v]..out_start[v + 1]` indexes `out_arcs` for node `v`.
+    out_start: Vec<u32>,
+    /// Arc ids grouped by source node, insertion order within a node.
+    out_arcs: Vec<EdgeId>,
+    /// `in_start[v]..in_start[v + 1]` indexes `in_arcs` for node `v`.
+    in_start: Vec<u32>,
+    /// Arc ids grouped by destination node, insertion order within a node.
+    in_arcs: Vec<EdgeId>,
+}
+
+impl CsrIndex {
+    fn out_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.out_start[v.index()] as usize..self.out_start[v.index() + 1] as usize
+    }
+
+    fn in_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.in_start[v.index()] as usize..self.in_start[v.index() + 1] as usize
+    }
+}
+
 /// A simple, weighted, directed graph.
 ///
 /// Nodes and edges are identified by dense indices ([`NodeId`], [`EdgeId`])
-/// assigned in insertion order. The graph maintains both out- and
-/// in-adjacency lists so that senders and receivers can be enumerated in
-/// `O(degree)`.
+/// assigned in insertion order.
+///
+/// # Representation
+///
+/// Arcs live in flat struct-of-arrays storage (`arc_src` / `arc_dst` /
+/// `arc_cap`, indexed by [`EdgeId`]) so capacity scans touch one dense
+/// array. Adjacency queries are served from a compressed-sparse-row index
+/// — all arc ids counting-sorted by endpoint, with per-node offset ranges
+/// — built lazily on first query and cached until the next structural
+/// mutation. During construction bursts the cache stays cold and duplicate
+/// detection walks small intrusive linked lists threaded through the arc
+/// arrays instead, so interleaving `add_edge` with `has_edge` (as the
+/// generators do) never pays for an index rebuild.
 ///
 /// Invariants:
 ///
@@ -49,17 +91,36 @@ pub struct Edge {
 /// assert_eq!(g.in_capacity(c), 5);
 /// assert_eq!(g.out_degree(b), 1);
 /// ```
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct DiGraph {
-    edges: Vec<Edge>,
-    out_adj: Vec<Vec<EdgeId>>,
-    in_adj: Vec<Vec<EdgeId>>,
-    edge_lookup: HashMap<(NodeId, NodeId), EdgeId>,
+    /// Source node of each arc, indexed by [`EdgeId`].
+    arc_src: Vec<NodeId>,
+    /// Destination node of each arc, indexed by [`EdgeId`].
+    arc_dst: Vec<NodeId>,
+    /// Capacity of each arc, indexed by [`EdgeId`].
+    arc_cap: Vec<u32>,
+    /// Head of each node's out-arc list (`NIL` = empty), newest first.
+    first_out: Vec<u32>,
+    /// Head of each node's in-arc list (`NIL` = empty), newest first.
+    first_in: Vec<u32>,
+    /// Next arc in the source node's out-list, indexed by arc.
+    next_out: Vec<u32>,
+    /// Next arc in the destination node's in-list, indexed by arc.
+    next_in: Vec<u32>,
+    /// Out-degree per node, maintained incrementally so degree queries and
+    /// shorter-side duplicate scans never force an index build.
+    out_deg: Vec<u32>,
+    /// In-degree per node.
+    in_deg: Vec<u32>,
+    /// Lazily built CSR index; cleared by structural mutations. Capacity
+    /// updates do not clear it (the index stores no capacities).
+    csr: OnceLock<CsrIndex>,
 }
 
-/// Serialized form: node count plus the edge list. Adjacency and the
-/// lookup table are derived, so deserialization rebuilds them (and
-/// re-validates the invariants through [`DiGraph::add_edge`]).
+/// Serialized form: node count plus the edge list. Adjacency and the CSR
+/// index are derived, so deserialization rebuilds them — re-validating the
+/// invariants and rejecting duplicate arcs outright (a duplicated arc in a
+/// hand-edited file is a data error, not a request to merge capacities).
 #[derive(Serialize, Deserialize)]
 struct DiGraphRepr {
     node_count: usize,
@@ -70,7 +131,7 @@ impl Serialize for DiGraph {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         DiGraphRepr {
             node_count: self.node_count(),
-            edges: self.edges.clone(),
+            edges: self.edges().collect(),
         }
         .serialize(serializer)
     }
@@ -80,12 +141,27 @@ impl<'de> Deserialize<'de> for DiGraph {
     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         use serde::de::Error as _;
         let repr = DiGraphRepr::deserialize(deserializer)?;
-        let mut g = DiGraph::with_nodes(repr.node_count);
-        for e in repr.edges {
-            g.add_edge(e.src, e.dst, e.capacity)
-                .map_err(|err| D::Error::custom(err.to_string()))?;
+        DiGraph::from_edges(repr.node_count, repr.edges)
+            .map_err(|err| D::Error::custom(err.to_string()))
+    }
+}
+
+impl Clone for DiGraph {
+    fn clone(&self) -> Self {
+        // The CSR cache is intentionally not cloned: the clone rebuilds it
+        // on first query, keeping clones cheap and the cache un-shared.
+        DiGraph {
+            arc_src: self.arc_src.clone(),
+            arc_dst: self.arc_dst.clone(),
+            arc_cap: self.arc_cap.clone(),
+            first_out: self.first_out.clone(),
+            first_in: self.first_in.clone(),
+            next_out: self.next_out.clone(),
+            next_in: self.next_in.clone(),
+            out_deg: self.out_deg.clone(),
+            in_deg: self.in_deg.clone(),
+            csr: OnceLock::new(),
         }
-        Ok(g)
     }
 }
 
@@ -100,18 +176,62 @@ impl DiGraph {
     #[must_use]
     pub fn with_nodes(n: usize) -> Self {
         DiGraph {
-            edges: Vec::new(),
-            out_adj: vec![Vec::new(); n],
-            in_adj: vec![Vec::new(); n],
-            edge_lookup: HashMap::new(),
+            first_out: vec![NIL; n],
+            first_in: vec![NIL; n],
+            out_deg: vec![0; n],
+            in_deg: vec![0; n],
+            ..DiGraph::default()
         }
+    }
+
+    /// Builds a graph from a node count and an edge list, validating every
+    /// arc and rejecting duplicates (unlike [`DiGraph::add_edge`], which
+    /// merges them). Storage is reserved up front, so construction is
+    /// `O(n + Σ min-degree)` with no reallocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the usual per-arc errors (out-of-bounds, self-loop, zero
+    /// capacity) and [`GraphError::DuplicateArc`] if the same `(src, dst)`
+    /// pair appears twice.
+    pub fn from_edges(
+        node_count: usize,
+        edges: impl IntoIterator<Item = Edge>,
+    ) -> Result<Self, GraphError> {
+        let edges = edges.into_iter();
+        let mut g = DiGraph::with_nodes(node_count);
+        let (lower, _) = edges.size_hint();
+        g.reserve_edges(lower);
+        for e in edges {
+            g.check_arc(e.src, e.dst, e.capacity)?;
+            if g.find_edge(e.src, e.dst).is_some() {
+                return Err(GraphError::DuplicateArc {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+            g.push_arc(e.src, e.dst, e.capacity);
+        }
+        Ok(g)
+    }
+
+    /// Reserves storage for at least `additional` more arcs.
+    pub fn reserve_edges(&mut self, additional: usize) {
+        self.arc_src.reserve(additional);
+        self.arc_dst.reserve(additional);
+        self.arc_cap.reserve(additional);
+        self.next_out.reserve(additional);
+        self.next_in.reserve(additional);
     }
 
     /// Adds a new isolated node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId::new(self.out_adj.len());
-        self.out_adj.push(Vec::new());
-        self.in_adj.push(Vec::new());
+        let id = NodeId::new(self.first_out.len());
+        self.first_out.push(NIL);
+        self.first_in.push(NIL);
+        self.out_deg.push(0);
+        self.in_deg.push(0);
+        self.csr.take();
         id
     }
 
@@ -152,6 +272,34 @@ impl DiGraph {
         }
     }
 
+    fn check_arc(&self, src: NodeId, dst: NodeId, capacity: u32) -> Result<(), GraphError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if src == dst {
+            return Err(GraphError::SelfLoop { node: src });
+        }
+        if capacity == 0 {
+            return Err(GraphError::ZeroCapacity { src, dst });
+        }
+        Ok(())
+    }
+
+    /// Appends a pre-validated, known-absent arc.
+    fn push_arc(&mut self, src: NodeId, dst: NodeId, capacity: u32) -> EdgeId {
+        let id = EdgeId::new(self.arc_src.len());
+        self.arc_src.push(src);
+        self.arc_dst.push(dst);
+        self.arc_cap.push(capacity);
+        self.next_out.push(self.first_out[src.index()]);
+        self.first_out[src.index()] = id.0;
+        self.next_in.push(self.first_in[dst.index()]);
+        self.first_in[dst.index()] = id.0;
+        self.out_deg[src.index()] += 1;
+        self.in_deg[dst.index()] += 1;
+        self.csr.take();
+        id
+    }
+
     /// Adds a directed arc from `src` to `dst` with the given capacity.
     ///
     /// If the arc already exists, the capacities are summed (the paper's
@@ -168,24 +316,12 @@ impl DiGraph {
         dst: NodeId,
         capacity: u32,
     ) -> Result<EdgeId, GraphError> {
-        self.check_node(src)?;
-        self.check_node(dst)?;
-        if src == dst {
-            return Err(GraphError::SelfLoop { node: src });
-        }
-        if capacity == 0 {
-            return Err(GraphError::ZeroCapacity { src, dst });
-        }
-        if let Some(&id) = self.edge_lookup.get(&(src, dst)) {
-            self.edges[id.index()].capacity += capacity;
+        self.check_arc(src, dst, capacity)?;
+        if let Some(id) = self.find_edge(src, dst) {
+            self.arc_cap[id.index()] += capacity;
             return Ok(id);
         }
-        let id = EdgeId::new(self.edges.len());
-        self.edges.push(Edge { src, dst, capacity });
-        self.out_adj[src.index()].push(id);
-        self.in_adj[dst.index()].push(id);
-        self.edge_lookup.insert((src, dst), id);
-        Ok(id)
+        Ok(self.push_arc(src, dst, capacity))
     }
 
     /// Adds both `(u, v)` and `(v, u)` with the same capacity, modelling an
@@ -208,13 +344,13 @@ impl DiGraph {
     /// Number of nodes in the graph.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.out_adj.len()
+        self.first_out.len()
     }
 
     /// Number of directed arcs in the graph.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.arc_src.len()
     }
 
     /// Returns the edge record for `id`.
@@ -224,7 +360,11 @@ impl DiGraph {
     /// Panics if `id` is out of bounds.
     #[must_use]
     pub fn edge(&self, id: EdgeId) -> Edge {
-        self.edges[id.index()]
+        Edge {
+            src: self.arc_src[id.index()],
+            dst: self.arc_dst[id.index()],
+            capacity: self.arc_cap[id.index()],
+        }
     }
 
     /// Capacity of arc `id`.
@@ -234,7 +374,7 @@ impl DiGraph {
     /// Panics if `id` is out of bounds.
     #[must_use]
     pub fn capacity(&self, id: EdgeId) -> u32 {
-        self.edges[id.index()].capacity
+        self.arc_cap[id.index()]
     }
 
     /// Overwrites the capacity of arc `id`.
@@ -247,21 +387,89 @@ impl DiGraph {
     ///
     /// Panics if `id` is out of bounds.
     pub fn set_capacity(&mut self, id: EdgeId, capacity: u32) -> Result<(), GraphError> {
-        let edge = self.edges[id.index()];
         if capacity == 0 {
             return Err(GraphError::ZeroCapacity {
-                src: edge.src,
-                dst: edge.dst,
+                src: self.arc_src[id.index()],
+                dst: self.arc_dst[id.index()],
             });
         }
-        self.edges[id.index()].capacity = capacity;
+        self.arc_cap[id.index()] = capacity;
         Ok(())
     }
 
-    /// Looks up the arc from `src` to `dst`, if present.
+    /// The CSR index, built on first use after a structural mutation.
+    fn csr(&self) -> &CsrIndex {
+        self.csr.get_or_init(|| {
+            let n = self.node_count();
+            let (out_start, out_arcs) = Self::build_index(n, &self.arc_src);
+            let (in_start, in_arcs) = Self::build_index(n, &self.arc_dst);
+            CsrIndex {
+                out_start,
+                out_arcs,
+                in_start,
+                in_arcs,
+            }
+        })
+    }
+
+    /// Stable counting sort of all arc ids by `endpoints[arc]`: ascending
+    /// arc id within each node, i.e. insertion order.
+    fn build_index(n: usize, endpoints: &[NodeId]) -> (Vec<u32>, Vec<EdgeId>) {
+        let mut start = vec![0u32; n + 1];
+        for v in endpoints {
+            start[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            start[i + 1] += start[i];
+        }
+        let mut arcs = vec![EdgeId(0); endpoints.len()];
+        let mut cursor: Vec<u32> = start[..n].to_vec();
+        for (a, v) in endpoints.iter().enumerate() {
+            arcs[cursor[v.index()] as usize] = EdgeId::new(a);
+            cursor[v.index()] += 1;
+        }
+        (start, arcs)
+    }
+
+    /// Looks up the arc from `src` to `dst`, if present. Scans the sparser
+    /// endpoint's adjacency (`O(min(out-degree, in-degree))`), through the
+    /// CSR index when it is warm or the intrusive lists while mutating.
     #[must_use]
     pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
-        self.edge_lookup.get(&(src, dst)).copied()
+        if !self.contains_node(src) || !self.contains_node(dst) {
+            return None;
+        }
+        if self.out_deg[src.index()] <= self.in_deg[dst.index()] {
+            if let Some(csr) = self.csr.get() {
+                csr.out_arcs[csr.out_range(src)]
+                    .iter()
+                    .copied()
+                    .find(|&e| self.arc_dst[e.index()] == dst)
+            } else {
+                let mut a = self.first_out[src.index()];
+                while a != NIL {
+                    if self.arc_dst[a as usize] == dst {
+                        return Some(EdgeId(a));
+                    }
+                    a = self.next_out[a as usize];
+                }
+                None
+            }
+        } else if let Some(csr) = self.csr.get() {
+            csr.in_arcs[csr.in_range(dst)]
+                .iter()
+                .copied()
+                .find(|&e| self.arc_src[e.index()] == src)
+        } else {
+            let mut a = self.first_in[dst.index()];
+            while a != NIL {
+                if self.arc_src[a as usize] == src {
+                    return Some(EdgeId(a));
+                }
+                a = self.next_in[a as usize];
+            }
+            None
+        }
     }
 
     /// Returns whether an arc from `src` to `dst` exists.
@@ -282,39 +490,37 @@ impl DiGraph {
 
     /// Iterates over all edges in insertion order.
     pub fn edges(&self) -> impl ExactSizeIterator<Item = Edge> + '_ {
-        self.edges.iter().copied()
+        self.edge_ids().map(|e| self.edge(e))
     }
 
-    /// Ids of arcs leaving `v`.
+    /// Ids of arcs leaving `v`, in insertion order.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of bounds.
     pub fn out_edges(&self, v: NodeId) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
-        self.out_adj[v.index()].iter().copied()
+        let csr = self.csr();
+        csr.out_arcs[csr.out_range(v)].iter().copied()
     }
 
-    /// Ids of arcs entering `v`.
+    /// Ids of arcs entering `v`, in insertion order.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of bounds.
     pub fn in_edges(&self, v: NodeId) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
-        self.in_adj[v.index()].iter().copied()
+        let csr = self.csr();
+        csr.in_arcs[csr.in_range(v)].iter().copied()
     }
 
     /// Nodes reachable from `v` along a single arc.
     pub fn out_neighbors(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        self.out_adj[v.index()]
-            .iter()
-            .map(|&e| self.edges[e.index()].dst)
+        self.out_edges(v).map(|e| self.arc_dst[e.index()])
     }
 
     /// Nodes with a single arc into `v`.
     pub fn in_neighbors(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        self.in_adj[v.index()]
-            .iter()
-            .map(|&e| self.edges[e.index()].src)
+        self.in_edges(v).map(|e| self.arc_src[e.index()])
     }
 
     /// Nodes adjacent to `v` in either direction, deduplicated, in
@@ -329,47 +535,78 @@ impl DiGraph {
     }
 
     /// Number of arcs leaving `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
     #[must_use]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out_adj[v.index()].len()
+        self.out_deg[v.index()] as usize
     }
 
     /// Number of arcs entering `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
     #[must_use]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.in_adj[v.index()].len()
+        self.in_deg[v.index()] as usize
     }
 
     /// Total capacity of arcs entering `v` (tokens per timestep that `v`
     /// can receive). Used by the paper's `M_i(v)` lower bound (§5.1).
     #[must_use]
     pub fn in_capacity(&self, v: NodeId) -> u64 {
-        self.in_adj[v.index()]
-            .iter()
-            .map(|&e| u64::from(self.edges[e.index()].capacity))
+        self.in_edges(v)
+            .map(|e| u64::from(self.arc_cap[e.index()]))
             .sum()
     }
 
     /// Total capacity of arcs leaving `v`.
     #[must_use]
     pub fn out_capacity(&self, v: NodeId) -> u64 {
-        self.out_adj[v.index()]
-            .iter()
-            .map(|&e| u64::from(self.edges[e.index()].capacity))
+        self.out_edges(v)
+            .map(|e| u64::from(self.arc_cap[e.index()]))
             .sum()
     }
 
     /// Sum of all arc capacities.
     #[must_use]
     pub fn total_capacity(&self) -> u64 {
-        self.edges.iter().map(|e| u64::from(e.capacity)).sum()
+        self.arc_cap.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Estimated heap usage of the graph in bytes: arc storage, intrusive
+    /// lists, degree arrays, and the CSR index if currently built. Used by
+    /// the scale experiments' bytes-per-vertex column.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let arcs = self.arc_src.capacity() * size_of::<NodeId>()
+            + self.arc_dst.capacity() * size_of::<NodeId>()
+            + self.arc_cap.capacity() * size_of::<u32>()
+            + self.next_out.capacity() * size_of::<u32>()
+            + self.next_in.capacity() * size_of::<u32>();
+        let nodes = self.first_out.capacity() * size_of::<u32>()
+            + self.first_in.capacity() * size_of::<u32>()
+            + self.out_deg.capacity() * size_of::<u32>()
+            + self.in_deg.capacity() * size_of::<u32>();
+        let csr = self.csr.get().map_or(0, |c| {
+            c.out_start.capacity() * size_of::<u32>()
+                + c.in_start.capacity() * size_of::<u32>()
+                + c.out_arcs.capacity() * size_of::<EdgeId>()
+                + c.in_arcs.capacity() * size_of::<EdgeId>()
+        });
+        arcs + nodes + csr
     }
 
     /// Returns the graph with every arc reversed (capacities preserved).
     #[must_use]
     pub fn reversed(&self) -> DiGraph {
         let mut g = DiGraph::with_nodes(self.node_count());
-        for e in &self.edges {
+        g.reserve_edges(self.edge_count());
+        for e in self.edges() {
             g.add_edge(e.dst, e.src, e.capacity)
                 .expect("reversing a valid edge cannot fail");
         }
@@ -380,14 +617,14 @@ impl DiGraph {
     /// exists (capacities may differ).
     #[must_use]
     pub fn is_symmetric(&self) -> bool {
-        self.edges.iter().all(|e| self.has_edge(e.dst, e.src))
+        self.edges().all(|e| self.has_edge(e.dst, e.src))
     }
 }
 
 impl fmt::Debug for DiGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "DiGraph {{ nodes: {}, edges: [", self.node_count())?;
-        for e in &self.edges {
+        for e in self.edges() {
             writeln!(f, "  {} -> {} (cap {}),", e.src, e.dst, e.capacity)?;
         }
         write!(f, "] }}")
@@ -396,7 +633,10 @@ impl fmt::Debug for DiGraph {
 
 impl PartialEq for DiGraph {
     fn eq(&self, other: &Self) -> bool {
-        self.node_count() == other.node_count() && self.edges == other.edges
+        self.node_count() == other.node_count()
+            && self.arc_src == other.arc_src
+            && self.arc_dst == other.arc_dst
+            && self.arc_cap == other.arc_cap
     }
 }
 
@@ -479,6 +719,45 @@ mod tests {
     }
 
     #[test]
+    fn csr_survives_interleaved_mutation() {
+        // Query (forcing an index build), then mutate, then query again:
+        // the rebuilt index must reflect the mutation.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 1).unwrap();
+        assert_eq!(g.out_degree(g.node(0)), 1);
+        assert_eq!(g.out_edges(g.node(0)).count(), 1);
+        g.add_edge(g.node(0), g.node(2), 1).unwrap();
+        g.add_edge(g.node(3), g.node(0), 1).unwrap();
+        assert_eq!(
+            g.out_neighbors(g.node(0)).collect::<Vec<_>>(),
+            vec![g.node(1), g.node(2)],
+            "insertion order within a node"
+        );
+        assert_eq!(
+            g.in_neighbors(g.node(0)).collect::<Vec<_>>(),
+            vec![g.node(3)]
+        );
+        assert_eq!(g.find_edge(g.node(0), g.node(2)), Some(EdgeId::new(1)));
+    }
+
+    #[test]
+    fn out_edges_iterate_in_insertion_order() {
+        let mut g = DiGraph::with_nodes(5);
+        // Interleave sources so CSR grouping has to reorder arc ids.
+        g.add_edge(g.node(2), g.node(0), 1).unwrap();
+        g.add_edge(g.node(1), g.node(3), 1).unwrap();
+        g.add_edge(g.node(2), g.node(4), 1).unwrap();
+        g.add_edge(g.node(1), g.node(0), 1).unwrap();
+        g.add_edge(g.node(2), g.node(3), 1).unwrap();
+        let out2: Vec<usize> = g.out_edges(g.node(2)).map(|e| e.index()).collect();
+        assert_eq!(out2, vec![0, 2, 4]);
+        let out1: Vec<usize> = g.out_edges(g.node(1)).map(|e| e.index()).collect();
+        assert_eq!(out1, vec![1, 3]);
+        let in0: Vec<usize> = g.in_edges(g.node(0)).map(|e| e.index()).collect();
+        assert_eq!(in0, vec![0, 3]);
+    }
+
+    #[test]
     fn neighbors_undirected_deduplicates() {
         let mut g = DiGraph::with_nodes(2);
         let (a, b) = (g.node(0), g.node(1));
@@ -494,6 +773,7 @@ mod tests {
         let e = g.find_edge(a, b).unwrap();
         assert_eq!(g.edge(e).src, a);
         assert_eq!(g.edge(e).dst, b);
+        assert_eq!(g.find_edge(a, NodeId::new(99)), None, "oob lookup is None");
     }
 
     #[test]
@@ -526,6 +806,17 @@ mod tests {
     }
 
     #[test]
+    fn memory_bytes_tracks_growth() {
+        let empty = DiGraph::with_nodes(100);
+        let mut g = DiGraph::with_nodes(100);
+        for i in 1..100 {
+            g.add_edge(g.node(0), g.node(i), 1).unwrap();
+        }
+        let _ = g.out_edges(g.node(0)); // build the CSR index too
+        assert!(g.memory_bytes() > empty.memory_bytes());
+    }
+
+    #[test]
     fn serde_round_trip_preserves_lookup() {
         let (g, a, b, _) = triangle();
         let json = serde_json::to_string(&g).unwrap();
@@ -543,6 +834,50 @@ mod tests {
         assert!(err.to_string().contains("self-loop"));
         let oob = r#"{"node_count": 1, "edges": [{"src": 0, "dst": 5, "capacity": 1}]}"#;
         assert!(serde_json::from_str::<DiGraph>(oob).is_err());
+    }
+
+    #[test]
+    fn serde_rejects_duplicate_arcs() {
+        // add_edge would merge these into capacity 3; a serialized file
+        // carrying a duplicate arc is malformed and must be rejected.
+        let dup = r#"{"node_count": 2, "edges": [
+            {"src": 0, "dst": 1, "capacity": 1},
+            {"src": 0, "dst": 1, "capacity": 2}
+        ]}"#;
+        let err = serde_json::from_str::<DiGraph>(dup).unwrap_err();
+        assert!(err.to_string().contains("duplicate arc"), "{err}");
+        // The reverse direction is a different arc, not a duplicate.
+        let ok = r#"{"node_count": 2, "edges": [
+            {"src": 0, "dst": 1, "capacity": 1},
+            {"src": 1, "dst": 0, "capacity": 2}
+        ]}"#;
+        assert!(serde_json::from_str::<DiGraph>(ok).is_ok());
+    }
+
+    #[test]
+    fn from_edges_validates_and_preserves_order() {
+        let edges = vec![
+            Edge {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                capacity: 2,
+            },
+            Edge {
+                src: NodeId::new(1),
+                dst: NodeId::new(2),
+                capacity: 3,
+            },
+        ];
+        let g = DiGraph::from_edges(3, edges.clone()).unwrap();
+        assert_eq!(g.edges().collect::<Vec<_>>(), edges);
+        let dup = DiGraph::from_edges(3, edges.iter().copied().chain([edges[0]]));
+        assert_eq!(
+            dup.unwrap_err(),
+            GraphError::DuplicateArc {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+            }
+        );
     }
 
     #[test]

@@ -35,6 +35,19 @@ pub enum GraphError {
         /// Destination of the rejected arc.
         dst: NodeId,
     },
+    /// A serialized edge list contains the same `(src, dst)` arc twice.
+    ///
+    /// Incremental construction merges parallel arcs by summing their
+    /// capacities, but a duplicate in a serialized or hand-edited file is
+    /// almost certainly a data error, and silently merging would change
+    /// instance semantics without a diagnostic — so bulk loading rejects
+    /// it.
+    DuplicateArc {
+        /// Source of the duplicated arc.
+        src: NodeId,
+        /// Destination of the duplicated arc.
+        dst: NodeId,
+    },
     /// A text representation could not be parsed.
     Parse {
         /// 1-based line number of the offending input line.
@@ -59,6 +72,12 @@ impl fmt::Display for GraphError {
             }
             GraphError::ZeroCapacity { src, dst } => {
                 write!(f, "arc ({src}, {dst}) must have capacity of at least 1")
+            }
+            GraphError::DuplicateArc { src, dst } => {
+                write!(
+                    f,
+                    "duplicate arc ({src}, {dst}): parallel arcs must be merged before export"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
@@ -92,6 +111,11 @@ mod tests {
             dst: NodeId::new(1),
         };
         assert!(e.to_string().contains("capacity"));
+        let e = GraphError::DuplicateArc {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+        };
+        assert!(e.to_string().contains("duplicate arc"));
         let e = GraphError::Parse {
             line: 4,
             message: "bad token".into(),

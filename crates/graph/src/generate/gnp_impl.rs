@@ -5,6 +5,25 @@ use crate::DiGraph;
 use rand::Rng;
 use std::ops::RangeInclusive;
 
+/// How [`gnp`] iterates the candidate node pairs.
+///
+/// Both samplers draw an exact `G(n, p)` graph; they differ only in RNG
+/// call count and draw sequence, so equal seeds produce *different*
+/// (equally distributed) graphs across samplers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GnpSampler {
+    /// One Bernoulli draw per node pair — `O(n²)` RNG calls. This is the
+    /// committed experiment path: its draw sequence is pinned by the
+    /// equal-seed artifacts, so it must never change.
+    #[default]
+    PairLoop,
+    /// Batagelj–Brandes geometric skip-length sampling — `O(n + m)`
+    /// expected RNG calls, the only tractable path in the sparse
+    /// large-`n` regime (`table_scale` runs `n = 10⁶`, where the pair
+    /// loop would need ~10¹² draws).
+    GeometricSkip,
+}
+
 /// Configuration for [`gnp`].
 #[derive(Debug, Clone)]
 pub struct GnpConfig {
@@ -22,6 +41,8 @@ pub struct GnpConfig {
     /// the graph is weakly connected (a disconnected OCD instance is
     /// unsatisfiable).
     pub ensure_connected: bool,
+    /// Pair-enumeration strategy; see [`GnpSampler`].
+    pub sampler: GnpSampler,
 }
 
 impl GnpConfig {
@@ -36,6 +57,20 @@ impl GnpConfig {
             capacity: super::PAPER_CAPACITY_RANGE,
             symmetric: true,
             ensure_connected: true,
+            sampler: GnpSampler::PairLoop,
+        }
+    }
+
+    /// The paper configuration with the [`GnpSampler::GeometricSkip`]
+    /// sampler: the same distribution as [`GnpConfig::paper`] at
+    /// generation cost `O(n + m)`. Used by the scale experiments; note
+    /// the draw sequence (hence the sampled graph at a given seed)
+    /// differs from the pair loop.
+    #[must_use]
+    pub fn fast(nodes: usize) -> Self {
+        GnpConfig {
+            sampler: GnpSampler::GeometricSkip,
+            ..GnpConfig::paper(nodes)
         }
     }
 }
@@ -59,6 +94,20 @@ pub fn gnp<R: Rng + ?Sized>(config: &GnpConfig, rng: &mut R) -> DiGraph {
     );
     let n = config.nodes;
     let mut g = DiGraph::with_nodes(n);
+    match config.sampler {
+        GnpSampler::PairLoop => pair_loop(config, &mut g, rng),
+        GnpSampler::GeometricSkip => geometric_skip(config, &mut g, rng),
+    }
+    if config.ensure_connected {
+        stitch_connected(&mut g, rng, config.capacity.clone());
+    }
+    g
+}
+
+/// The classic sampler: one Bernoulli draw per pair. Frozen — committed
+/// equal-seed artifacts replay this exact draw sequence.
+fn pair_loop<R: Rng + ?Sized>(config: &GnpConfig, g: &mut DiGraph, rng: &mut R) {
+    let n = config.nodes;
     if config.symmetric {
         for u in 0..n {
             for v in (u + 1)..n {
@@ -80,10 +129,71 @@ pub fn gnp<R: Rng + ?Sized>(config: &GnpConfig, rng: &mut R) -> DiGraph {
             }
         }
     }
-    if config.ensure_connected {
-        stitch_connected(&mut g, rng, config.capacity.clone());
+}
+
+/// Batagelj–Brandes sampling ("Efficient generation of large random
+/// networks", Phys. Rev. E 71, 2005): instead of tossing a coin per pair,
+/// draw the *gap* to the next success directly. A Bernoulli(p) process
+/// has geometrically distributed gaps, so `skip = ⌊ln(1−r) / ln(1−p)⌋`
+/// with `r` uniform in `[0, 1)` jumps straight to the next linked pair.
+/// Expected cost is `O(n + m)` RNG draws over a linearization of the
+/// candidate pairs.
+fn geometric_skip<R: Rng + ?Sized>(config: &GnpConfig, g: &mut DiGraph, rng: &mut R) {
+    let n = config.nodes;
+    let p = config.edge_probability;
+    if p <= 0.0 || n < 2 {
+        return;
     }
-    g
+    // ln(1−p) is −∞ at p = 1; the division then yields −0.0 and every
+    // skip is 0, i.e. the complete graph falls out without special-casing.
+    let log_q = (1.0 - p).ln();
+    let skip = |rng: &mut R| -> u64 {
+        let r: f64 = rng.random();
+        let s = ((1.0 - r).ln() / log_q).floor();
+        // At p = 1 the quotient is −0.0; elsewhere it is finite and ≥ 0.
+        // Clamp far below i64::MAX so cursor arithmetic cannot overflow
+        // even for astronomically unlikely draws at vanishing p.
+        if s.is_finite() && s > 0.0 {
+            (s as u64).min(1 << 62)
+        } else {
+            0
+        }
+    };
+    if config.symmetric {
+        // Enumerate the upper triangle row by row: pair index within row
+        // `v` runs over `w ∈ 0..v`, rows in ascending `v`. The standard
+        // Batagelj–Brandes walk advances `w` by the sampled gap and
+        // wraps into following rows.
+        let mut v: usize = 1;
+        let mut w: i64 = -1;
+        while v < n {
+            w += 1 + skip(rng) as i64;
+            while v < n && w >= v as i64 {
+                w -= v as i64;
+                v += 1;
+            }
+            if v < n {
+                let cap = rng.random_range(config.capacity.clone());
+                g.add_edge_symmetric(g.node(v), g.node(w as usize), cap)
+                    .expect("valid gnp edge");
+            }
+        }
+    } else {
+        // Linearize the n·(n−1) ordered pairs without the diagonal:
+        // index i ↦ (u, v) with u = i / (n−1) and v skipping u.
+        let row = (n - 1) as u64;
+        let total = n as u64 * row;
+        let mut i: u64 = skip(rng);
+        while i < total {
+            let u = (i / row) as usize;
+            let j = (i % row) as usize;
+            let v = if j >= u { j + 1 } else { j };
+            let cap = rng.random_range(config.capacity.clone());
+            g.add_edge(g.node(u), g.node(v), cap)
+                .expect("valid gnp edge");
+            i += 1 + skip(rng);
+        }
+    }
 }
 
 /// Convenience wrapper sampling the paper's random topology for `n`
@@ -124,6 +234,7 @@ mod tests {
             capacity: 1..=1,
             symmetric: true,
             ensure_connected: false,
+            sampler: GnpSampler::PairLoop,
         };
         let g = gnp(&config, &mut rng);
         let pairs = (n * (n - 1) / 2) as f64;
@@ -144,6 +255,7 @@ mod tests {
             capacity: 2..=2,
             symmetric: true,
             ensure_connected: false,
+            sampler: GnpSampler::PairLoop,
         };
         assert_eq!(gnp(&config, &mut rng).edge_count(), 0);
         let stitched = gnp(
@@ -170,6 +282,7 @@ mod tests {
             capacity: 1..=1,
             symmetric: true,
             ensure_connected: false,
+            sampler: GnpSampler::PairLoop,
         };
         assert_eq!(gnp(&config, &mut rng).edge_count(), 30);
     }
@@ -183,6 +296,7 @@ mod tests {
             capacity: 1..=1,
             symmetric: false,
             ensure_connected: false,
+            sampler: GnpSampler::PairLoop,
         };
         let g = gnp(&config, &mut rng);
         assert_eq!(g.edge_count(), 50 * 49);
@@ -197,6 +311,137 @@ mod tests {
         assert_ne!(g1, g3, "different seeds should virtually always differ");
     }
 
+    /// Both samplers must track the analytic expected edge count
+    /// `p · n(n−1)/2` (undirected) — the regression guard for the
+    /// geometric-skip bugfix and for any accidental change to the frozen
+    /// pair loop.
+    #[test]
+    fn both_samplers_match_expected_density() {
+        let n = 600;
+        let p = 0.05;
+        let expected = p * (n * (n - 1) / 2) as f64; // 8985 undirected links
+        for sampler in [GnpSampler::PairLoop, GnpSampler::GeometricSkip] {
+            let config = GnpConfig {
+                nodes: n,
+                edge_probability: p,
+                capacity: 1..=1,
+                symmetric: true,
+                ensure_connected: false,
+                sampler,
+            };
+            let g = gnp(&config, &mut StdRng::seed_from_u64(11));
+            let undirected = g.edge_count() as f64 / 2.0;
+            // σ = √(N·p·(1−p)) ≈ 92; allow ~5σ.
+            assert!(
+                (undirected - expected).abs() < 500.0,
+                "{sampler:?}: {undirected} links vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_skip_matches_density_in_asymmetric_mode() {
+        let n = 500;
+        let p = 0.02;
+        let config = GnpConfig {
+            nodes: n,
+            edge_probability: p,
+            capacity: 1..=1,
+            symmetric: false,
+            ensure_connected: false,
+            sampler: GnpSampler::GeometricSkip,
+        };
+        let g = gnp(&config, &mut StdRng::seed_from_u64(13));
+        let expected = p * (n * (n - 1)) as f64; // 4990 ordered pairs
+        assert!(
+            (g.edge_count() as f64 - expected).abs() < 400.0,
+            "{} arcs vs expected {expected}",
+            g.edge_count()
+        );
+        for e in g.edges() {
+            assert_ne!(e.src, e.dst, "diagonal must be skipped");
+        }
+    }
+
+    #[test]
+    fn geometric_skip_handles_probability_extremes() {
+        let zero = GnpConfig {
+            nodes: 10,
+            edge_probability: 0.0,
+            capacity: 1..=1,
+            symmetric: true,
+            ensure_connected: false,
+            sampler: GnpSampler::GeometricSkip,
+        };
+        assert_eq!(gnp(&zero, &mut StdRng::seed_from_u64(1)).edge_count(), 0);
+        let one = GnpConfig {
+            nodes: 6,
+            edge_probability: 1.0,
+            ..zero.clone()
+        };
+        assert_eq!(
+            gnp(&one, &mut StdRng::seed_from_u64(1)).edge_count(),
+            30,
+            "p = 1 must yield the complete graph"
+        );
+        let one_directed = GnpConfig {
+            symmetric: false,
+            ..one
+        };
+        assert_eq!(
+            gnp(&one_directed, &mut StdRng::seed_from_u64(1)).edge_count(),
+            30,
+            "6 · 5 ordered pairs"
+        );
+    }
+
+    #[test]
+    fn fast_config_is_deterministic_and_connected() {
+        let sample = |seed| gnp(&GnpConfig::fast(200), &mut StdRng::seed_from_u64(seed));
+        let g1 = sample(5);
+        assert_eq!(g1, sample(5));
+        assert_ne!(g1, sample(6));
+        assert!(is_weakly_connected(&g1));
+        assert!(g1.is_symmetric());
+        for e in g1.edges() {
+            assert!((3..=15).contains(&e.capacity));
+        }
+    }
+
+    #[test]
+    fn pair_loop_draw_sequence_is_frozen() {
+        // Committed artifacts depend on the pair loop consuming the RNG in
+        // exactly this order; pin a small sample so any change is loud.
+        let g = paper_random(8, &mut StdRng::seed_from_u64(42));
+        let fingerprint: Vec<(usize, usize, u32)> = g
+            .edges()
+            .map(|e| (e.src.index(), e.dst.index(), e.capacity))
+            .collect();
+        assert_eq!(
+            fingerprint,
+            vec![
+                (0, 2, 9),
+                (2, 0, 9),
+                (0, 6, 6),
+                (6, 0, 6),
+                (0, 7, 12),
+                (7, 0, 12),
+                (1, 5, 9),
+                (5, 1, 9),
+                (1, 7, 14),
+                (7, 1, 14),
+                (2, 4, 3),
+                (4, 2, 3),
+                (3, 5, 13),
+                (5, 3, 13),
+                (4, 6, 6),
+                (6, 4, 6),
+                (5, 6, 12),
+                (6, 5, 12),
+            ]
+        );
+    }
+
     #[test]
     #[should_panic(expected = "outside [0, 1]")]
     fn invalid_probability_panics() {
@@ -207,6 +452,7 @@ mod tests {
             capacity: 1..=1,
             symmetric: true,
             ensure_connected: false,
+            sampler: GnpSampler::PairLoop,
         };
         let _ = gnp(&config, &mut rng);
     }

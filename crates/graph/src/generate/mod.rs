@@ -18,7 +18,7 @@ pub mod classic;
 mod gnp_impl;
 mod transit_stub_impl;
 
-pub use gnp_impl::{gnp, paper_random, GnpConfig};
+pub use gnp_impl::{gnp, paper_random, GnpConfig, GnpSampler};
 pub use transit_stub_impl::{transit_stub, TransitStubConfig};
 
 use crate::algo::UnionFind;

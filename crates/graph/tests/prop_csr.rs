@@ -1,0 +1,151 @@
+//! Differential property test for the CSR-backed [`DiGraph`]: random
+//! interleavings of mutations and queries against a naive
+//! `Vec<Vec<EdgeId>>` adjacency model (the representation the CSR
+//! rewrite replaced).
+//!
+//! The queries are interleaved *between* mutations on purpose — each
+//! query may warm the lazily built CSR index, and the next mutation must
+//! invalidate it — so this exercises the build/invalidate/rebuild cycle
+//! far more densely than unit tests do.
+
+use ocd_graph::{DiGraph, EdgeId, NodeId};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+/// The old representation, kept as an executable oracle: per-node
+/// insertion-ordered adjacency lists plus a flat arc table.
+#[derive(Default)]
+struct NaiveGraph {
+    arcs: Vec<(usize, usize, u32)>,
+    out: Vec<Vec<EdgeId>>,
+    incoming: Vec<Vec<EdgeId>>,
+}
+
+impl NaiveGraph {
+    fn with_nodes(n: usize) -> Self {
+        NaiveGraph {
+            arcs: Vec::new(),
+            out: vec![Vec::new(); n],
+            incoming: vec![Vec::new(); n],
+        }
+    }
+
+    fn find(&self, src: usize, dst: usize) -> Option<EdgeId> {
+        self.out
+            .get(src)?
+            .iter()
+            .copied()
+            .find(|&e| self.arcs[e.index()].1 == dst)
+    }
+
+    /// Mirrors `DiGraph::add_edge`: parallel arcs merge by summing
+    /// capacity, new arcs append to both endpoint lists.
+    fn add_edge(&mut self, src: usize, dst: usize, cap: u32) {
+        if let Some(e) = self.find(src, dst) {
+            self.arcs[e.index()].2 += cap;
+        } else {
+            let e = EdgeId::new(self.arcs.len());
+            self.arcs.push((src, dst, cap));
+            self.out[src].push(e);
+            self.incoming[dst].push(e);
+        }
+    }
+}
+
+/// One random mutate-then-query episode; returns both graphs for final
+/// whole-structure comparison.
+fn build_pair(seed: u64, n: usize, ops: usize) -> Result<(DiGraph, NaiveGraph), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::with_nodes(n);
+    let mut model = NaiveGraph::with_nodes(n);
+    for _ in 0..ops {
+        let src = rng.random_range(0..n);
+        let dst = rng.random_range(0..n);
+        let cap = rng.random_range(1..20u32);
+        if src == dst {
+            prop_assert!(g.add_edge(g.node(src), g.node(dst), cap).is_err());
+            continue;
+        }
+        g.add_edge(g.node(src), g.node(dst), cap).unwrap();
+        model.add_edge(src, dst, cap);
+        // Interleaved queries: warm the CSR so the *next* mutation must
+        // invalidate it.
+        let probe = g.node(rng.random_range(0..n));
+        let out: Vec<EdgeId> = g.out_edges(probe).collect();
+        prop_assert_eq!(&out, &model.out[probe.index()], "out order diverged");
+        let inc: Vec<EdgeId> = g.in_edges(probe).collect();
+        prop_assert_eq!(&inc, &model.incoming[probe.index()], "in order diverged");
+        let (qs, qd) = (rng.random_range(0..n), rng.random_range(0..n));
+        prop_assert_eq!(g.find_edge(g.node(qs), g.node(qd)), model.find(qs, qd));
+    }
+    Ok((g, model))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_graph_matches_naive_adjacency_model(
+        seed in 0u64..10_000,
+        n in 2usize..12,
+        ops in 1usize..60,
+    ) {
+        let (g, model) = build_pair(seed, n, ops)?;
+        prop_assert_eq!(g.edge_count(), model.arcs.len());
+        for v in 0..n {
+            let v = NodeId::new(v);
+            prop_assert_eq!(g.out_degree(v), model.out[v.index()].len());
+            prop_assert_eq!(g.in_degree(v), model.incoming[v.index()].len());
+            let out: Vec<EdgeId> = g.out_edges(v).collect();
+            prop_assert_eq!(&out, &model.out[v.index()]);
+            let inc: Vec<EdgeId> = g.in_edges(v).collect();
+            prop_assert_eq!(&inc, &model.incoming[v.index()]);
+        }
+        for (i, &(src, dst, cap)) in model.arcs.iter().enumerate() {
+            let arc = g.edge(EdgeId::new(i));
+            prop_assert_eq!(arc.src.index(), src);
+            prop_assert_eq!(arc.dst.index(), dst);
+            prop_assert_eq!(arc.capacity, cap);
+        }
+    }
+
+    #[test]
+    fn bulk_and_incremental_construction_agree(
+        seed in 0u64..10_000,
+        n in 2usize..12,
+        ops in 1usize..60,
+    ) {
+        // A graph rebuilt from its own edge list via the bulk
+        // constructor must compare equal and iterate identically —
+        // `from_edges` is what serde deserialization runs through.
+        let (g, _) = build_pair(seed, n, ops)?;
+        let edges: Vec<ocd_graph::Edge> = g.edges().collect();
+        let bulk = DiGraph::from_edges(n, edges).unwrap();
+        prop_assert_eq!(&bulk, &g);
+        for v in g.nodes() {
+            let a: Vec<EdgeId> = g.out_edges(v).collect();
+            let b: Vec<EdgeId> = bulk.out_edges(v).collect();
+            prop_assert_eq!(a, b);
+            let a: Vec<EdgeId> = g.in_edges(v).collect();
+            let b: Vec<EdgeId> = bulk.in_edges(v).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_structure_and_order(
+        seed in 0u64..10_000,
+        n in 2usize..10,
+        ops in 1usize..40,
+    ) {
+        let (g, _) = build_pair(seed, n, ops)?;
+        let json = serde_json::to_string(&g).unwrap();
+        let back: DiGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &g);
+        for v in g.nodes() {
+            let a: Vec<EdgeId> = g.out_edges(v).collect();
+            let b: Vec<EdgeId> = back.out_edges(v).collect();
+            prop_assert_eq!(a, b, "iteration order must survive serde");
+        }
+    }
+}

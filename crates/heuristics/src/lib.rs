@@ -51,6 +51,7 @@ pub mod medium;
 pub mod policy;
 mod random;
 mod round_robin;
+mod shard;
 mod tree_stripe;
 pub mod underlay;
 mod view;
@@ -65,6 +66,7 @@ pub use local_rarest::LocalRarest;
 pub use medium::{Dynamic, Ideal, Medium, PhysicalUnderlay};
 pub use random::RandomUseful;
 pub use round_robin::RoundRobin;
+pub use shard::{Sharded, ShardedLocal, ShardedRandom, ShardedTreeStripe, VertexStrategy};
 pub use tree_stripe::TreeStripe;
 pub use underlay::{simulate_underlay, UnderlayReport};
 pub use view::{KnowledgeTier, Strategy, WorldView};

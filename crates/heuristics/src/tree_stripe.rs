@@ -54,8 +54,10 @@ impl TreeStripe {
 
     /// BFS tree from `root` expanding each vertex's out-arcs starting
     /// at a per-tree rotation offset, so different trees prefer
-    /// different parents where the topology allows.
-    fn build_tree(g: &DiGraph, root: NodeId, rotation: usize) -> Vec<Option<EdgeId>> {
+    /// different parents where the topology allows. Shared with the
+    /// sharded variant ([`crate::ShardedTreeStripe`]) so both build the
+    /// identical forest.
+    pub(crate) fn build_tree(g: &DiGraph, root: NodeId, rotation: usize) -> Vec<Option<EdgeId>> {
         let mut parent_arc = vec![None; g.node_count()];
         let mut seen = vec![false; g.node_count()];
         seen[root.index()] = true;
@@ -77,6 +79,17 @@ impl TreeStripe {
     }
 }
 
+/// Root choice shared by [`TreeStripe`] and the sharded variant: the
+/// best-provisioned vertex (the seed in single-source scenarios), lowest
+/// id on ties.
+pub(crate) fn best_root(instance: &Instance) -> NodeId {
+    instance
+        .graph()
+        .nodes()
+        .max_by_key(|&v| (instance.have(v).len(), std::cmp::Reverse(v)))
+        .expect("non-empty graph")
+}
+
 impl Strategy for TreeStripe {
     fn name(&self) -> &'static str {
         "tree-stripe"
@@ -91,11 +104,7 @@ impl Strategy for TreeStripe {
 
     fn reset(&mut self, instance: &Instance) {
         let g = instance.graph();
-        // Root at the best-provisioned seed.
-        let root = g
-            .nodes()
-            .max_by_key(|&v| (instance.have(v).len(), std::cmp::Reverse(v)))
-            .expect("non-empty graph");
+        let root = best_root(instance);
         self.trees = (0..self.k).map(|j| Self::build_tree(g, root, j)).collect();
     }
 

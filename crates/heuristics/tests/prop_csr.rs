@@ -1,0 +1,122 @@
+//! Differential property tests pinning the CSR graph rewrite and the
+//! sharded planner at the schedule level (mirroring `prop_medium.rs`):
+//!
+//! 1. A graph built incrementally and the same graph rebuilt through the
+//!    bulk `from_edges` path (what serde deserialization runs) must
+//!    drive every paper strategy to the byte-identical schedule — the
+//!    strategies consume arc iteration order and the RNG in lockstep,
+//!    so any divergence in CSR ordering shows up as a different
+//!    schedule.
+//! 2. The sharded planner must produce the byte-identical schedule for
+//!    every shard count, on random and classic topologies alike.
+
+use ocd_core::scenario::single_file;
+use ocd_core::{Instance, Schedule};
+use ocd_graph::generate::classic;
+use ocd_graph::DiGraph;
+use ocd_heuristics::{
+    simulate, Sharded, ShardedLocal, ShardedRandom, ShardedTreeStripe, SimConfig, Strategy,
+    StrategyKind,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(strategy: &mut dyn Strategy, instance: &Instance, seed: u64) -> Schedule {
+    let config = SimConfig {
+        max_steps: 300,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let report = simulate(instance, strategy, &config, &mut rng);
+    assert!(report.success, "{} failed", strategy.name());
+    report.schedule
+}
+
+/// The instance rebuilt on a serde-round-tripped topology: exercises
+/// `DiGraph::from_edges` (reservation, duplicate rejection, CSR rebuild
+/// from a cold start) against the incrementally-built original.
+fn round_tripped(instance: &Instance) -> Instance {
+    let json = serde_json::to_string(instance.graph()).unwrap();
+    let g: DiGraph = serde_json::from_str(&json).unwrap();
+    assert_eq!(&g, instance.graph());
+    let mut builder = Instance::builder(g, instance.num_tokens());
+    for v in instance.graph().nodes() {
+        builder = builder
+            .have_set(v.index(), instance.have(v).clone())
+            .want_set(v.index(), instance.want(v).clone());
+    }
+    builder.build().unwrap()
+}
+
+fn classic_topology(idx: usize, n: usize, cap: u32) -> DiGraph {
+    match idx % 4 {
+        0 => classic::cycle(n.max(3), cap, true),
+        1 => classic::path(n.max(2), cap, true),
+        2 => classic::complete(n.clamp(3, 8), cap),
+        _ => classic::star(n.max(3), cap, true),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bulk_built_graph_schedules_match_incremental_for_all_strategies(
+        seed in 0u64..10_000,
+        n in 4usize..14,
+        m in 2usize..10,
+        kind_idx in 0usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topology = ocd_graph::generate::paper_random(n, &mut rng);
+        let instance = single_file(topology, m, 0);
+        let rebuilt = round_tripped(&instance);
+        let kind = StrategyKind::paper_five()[kind_idx];
+        let a = run(kind.build().as_mut(), &instance, seed ^ 0xC54);
+        let b = run(kind.build().as_mut(), &rebuilt, seed ^ 0xC54);
+        prop_assert_eq!(a, b, "{} diverged after round trip", kind);
+    }
+
+    #[test]
+    fn sharded_schedules_are_shard_count_invariant_on_random_graphs(
+        seed in 0u64..10_000,
+        n in 4usize..16,
+        m in 2usize..10,
+        shards in 2usize..6,
+        strat_idx in 0usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topology = ocd_graph::generate::paper_random(n, &mut rng);
+        let instance = single_file(topology, m, 0);
+        let build = |shards: usize| -> Box<dyn Strategy> {
+            match strat_idx {
+                0 => Box::new(Sharded::new(ShardedRandom::new(), shards)),
+                1 => Box::new(Sharded::new(ShardedLocal::new(), shards)),
+                _ => Box::new(Sharded::new(ShardedTreeStripe::new(2), shards)),
+            }
+        };
+        let baseline = run(build(1).as_mut(), &instance, seed ^ 0x5A4);
+        let sharded = run(build(shards).as_mut(), &instance, seed ^ 0x5A4);
+        prop_assert_eq!(baseline, sharded, "shards = {} diverged", shards);
+    }
+
+    #[test]
+    fn sharded_schedules_are_shard_count_invariant_on_classic_graphs(
+        seed in 0u64..10_000,
+        topo_idx in 0usize..4,
+        n in 3usize..10,
+        m in 2usize..8,
+        cap in 1u32..4,
+    ) {
+        let instance = single_file(classic_topology(topo_idx, n, cap), m, 0);
+        for build in [
+            |s: usize| Box::new(Sharded::new(ShardedRandom::new(), s)) as Box<dyn Strategy>,
+            |s: usize| Box::new(Sharded::new(ShardedLocal::new(), s)) as Box<dyn Strategy>,
+        ] {
+            let baseline = run(build(1).as_mut(), &instance, seed ^ 0x31A);
+            let sharded = run(build(4).as_mut(), &instance, seed ^ 0x31A);
+            prop_assert_eq!(baseline, sharded);
+        }
+    }
+}
