@@ -5,6 +5,8 @@
 pub struct ExpArgs {
     /// Reduced sweep for CI / smoke testing.
     pub quick: bool,
+    /// Extended sweep beyond the default grids.
+    pub full: bool,
     /// Master seed; per-run seeds derive from it deterministically.
     pub seed: u64,
     /// Output directory for CSVs.
@@ -15,6 +17,7 @@ impl Default for ExpArgs {
     fn default() -> Self {
         ExpArgs {
             quick: false,
+            full: false,
             seed: 2005, // the paper's publication year, for flavor
             out_dir: "results".to_string(),
         }
@@ -22,8 +25,8 @@ impl Default for ExpArgs {
 }
 
 impl ExpArgs {
-    /// Parses `--quick`, `--seed <u64>`, `--out <dir>` from an iterator
-    /// of arguments (typically `std::env::args().skip(1)`).
+    /// Parses `--quick`, `--full`, `--seed <u64>`, `--out <dir>` from an
+    /// iterator of arguments (typically `std::env::args().skip(1)`).
     ///
     /// # Errors
     ///
@@ -35,6 +38,7 @@ impl ExpArgs {
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--quick" => out.quick = true,
+                "--full" => out.full = true,
                 "--seed" => {
                     let v = iter.next().ok_or("--seed requires a value")?;
                     out.seed = v.parse().map_err(|_| format!("invalid seed `{v}`"))?;
@@ -43,7 +47,7 @@ impl ExpArgs {
                     out.out_dir = iter.next().ok_or("--out requires a directory")?;
                 }
                 "--help" | "-h" => {
-                    return Err("usage: [--quick] [--seed <u64>] [--out <dir>]".to_string())
+                    return Err("usage: [--quick | --full] [--seed <u64>] [--out <dir>]".to_string())
                 }
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -83,8 +87,9 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let a = parse(&["--quick", "--seed", "9", "--out", "tmp"]).unwrap();
+        let a = parse(&["--quick", "--full", "--seed", "9", "--out", "tmp"]).unwrap();
         assert!(a.quick);
+        assert!(a.full);
         assert_eq!(a.seed, 9);
         assert_eq!(a.out_dir, "tmp");
     }

@@ -4,7 +4,9 @@ use crate::opts::{Command, USAGE};
 use ocd_core::{bounds, prune, Instance, ProvenanceTrace, Schedule};
 use ocd_graph::generate::{classic, gnp, transit_stub, GnpConfig, TransitStubConfig};
 use ocd_graph::{algo, io as gio, DiGraph};
-use ocd_heuristics::{simulate, simulate_with, Dynamic, Ideal, SimConfig, StrategyKind};
+use ocd_heuristics::{
+    simulate, simulate_with, Dynamic, Ideal, Medium, NodeCapacity, SimConfig, StrategyKind,
+};
 use ocd_lp::MipOptions;
 use ocd_net::{run_swarm, FaultPlan, NetConfig, NetPolicy};
 use ocd_solver::bnb::{decide_focd, solve_focd, BnbOptions};
@@ -123,19 +125,43 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 ..SimConfig::default()
             };
             let mut rng = StdRng::seed_from_u64(*seed);
-            let (outcome, medium_name) = match dynamics {
-                None => {
+            // Instances carrying node budgets run under the
+            // node-capacity medium automatically, so their `--record`
+            // artifacts certify against the budget-enforcing replay.
+            let budgets = instance.node_budgets().cloned();
+            let (outcome, medium_name) = match (dynamics, budgets) {
+                (None, None) => {
                     let outcome =
                         simulate_with(&instance, s.as_mut(), &mut Ideal, &config, &mut rng);
                     (outcome, "ideal".to_string())
                 }
-                Some(spec) => {
+                (None, Some(b)) => {
+                    let mut medium = NodeCapacity::new(Ideal, b);
+                    let outcome =
+                        simulate_with(&instance, s.as_mut(), &mut medium, &config, &mut rng);
+                    (outcome, medium.name().to_string())
+                }
+                (Some(spec), None) => {
                     let mut model = parse_dynamics(spec)?;
                     let medium_name = model.name().to_string();
                     let mut medium = Dynamic::new(model.as_mut());
                     let outcome =
                         simulate_with(&instance, s.as_mut(), &mut medium, &config, &mut rng);
                     // Re-validate against the recorded capacity trace.
+                    ocd_core::validate::replay_with_capacities(
+                        &instance,
+                        &outcome.report.schedule,
+                        &outcome.capacity_trace,
+                    )
+                    .map_err(|e| format!("dynamic schedule failed validation: {e}"))?;
+                    (outcome, medium_name)
+                }
+                (Some(spec), Some(b)) => {
+                    let mut model = parse_dynamics(spec)?;
+                    let medium_name = format!("node-capacity({})", model.name());
+                    let mut medium = NodeCapacity::new(Dynamic::new(model.as_mut()), b);
+                    let outcome =
+                        simulate_with(&instance, s.as_mut(), &mut medium, &config, &mut rng);
                     ocd_core::validate::replay_with_capacities(
                         &instance,
                         &outcome.report.schedule,
@@ -263,6 +289,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 }
             );
             out.push_str(&trace.analyze(&rec.instance).render(&rec.instance));
+            if let Some(budgets) = rec.instance.node_budgets() {
+                out.push_str(&render_uplink_utilization(
+                    &rec.instance,
+                    budgets,
+                    &rec.schedule,
+                ));
+            }
             Ok(out)
         }
         Command::TraceExport {
@@ -587,6 +620,66 @@ fn parse_dynamics(spec: &str) -> Result<Box<dyn ocd_heuristics::NetworkDynamics>
     }
 }
 
+/// Renders the per-vertex uplink-utilization section of
+/// `trace analyze` for budgeted records: total tokens uplinked, the
+/// busiest step against the budget, and how many steps ran saturated.
+fn render_uplink_utilization(
+    instance: &ocd_core::Instance,
+    budgets: &ocd_core::NodeBudgets,
+    schedule: &ocd_core::Schedule,
+) -> String {
+    let n = instance.num_vertices();
+    let g = instance.graph();
+    let steps = schedule.makespan();
+    let mut total = vec![0u64; n];
+    let mut peak = vec![0u64; n];
+    let mut saturated = vec![0u64; n];
+    let mut this_step = vec![0u64; n];
+    for step in schedule.steps() {
+        this_step.fill(0);
+        for (e, tokens) in step.sends() {
+            this_step[g.edge(e).src.index()] += tokens.len() as u64;
+        }
+        for v in 0..n {
+            total[v] += this_step[v];
+            peak[v] = peak[v].max(this_step[v]);
+            let budget = budgets.uplink(v);
+            if budget != ocd_core::NodeBudgets::UNLIMITED
+                && this_step[v] == u64::from(budget)
+                && this_step[v] > 0
+            {
+                saturated[v] += 1;
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "uplink utilization ({steps} steps, budgeted):");
+    const SHOWN: usize = 16;
+    for v in 0..n.min(SHOWN) {
+        let budget = budgets.uplink(v);
+        let budget_str = if budget == ocd_core::NodeBudgets::UNLIMITED {
+            "∞".to_string()
+        } else {
+            budget.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "  v{v}: {} tokens uplinked, peak {}/{} per step, saturated {}/{} steps",
+            total[v], peak[v], budget_str, saturated[v], steps
+        );
+    }
+    if n > SHOWN {
+        let rest_total: u64 = total[SHOWN..].iter().sum();
+        let _ = writeln!(
+            out,
+            "  … {} more vertices ({} tokens uplinked)",
+            n - SHOWN,
+            rest_total
+        );
+    }
+    out
+}
+
 fn emit(path: Option<&str>, content: String) -> Result<String, String> {
     match path {
         Some(p) => {
@@ -768,10 +861,10 @@ mod tests {
         let csv_text = std::fs::read_to_string(&csv).unwrap();
         assert!(csv_text.starts_with("kind,name,key,value"));
         assert!(csv_text.contains("counter,engine.steps"));
-        // `certify` accepts the metrics- and provenance-embedding (v3)
-        // record...
+        // `certify` accepts the metrics- and provenance-embedding
+        // current-version record...
         let certified = run(&["certify", "--record", &record]).unwrap();
-        assert!(certified.contains("certified (version 3"), "{certified}");
+        assert!(certified.contains("certified (version 4"), "{certified}");
         assert!(certified.contains("metrics:    embedded ("), "{certified}");
         assert!(certified.contains("provenance: embedded ("), "{certified}");
         // ...and a record without metrics reports `none`.
@@ -884,6 +977,44 @@ mod tests {
         rec.write_json(record.as_ref()).unwrap();
         let err = run(&["trace", "analyze", "--record", &record]).unwrap_err();
         assert!(err.contains("certification FAILED"), "{err}");
+    }
+
+    #[test]
+    fn budgeted_instance_runs_under_node_capacity_and_analyzes_uplinks() {
+        // A budgeted instance auto-wraps the medium: the record claims
+        // "node-capacity", re-certifies under the budget-enforcing
+        // replay, and `trace analyze` gains the uplink section.
+        let inst = tmp("budgeted_inst.json");
+        let instance = ocd_heuristics::optimal::broadcast_instance(2, 3, 1, 1);
+        std::fs::write(&inst, serde_json::to_string(&instance).unwrap()).unwrap();
+        let record = tmp("budgeted_record.json");
+        let out = run(&[
+            "run",
+            "--instance",
+            &inst,
+            "--strategy",
+            "per-neighbor-queue",
+            "--seed",
+            "1",
+            "--record",
+            &record,
+        ])
+        .unwrap();
+        assert!(out.contains("success:    true"), "{out}");
+        assert!(
+            out.contains("moves:      3 timesteps"),
+            "per-neighbor-queue must hit the MWW optimum: {out}"
+        );
+        let rec = ocd_core::RunRecord::read_json(record.as_ref()).unwrap();
+        assert_eq!(rec.medium, "node-capacity");
+        assert!(rec.instance.node_budgets().is_some());
+        rec.certify().unwrap();
+        let analysis = run(&["trace", "analyze", "--record", &record]).unwrap();
+        assert!(analysis.contains("uplink utilization"), "{analysis}");
+        assert!(
+            analysis.contains("peak 1/1 per step"),
+            "unit uplinks saturate: {analysis}"
+        );
     }
 
     #[test]

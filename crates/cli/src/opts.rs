@@ -182,11 +182,11 @@ USAGE:
                 --nodes <N> [--seed <S>] [--cap <LO..HI>] [--out <FILE>]
   ocd instance  --graph <FILE> --scenario <single-file|receiver-density|multi-file|multi-sender|figure-one>
                 [--tokens <M>] [--files <K>] [--source <V>] [--threshold <T>] [--seed <S>] [--out <FILE>]
-  ocd run       --instance <FILE> --strategy <round-robin|random|local|bandwidth|global|gather-then-plan>
+  ocd run       --instance <FILE> --strategy <round-robin|random|local|bandwidth|global|gather-then-plan|per-neighbor-queue>
                 [--seed <S>] [--delay <K>] [--max-steps <N>] [--schedule <FILE>] [--prune]
                 [--dynamics <static|cross:F|outages:P:Q|churn:P:Q|adversary:B[:C]>] [--record <FILE>]
                 [--metrics <FILE.json|FILE.csv>]
-  ocd net-run   --instance <FILE> [--policy <random|local>] [--seed <S>]
+  ocd net-run   --instance <FILE> [--policy <random|local|per-neighbor-queue>] [--seed <S>]
                 [--latency <T>] [--jitter <J>] [--loss <P>] [--control-latency <T>] [--control-loss <P>]
                 [--max-ticks <N>] [--crash <V:DOWN:UP>] [--trace <FILE.json|FILE.csv>] [--schedule <FILE>]
   ocd solve     --instance <FILE> --objective <time|bandwidth> [--horizon <H>]

@@ -1,0 +1,268 @@
+//! Per-vertex node-capacity budgets: the uplink-constrained regime.
+//!
+//! The paper's §3.1 model budgets bandwidth per overlay *arc*. Real
+//! swarms (BitTorrent, streaming CDNs) are constrained per *node*: one
+//! uplink shared across all out-neighbors, and sometimes a downlink
+//! shared across all in-neighbors. [`NodeBudgets`] attaches those
+//! per-vertex limits to an [`Instance`](crate::Instance): at every
+//! timestep, vertex `v` may send at most `uplink(v)` token transfers
+//! summed over *all* of its out-arcs, and receive at most `downlink(v)`
+//! summed over all of its in-arcs — on top of (not instead of) the
+//! per-arc capacities.
+//!
+//! This is exactly the regime of Mundinger–Weber–Weiss ("Optimal
+//! Scheduling of Peer-to-Peer File Dissemination"), whose closed-form
+//! optimal makespan serves as the analytic oracle for competitive-ratio
+//! scoring of the paper's heuristics.
+//!
+//! A budget of [`NodeBudgets::UNLIMITED`] never binds; budgets at or
+//! above a vertex's degree-capacity sum are equivalent to no budget at
+//! all (see [`NodeBudgets::never_binds`]), which the simulation layer
+//! exploits to skip admission entirely.
+
+use ocd_graph::{DiGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Per-vertex uplink/downlink token budgets (tokens per timestep).
+///
+/// Budgets are *shared* across a vertex's arcs: they cap the total
+/// number of token transfers leaving (uplink) or entering (downlink)
+/// the vertex in one step, counting duplicates.
+///
+/// # Examples
+///
+/// ```
+/// use ocd_core::NodeBudgets;
+///
+/// // Classic swarm shape: server (vertex 0) uploads 2 tokens/step,
+/// // every peer uploads 1; downloads unconstrained.
+/// let b = NodeBudgets::server_peers(5, 2, 1);
+/// assert_eq!(b.uplink(0), 2);
+/// assert_eq!(b.uplink(4), 1);
+/// assert_eq!(b.downlink(3), NodeBudgets::UNLIMITED);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeBudgets {
+    uplink: Vec<u32>,
+    downlink: Vec<u32>,
+}
+
+/// Error from [`NodeBudgets::new`]: the two budget vectors must cover
+/// the same vertex set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetLengthMismatch {
+    /// Length of the uplink vector.
+    pub uplinks: usize,
+    /// Length of the downlink vector.
+    pub downlinks: usize,
+}
+
+impl fmt::Display for BudgetLengthMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "uplink budgets cover {} vertices but downlink budgets cover {}",
+            self.uplinks, self.downlinks
+        )
+    }
+}
+
+impl Error for BudgetLengthMismatch {}
+
+impl NodeBudgets {
+    /// Sentinel meaning "this direction is not constrained at `v`".
+    pub const UNLIMITED: u32 = u32::MAX;
+
+    /// Builds budgets from explicit per-vertex vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetLengthMismatch`] if the vectors differ in length.
+    pub fn new(uplink: Vec<u32>, downlink: Vec<u32>) -> Result<Self, BudgetLengthMismatch> {
+        if uplink.len() != downlink.len() {
+            return Err(BudgetLengthMismatch {
+                uplinks: uplink.len(),
+                downlinks: downlink.len(),
+            });
+        }
+        Ok(NodeBudgets { uplink, downlink })
+    }
+
+    /// Uniform budgets: every vertex gets the same uplink and downlink.
+    #[must_use]
+    pub fn uniform(n: usize, uplink: u32, downlink: u32) -> Self {
+        NodeBudgets {
+            uplink: vec![uplink; n],
+            downlink: vec![downlink; n],
+        }
+    }
+
+    /// Uniform uplink-only budgets: downlinks are [`Self::UNLIMITED`].
+    /// This is the Mundinger–Weber–Weiss regime.
+    #[must_use]
+    pub fn uplink_only(n: usize, uplink: u32) -> Self {
+        Self::uniform(n, uplink, Self::UNLIMITED)
+    }
+
+    /// Server/peer uplink-only budgets: vertex 0 (the server) uploads
+    /// `server_up` tokens per step, every other vertex `peer_up`;
+    /// downlinks are unconstrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn server_peers(n: usize, server_up: u32, peer_up: u32) -> Self {
+        assert!(n > 0, "server_peers needs at least the server vertex");
+        let mut uplink = vec![peer_up; n];
+        uplink[0] = server_up;
+        NodeBudgets {
+            uplink,
+            downlink: vec![Self::UNLIMITED; n],
+        }
+    }
+
+    /// Number of vertices covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.uplink.len()
+    }
+
+    /// Whether the budget vectors are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.uplink.is_empty()
+    }
+
+    /// Uplink budget of vertex `v` (tokens per step across all out-arcs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[must_use]
+    pub fn uplink(&self, v: usize) -> u32 {
+        self.uplink[v]
+    }
+
+    /// Downlink budget of vertex `v` (tokens per step across all in-arcs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[must_use]
+    pub fn downlink(&self, v: usize) -> u32 {
+        self.downlink[v]
+    }
+
+    /// All uplink budgets, indexed by vertex.
+    #[must_use]
+    pub fn uplinks(&self) -> &[u32] {
+        &self.uplink
+    }
+
+    /// All downlink budgets, indexed by vertex.
+    #[must_use]
+    pub fn downlinks(&self) -> &[u32] {
+        &self.downlink
+    }
+
+    /// Whether these budgets can never constrain a schedule on `graph`:
+    /// every vertex's uplink is at least the sum of its out-arc
+    /// capacities and its downlink at least the sum of its in-arc
+    /// capacities. Per-arc capacity then always binds first, so
+    /// admission against the budgets is the identity.
+    ///
+    /// The simulation medium uses this to fall back to the wrapped
+    /// medium's exact behaviour (including rejection accounting).
+    #[must_use]
+    pub fn never_binds(&self, graph: &DiGraph) -> bool {
+        debug_assert_eq!(self.len(), graph.node_count());
+        graph.nodes().all(|v| {
+            let i = v.index();
+            let out_cap: u64 = graph
+                .out_edges(v)
+                .map(|e| u64::from(graph.capacity(e)))
+                .sum();
+            let in_cap: u64 = graph
+                .in_edges(v)
+                .map(|e| u64::from(graph.capacity(e)))
+                .sum();
+            u64::from(self.uplink[i]) >= out_cap && u64::from(self.downlink[i]) >= in_cap
+        })
+    }
+
+    /// Uplink budget of `v` as a [`NodeId`]-keyed convenience.
+    #[must_use]
+    pub fn uplink_of(&self, v: NodeId) -> u32 {
+        self.uplink[v.index()]
+    }
+
+    /// Downlink budget of `v` as a [`NodeId`]-keyed convenience.
+    #[must_use]
+    pub fn downlink_of(&self, v: NodeId) -> u32 {
+        self.downlink[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocd_graph::generate::classic;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let b = NodeBudgets::uniform(3, 2, 4);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.uplink(1), 2);
+        assert_eq!(b.downlink(2), 4);
+        assert_eq!(b.uplinks(), &[2, 2, 2]);
+        assert_eq!(b.downlinks(), &[4, 4, 4]);
+
+        let b = NodeBudgets::uplink_only(2, 7);
+        assert_eq!(b.uplink(0), 7);
+        assert_eq!(b.downlink(0), NodeBudgets::UNLIMITED);
+
+        let b = NodeBudgets::server_peers(4, 3, 1);
+        assert_eq!(b.uplink(0), 3);
+        assert_eq!(b.uplink(3), 1);
+    }
+
+    #[test]
+    fn new_rejects_length_mismatch() {
+        let err = NodeBudgets::new(vec![1, 2], vec![1]).unwrap_err();
+        assert_eq!(
+            err,
+            BudgetLengthMismatch {
+                uplinks: 2,
+                downlinks: 1
+            }
+        );
+        assert!(err.to_string().contains("2 vertices"));
+        assert!(NodeBudgets::new(vec![1], vec![1]).is_ok());
+    }
+
+    #[test]
+    fn never_binds_threshold() {
+        // Symmetric cycle, capacity 2: every vertex has out-capacity 4
+        // and in-capacity 4.
+        let g = classic::cycle(5, 2, true);
+        assert!(NodeBudgets::uniform(5, 4, 4).never_binds(&g));
+        assert!(NodeBudgets::uplink_only(5, 4).never_binds(&g));
+        assert!(!NodeBudgets::uniform(5, 3, 4).never_binds(&g));
+        assert!(!NodeBudgets::uniform(5, 4, 3).never_binds(&g));
+        assert!(
+            NodeBudgets::uniform(5, NodeBudgets::UNLIMITED, NodeBudgets::UNLIMITED).never_binds(&g)
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = NodeBudgets::server_peers(4, 3, 1);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: NodeBudgets = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

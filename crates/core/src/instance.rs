@@ -1,6 +1,6 @@
 //! OCD problem instances: a graph plus the *have* and *want* functions.
 
-use crate::{Token, TokenSet};
+use crate::{NodeBudgets, Token, TokenSet};
 use ocd_graph::{algo, DiGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -17,6 +17,11 @@ pub struct Instance {
     num_tokens: usize,
     have: Vec<TokenSet>,
     want: Vec<TokenSet>,
+    /// Optional per-vertex uplink/downlink budgets (the node-capacity
+    /// regime). Omitted from JSON when absent so unbudgeted instances
+    /// serialize exactly as before the field existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    node_budgets: Option<NodeBudgets>,
 }
 
 /// Builder for [`Instance`].
@@ -42,6 +47,7 @@ pub struct InstanceBuilder {
     num_tokens: usize,
     have: Vec<TokenSet>,
     want: Vec<TokenSet>,
+    node_budgets: Option<NodeBudgets>,
     /// Vertices referenced by have/want calls that are not in the graph;
     /// reported at build() time so the fluent chain stays ergonomic.
     out_of_bounds: Vec<usize>,
@@ -64,6 +70,14 @@ pub enum InstanceError {
         /// The token nobody has.
         token: Token,
     },
+    /// Attached [`NodeBudgets`] cover a different number of vertices
+    /// than the graph has.
+    BudgetsLengthMismatch {
+        /// Vertices covered by the budgets.
+        budgets: usize,
+        /// Number of vertices in the graph.
+        node_count: usize,
+    },
 }
 
 impl fmt::Display for InstanceError {
@@ -77,6 +91,15 @@ impl fmt::Display for InstanceError {
             }
             InstanceError::OrphanToken { token } => {
                 write!(f, "token {token} is wanted but no vertex initially has it")
+            }
+            InstanceError::BudgetsLengthMismatch {
+                budgets,
+                node_count,
+            } => {
+                write!(
+                    f,
+                    "node budgets cover {budgets} vertices but the graph has {node_count}"
+                )
             }
         }
     }
@@ -149,14 +172,25 @@ impl InstanceBuilder {
         self
     }
 
+    /// Attaches per-vertex uplink/downlink budgets (the node-capacity
+    /// regime). Length is checked against the graph at
+    /// [`build`](Self::build) time.
+    #[must_use]
+    pub fn node_budgets(mut self, budgets: NodeBudgets) -> Self {
+        self.node_budgets = Some(budgets);
+        self
+    }
+
     /// Finalizes the instance.
     ///
     /// # Errors
     ///
     /// Returns [`InstanceError::VertexOutOfBounds`] if any assignment
-    /// referenced a missing vertex, and [`InstanceError::OrphanToken`] if
+    /// referenced a missing vertex, [`InstanceError::OrphanToken`] if
     /// some wanted token is possessed by no vertex (such an instance can
-    /// never be satisfied, cf. §3.2 satisfiability).
+    /// never be satisfied, cf. §3.2 satisfiability), and
+    /// [`InstanceError::BudgetsLengthMismatch`] if attached
+    /// [`NodeBudgets`] do not cover exactly the graph's vertex set.
     pub fn build(self) -> Result<Instance, InstanceError> {
         if let Some(&vertex) = self.out_of_bounds.first() {
             return Err(InstanceError::VertexOutOfBounds {
@@ -175,11 +209,20 @@ impl InstanceBuilder {
         if let Some(token) = all_want.difference(&all_have).first() {
             return Err(InstanceError::OrphanToken { token });
         }
+        if let Some(b) = &self.node_budgets {
+            if b.len() != self.graph.node_count() {
+                return Err(InstanceError::BudgetsLengthMismatch {
+                    budgets: b.len(),
+                    node_count: self.graph.node_count(),
+                });
+            }
+        }
         Ok(Instance {
             graph: self.graph,
             num_tokens: self.num_tokens,
             have: self.have,
             want: self.want,
+            node_budgets: self.node_budgets,
         })
     }
 }
@@ -195,6 +238,7 @@ impl Instance {
             num_tokens,
             have: vec![TokenSet::new(num_tokens); n],
             want: vec![TokenSet::new(num_tokens); n],
+            node_budgets: None,
             out_of_bounds: Vec::new(),
         }
     }
@@ -209,6 +253,14 @@ impl Instance {
     #[must_use]
     pub fn num_tokens(&self) -> usize {
         self.num_tokens
+    }
+
+    /// Per-vertex uplink/downlink budgets, if this instance is in the
+    /// node-capacity regime. `None` means the pure §3.1 arc-capacitated
+    /// model.
+    #[must_use]
+    pub fn node_budgets(&self) -> Option<&NodeBudgets> {
+        self.node_budgets.as_ref()
     }
 
     /// Number of vertices, `n = |V|`.
@@ -497,5 +549,60 @@ mod tests {
         let json = serde_json::to_string(&inst).unwrap();
         let back: Instance = serde_json::from_str(&json).unwrap();
         assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn unbudgeted_json_has_no_budget_field_and_old_json_still_parses() {
+        let g = classic::path(2, 1, true);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(1, [tok(0)])
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&inst).unwrap();
+        // Pre-budget serialization is preserved byte-for-byte: the
+        // optional field is skipped when absent, so JSON written by
+        // older versions parses and re-serializes identically.
+        assert!(!json.contains("node_budgets"));
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+        assert!(back.node_budgets().is_none());
+    }
+
+    #[test]
+    fn budgeted_instance_round_trips() {
+        let g = classic::path(3, 2, true);
+        let budgets = crate::NodeBudgets::server_peers(3, 2, 1);
+        let inst = Instance::builder(g, 2)
+            .have(0, [tok(0), tok(1)])
+            .want_all_everywhere()
+            .node_budgets(budgets.clone())
+            .build()
+            .unwrap();
+        assert_eq!(inst.node_budgets(), Some(&budgets));
+        let json = serde_json::to_string(&inst).unwrap();
+        assert!(json.contains("node_budgets"));
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+        assert_eq!(back.node_budgets(), Some(&budgets));
+    }
+
+    #[test]
+    fn builder_rejects_budget_length_mismatch() {
+        let g = classic::path(3, 1, true);
+        let err = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(2, [tok(0)])
+            .node_budgets(crate::NodeBudgets::uplink_only(2, 1))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InstanceError::BudgetsLengthMismatch {
+                budgets: 2,
+                node_count: 3
+            }
+        );
+        assert!(err.to_string().contains("cover 2 vertices"));
     }
 }

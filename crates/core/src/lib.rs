@@ -17,6 +17,9 @@
 //! - [`Token`] / [`TokenSet`]: dense bitset token algebra.
 //! - [`Instance`]: graph + have/want functions, with satisfiability
 //!   analysis.
+//! - [`budgets`]: optional per-vertex uplink/downlink token budgets
+//!   ([`NodeBudgets`]) — the node-capacity regime of Mundinger–Weber–
+//!   Weiss, enforced by [`validate`] when an instance carries them.
 //! - [`Schedule`] and [`validate`]: replay-based validation with precise
 //!   error reporting.
 //! - [`prune`]: the paper's §5.1 post-processing that removes duplicate
@@ -61,6 +64,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod bounds;
+pub mod budgets;
 pub mod coding;
 mod instance;
 pub mod knowledge;
@@ -73,6 +77,7 @@ mod schedule;
 mod token;
 pub mod validate;
 
+pub use budgets::NodeBudgets;
 pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 pub use provenance::{NoopProvenance, ProvenanceHook, ProvenanceRecord, ProvenanceTrace};

@@ -28,9 +28,14 @@ use std::path::Path;
 /// embedded [`MetricsSnapshot`]; **3** — adds the optional embedded
 /// provenance digest ([`ProvenanceRecord`]), which [`RunRecord::certify`]
 /// cross-checks against the digest derived from replaying the embedded
-/// schedule. Version-1 and version-2 artifacts remain readable and
-/// certifiable (see [`RUN_RECORD_MIN_VERSION`]).
-pub const RUN_RECORD_VERSION: u32 = 3;
+/// schedule; **4** — the embedded [`Instance`] may carry
+/// [`NodeBudgets`](crate::NodeBudgets) (the node-capacity regime), which
+/// certification enforces during replay. The bump exists because older
+/// parsers ignore unknown fields: a budget-ignorant reader would
+/// otherwise silently certify a budgeted record *without* the budget
+/// checks. Versions 1–3 remain readable and certifiable (see
+/// [`RUN_RECORD_MIN_VERSION`]).
+pub const RUN_RECORD_VERSION: u32 = 4;
 
 /// Oldest schema version [`RunRecord::certify`] still accepts.
 pub const RUN_RECORD_MIN_VERSION: u32 = 1;
@@ -437,16 +442,96 @@ mod tests {
         assert!(v2.provenance.is_none());
         assert_eq!(v2.metrics, record.metrics);
         v2.certify().unwrap();
-        // And a current-version record with both embedded extras
-        // certifies and round-trips them.
+        // A version-3 artifact is the current shape minus node budgets
+        // (its embedded instance never carries them).
         let mut v3 = sample_record();
+        v3.version = 3;
         v3.metrics = record.metrics.clone();
         v3.provenance =
             Some(ProvenanceTrace::from_schedule(&v3.instance, &v3.schedule).to_record());
-        v3.certify().unwrap();
-        let back = RunRecord::from_json(&v3.to_json().unwrap()).unwrap();
-        assert_eq!(back.metrics, v3.metrics);
-        assert_eq!(back.provenance, v3.provenance);
+        let v3_json = v3.to_json().unwrap();
+        assert!(!v3_json.contains("node_budgets"));
+        let v3_back = RunRecord::from_json(&v3_json).unwrap();
+        assert_eq!(v3_back.version, 3);
+        v3_back.certify().unwrap();
+        // And a current-version record with both embedded extras
+        // certifies and round-trips them.
+        let mut v4 = sample_record();
+        v4.metrics = record.metrics.clone();
+        v4.provenance =
+            Some(ProvenanceTrace::from_schedule(&v4.instance, &v4.schedule).to_record());
+        v4.certify().unwrap();
+        let back = RunRecord::from_json(&v4.to_json().unwrap()).unwrap();
+        assert_eq!(back.metrics, v4.metrics);
+        assert_eq!(back.provenance, v4.provenance);
+    }
+
+    /// 0 → 1 and 0 → 2 star under an uplink budget of 1: the server
+    /// relays one copy per step through vertex 1.
+    fn budgeted_record() -> RunRecord {
+        let g = classic::star(3, 1, false);
+        let instance = Instance::builder(g, 1)
+            .have(0, [Token::new(0)])
+            .want(1, [Token::new(0)])
+            .want(2, [Token::new(0)])
+            .node_budgets(crate::NodeBudgets::uplink_only(3, 1))
+            .build()
+            .unwrap();
+        let mut schedule = Schedule::new();
+        schedule.push_step([(EdgeId::new(0), TokenSet::from_tokens(1, [Token::new(0)]))]);
+        schedule.push_step([(EdgeId::new(1), TokenSet::from_tokens(1, [Token::new(0)]))]);
+        RunRecord {
+            version: RUN_RECORD_VERSION,
+            strategy: "test".into(),
+            medium: "node-capacity".into(),
+            seed: 7,
+            steps: schedule.makespan(),
+            bandwidth: schedule.bandwidth(),
+            instance,
+            schedule,
+            success: true,
+            duplicate_deliveries: 0,
+            wall_nanos: 1_000_000,
+            completion_steps: vec![Some(0), Some(1), Some(2)],
+            trace: Vec::new(),
+            capacity_trace: Vec::new(),
+            rejected_per_step: Vec::new(),
+            metrics: None,
+            provenance: None,
+        }
+    }
+
+    #[test]
+    fn budgeted_record_round_trips_and_certifies() {
+        let record = budgeted_record();
+        record.certify().unwrap();
+        let json = record.to_json().unwrap();
+        assert!(json.contains("node_budgets"));
+        assert!(json.contains("node-capacity"));
+        let back = RunRecord::from_json(&json).unwrap();
+        assert_eq!(back.medium, "node-capacity");
+        assert_eq!(back.instance.node_budgets(), record.instance.node_budgets());
+        back.certify().unwrap();
+    }
+
+    #[test]
+    fn certify_enforces_embedded_node_budgets() {
+        // Forge a schedule that sends on both server arcs in one step:
+        // per-arc capacities allow it, the embedded uplink budget of 1
+        // does not — certification must reject it.
+        let mut record = budgeted_record();
+        let mut s = Schedule::new();
+        s.push_step([
+            (EdgeId::new(0), TokenSet::from_tokens(1, [Token::new(0)])),
+            (EdgeId::new(1), TokenSet::from_tokens(1, [Token::new(0)])),
+        ]);
+        record.steps = s.makespan();
+        record.bandwidth = s.bandwidth();
+        record.schedule = s;
+        assert!(matches!(
+            record.certify().unwrap_err(),
+            RecordError::Schedule(ScheduleError::UplinkBudgetExceeded { step: 0, .. })
+        ));
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! the graph; it is *successful* when the final possession covers every
 //! want. [`replay`] checks validity while reconstructing the possession
 //! functions `p_0, …, p_t`, which the caller can then inspect.
+//!
+//! Instances carrying [`NodeBudgets`](crate::NodeBudgets) are in the
+//! node-capacity regime: replay additionally enforces that each vertex's
+//! total transfers out of (into) it per step stay within its uplink
+//! (downlink) budget.
 
 use crate::{Instance, Schedule, Token, TokenSet};
 use ocd_graph::{EdgeId, NodeId};
@@ -44,6 +49,30 @@ pub enum ScheduleError {
         /// The token the sender lacked.
         token: Token,
     },
+    /// A vertex sent more tokens across all its out-arcs in one step
+    /// than its uplink budget allows (node-capacity regime only).
+    UplinkBudgetExceeded {
+        /// The offending timestep.
+        step: usize,
+        /// The over-budget sender.
+        vertex: NodeId,
+        /// Tokens sent by the vertex this step (up to the violation).
+        sent: u64,
+        /// The vertex's uplink budget.
+        budget: u32,
+    },
+    /// A vertex received more tokens across all its in-arcs in one step
+    /// than its downlink budget allows (node-capacity regime only).
+    DownlinkBudgetExceeded {
+        /// The offending timestep.
+        step: usize,
+        /// The over-budget receiver.
+        vertex: NodeId,
+        /// Tokens received by the vertex this step (up to the violation).
+        received: u64,
+        /// The vertex's downlink budget.
+        budget: u32,
+    },
     /// A token set was built over the wrong universe size.
     UniverseMismatch {
         /// The offending timestep.
@@ -80,6 +109,24 @@ impl fmt::Display for ScheduleError {
             } => write!(
                 f,
                 "step {step}: vertex {sender} sent token {token} on arc {edge} without possessing it"
+            ),
+            ScheduleError::UplinkBudgetExceeded {
+                step,
+                vertex,
+                sent,
+                budget,
+            } => write!(
+                f,
+                "step {step}: vertex {vertex} sent {sent} tokens but has uplink budget {budget}"
+            ),
+            ScheduleError::DownlinkBudgetExceeded {
+                step,
+                vertex,
+                received,
+                budget,
+            } => write!(
+                f,
+                "step {step}: vertex {vertex} received {received} tokens but has downlink budget {budget}"
             ),
             ScheduleError::UniverseMismatch {
                 step,
@@ -202,8 +249,17 @@ fn replay_impl(
     let mut possession = Vec::with_capacity(schedule.makespan() + 1);
     possession.push(current.clone());
 
+    // Node-capacity regime: per-step uplink/downlink usage accumulators
+    // (duplicates count — the budget caps *transfers*, not distinct
+    // tokens). Empty when the instance carries no budgets.
+    let budgets = instance.node_budgets();
+    let mut out_used = vec![0u64; if budgets.is_some() { n } else { 0 }];
+    let mut in_used = vec![0u64; if budgets.is_some() { n } else { 0 }];
+
     for (step, ts) in schedule.steps().iter().enumerate() {
         let mut next = current.clone();
+        out_used.fill(0);
+        in_used.fill(0);
         for (edge, tokens) in ts.sends() {
             if edge.index() >= g.edge_count() {
                 return Err(ScheduleError::UnknownEdge { step, edge });
@@ -238,6 +294,27 @@ fn replay_impl(
                     sender: arc.src,
                     token,
                 });
+            }
+            if let Some(b) = budgets {
+                let (src, dst) = (arc.src.index(), arc.dst.index());
+                out_used[src] += tokens.len() as u64;
+                if out_used[src] > u64::from(b.uplink(src)) {
+                    return Err(ScheduleError::UplinkBudgetExceeded {
+                        step,
+                        vertex: arc.src,
+                        sent: out_used[src],
+                        budget: b.uplink(src),
+                    });
+                }
+                in_used[dst] += tokens.len() as u64;
+                if in_used[dst] > u64::from(b.downlink(dst)) {
+                    return Err(ScheduleError::DownlinkBudgetExceeded {
+                        step,
+                        vertex: arc.dst,
+                        received: in_used[dst],
+                        budget: b.downlink(dst),
+                    });
+                }
             }
             next[arc.dst.index()].union_with(tokens);
         }
@@ -462,6 +539,86 @@ mod tests {
         let replay = replay(&inst, &s).unwrap();
         assert!(replay.is_successful());
         assert_eq!(s.bandwidth(), 2);
+    }
+
+    #[test]
+    fn uplink_budget_enforced_across_arcs() {
+        // Star center has per-arc capacity for both sends, but an uplink
+        // budget of 1 shared across its out-arcs.
+        let g = classic::star(3, 1, false);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(1, [tok(0)])
+            .want(2, [tok(0)])
+            .node_budgets(crate::NodeBudgets::uplink_only(3, 1))
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0]), send(1, 1, &[0])]);
+        let err = replay(&inst, &s).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::UplinkBudgetExceeded {
+                step: 0,
+                vertex: inst.graph().node(0),
+                sent: 2,
+                budget: 1,
+            }
+        );
+        assert!(err.to_string().contains("uplink budget 1"));
+
+        // One send per step respects the budget.
+        let mut s = Schedule::new();
+        s.push_step([send(1, 0, &[0])]);
+        s.push_step([send(1, 1, &[0])]);
+        assert!(replay(&inst, &s).unwrap().is_successful());
+    }
+
+    #[test]
+    fn downlink_budget_enforced_across_arcs() {
+        // Two sources feed vertex 2; its downlink budget of 1 forbids
+        // receiving from both in the same step.
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(2), 1).unwrap();
+        g.add_edge(g.node(1), g.node(2), 1).unwrap();
+        let inst = Instance::builder(g, 2)
+            .have(0, [tok(0)])
+            .have(1, [tok(1)])
+            .want(2, [tok(0), tok(1)])
+            .node_budgets(crate::NodeBudgets::uniform(3, 1, 1))
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(2, 0, &[0]), send(2, 1, &[1])]);
+        let err = replay(&inst, &s).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::DownlinkBudgetExceeded {
+                step: 0,
+                vertex: inst.graph().node(2),
+                received: 2,
+                budget: 1,
+            }
+        );
+        assert!(err.to_string().contains("downlink budget 1"));
+    }
+
+    #[test]
+    fn budget_usage_resets_between_steps() {
+        // Uplink 1 per step allows one send per step indefinitely; the
+        // accumulator must not leak across steps.
+        let g = classic::path(2, 3, false);
+        let inst = Instance::builder(g, 3)
+            .have(0, [tok(0), tok(1), tok(2)])
+            .want(1, [tok(0), tok(1), tok(2)])
+            .node_budgets(crate::NodeBudgets::uplink_only(2, 1))
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.push_step([send(3, 0, &[0])]);
+        s.push_step([send(3, 0, &[1])]);
+        s.push_step([send(3, 0, &[2])]);
+        assert!(replay(&inst, &s).unwrap().is_successful());
     }
 
     #[test]

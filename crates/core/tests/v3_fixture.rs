@@ -1,0 +1,43 @@
+//! Schema-version tolerance, third rung: a committed version-3
+//! `RunRecord` artifact (written when the provenance digest existed but
+//! before instances could carry `NodeBudgets`, so its embedded instance
+//! has no `node_budgets` key) must keep parsing and certifying under
+//! the current (v4) schema. The CI metrics smoke step certifies the
+//! same file through the CLI.
+
+use ocd_core::record::{RUN_RECORD_MIN_VERSION, RUN_RECORD_VERSION};
+use ocd_core::RunRecord;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/run_record_v3.json"
+);
+
+#[test]
+fn committed_v3_artifact_still_certifies() {
+    let text = std::fs::read_to_string(FIXTURE).expect("fixture exists");
+    assert!(
+        text.contains("\"provenance\""),
+        "fixture must carry the v3 provenance field"
+    );
+    assert!(
+        !text.contains("\"node_budgets\""),
+        "fixture must predate node budgets"
+    );
+    let record = RunRecord::from_json(&text).expect("v3 artifact parses");
+    assert_eq!(record.version, 3);
+    assert!(record.version > RUN_RECORD_MIN_VERSION);
+    assert!(record.version < RUN_RECORD_VERSION, "fixture is old-schema");
+    assert!(record.provenance.is_some(), "v3 fixture embeds provenance");
+    assert!(
+        record.instance.node_budgets().is_none(),
+        "absent budgets read as None"
+    );
+    let replay = record.certify().expect("v3 artifact certifies");
+    assert!(replay.is_successful());
+    // Round-tripping through the current serializer upgrades nothing
+    // silently: the version field is preserved as written.
+    let back = RunRecord::from_json(&record.to_json().unwrap()).unwrap();
+    assert_eq!(back.version, 3);
+    back.certify().unwrap();
+}

@@ -369,6 +369,7 @@ fn run_loop<M: Medium, R: Recorder, P: ProvenanceHook>(
     let m_admit = rec.histogram("engine.admit_nanos");
     let m_apply = rec.histogram("engine.apply_nanos");
     let m_arc_tokens = rec.series("engine.arc_tokens", g.edge_count());
+    let m_vertex_uplink = rec.series("engine.vertex_uplink_tokens", n);
     let g_vertices = rec.gauge("engine.vertices");
     let g_arcs = rec.gauge("engine.arcs");
     let g_tokens = rec.gauge("engine.tokens");
@@ -496,6 +497,7 @@ fn run_loop<M: Medium, R: Recorder, P: ProvenanceHook>(
             let arc = g.edge(edge);
             let dst = arc.dst;
             rec.series_add(m_arc_tokens, edge.index(), tokens.len() as u64);
+            rec.series_add(m_vertex_uplink, arc.src.index(), tokens.len() as u64);
             delta.copy_from(tokens);
             delta.subtract(&possession[dst.index()]);
             rec.add(m_dups, (tokens.len() - delta.len()) as u64);
@@ -769,6 +771,15 @@ mod tests {
             arc_tokens.iter().sum::<u64>(),
             outcome.report.bandwidth,
             "arc utilization sums to total bandwidth"
+        );
+        let uplink = snap
+            .series("engine.vertex_uplink_tokens")
+            .expect("per-vertex uplink series");
+        assert_eq!(uplink.len(), instance.num_vertices(), "one slot per vertex");
+        assert_eq!(
+            uplink.iter().sum::<u64>(),
+            outcome.report.bandwidth,
+            "uplink utilization sums to total bandwidth"
         );
         let hist = snap.histogram("engine.step_moves").expect("move histogram");
         assert_eq!(hist.count, outcome.report.steps as u64);

@@ -2,8 +2,8 @@
 //! the CLI.
 
 use crate::{
-    BandwidthCautious, GatherThenPlan, GlobalGreedy, LocalRarest, RandomUseful, RoundRobin,
-    Strategy,
+    BandwidthCautious, GatherThenPlan, GlobalGreedy, LocalRarest, PerNeighborQueue, RandomUseful,
+    RoundRobin, Strategy,
 };
 use std::fmt;
 use std::str::FromStr;
@@ -24,6 +24,8 @@ pub enum StrategyKind {
     Global,
     /// [`GatherThenPlan`] wrapping [`GlobalGreedy`]
     GatherThenPlan,
+    /// [`PerNeighborQueue`]
+    PerNeighborQueue,
 }
 
 impl StrategyKind {
@@ -42,7 +44,7 @@ impl StrategyKind {
 
     /// Every built-in strategy.
     #[must_use]
-    pub fn all() -> [StrategyKind; 6] {
+    pub fn all() -> [StrategyKind; 7] {
         [
             StrategyKind::RoundRobin,
             StrategyKind::Random,
@@ -50,6 +52,7 @@ impl StrategyKind {
             StrategyKind::Bandwidth,
             StrategyKind::Global,
             StrategyKind::GatherThenPlan,
+            StrategyKind::PerNeighborQueue,
         ]
     }
 
@@ -63,6 +66,7 @@ impl StrategyKind {
             StrategyKind::Bandwidth => Box::new(BandwidthCautious::new()),
             StrategyKind::Global => Box::new(GlobalGreedy::new()),
             StrategyKind::GatherThenPlan => Box::new(GatherThenPlan::new()),
+            StrategyKind::PerNeighborQueue => Box::new(PerNeighborQueue::new()),
         }
     }
 
@@ -76,6 +80,7 @@ impl StrategyKind {
             StrategyKind::Bandwidth => "bandwidth",
             StrategyKind::Global => "global",
             StrategyKind::GatherThenPlan => "gather-then-plan",
+            StrategyKind::PerNeighborQueue => "per-neighbor-queue",
         }
     }
 }
@@ -94,7 +99,7 @@ impl fmt::Display for UnknownStrategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown strategy `{}` (expected one of: round-robin, random, local, bandwidth, global, gather-then-plan)",
+            "unknown strategy `{}` (expected one of: round-robin, random, local, bandwidth, global, gather-then-plan, per-neighbor-queue)",
             self.0
         )
     }
@@ -113,6 +118,7 @@ impl FromStr for StrategyKind {
             "bandwidth" | "bw" => Ok(StrategyKind::Bandwidth),
             "global" => Ok(StrategyKind::Global),
             "gather-then-plan" | "gather" => Ok(StrategyKind::GatherThenPlan),
+            "per-neighbor-queue" | "pnq" => Ok(StrategyKind::PerNeighborQueue),
             other => Err(UnknownStrategy(other.to_string())),
         }
     }
@@ -149,6 +155,18 @@ mod tests {
             "rarest".parse::<StrategyKind>().unwrap(),
             StrategyKind::Local
         );
+        assert_eq!(
+            "pnq".parse::<StrategyKind>().unwrap(),
+            StrategyKind::PerNeighborQueue
+        );
+    }
+
+    #[test]
+    fn paper_five_is_stable() {
+        // Figure binaries iterate exactly the paper's five heuristics;
+        // new strategies join `all()` without disturbing them.
+        assert_eq!(StrategyKind::paper_five().len(), 5);
+        assert!(!StrategyKind::paper_five().contains(&StrategyKind::PerNeighborQueue));
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!
 //! plus [`GatherThenPlan`], the §4.2 observation that an on-line
 //! algorithm can always pay an additive diameter penalty to gather full
-//! knowledge and then follow a coordinated plan.
+//! knowledge and then follow a coordinated plan, and
+//! [`PerNeighborQueue`], the uplink-aware per-out-neighbor queue policy
+//! that is makespan-optimal for broadcast on uplink-constrained
+//! complete overlays (scored against the [`optimal`] oracles).
 //!
 //! The [`engine`](simulate) runs any [`Strategy`] step by step,
 //! maintaining true possession, feeding each strategy the knowledge it
@@ -48,6 +51,8 @@ mod global_greedy;
 mod kind;
 mod local_rarest;
 pub mod medium;
+pub mod optimal;
+mod per_neighbor_queue;
 pub mod policy;
 mod random;
 mod round_robin;
@@ -63,7 +68,8 @@ pub use gather::GatherThenPlan;
 pub use global_greedy::GlobalGreedy;
 pub use kind::StrategyKind;
 pub use local_rarest::LocalRarest;
-pub use medium::{Dynamic, Ideal, Medium, PhysicalUnderlay};
+pub use medium::{Dynamic, Ideal, Medium, NodeCapacity, PhysicalUnderlay};
+pub use per_neighbor_queue::PerNeighborQueue;
 pub use random::RandomUseful;
 pub use round_robin::RoundRobin;
 pub use shard::{Sharded, ShardedLocal, ShardedRandom, ShardedTreeStripe, VertexStrategy};

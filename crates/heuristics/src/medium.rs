@@ -20,6 +20,11 @@
 //! - [`PhysicalUnderlay`]: overlay arcs ride physical paths with shared
 //!   capacities; each proposed timestep passes through round-robin
 //!   physical admission control before being applied.
+//! - [`NodeCapacity`]: per-vertex uplink/downlink budgets
+//!   ([`NodeBudgets`]) shared across each vertex's arcs, layered on top
+//!   of *any* inner medium; when the budgets can never bind, admission
+//!   is skipped entirely and the wrapped medium's behaviour (schedules,
+//!   RNG stream) is reproduced exactly.
 //!
 //! # Contract
 //!
@@ -33,7 +38,7 @@
 //! schedule that already satisfied possession and capacity.
 
 use crate::dynamics::NetworkDynamics;
-use ocd_core::{Token, TokenSet};
+use ocd_core::{NodeBudgets, Token, TokenSet};
 use ocd_graph::underlay::OverlayMapping;
 use ocd_graph::{DiGraph, EdgeId};
 use rand::RngCore;
@@ -306,6 +311,169 @@ impl Medium for PhysicalUnderlay<'_> {
     }
 }
 
+/// Uplink-constrained transmission (the Mundinger–Weber–Weiss regime):
+/// every vertex shares one uplink budget across all its out-arcs and
+/// one downlink budget across all its in-arcs, per step, on top of
+/// whatever the wrapped medium enforces. Strategies still plan against
+/// the inner medium's capacities; each proposed timestep is first
+/// admitted by the inner medium, then clipped by round-robin
+/// *node-capacity admission* — arcs take turns sending one token each
+/// (ascending token order within an arc) while both endpoint budgets
+/// last, so no arc starves its siblings.
+///
+/// When the budgets can never bind (every vertex's uplink ≥ its
+/// out-capacity sum and downlink ≥ its in-capacity sum, see
+/// [`NodeBudgets::never_binds`]), admission returns immediately after
+/// the inner medium's: the wrapper is then observationally identical to
+/// the wrapped medium — same schedules, same RNG stream
+/// (property-tested in `prop_node_capacity.rs`).
+#[derive(Debug)]
+pub struct NodeCapacity<M> {
+    inner: M,
+    budgets: NodeBudgets,
+    /// Whether the budgets can bind on the current graph (set at reset).
+    binding: bool,
+    /// `(src, dst)` vertex indices of each overlay arc, captured at
+    /// reset ([`Medium::admit`] has no graph access).
+    endpoints: Vec<(usize, usize)>,
+    /// Per-vertex remaining uplink/downlink for the current step.
+    up_left: Vec<u64>,
+    down_left: Vec<u64>,
+    /// Recycled per-proposal token queues and admission cursors.
+    queues: Vec<Vec<Token>>,
+    cursors: Vec<usize>,
+}
+
+impl<M: Medium> NodeCapacity<M> {
+    /// Wraps `inner` with per-vertex `budgets`. Budgets must cover the
+    /// graph the simulation runs over (checked at reset).
+    #[must_use]
+    pub fn new(inner: M, budgets: NodeBudgets) -> Self {
+        NodeCapacity {
+            inner,
+            budgets,
+            binding: true,
+            endpoints: Vec::new(),
+            up_left: Vec::new(),
+            down_left: Vec::new(),
+            queues: Vec::new(),
+            cursors: Vec::new(),
+        }
+    }
+
+    /// The wrapped medium.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The budgets this medium enforces.
+    #[must_use]
+    pub fn budgets(&self) -> &NodeBudgets {
+        &self.budgets
+    }
+}
+
+impl<M: Medium> Medium for NodeCapacity<M> {
+    fn name(&self) -> &'static str {
+        "node-capacity"
+    }
+
+    fn reset(&mut self, graph: &DiGraph) {
+        assert_eq!(
+            self.budgets.len(),
+            graph.node_count(),
+            "node budgets do not cover the graph's vertices"
+        );
+        self.inner.reset(graph);
+        self.binding = !self.budgets.never_binds(graph);
+        self.endpoints.clear();
+        self.endpoints.extend(graph.edge_ids().map(|e| {
+            let arc = graph.edge(e);
+            (arc.src.index(), arc.dst.index())
+        }));
+        self.up_left.resize(graph.node_count(), 0);
+        self.down_left.resize(graph.node_count(), 0);
+    }
+
+    fn observe(&mut self, possession: &[TokenSet]) {
+        self.inner.observe(possession);
+    }
+
+    fn capacities<'a>(
+        &'a mut self,
+        graph: &DiGraph,
+        static_caps: &'a [u32],
+        step: usize,
+        rng: &mut dyn RngCore,
+    ) -> &'a [u32] {
+        self.inner.capacities(graph, static_caps, step, rng)
+    }
+
+    fn admit(&mut self, proposed: &mut Vec<(EdgeId, TokenSet)>) -> u64 {
+        let mut rejected = self.inner.admit(proposed);
+        if !self.binding {
+            // Identity fast path: the wrapped medium's admission is the
+            // whole story, bit-for-bit.
+            return rejected;
+        }
+        for (v, left) in self.up_left.iter_mut().enumerate() {
+            *left = u64::from(self.budgets.uplink(v));
+        }
+        for (v, left) in self.down_left.iter_mut().enumerate() {
+            *left = u64::from(self.budgets.downlink(v));
+        }
+        while self.queues.len() < proposed.len() {
+            self.queues.push(Vec::new());
+        }
+        self.cursors.clear();
+        self.cursors.resize(proposed.len(), 0);
+        for (slot, (_, tokens)) in proposed.iter_mut().enumerate() {
+            let queue = &mut self.queues[slot];
+            queue.clear();
+            queue.extend(tokens.iter());
+            tokens.clear();
+        }
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for (slot, (e, admitted)) in proposed.iter_mut().enumerate() {
+                let queue = &self.queues[slot];
+                let cursor = &mut self.cursors[slot];
+                if *cursor >= queue.len() {
+                    continue;
+                }
+                let (src, dst) = self.endpoints[e.index()];
+                if self.up_left[src] > 0 && self.down_left[dst] > 0 {
+                    self.up_left[src] -= 1;
+                    self.down_left[dst] -= 1;
+                    admitted.insert(queue[*cursor]);
+                    *cursor += 1;
+                    progress = true;
+                } else {
+                    // An endpoint budget is exhausted: everything left
+                    // on this arc is rejected this step.
+                    rejected += (queue.len() - *cursor) as u64;
+                    *cursor = queue.len();
+                }
+            }
+        }
+        proposed.retain(|(_, tokens)| !tokens.is_empty());
+        rejected
+    }
+
+    fn records_capacity_trace(&self) -> bool {
+        self.inner.records_capacity_trace()
+    }
+
+    fn records_rejections(&self) -> bool {
+        true
+    }
+
+    fn stall_aborts(&self) -> bool {
+        self.inner.stall_aborts()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +494,63 @@ mod tests {
         let mut proposal = vec![(EdgeId::new(0), TokenSet::full(2))];
         assert_eq!(ideal.admit(&mut proposal), 0);
         assert_eq!(proposal.len(), 1, "ideal admission is the identity");
+    }
+
+    #[test]
+    fn node_capacity_identity_when_budgets_never_bind() {
+        // Cycle(4, cap 3, symmetric): out/in-capacity sums are 6.
+        let g = ocd_graph::generate::classic::cycle(4, 3, true);
+        let mut medium = NodeCapacity::new(Ideal, NodeBudgets::uniform(4, 6, 6));
+        medium.reset(&g);
+        assert_eq!(medium.name(), "node-capacity");
+        assert!(medium.stall_aborts());
+        let mut proposal = vec![
+            (EdgeId::new(0), TokenSet::full(3)),
+            (EdgeId::new(2), TokenSet::full(3)),
+        ];
+        assert_eq!(medium.admit(&mut proposal), 0);
+        assert_eq!(proposal.len(), 2);
+        assert_eq!(proposal[0].1.len(), 3, "nothing clipped");
+    }
+
+    #[test]
+    fn node_capacity_clips_shared_uplink_round_robin() {
+        // Star center 0 with out-arcs to 1 and 2 (cap 2 each); uplink
+        // budget 3 at the center. Proposing 2 tokens per arc, the
+        // round-robin admits 2 on the first pass (one per arc) and 1 on
+        // the second, rejecting the last.
+        let g = ocd_graph::generate::classic::star(3, 2, false);
+        let mut medium = NodeCapacity::new(Ideal, NodeBudgets::uplink_only(3, 3));
+        medium.reset(&g);
+        let mut proposal = vec![
+            (EdgeId::new(0), TokenSet::full(2)),
+            (EdgeId::new(1), TokenSet::full(2)),
+        ];
+        assert_eq!(medium.admit(&mut proposal), 1);
+        let admitted: u64 = proposal.iter().map(|(_, t)| t.len() as u64).sum();
+        assert_eq!(admitted, 3);
+        // Round-robin fairness: both arcs got at least one token.
+        assert_eq!(proposal.len(), 2);
+        assert!(proposal.iter().all(|(_, t)| !t.is_empty()));
+    }
+
+    #[test]
+    fn node_capacity_clips_shared_downlink() {
+        // Two sources feed vertex 2 (arcs 0→2 and 1→2, cap 1 each);
+        // downlink budget 1 at vertex 2 admits exactly one of them.
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(2), 1).unwrap();
+        g.add_edge(g.node(1), g.node(2), 1).unwrap();
+        let budgets = NodeBudgets::uniform(3, 1, 1);
+        let mut medium = NodeCapacity::new(Ideal, budgets);
+        medium.reset(&g);
+        let mut proposal = vec![
+            (EdgeId::new(0), TokenSet::from_tokens(2, [Token::new(0)])),
+            (EdgeId::new(1), TokenSet::from_tokens(2, [Token::new(1)])),
+        ];
+        assert_eq!(medium.admit(&mut proposal), 1);
+        assert_eq!(proposal.len(), 1, "the saturated arc was dropped");
+        assert_eq!(proposal[0].0, EdgeId::new(0), "ascending arc order wins");
     }
 
     #[test]

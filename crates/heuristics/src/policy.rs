@@ -83,6 +83,28 @@ pub fn rarest_flood_fill(
     }
 }
 
+/// The per-neighbor-queue flood rule: extend `send` with up to `room`
+/// tokens from `candidates`, preferring tokens some vertex still needs,
+/// then rarest first, ties broken by ascending token id. Fully
+/// deterministic — no RNG — which is what makes the per-neighbor-queue
+/// policy reproducible across seeds in both the lockstep engine and the
+/// asynchronous runtime.
+pub fn deterministic_rarest_fill(
+    send: &mut TokenSet,
+    candidates: &TokenSet,
+    room: usize,
+    aggregates: &AggregateKnowledge,
+) {
+    let mut ranked: Vec<(bool, u32, Token)> = candidates
+        .iter()
+        .map(|t| (!aggregates.is_needed(t), aggregates.rarity(t), t))
+        .collect();
+    ranked.sort_unstable();
+    for (_, _, t) in ranked.into_iter().take(room) {
+        send.insert(t);
+    }
+}
+
 /// The Local heuristic's receiver rule: subdivide `need` into per-in-arc
 /// requests so no two in-peers are asked for the same token. Rarest
 /// tokens are assigned first (they claim scarce slots); each token goes
@@ -172,6 +194,20 @@ mod tests {
         assert!(send.contains(Token::new(1)), "rarest needed token first");
         assert!(send.contains(Token::new(2)));
         assert!(!send.contains(Token::new(0)), "unneeded token loses");
+    }
+
+    #[test]
+    fn deterministic_fill_prefers_needed_then_rare_then_id() {
+        let aggregates = AggregateKnowledge {
+            have_counts: vec![5, 1, 1, 3],
+            need_counts: vec![0, 1, 1, 1], // token 0 no longer needed
+        };
+        let mut send = TokenSet::new(4);
+        deterministic_rarest_fill(&mut send, &TokenSet::full(4), 2, &aggregates);
+        assert!(send.contains(Token::new(1)), "rarest needed, lowest id");
+        assert!(send.contains(Token::new(2)), "rarity tie broken by id");
+        assert!(!send.contains(Token::new(0)));
+        assert!(!send.contains(Token::new(3)));
     }
 
     #[test]

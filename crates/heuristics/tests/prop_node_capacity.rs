@@ -1,0 +1,134 @@
+//! Differential property tests for the node-capacity medium.
+//!
+//! 1. A [`NodeCapacity`] whose budgets cover every vertex's full arc
+//!    capacity can never bind, so it must be *invisible*: the same
+//!    schedule move-for-move as the wrapped [`Ideal`] medium — including
+//!    the RNG stream the strategies consume — across random graphs and
+//!    all five paper strategies.
+//! 2. When budgets genuinely bind, everything the medium admits must
+//!    replay cleanly under the budget-enforcing validator, for every
+//!    paper strategy (none of which is budget-aware).
+
+use ocd_core::scenario::single_file;
+use ocd_core::{validate, Instance, NodeBudgets, Token};
+use ocd_heuristics::{simulate, simulate_with, Ideal, NodeCapacity, SimConfig, StrategyKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn slack_budgets_match_ideal_move_for_move(
+        seed in 0u64..10_000,
+        n in 4usize..14,
+        m in 2usize..10,
+        kind_idx in 0usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topology = ocd_graph::generate::paper_random(n, &mut rng);
+        let instance = single_file(topology.clone(), m, 0);
+        let kind = StrategyKind::paper_five()[kind_idx];
+        let config = SimConfig {
+            max_steps: 200,
+            ..Default::default()
+        };
+
+        let ideal = {
+            let mut strategy = kind.build();
+            let mut run_rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+            simulate(&instance, strategy.as_mut(), &config, &mut run_rng)
+        };
+
+        // Budgets equal to each vertex's total arc capacity sit exactly
+        // on the never-binds boundary: admission must be a no-op.
+        let uplink: Vec<u32> = topology
+            .nodes()
+            .map(|v| {
+                topology
+                    .out_edges(v)
+                    .map(|e| topology.capacity(e))
+                    .fold(0u32, u32::saturating_add)
+            })
+            .collect();
+        let downlink: Vec<u32> = topology
+            .nodes()
+            .map(|v| {
+                topology
+                    .in_edges(v)
+                    .map(|e| topology.capacity(e))
+                    .fold(0u32, u32::saturating_add)
+            })
+            .collect();
+        let budgets = NodeBudgets::new(uplink, downlink).unwrap();
+        let constrained = {
+            let mut strategy = kind.build();
+            let mut run_rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+            let mut medium = NodeCapacity::new(Ideal, budgets);
+            simulate_with(&instance, strategy.as_mut(), &mut medium, &config, &mut run_rng)
+        };
+
+        prop_assert_eq!(
+            &constrained.report.schedule,
+            &ideal.schedule,
+            "{} on seed {} diverged under slack node budgets",
+            kind.name(),
+            seed
+        );
+        prop_assert_eq!(constrained.report.success, ideal.success);
+        prop_assert_eq!(
+            constrained.report.completion_steps.clone(),
+            ideal.completion_steps.clone()
+        );
+    }
+
+    #[test]
+    fn binding_budgets_always_replay_cleanly(
+        seed in 0u64..10_000,
+        n in 4usize..12,
+        m in 2usize..8,
+        kind_idx in 0usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topology = ocd_graph::generate::paper_random(n, &mut rng);
+        let budgets = NodeBudgets::uplink_only(n, 1);
+        let instance = Instance::builder(topology, m)
+            .have(0, (0..m).map(Token::new))
+            .want_all_everywhere()
+            .node_budgets(budgets.clone())
+            .build()
+            .unwrap();
+        let kind = StrategyKind::paper_five()[kind_idx];
+        let config = SimConfig {
+            max_steps: 400,
+            ..Default::default()
+        };
+
+        let mut strategy = kind.build();
+        let mut run_rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let mut medium = NodeCapacity::new(Ideal, budgets);
+        let outcome = simulate_with(
+            &instance,
+            strategy.as_mut(),
+            &mut medium,
+            &config,
+            &mut run_rng,
+        );
+
+        // The paper strategies know nothing about budgets, so the
+        // medium clips them — but whatever it admits must satisfy the
+        // budget-enforcing replay (the same check `certify()` runs).
+        let replay = validate::replay(&instance, &outcome.report.schedule);
+        prop_assert!(
+            replay.is_ok(),
+            "{} on seed {} emitted a budget-violating schedule: {:?}",
+            kind.name(),
+            seed,
+            replay.err()
+        );
+        if outcome.report.success {
+            prop_assert!(replay.unwrap().is_successful());
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Runtime configuration: which per-neighbor policy drives the actors
 //! and how the links and timers behave.
 
+use ocd_core::NodeBudgets;
 use std::fmt;
 use std::str::FromStr;
 
@@ -18,6 +19,14 @@ pub enum NetPolicy {
     /// ([`ocd_heuristics::LocalRarest`]): receivers spread requests over
     /// in-peers, senders serve queues then flood rarest-first.
     Local,
+    /// Deterministic per-neighbor-queue scheduling
+    /// ([`ocd_heuristics::PerNeighborQueue`]): senders serve their
+    /// existing per-out-neighbor queues, then flood deterministically
+    /// rarest-first, all metered by the sender's uplink budget when
+    /// node budgets are in effect. Optimal for broadcast on
+    /// uplink-constrained complete overlays (see
+    /// [`ocd_heuristics::optimal`]).
+    PerNeighborQueue,
 }
 
 impl NetPolicy {
@@ -27,6 +36,7 @@ impl NetPolicy {
         match self {
             NetPolicy::Random => "random",
             NetPolicy::Local => "local",
+            NetPolicy::PerNeighborQueue => "per-neighbor-queue",
         }
     }
 }
@@ -44,8 +54,9 @@ impl FromStr for NetPolicy {
         match s.to_ascii_lowercase().as_str() {
             "random" | "rnd" => Ok(NetPolicy::Random),
             "local" | "rarest" | "local-rarest" => Ok(NetPolicy::Local),
+            "per-neighbor-queue" | "pnq" => Ok(NetPolicy::PerNeighborQueue),
             other => Err(format!(
-                "unknown net policy `{other}` (expected: random, local)"
+                "unknown net policy `{other}` (expected: random, local, per-neighbor-queue)"
             )),
         }
     }
@@ -101,6 +112,13 @@ pub struct NetConfig {
     /// drops, and retransmission: only the delivery that is actually
     /// *applied* becomes a parent. Off by default.
     pub record_provenance: bool,
+    /// Per-vertex uplink budgets enforced at sender-decision time: a
+    /// vertex transmits at most its uplink worth of tokens per tick,
+    /// shared across all of its out-arcs (downlinks are not metered by
+    /// the runtime). `None` (the default) falls back to the budgets
+    /// embedded in the instance, if any; an explicit value overrides
+    /// them and must match the instance's vertex count.
+    pub node_budgets: Option<NodeBudgets>,
 }
 
 impl Default for NetConfig {
@@ -118,6 +136,7 @@ impl Default for NetConfig {
             max_ticks: 100_000,
             trace_capacity: 1 << 16,
             record_provenance: false,
+            node_budgets: None,
         }
     }
 }
@@ -196,6 +215,17 @@ mod tests {
         assert_eq!("random".parse::<NetPolicy>().unwrap(), NetPolicy::Random);
         assert_eq!("LOCAL".parse::<NetPolicy>().unwrap(), NetPolicy::Local);
         assert_eq!("rarest".parse::<NetPolicy>().unwrap().to_string(), "local");
+        assert_eq!(
+            "pnq".parse::<NetPolicy>().unwrap(),
+            NetPolicy::PerNeighborQueue
+        );
+        assert_eq!(
+            "per-neighbor-queue"
+                .parse::<NetPolicy>()
+                .unwrap()
+                .to_string(),
+            "per-neighbor-queue"
+        );
         assert!("bogus".parse::<NetPolicy>().is_err());
     }
 

@@ -33,6 +33,12 @@ fn assert_lockstep_equivalence(instance: &Instance, policy: NetPolicy, seed: u64
     let kind = match policy {
         NetPolicy::Random => StrategyKind::Random,
         NetPolicy::Local => StrategyKind::Local,
+        // The lockstep PerNeighborQueue coordinates across senders
+        // (global planned-set dedup), which the per-actor runtime
+        // cannot reproduce, so it has no lockstep-equivalence pair.
+        NetPolicy::PerNeighborQueue => {
+            unreachable!("per-neighbor-queue has no lockstep-equivalent differential")
+        }
     };
     let (kind, policy) = lockstep_pair(kind, policy);
 

@@ -9,11 +9,21 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field of the deriving struct.
+struct FieldSpec {
+    name: String,
+    /// Predicate path from `#[serde(skip_serializing_if = "path")]`;
+    /// when it returns true for the field, serialization omits it.
+    /// (Deserialization already treats missing fields as `Value::Null`,
+    /// which covers `Option` and `#[serde(default)]`-style round-trips.)
+    skip_if: Option<String>,
+}
+
 /// What we need to know about the deriving type.
 struct StructShape {
     name: String,
     /// `Some(fields)` for named-field structs, `None` for newtypes.
-    fields: Option<Vec<String>>,
+    fields: Option<Vec<FieldSpec>>,
 }
 
 /// Parses the struct item, skipping attributes, visibility, and field
@@ -77,20 +87,56 @@ fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
     }
 }
 
-/// Extracts field names from `{ name: Type, … }`, skipping per-field
-/// attributes and visibility, and skipping types with angle-bracket
-/// depth tracking (`Vec<(A, B)>` contains no top-level comma; a
-/// hypothetical `Map<K, V>` does, inside `<…>`).
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Extracts `skip_serializing_if = "path"` from the argument stream of
+/// a `#[serde(...)]` attribute, if present.
+fn parse_skip_if(args: TokenStream) -> Option<String> {
+    let mut tokens = args.into_iter().peekable();
+    while let Some(tree) = tokens.next() {
+        let TokenTree::Ident(i) = &tree else { continue };
+        if i.to_string() != "skip_serializing_if" {
+            continue;
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+            _ => return None,
+        }
+        if let Some(TokenTree::Literal(lit)) = tokens.next() {
+            let s = lit.to_string();
+            return Some(s.trim_matches('"').to_string());
+        }
+        return None;
+    }
+    None
+}
+
+/// Extracts field names from `{ name: Type, … }`, reading per-field
+/// `#[serde(...)]` attributes, skipping others and visibility, and
+/// skipping types with angle-bracket depth tracking (`Vec<(A, B)>`
+/// contains no top-level comma; a hypothetical `Map<K, V>` does, inside
+/// `<…>`).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<FieldSpec>, String> {
     let mut fields = Vec::new();
     let mut tokens = stream.into_iter().peekable();
     loop {
-        // Skip field attributes and visibility.
+        // Field attributes (capturing serde ones) and visibility.
+        let mut skip_if = None;
         loop {
             match tokens.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     tokens.next();
-                    tokens.next();
+                    if let Some(TokenTree::Group(attr)) = tokens.next() {
+                        // `[serde(args)]`: first ident names the
+                        // attribute, the parenthesized group its args.
+                        let mut inner = attr.stream().into_iter();
+                        if matches!(inner.next(), Some(TokenTree::Ident(i)) if i.to_string() == "serde")
+                        {
+                            if let Some(TokenTree::Group(args)) = inner.next() {
+                                if let Some(pred) = parse_skip_if(args.stream()) {
+                                    skip_if = Some(pred);
+                                }
+                            }
+                        }
+                    }
                 }
                 Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
                     tokens.next();
@@ -107,7 +153,10 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         let TokenTree::Ident(field) = tree else {
             return Err(format!("expected field name, found {tree:?}"));
         };
-        fields.push(field.to_string());
+        fields.push(FieldSpec {
+            name: field.to_string(),
+            skip_if,
+        });
         match tokens.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => return Err(format!("expected `:` after field, found {other:?}")),
@@ -168,12 +217,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         None => "::serde::ser::Serialize::serialize(&self.0, serializer)".to_string(),
         Some(fields) => {
             let mut pushes = String::new();
-            for f in fields {
-                pushes.push_str(&format!(
+            for spec in fields {
+                let f = &spec.name;
+                let push = format!(
                     "fields.push(({f:?}.to_string(), \
                      ::serde::ser::to_value(&self.{f})\
                      .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?));\n"
-                ));
+                );
+                match &spec.skip_if {
+                    Some(pred) => pushes.push_str(&format!("if !{pred}(&self.{f}) {{\n{push}}}\n")),
+                    None => pushes.push_str(&push),
+                }
             }
             format!(
                 "let mut fields: ::std::vec::Vec<(::std::string::String, \
@@ -207,7 +261,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         None => format!("::serde::de::Deserialize::deserialize(deserializer).map({name})"),
         Some(fields) => {
             let mut inits = String::new();
-            for f in fields {
+            for spec in fields {
+                let f = &spec.name;
                 inits.push_str(&format!(
                     "{f}: ::serde::de::take_field(&mut map, {name:?}, {f:?})\
                      .map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?,\n"
