@@ -1,0 +1,129 @@
+//! Criterion benchmarks of the exact-solver hot path rebuilt in this
+//! refactor: the sparse revised simplex (cold and warm-started, against
+//! the retained dense tableau as the baseline), and the warm-started
+//! branch-and-bound on the §3.4 time-indexed IP and the Theorem-5
+//! reduction. These are the numbers `BENCH_8.json` snapshots and CI
+//! re-measures via `OCD_BENCH_JSON`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocd_core::{Instance, NodeBudgets, TokenSet};
+use ocd_graph::generate::{gnp, GnpConfig};
+use ocd_graph::DiGraph;
+use ocd_lp::{MipOptions, Problem};
+use ocd_solver::ip::{ip_problem, min_bandwidth_for_horizon};
+use ocd_solver::reduction::focd_from_dominating_set;
+use rand::prelude::*;
+
+/// The `table_exact` instance family at benchmark scale: connected
+/// `G(n, 2 ln n / n)`, unit arc capacities, 2 parts from vertex 0,
+/// optionally under unit uplink budgets.
+fn gnp_instance(n: usize, uplink_limited: bool) -> Instance {
+    let mut rng = StdRng::seed_from_u64(2005 ^ n as u64);
+    let config = GnpConfig {
+        capacity: 1..=1,
+        ..GnpConfig::paper(n)
+    };
+    let g = gnp(&config, &mut rng);
+    let mut builder = Instance::builder(g, 2)
+        .have_set(0, TokenSet::full(2))
+        .want_all_everywhere();
+    if uplink_limited {
+        builder = builder.node_budgets(NodeBudgets::uplink_only(n, 1));
+    }
+    builder.build().expect("vertex 0 holds every part")
+}
+
+/// §3.4 IP relaxation of the `G(n, p)` broadcast at the given horizon.
+fn gnp_lp(n: usize, horizon: usize) -> Problem {
+    ip_problem(&gnp_instance(n, false), horizon).expect("horizon ≥ 1")
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    group.sample_size(10);
+    for &(n, horizon) in &[(16usize, 3usize), (32, 4)] {
+        let problem = gnp_lp(n, horizon);
+        group.bench_function(format!("sparse_cold/gnp{n}_h{horizon}"), |b| {
+            b.iter(|| problem.solve_lp().expect("relaxation feasible"));
+        });
+        // Warm restart from the optimal basis of the same bounds: the
+        // per-node cost inside branch-and-bound (minus the bound flip).
+        let lower: Vec<f64> = (0..problem.num_vars()).map(|_| 0.0).collect();
+        let upper: Vec<f64> = (0..problem.num_vars()).map(|_| 1.0).collect();
+        let (_, basis, _) = problem
+            .solve_lp_with_basis(&lower, &upper, None)
+            .expect("relaxation feasible");
+        group.bench_function(format!("sparse_warm/gnp{n}_h{horizon}"), |b| {
+            b.iter(|| {
+                problem
+                    .solve_lp_with_basis(&lower, &upper, Some(&basis))
+                    .expect("warm restart feasible")
+            });
+        });
+    }
+    // Dense reference at the largest size it can stomach.
+    let small = gnp_lp(8, 2);
+    group.bench_function("dense_cold/gnp8_h2", |b| {
+        b.iter(|| small.solve_lp_dense().expect("relaxation feasible"));
+    });
+    group.finish();
+}
+
+fn bench_bnb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bnb");
+    group.sample_size(10);
+    let feasibility = MipOptions {
+        absolute_gap: 1e12,
+        ..MipOptions::default()
+    };
+
+    // Budgeted broadcast at its (certified) optimal horizon: the
+    // feasibility MILP that anchors `table_exact`'s uplink-1 rows.
+    let budgeted = gnp_instance(8, true);
+    group.bench_function("feasibility/gnp8_uplink1_h5", |b| {
+        b.iter(|| {
+            min_bandwidth_for_horizon(&budgeted, 5, &feasibility)
+                .expect("simplex healthy")
+                .expect("horizon 5 feasible")
+        });
+    });
+
+    // Theorem-5 reduction decided at horizon 2: the `reduce-ds` path.
+    let mut g = DiGraph::with_nodes(10);
+    for u in 0..10usize {
+        for v in (u + 1)..10 {
+            if (u * 7 + v * 3) % 4 == 0 {
+                g.add_edge_symmetric(g.node(u), g.node(v), 1).unwrap();
+            }
+        }
+    }
+    for v in 3..10usize {
+        let covered = (0..3).any(|c| g.find_edge(g.node(c), g.node(v)).is_some());
+        if !covered {
+            g.add_edge_symmetric(g.node(v % 3), g.node(v), 1).unwrap();
+        }
+    }
+    let (reduced, _) = focd_from_dominating_set(&g, 3);
+    group.bench_function("reduction/ds_n10_k3", |b| {
+        b.iter(|| {
+            min_bandwidth_for_horizon(&reduced, 2, &feasibility)
+                .expect("simplex healthy")
+                .expect("first 3 vertices dominate by construction")
+        });
+    });
+
+    // Bandwidth-optimal mode (tight gap) on the unbudgeted broadcast:
+    // exercises the post-incumbent best-first phase, not just the dive.
+    let free = gnp_instance(8, false);
+    group.bench_function("bandwidth_opt/gnp8_h3", |b| {
+        b.iter(|| {
+            min_bandwidth_for_horizon(&free, 3, &MipOptions::default())
+                .expect("simplex healthy")
+                .expect("horizon 3 feasible")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(solver, bench_simplex, bench_bnb);
+criterion_main!(solver);

@@ -1,6 +1,6 @@
 //! Competitive-ratio scoring against certified optima.
 //!
-//! Three sections, one CSV (`table_competitive_gap.csv`):
+//! Four sections, one CSV (`table_competitive_gap.csv`):
 //!
 //! 1. **theorem4** — the paper's Theorem 4 adversarial family: two
 //!    maximally separated vertices where the sender holds many decoy
@@ -18,6 +18,13 @@
 //!    `--quick` keeps only 100), scored against the closed form
 //!    ([`mww_makespan`]) at unit uplinks and the certified lower bound
 //!    ([`uplink_makespan_lower_bound`]) when the server uplink differs.
+//! 4. **broadcast-ip** — heterogeneous-uplink broadcasts past the
+//!    brute-force ceiling but within reach of the exact IP stack
+//!    ([`makespan_via_ip`]): the oracle is a *certificate*, not a lower
+//!    bound, so every heuristic ratio in this section — including the
+//!    budget-aware per-neighbor-queue — is a true competitive ratio in
+//!    a regime where no closed form exists. The unit-uplink member of
+//!    the grid cross-checks the IP certificate against [`mww_makespan`].
 //!
 //! Every broadcast run goes through [`NodeCapacity<Ideal>`]: the five
 //! paper heuristics are budget-oblivious and get clipped by admission
@@ -37,6 +44,8 @@ use ocd_heuristics::optimal::{
     broadcast_instance, brute_force_uplink_makespan, mww_makespan, uplink_makespan_lower_bound,
 };
 use ocd_heuristics::{simulate, simulate_with, Ideal, NodeCapacity, SimConfig, StrategyKind};
+use ocd_lp::MipOptions;
+use ocd_solver::ip::{makespan_via_ip, MakespanOutcome};
 use rand::prelude::*;
 
 /// Path of `path_len + 1` vertices; the head holds `decoys + 1` tokens;
@@ -262,13 +271,94 @@ fn main() {
         }
     }
 
+    // ---- section 4: IP-certified heterogeneous anchors -------------
+    // Exact optima from the sparse-simplex / warm-started-B&B stack on
+    // broadcasts the brute-force enumerator (M ≤ 8 tokens, N ≤ 5 peers)
+    // cannot reach. The unit-uplink member cross-checks the IP
+    // certificate against the MWW closed form; the heterogeneous
+    // members have no closed form at all — the certificate is the only
+    // exact anchor available.
+    let ip_grid: &[(usize, usize, u32, u32)] = if args.quick {
+        &[(2, 6, 2, 1)]
+    } else {
+        &[(2, 6, 1, 1), (2, 6, 2, 1), (4, 6, 2, 1)]
+    };
+    let ip_options = MipOptions {
+        // Feasibility mode: each horizon only needs a witness schedule.
+        absolute_gap: 1e12,
+        node_limit: 30_000,
+        ..MipOptions::default()
+    };
+    for &(parts, peers, server_up, peer_up) in ip_grid {
+        let instance = broadcast_instance(parts, peers, server_up, peer_up);
+        // Deterministic upper bound for the sweep from the budget-aware
+        // policy (the same run later lands in this section's rows).
+        let config = SimConfig {
+            max_steps: 64 * (parts + peers),
+            ..Default::default()
+        };
+        let mut planner = StrategyKind::PerNeighborQueue.build();
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let mut medium =
+            NodeCapacity::new(Ideal, instance.node_budgets().expect("budgeted").clone());
+        let outcome = simulate_with(&instance, planner.as_mut(), &mut medium, &config, &mut rng);
+        assert!(outcome.report.success, "per-neighbor-queue must finish");
+        let MakespanOutcome::Certified(cert) =
+            makespan_via_ip(&instance, outcome.report.steps, &ip_options).expect("simplex healthy")
+        else {
+            panic!(
+                "broadcast-ip anchor failed to certify at parts = {parts}, peers = {peers}, \
+                 uplinks = {server_up}/{peer_up}"
+            );
+        };
+        let oracle = cert.makespan;
+        if server_up == 1 && peer_up == 1 {
+            assert_eq!(
+                oracle,
+                mww_makespan(parts, peers),
+                "IP certificate must equal the MWW closed form at unit uplinks"
+            );
+        }
+        let mut pnq_steps = None;
+        let mut best_paper = usize::MAX;
+        for kind in StrategyKind::all() {
+            let steps = broadcast_row(
+                &mut table,
+                "broadcast-ip",
+                "ip-certified",
+                oracle,
+                parts,
+                peers,
+                server_up,
+                peer_up,
+                kind,
+                args.seed,
+            );
+            if kind == StrategyKind::PerNeighborQueue {
+                pnq_steps = steps;
+            } else if StrategyKind::paper_five().contains(&kind) {
+                best_paper = best_paper.min(steps.unwrap_or(usize::MAX));
+            }
+        }
+        let pnq = pnq_steps.expect("per-neighbor-queue always completes");
+        if server_up == 1 && peer_up == 1 {
+            assert!(
+                pnq <= best_paper,
+                "per-neighbor-queue ({pnq}) lost to a paper heuristic ({best_paper}) \
+                 on the certified broadcast"
+            );
+        }
+    }
+
     println!("{}", table.render());
     println!(
         "Reading: theorem4 ratios grow with the decoy count for local tiers (no\n\
          constant c bounds them); broadcast ratios are against certified optima —\n\
          the budget-aware per-neighbor-queue policy stays at 1.000 on unit uplinks\n\
          while budget-oblivious heuristics pay for every clipped move (dnf = did\n\
-         not finish within 64x the oracle)."
+         not finish within 64x the oracle); broadcast-ip ratios are against IP\n\
+         *certificates* in the heterogeneous-uplink regime, where neither a closed\n\
+         form nor a brute-force optimum exists."
     );
     table
         .write_csv(format!("{}/table_competitive_gap.csv", args.out_dir))

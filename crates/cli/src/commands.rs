@@ -428,8 +428,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             instance,
             objective,
             horizon,
+            threads,
         } => {
             let inst = load_instance(instance)?;
+            let mip = MipOptions {
+                threads: (*threads).max(1),
+                ..MipOptions::default()
+            };
             let mut out = String::new();
             match objective.as_str() {
                 "time" => {
@@ -449,7 +454,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     } else {
                         *horizon
                     };
-                    let r = min_bandwidth_for_horizon(&inst, h, &MipOptions::default())
+                    let r = min_bandwidth_for_horizon(&inst, h, &mip)
                         .map_err(|e| format!("EOCD IP: {e}"))?
                         .ok_or(format!("no successful schedule within {h} timesteps"))?;
                     let _ = writeln!(out, "optimal bandwidth within {h} steps: {}", r.bandwidth);

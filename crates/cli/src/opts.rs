@@ -75,6 +75,9 @@ pub enum Command {
         objective: String,
         /// Horizon for the bandwidth IP (0 = auto).
         horizon: usize,
+        /// Worker threads for the IP's per-round LP solves. Any value
+        /// yields byte-identical output; > 1 is only faster.
+        threads: usize,
     },
     /// `ocd bounds`: print the §5.1 lower bounds and Steiner upper bound.
     Bounds {
@@ -189,7 +192,7 @@ USAGE:
   ocd net-run   --instance <FILE> [--policy <random|local|per-neighbor-queue>] [--seed <S>]
                 [--latency <T>] [--jitter <J>] [--loss <P>] [--control-latency <T>] [--control-loss <P>]
                 [--max-ticks <N>] [--crash <V:DOWN:UP>] [--trace <FILE.json|FILE.csv>] [--schedule <FILE>]
-  ocd solve     --instance <FILE> --objective <time|bandwidth> [--horizon <H>]
+  ocd solve     --instance <FILE> --objective <time|bandwidth> [--horizon <H>] [--threads <T>]
   ocd bounds    --instance <FILE>
   ocd validate  --instance <FILE> --schedule <FILE>
   ocd reduce-ds --graph <FILE> --k <K>
@@ -368,6 +371,7 @@ pub fn parse(args: Vec<String>) -> Result<Command, String> {
                 instance: f.req("instance")?,
                 objective: f.req("objective")?,
                 horizon: f.opt("horizon", 0)?,
+                threads: f.opt("threads", 1)?,
             })
         }
         "bounds" => {

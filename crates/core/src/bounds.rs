@@ -84,6 +84,71 @@ pub fn makespan_lower_bound(instance: &Instance) -> usize {
     remaining_makespan(instance.graph(), instance.have_all(), instance.want_all())
 }
 
+/// Budget-aware counting lower bound on makespan (growth bound).
+///
+/// Let *copies* be the total number of (vertex, token) possession
+/// pairs. Each step, every transfer creates exactly one new copy, a
+/// vertex `v` can send at most `min(uplink(v), out-capacity(v))`
+/// copies, and only vertices already holding a token can send at all.
+/// With `h` holders the per-step growth is therefore at most the sum of
+/// the `h` largest per-vertex send rates (and never more than the
+/// global receive ceiling `Σ_v min(downlink(v), in-capacity(v))`), and
+/// the holder count itself grows by at most the number of transfers.
+/// Iterating this recurrence until copies reach `Σ_v |have(v) ∪ w(v)|`
+/// counts a number of steps no feasible schedule can beat.
+///
+/// In the unit-uplink regime this is the classic doubling bound
+/// (`⌈log₂⌉`-shaped), which the radius bound of [`makespan_lower_bound`]
+/// is blind to; without budgets it degenerates to an arc-capacity
+/// counting bound. Returns `usize::MAX` when growth stalls short of the
+/// target (no finite schedule exists).
+#[must_use]
+pub fn counting_makespan_lower_bound(instance: &Instance) -> usize {
+    let g = instance.graph();
+    let n = g.node_count();
+    let budgets = instance.node_budgets();
+    let mut send_rate: Vec<u64> = g
+        .nodes()
+        .map(|v| {
+            let up = budgets.map_or(u64::MAX, |b| u64::from(b.uplink_of(v)));
+            g.out_capacity(v).min(up)
+        })
+        .collect();
+    send_rate.sort_unstable_by(|a, b| b.cmp(a));
+    let top_rates: Vec<u64> = send_rate
+        .iter()
+        .scan(0u64, |acc, &r| {
+            *acc = acc.saturating_add(r);
+            Some(*acc)
+        })
+        .collect();
+    let receive_ceiling = g
+        .nodes()
+        .map(|v| {
+            let down = budgets.map_or(u64::MAX, |b| u64::from(b.downlink_of(v)));
+            g.in_capacity(v).min(down)
+        })
+        .fold(0u64, u64::saturating_add);
+
+    let mut copies: u64 = instance.have_all().iter().map(|h| h.len() as u64).sum();
+    let target = copies + remaining_bandwidth(instance.want_all(), instance.have_all());
+    let mut holders = instance.have_all().iter().filter(|h| !h.is_empty()).count();
+    let mut steps = 0usize;
+    while copies < target {
+        let growth = match holders {
+            0 => 0,
+            h => top_rates[h.min(n) - 1].min(receive_ceiling),
+        };
+        if growth == 0 {
+            return usize::MAX;
+        }
+        copies = copies.saturating_add(growth);
+        holders = n.min(holders.saturating_add(growth.min(n as u64) as usize));
+        steps += 1;
+    }
+    steps
+}
+
 /// `max_i M_i(v)` for one vertex: expand the in-closure around `v` one
 /// BFS layer at a time; at radius `i`, the needed tokens not possessed
 /// anywhere inside cost at least `i + ⌈outside / in_capacity(v)⌉` steps.
@@ -299,6 +364,69 @@ mod tests {
             remaining_makespan(inst.graph(), &possession, inst.want_all()),
             2
         );
+    }
+
+    #[test]
+    fn counting_bound_is_exact_on_uplink_limited_star() {
+        // Asymmetric star, center holds the one token, unit uplinks:
+        // only the center can ever send, one copy per step, three leaves
+        // to fill -> exactly 3 steps.
+        let g = classic::star(4, 5, false);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want_all_everywhere()
+            .node_budgets(crate::NodeBudgets::uplink_only(4, 1))
+            .build()
+            .unwrap();
+        assert_eq!(counting_makespan_lower_bound(&inst), 3);
+        // The radius bound is budget-blind and sees only distance 1.
+        assert_eq!(makespan_lower_bound(&inst), 1);
+    }
+
+    #[test]
+    fn counting_bound_doubles_under_unit_uplinks() {
+        // Complete graph, unit uplinks, single token: copies can at best
+        // double each step, so broadcasting to 8 vertices needs log2 8.
+        let g = classic::complete(8, 1);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want_all_everywhere()
+            .node_budgets(crate::NodeBudgets::uplink_only(8, 1))
+            .build()
+            .unwrap();
+        assert_eq!(counting_makespan_lower_bound(&inst), 3);
+    }
+
+    #[test]
+    fn counting_bound_without_budgets_matches_arc_capacity() {
+        // 10 tokens through one capacity-2 arc: 5 steps even unbudgeted.
+        let g = classic::path(2, 2, false);
+        let inst = Instance::builder(g, 10)
+            .have_set(0, TokenSet::full(10))
+            .want_set(1, TokenSet::full(10))
+            .build()
+            .unwrap();
+        assert_eq!(counting_makespan_lower_bound(&inst), 5);
+    }
+
+    #[test]
+    fn counting_bound_detects_stalled_growth() {
+        // Zero uplink everywhere: nothing can ever be sent.
+        let g = classic::path(2, 1, true);
+        let inst = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(1, [tok(0)])
+            .node_budgets(crate::NodeBudgets::uplink_only(2, 0))
+            .build()
+            .unwrap();
+        assert_eq!(counting_makespan_lower_bound(&inst), usize::MAX);
+    }
+
+    #[test]
+    fn counting_bound_is_zero_when_satisfied() {
+        let g = classic::path(2, 1, true);
+        let inst = Instance::builder(g, 1).have(0, [tok(0)]).build().unwrap();
+        assert_eq!(counting_makespan_lower_bound(&inst), 0);
     }
 
     #[test]

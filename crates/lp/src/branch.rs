@@ -1,15 +1,43 @@
-//! Branch and bound for mixed-integer programs.
+//! Branch and bound for mixed-integer programs, warm-started and
+//! batch-parallel.
 //!
-//! Nodes carry tightened variable bounds; each node solves its LP
-//! relaxation with the dense simplex and either prunes (infeasible or
-//! dominated by the incumbent), accepts (integral), or branches on the
-//! most fractional integer variable. Nodes are explored best-first by LP
-//! bound so the incumbent converges quickly and pruning is maximal.
+//! Nodes carry tightened variable bounds plus the parent's simplex
+//! [`Basis`]; each node re-solves its LP relaxation with the sparse
+//! revised simplex *warm-started from that basis* (a child differs from
+//! its parent by a single bound flip, so the re-solve typically takes a
+//! handful of pivots). Until the first incumbent exists nodes are
+//! explored deepest-first (a dive: best-first keeps grazing the shallow
+//! frontier of tight feasibility instances and can postpone the first
+//! integral leaf almost indefinitely, while a plunge reaches one in
+//! roughly `depth / BATCH_WIDTH` rounds); from the first incumbent on,
+//! exploration is best-first by LP bound. Each node either prunes
+//! (infeasible or dominated by the incumbent), accepts (integral), or
+//! branches on the most fractional integer variable.
+//!
+//! # Deterministic parallelism
+//!
+//! Node evaluation is parallelized in **rounds**: each round pops up to
+//! [`BATCH_WIDTH`] nodes in the strict `(bound, node id)` heap order,
+//! solves their LPs concurrently under [`std::thread::scope`], then
+//! applies the results *sequentially in that same order*. The round
+//! width is a constant — deliberately **not** the thread count — so the
+//! exploration schedule, the node ids, the incumbent updates, and every
+//! reported number are a pure function of the problem. Threads only
+//! change how fast a round's LPs are solved, never which nodes exist:
+//! the [`MipSolution::incumbent_trace`] is byte-identical at
+//! `threads = 1` and `threads = N` (CI pins this by byte-comparing
+//! solver artifacts).
 
-use crate::model::{LpError, LpSolution, Problem, Sense, VarId, VarKind};
-use crate::simplex::solve_lp_with_bounds;
+use crate::model::{LpError, Problem, Sense, VarId, VarKind};
+use crate::sparse::{solve_standard, Basis, LpStats, StandardForm};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Nodes evaluated per parallel round. A constant (instead of the
+/// thread count) so the search trajectory is identical for every
+/// `threads` setting; see the module docs.
+const BATCH_WIDTH: usize = 8;
 
 /// Tuning knobs for [`Problem::solve_mip`].
 #[derive(Debug, Clone)]
@@ -21,6 +49,9 @@ pub struct MipOptions {
     pub absolute_gap: f64,
     /// Values within this of an integer count as integral.
     pub integrality_tol: f64,
+    /// Worker threads for the per-round LP solves (clamped to ≥ 1).
+    /// Any value produces bit-identical results; > 1 is only faster.
+    pub threads: usize,
 }
 
 impl Default for MipOptions {
@@ -29,6 +60,7 @@ impl Default for MipOptions {
             node_limit: 200_000,
             absolute_gap: 1e-6,
             integrality_tol: 1e-6,
+            threads: 1,
         }
     }
 }
@@ -42,6 +74,12 @@ pub struct MipSolution {
     pub values: Vec<f64>,
     /// Branch-and-bound nodes explored.
     pub nodes_explored: usize,
+    /// Total simplex pivots across every node's LP solve.
+    pub lp_iterations: u64,
+    /// Every incumbent improvement as `(node id, objective)`, in the
+    /// order found. Deterministic across thread counts — the raw
+    /// material for CI's determinism byte-compare.
+    pub incumbent_trace: Vec<(u64, f64)>,
 }
 
 impl MipSolution {
@@ -60,20 +98,25 @@ impl MipSolution {
 }
 
 struct Node {
-    /// LP bound of the parent (optimistic estimate for this node).
+    /// Creation order; unique. The heap tie-break, and what makes the
+    /// exploration order a total order.
+    id: u64,
+    /// LP bound of the parent (optimistic estimate for this node),
+    /// sign-normalized to minimization.
     bound: f64,
     lower: Vec<f64>,
     upper: Vec<f64>,
+    /// Parent's optimal basis: the warm start for this node's re-solve.
+    /// Shared between siblings, absent only at the root.
+    basis: Option<Arc<Basis>>,
     depth: usize,
 }
 
-/// Max-heap ordered so the node with the *best* bound pops first
-/// (smallest bound for minimization — the caller normalizes to
-/// minimization before pushing). Ties break deepest-first so the search
-/// dives toward incumbents.
+/// Max-heap ordered so the node with the *smallest* `(bound, id)` pops
+/// first: best-first on the LP bound, strictly deterministic on ties.
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.depth == other.depth
+        self.id == other.id
     }
 }
 impl Eq for Node {}
@@ -84,15 +127,50 @@ impl PartialOrd for Node {
 }
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap pops the maximum; we want the minimum bound, so
-        // reverse. NaNs cannot occur (bounds come from finite LP optima).
+        // BinaryHeap pops the maximum; reverse both keys. NaNs cannot
+        // occur (bounds come from finite LP optima).
         other
             .bound
             .partial_cmp(&self.bound)
             .unwrap_or(Ordering::Equal)
-            .then(self.depth.cmp(&other.depth))
+            .then(other.id.cmp(&self.id))
     }
 }
+
+/// Heap wrapper for the pre-incumbent dive phase: the *deepest* node
+/// pops first (ties: smaller bound, then smaller id). Deterministic for
+/// the same reason the best-first order is — both keys are pure
+/// functions of the search trajectory.
+struct Dive(Node);
+
+impl PartialEq for Dive {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.id == other.0.id
+    }
+}
+impl Eq for Dive {}
+impl PartialOrd for Dive {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Dive {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .depth
+            .cmp(&other.0.depth)
+            .then(
+                other
+                    .0
+                    .bound
+                    .partial_cmp(&self.0.bound)
+                    .unwrap_or(Ordering::Equal),
+            )
+            .then(other.0.id.cmp(&self.0.id))
+    }
+}
+
+type NodeLp = Result<(Vec<f64>, Basis, LpStats), LpError>;
 
 pub(crate) fn solve_mip(problem: &Problem, options: &MipOptions) -> Result<MipSolution, LpError> {
     // Normalize to minimization internally: for maximization we compare
@@ -109,87 +187,180 @@ pub(crate) fn solve_mip(problem: &Problem, options: &MipOptions) -> Result<MipSo
         .map(|(j, _)| j)
         .collect();
 
+    // One standard-form image shared (read-only) by every node solve on
+    // every thread.
+    let sf = StandardForm::new(problem);
+    let threads = options.threads.max(1);
+
     let root_lower: Vec<f64> = problem.vars.iter().map(|v| v.lower).collect();
     let root_upper: Vec<f64> = problem.vars.iter().map(|v| v.upper).collect();
 
-    let mut heap = BinaryHeap::new();
-    heap.push(Node {
+    // Two phase-specific heaps over the same live node set: `dive_heap`
+    // (deepest-first) feeds the search until the first incumbent,
+    // `bound_heap` (best-first) takes over for the optimality proof.
+    let mut dive_heap: BinaryHeap<Dive> = BinaryHeap::new();
+    let mut bound_heap: BinaryHeap<Node> = BinaryHeap::new();
+    dive_heap.push(Dive(Node {
+        id: 0,
         bound: f64::NEG_INFINITY,
         lower: root_lower,
         upper: root_upper,
+        basis: None,
         depth: 0,
-    });
+    }));
+    let mut next_id = 1u64;
 
-    let mut incumbent: Option<LpSolution> = None;
+    let mut incumbent: Option<Vec<f64>> = None;
     let mut incumbent_cost = f64::INFINITY; // sign-normalized
+    let mut incumbent_trace: Vec<(u64, f64)> = Vec::new();
     let mut nodes_explored = 0usize;
+    let mut lp_iterations = 0u64;
 
-    while let Some(node) = heap.pop() {
-        if node.bound > incumbent_cost - options.absolute_gap {
-            // Best remaining node cannot improve: proven optimal.
+    loop {
+        // ---- Form the round: the BATCH_WIDTH best live nodes. --------
+        if incumbent.is_some() && !dive_heap.is_empty() {
+            // Phase switch: the dive found an incumbent; re-key the
+            // survivors for best-first exploration.
+            for Dive(node) in dive_heap.drain() {
+                bound_heap.push(node);
+            }
+        }
+        let diving = incumbent.is_none();
+        let mut round: Vec<Node> = Vec::new();
+        while round.len() < BATCH_WIDTH {
+            if diving {
+                match dive_heap.pop() {
+                    Some(Dive(node)) => round.push(node),
+                    None => break,
+                }
+                continue;
+            }
+            match bound_heap.peek() {
+                Some(top) if top.bound <= incumbent_cost - options.absolute_gap => {
+                    round.push(bound_heap.pop().expect("peeked"));
+                }
+                // The best remaining bound cannot improve the incumbent,
+                // so nothing in the heap can: proven optimal.
+                Some(_) => {
+                    bound_heap.clear();
+                    break;
+                }
+                None => break,
+            }
+        }
+        if round.is_empty() {
             break;
         }
-        nodes_explored += 1;
+        nodes_explored += round.len();
         if nodes_explored > options.node_limit {
             return Err(LpError::NodeLimit);
         }
-        let relaxed = match solve_lp_with_bounds(problem, &node.lower, &node.upper) {
-            Ok(s) => s,
-            Err(LpError::Infeasible) => continue,
-            Err(LpError::Unbounded) if node.depth == 0 && !integer_vars.is_empty() => {
-                // An unbounded relaxation of an integer problem is still
-                // unbounded or infeasible; report unbounded like the LP.
-                return Err(LpError::Unbounded);
+
+        // ---- Solve the round's LPs (possibly in parallel). -----------
+        let mut results: Vec<Option<NodeLp>> = Vec::new();
+        results.resize_with(round.len(), || None);
+        let workers = threads.min(round.len());
+        if workers <= 1 {
+            for (node, slot) in round.iter().zip(results.iter_mut()) {
+                *slot = Some(solve_standard(
+                    &sf,
+                    &node.lower,
+                    &node.upper,
+                    node.basis.as_deref(),
+                ));
             }
-            Err(e) => return Err(e),
-        };
-        let cost = sign * relaxed.objective;
-        if cost > incumbent_cost - options.absolute_gap {
-            continue; // dominated
+        } else {
+            let chunk = round.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (nodes, slots) in round.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                    let sf = &sf;
+                    scope.spawn(move || {
+                        for (node, slot) in nodes.iter().zip(slots.iter_mut()) {
+                            *slot = Some(solve_standard(
+                                sf,
+                                &node.lower,
+                                &node.upper,
+                                node.basis.as_deref(),
+                            ));
+                        }
+                    });
+                }
+            });
         }
-        // Find the most fractional integer variable.
-        let mut branch_var = None;
-        let mut best_frac = options.integrality_tol;
-        for &j in &integer_vars {
-            let v = relaxed.values[j];
-            let frac = (v - v.round()).abs();
-            if frac > best_frac {
-                best_frac = frac;
-                branch_var = Some(j);
+
+        // ---- Apply results sequentially, in round (= heap) order. ----
+        for (node, result) in round.into_iter().zip(results) {
+            let result = result.expect("every slot filled");
+            let (values, basis, stats) = match result {
+                Ok(r) => r,
+                Err(LpError::Infeasible) => continue,
+                Err(e) => return Err(e),
+            };
+            lp_iterations += stats.iterations;
+            let objective: f64 = problem
+                .vars
+                .iter()
+                .zip(&values)
+                .map(|(v, x)| v.objective * x)
+                .sum();
+            let cost = sign * objective;
+            if cost > incumbent_cost - options.absolute_gap {
+                continue; // dominated
             }
-        }
-        match branch_var {
-            None => {
-                // Integral: new incumbent.
-                incumbent_cost = cost;
-                incumbent = Some(relaxed);
+            // Find the most fractional integer variable.
+            let mut branch_var = None;
+            let mut best_frac = options.integrality_tol;
+            for &j in &integer_vars {
+                let v = values[j];
+                let frac = (v - v.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch_var = Some(j);
+                }
             }
-            Some(j) => {
-                let v = relaxed.values[j];
-                let floor = v.floor();
-                let mut down = Node {
-                    bound: cost,
-                    lower: node.lower.clone(),
-                    upper: node.upper.clone(),
-                    depth: node.depth + 1,
-                };
-                down.upper[j] = floor;
-                let mut up = Node {
-                    bound: cost,
-                    lower: node.lower,
-                    upper: node.upper,
-                    depth: node.depth + 1,
-                };
-                up.lower[j] = floor + 1.0;
-                heap.push(down);
-                heap.push(up);
+            match branch_var {
+                None => {
+                    // Integral: new incumbent.
+                    incumbent_cost = cost;
+                    incumbent_trace.push((node.id, objective));
+                    incumbent = Some(values);
+                }
+                Some(j) => {
+                    let floor = values[j].floor();
+                    let warm = Arc::new(basis);
+                    let mut down = Node {
+                        id: next_id,
+                        bound: cost,
+                        lower: node.lower.clone(),
+                        upper: node.upper.clone(),
+                        basis: Some(Arc::clone(&warm)),
+                        depth: node.depth + 1,
+                    };
+                    down.upper[j] = floor;
+                    let mut up = Node {
+                        id: next_id + 1,
+                        bound: cost,
+                        lower: node.lower,
+                        upper: node.upper,
+                        basis: Some(warm),
+                        depth: node.depth + 1,
+                    };
+                    up.lower[j] = floor + 1.0;
+                    next_id += 2;
+                    if incumbent.is_none() {
+                        dive_heap.push(Dive(down));
+                        dive_heap.push(Dive(up));
+                    } else {
+                        bound_heap.push(down);
+                        bound_heap.push(up);
+                    }
+                }
             }
         }
     }
 
     match incumbent {
-        Some(sol) => {
-            let mut values = sol.values;
+        Some(mut values) => {
             for &j in &integer_vars {
                 values[j] = values[j].round();
             }
@@ -204,6 +375,8 @@ pub(crate) fn solve_mip(problem: &Problem, options: &MipOptions) -> Result<MipSo
                 objective,
                 values,
                 nodes_explored,
+                lp_iterations,
+                incumbent_trace,
             })
         }
         None => Err(LpError::Infeasible),
@@ -237,6 +410,8 @@ mod tests {
         assert_eq!(s.value_int(b), 1);
         assert_eq!(s.value_int(c), 1);
         assert_eq!(s.value_int(a), 0);
+        assert!(s.lp_iterations > 0);
+        assert!(!s.incumbent_trace.is_empty());
     }
 
     #[test]
@@ -349,6 +524,51 @@ mod tests {
         assert_eq!(s.objective.round() as i64, 23);
         assert_eq!(s.value_int(x), 3);
         assert_eq!(s.value_int(y), 1);
+    }
+
+    #[test]
+    fn parallel_solve_is_byte_identical() {
+        // The full determinism contract: identical objective, values,
+        // node count, LP pivot count, and incumbent trace at 1, 2, and
+        // 4 threads.
+        let mut p = Problem::new(Sense::Maximize);
+        let weights = [91.0, 72.0, 90.0, 46.0, 55.0, 8.0, 35.0, 75.0, 61.0, 15.0];
+        let values = [84.0, 83.0, 43.0, 4.0, 44.0, 6.0, 82.0, 92.0, 25.0, 83.0];
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| p.add_binary(format!("x{i}"), v))
+            .collect();
+        p.add_constraint(
+            vars.iter().copied().zip(weights.iter().copied()),
+            Relation::Le,
+            269.0,
+        );
+        p.add_constraint(
+            vars.iter().copied().zip(values.iter().copied()),
+            Relation::Le,
+            300.0,
+        );
+        let solve = |threads: usize| {
+            p.solve_mip(&MipOptions {
+                threads,
+                ..Default::default()
+            })
+            .unwrap()
+        };
+        let base = solve(1);
+        for threads in [2, 4] {
+            let s = solve(threads);
+            assert_eq!(format!("{:?}", s.values), format!("{:?}", base.values));
+            assert_eq!(
+                format!("{:?}", s.incumbent_trace),
+                format!("{:?}", base.incumbent_trace),
+                "incumbent trace diverged at {threads} threads"
+            );
+            assert_eq!(s.nodes_explored, base.nodes_explored);
+            assert_eq!(s.lp_iterations, base.lp_iterations);
+            assert!((s.objective - base.objective).abs() == 0.0);
+        }
     }
 
     #[test]

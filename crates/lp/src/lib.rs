@@ -6,16 +6,26 @@
 //! this crate implements the required machinery from scratch:
 //!
 //! - [`Problem`]: a model-building API (variables with bounds and kinds,
-//!   linear constraints, min/max objective).
-//! - A dense **two-phase primal simplex** for the LP relaxation
-//!   (Dantzig's rule with a Bland's-rule fallback for anti-cycling).
-//! - **Branch and bound** for integer variables (best-first on the LP
-//!   bound, most-fractional branching).
+//!   linear constraints, min/max objective). The constraint matrix is
+//!   stored column-major, so sparse model generators can emit columns
+//!   directly ([`Problem::new_constraint`] + [`Problem::add_column`]).
+//! - A **sparse revised simplex** for the LP relaxation: CSC column
+//!   storage, eta-file (product-form) basis factorization with periodic
+//!   refactorization, bounded-variable pivoting (upper bounds implicit,
+//!   not rows), Dantzig + partial pricing with a Bland's-rule
+//!   anti-cycling fallback, and a [`Basis`] snapshot API for
+//!   warm-started re-solves.
+//! - A retained **dense two-phase simplex** reference
+//!   ([`Problem::solve_lp_dense`]) that the sparse engine is
+//!   differentially tested against.
+//! - **Branch and bound** for integer variables: best-first on the LP
+//!   bound, most-fractional branching, children warm-started from the
+//!   parent basis, and deterministic batch-parallel node evaluation
+//!   (the incumbent trace is byte-identical across thread counts).
 //!
-//! The solver targets the *small* instances the paper solves exactly
-//! ("we calculate optimal solutions for small graphs"); it is exact and
-//! deterministic, not industrial-strength. Its optimality is
-//! cross-checked against exhaustive enumeration in the test suite.
+//! The solver is exact and deterministic, not industrial-strength; its
+//! optimality is cross-checked against exhaustive enumeration and the
+//! dense reference in the test suite.
 //!
 //! # Examples
 //!
@@ -42,6 +52,8 @@
 mod branch;
 mod model;
 mod simplex;
+mod sparse;
 
 pub use branch::{MipOptions, MipSolution};
-pub use model::{LpError, LpSolution, Problem, Relation, Sense, VarId, VarKind};
+pub use model::{ConId, LpError, LpSolution, Problem, Relation, Sense, VarId, VarKind};
+pub use sparse::{Basis, LpStats};

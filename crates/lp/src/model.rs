@@ -15,6 +15,18 @@ impl VarId {
     }
 }
 
+/// Handle to a constraint row within its [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConId(pub(crate) usize);
+
+impl ConId {
+    /// Raw index of the constraint in the problem.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Continuity class of a variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VarKind {
@@ -55,6 +67,12 @@ impl fmt::Display for Relation {
     }
 }
 
+/// Internal variable record. The constraint matrix is stored
+/// **column-major**: every variable carries its own sparse column as
+/// `(row, coefficient)` pairs sorted by row. The sparse revised simplex
+/// consumes these columns directly (they concatenate into a CSC
+/// structure); row-oriented consumers (the dense reference simplex,
+/// [`Problem::to_lp_format`]) transpose on demand.
 #[derive(Debug, Clone)]
 pub(crate) struct VarDef {
     pub name: String,
@@ -62,11 +80,15 @@ pub(crate) struct VarDef {
     pub lower: f64,
     pub upper: f64,
     pub objective: f64,
+    /// Sparse column: `(constraint row, coefficient)`, sorted by row,
+    /// one entry per row (duplicates are merged on insert).
+    pub entries: Vec<(usize, f64)>,
 }
 
+/// Internal constraint record: only the row's relation and right-hand
+/// side live here — the coefficients live in the variable columns.
 #[derive(Debug, Clone)]
 pub(crate) struct ConstraintDef {
-    pub terms: Vec<(usize, f64)>,
     pub relation: Relation,
     pub rhs: f64,
 }
@@ -177,6 +199,7 @@ impl Problem {
             lower,
             upper,
             objective,
+            entries: Vec::new(),
         });
         id
     }
@@ -199,24 +222,83 @@ impl Problem {
 
     /// Adds the constraint `Σ coef·var  relation  rhs`. Repeated
     /// variables in `terms` have their coefficients summed.
+    ///
+    /// This is the row-oriented convenience wrapper; model generators
+    /// that know their columns up front should prefer
+    /// [`new_constraint`](Problem::new_constraint) +
+    /// [`add_column`](Problem::add_column), which build the sparse
+    /// column storage directly.
     pub fn add_constraint(
         &mut self,
         terms: impl IntoIterator<Item = (VarId, f64)>,
         relation: Relation,
         rhs: f64,
     ) {
-        let mut merged: Vec<(usize, f64)> = Vec::new();
+        let con = self.new_constraint(relation, rhs);
         for (v, c) in terms {
-            match merged.binary_search_by_key(&v.0, |&(i, _)| i) {
-                Ok(pos) => merged[pos].1 += c,
-                Err(pos) => merged.insert(pos, (v.0, c)),
+            self.add_term(con, v, c);
+        }
+    }
+
+    /// Declares an empty constraint row `… relation rhs` and returns its
+    /// handle. Coefficients are attached afterwards, either column-wise
+    /// via [`add_column`](Problem::add_column) or one at a time via
+    /// [`add_term`](Problem::add_term).
+    pub fn new_constraint(&mut self, relation: Relation, rhs: f64) -> ConId {
+        let id = ConId(self.constraints.len());
+        self.constraints.push(ConstraintDef { relation, rhs });
+        id
+    }
+
+    /// Adds `coeff · var` to the row `con` (coefficients for a repeated
+    /// `(con, var)` pair are summed).
+    pub fn add_term(&mut self, con: ConId, var: VarId, coeff: f64) {
+        let entries = &mut self.vars[var.0].entries;
+        match entries.binary_search_by_key(&con.0, |&(r, _)| r) {
+            Ok(pos) => entries[pos].1 += coeff,
+            Err(pos) => entries.insert(pos, (con.0, coeff)),
+        }
+    }
+
+    /// Adds a variable together with its entire constraint column in one
+    /// call: `entries` lists `(row, coefficient)` pairs against rows
+    /// previously declared with [`new_constraint`](Problem::new_constraint).
+    /// Duplicated rows in `entries` have their coefficients summed.
+    ///
+    /// This is the preferred path for sparse model generation — the
+    /// column goes straight into the CSC storage the revised simplex
+    /// consumes, with no row-major intermediate.
+    pub fn add_column(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+        entries: impl IntoIterator<Item = (ConId, f64)>,
+    ) -> VarId {
+        let id = self.add_var(name, kind, lower, upper, objective);
+        for (con, coeff) in entries {
+            debug_assert!(
+                con.0 < self.constraints.len(),
+                "column references unknown row"
+            );
+            self.add_term(con, id, coeff);
+        }
+        id
+    }
+
+    /// The constraint matrix transposed back to rows:
+    /// `rows[i] = [(var, coeff), …]` sorted by variable index. Used by
+    /// row-oriented consumers (dense simplex, LP-format export).
+    pub(crate) fn rows(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.constraints.len()];
+        for (j, v) in self.vars.iter().enumerate() {
+            for &(i, a) in &v.entries {
+                rows[i].push((j, a));
             }
         }
-        self.constraints.push(ConstraintDef {
-            terms: merged,
-            relation,
-            rhs,
-        });
+        rows
     }
 
     /// Number of variables.
@@ -237,13 +319,57 @@ impl Problem {
         self.vars.iter().any(|v| v.kind == VarKind::Integer)
     }
 
-    /// Solves the LP relaxation (integrality dropped).
+    /// Solves the LP relaxation (integrality dropped) with the sparse
+    /// revised simplex.
     ///
     /// # Errors
     ///
     /// [`LpError::Infeasible`], [`LpError::Unbounded`],
     /// [`LpError::IterationLimit`], or bound errors.
     pub fn solve_lp(&self) -> Result<LpSolution, LpError> {
+        let lower: Vec<f64> = self.vars.iter().map(|v| v.lower).collect();
+        let upper: Vec<f64> = self.vars.iter().map(|v| v.upper).collect();
+        self.solve_lp_with_basis(&lower, &upper, None)
+            .map(|(s, _, _)| s)
+    }
+
+    /// Solves the LP relaxation under overridden bounds with the sparse
+    /// revised simplex, optionally warm-starting from a [`Basis`]
+    /// returned by a previous solve of the same problem (typically under
+    /// slightly different bounds — the branch-and-bound child pattern).
+    /// Returns the solution, the optimal basis, and work counters.
+    ///
+    /// An incompatible `warm` basis is ignored (cold start), never an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve_lp`](Problem::solve_lp).
+    pub fn solve_lp_with_basis(
+        &self,
+        lower: &[f64],
+        upper: &[f64],
+        warm: Option<&crate::sparse::Basis>,
+    ) -> Result<(LpSolution, crate::sparse::Basis, crate::sparse::LpStats), LpError> {
+        let sf = crate::sparse::StandardForm::new(self);
+        let (values, basis, stats) = crate::sparse::solve_standard(&sf, lower, upper, warm)?;
+        let objective = self
+            .vars
+            .iter()
+            .zip(&values)
+            .map(|(v, x)| v.objective * x)
+            .sum();
+        Ok((LpSolution { objective, values }, basis, stats))
+    }
+
+    /// Solves the LP relaxation with the retained dense two-phase
+    /// simplex — the slow reference implementation the sparse engine is
+    /// differentially tested against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve_lp`](Problem::solve_lp).
+    pub fn solve_lp_dense(&self) -> Result<LpSolution, LpError> {
         let lower: Vec<f64> = self.vars.iter().map(|v| v.lower).collect();
         let upper: Vec<f64> = self.vars.iter().map(|v| v.upper).collect();
         crate::simplex::solve_lp_with_bounds(self, &lower, &upper)
@@ -278,9 +404,10 @@ impl Problem {
             }
         }
         out.push_str("\nSubject To\n");
+        let rows = self.rows();
         for (ci, c) in self.constraints.iter().enumerate() {
             let _ = write!(out, " c{ci}:");
-            for &(v, coef) in &c.terms {
+            for &(v, coef) in &rows[ci] {
                 let _ = write!(out, " {coef:+} x{v}");
             }
             let _ = writeln!(out, " {} {}", c.relation, c.rhs);
@@ -339,7 +466,43 @@ mod tests {
         let mut p = Problem::new(Sense::Minimize);
         let x = p.add_continuous("x", 0.0, 1.0, 1.0);
         p.add_constraint([(x, 1.0), (x, 2.0)], Relation::Eq, 3.0);
-        assert_eq!(p.constraints[0].terms, vec![(0, 3.0)]);
+        assert_eq!(p.vars[0].entries, vec![(0, 3.0)]);
+        assert_eq!(p.rows(), vec![vec![(0, 3.0)]]);
+    }
+
+    #[test]
+    fn column_api_matches_row_api() {
+        // Build the same model through both APIs; the internal column
+        // storage must be identical.
+        let build_rowwise = || {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_continuous("x", 0.0, 4.0, 1.0);
+            let y = p.add_continuous("y", 0.0, 4.0, 2.0);
+            p.add_constraint([(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+            p.add_constraint([(y, -1.0)], Relation::Ge, -2.0);
+            p
+        };
+        let build_colwise = || {
+            let mut p = Problem::new(Sense::Minimize);
+            let c0 = p.new_constraint(Relation::Le, 6.0);
+            let c1 = p.new_constraint(Relation::Ge, -2.0);
+            p.add_column("x", VarKind::Continuous, 0.0, 4.0, 1.0, [(c0, 1.0)]);
+            p.add_column(
+                "y",
+                VarKind::Continuous,
+                0.0,
+                4.0,
+                2.0,
+                [(c0, 3.0), (c1, -1.0)],
+            );
+            p
+        };
+        let a = build_rowwise();
+        let b = build_colwise();
+        assert_eq!(a.to_lp_format(), b.to_lp_format());
+        for (va, vb) in a.vars.iter().zip(&b.vars) {
+            assert_eq!(va.entries, vb.entries);
+        }
     }
 
     #[test]

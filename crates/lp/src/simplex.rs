@@ -13,6 +13,8 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::model::{LpError, LpSolution, Problem, Relation, Sense, VarId};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
 
 const FEAS_TOL: f64 = 1e-7;
 const PIVOT_TOL: f64 = 1e-9;
@@ -48,10 +50,11 @@ pub(crate) fn solve_lp_with_bounds(
         rhs: f64,
     }
     let mut rows: Vec<Row> = Vec::with_capacity(problem.constraints.len() + n);
-    for c in &problem.constraints {
+    let row_terms = problem.rows();
+    for (c, terms) in problem.constraints.iter().zip(&row_terms) {
         let mut coeffs = vec![0.0; n];
         let mut shift = 0.0;
-        for &(j, a) in &c.terms {
+        for &(j, a) in terms {
             coeffs[j] += a;
             shift += a * lower[j];
         }
@@ -219,8 +222,14 @@ impl Tableau {
         entering_limit: usize,
     ) -> Result<(), LpError> {
         let mut degenerate_run = 0u32;
+        // Basis signatures seen during the current degenerate run. A
+        // repeat means Dantzig's rule is genuinely cycling (not merely
+        // stalling), so Bland's rule latches on permanently — it is
+        // guaranteed to terminate from any basis.
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut cycling = false;
         for _ in 0..self.max_iters {
-            let bland = degenerate_run > DEGENERATE_LIMIT;
+            let bland = cycling || degenerate_run > DEGENERATE_LIMIT;
             let entering = self.choose_entering(cost_row, entering_limit, bland);
             let Some(e) = entering else {
                 return Ok(()); // optimal
@@ -230,12 +239,24 @@ impl Tableau {
             };
             if self.b[leave] < FEAS_TOL {
                 degenerate_run += 1;
+                if !cycling && !seen.insert(self.basis_signature()) {
+                    cycling = true;
+                }
             } else {
                 degenerate_run = 0;
+                seen.clear();
             }
             self.pivot(leave, e, cost_row, obj);
         }
         Err(LpError::IterationLimit)
+    }
+
+    /// Hash of the current basis (the rows' basic columns): degenerate
+    /// pivots that revisit a signature have revisited the vertex.
+    fn basis_signature(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.basis.hash(&mut h);
+        h.finish()
     }
 
     fn choose_entering(&self, cost_row: &[f64], limit: usize, bland: bool) -> Option<usize> {
@@ -361,10 +382,39 @@ mod tests {
         p.add_constraint([(x, 1.0)], Relation::Le, 4.0);
         p.add_constraint([(y, 2.0)], Relation::Le, 12.0);
         p.add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
-        let s = p.solve_lp().unwrap();
+        let s = p.solve_lp_dense().unwrap();
         assert_close(s.objective, 36.0);
         assert_close(s.value(x), 2.0);
         assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn chvatal_cycling_instance_terminates() {
+        // Chvátal's classic cycling LP (Linear Programming, 1983): under
+        // plain Dantzig pricing with index tie-breaking the simplex
+        // revisits its starting basis after six degenerate pivots. The
+        // basis-signature detector must latch Bland's rule and reach the
+        // optimum, −1 at (1, 0, 1, 0).
+        let mut p = Problem::new(Sense::Minimize);
+        let x1 = p.add_continuous("x1", 0.0, f64::INFINITY, -10.0);
+        let x2 = p.add_continuous("x2", 0.0, f64::INFINITY, 57.0);
+        let x3 = p.add_continuous("x3", 0.0, f64::INFINITY, 9.0);
+        let x4 = p.add_continuous("x4", 0.0, f64::INFINITY, 24.0);
+        p.add_constraint(
+            [(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(
+            [(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint([(x1, 1.0)], Relation::Le, 1.0);
+        let s = p.solve_lp_dense().unwrap();
+        assert_close(s.objective, -1.0);
+        assert_close(s.value(x1), 1.0);
+        assert_close(s.value(x3), 1.0);
     }
 
     #[test]
@@ -375,7 +425,7 @@ mod tests {
         let y = p.add_continuous("y", 0.0, f64::INFINITY, 3.0);
         p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
         p.add_constraint([(x, 1.0), (y, 2.0)], Relation::Ge, 6.0);
-        let s = p.solve_lp().unwrap();
+        let s = p.solve_lp_dense().unwrap();
         assert_close(s.objective, 10.0);
         assert_close(s.value(x), 2.0);
         assert_close(s.value(y), 2.0);
@@ -389,7 +439,7 @@ mod tests {
         let y = p.add_continuous("y", 0.0, f64::INFINITY, 1.0);
         p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 5.0);
         p.add_constraint([(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
-        let s = p.solve_lp().unwrap();
+        let s = p.solve_lp_dense().unwrap();
         assert_close(s.value(x), 3.0);
         assert_close(s.value(y), 2.0);
     }
@@ -400,7 +450,7 @@ mod tests {
         let x = p.add_continuous("x", 0.0, 10.0, 1.0);
         p.add_constraint([(x, 1.0)], Relation::Ge, 5.0);
         p.add_constraint([(x, 1.0)], Relation::Le, 3.0);
-        assert_eq!(p.solve_lp().unwrap_err(), LpError::Infeasible);
+        assert_eq!(p.solve_lp_dense().unwrap_err(), LpError::Infeasible);
     }
 
     #[test]
@@ -408,14 +458,14 @@ mod tests {
         let mut p = Problem::new(Sense::Maximize);
         let x = p.add_continuous("x", 0.0, f64::INFINITY, 1.0);
         p.add_constraint([(x, -1.0)], Relation::Le, 1.0);
-        assert_eq!(p.solve_lp().unwrap_err(), LpError::Unbounded);
+        assert_eq!(p.solve_lp_dense().unwrap_err(), LpError::Unbounded);
     }
 
     #[test]
     fn bounded_by_variable_upper_bounds_only() {
         let mut p = Problem::new(Sense::Maximize);
         let x = p.add_continuous("x", 0.0, 7.0, 2.0);
-        let s = p.solve_lp().unwrap();
+        let s = p.solve_lp_dense().unwrap();
         assert_close(s.objective, 14.0);
         assert_close(s.value(x), 7.0);
     }
@@ -428,7 +478,7 @@ mod tests {
         let x = p.add_continuous("x", 2.0, f64::INFINITY, 1.0);
         let y = p.add_continuous("y", 3.0, 10.0, 1.0);
         p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 7.0);
-        let s = p.solve_lp().unwrap();
+        let s = p.solve_lp_dense().unwrap();
         assert_close(s.objective, 7.0);
         assert!(s.value(x) >= 2.0 - 1e-9);
         assert!(s.value(y) >= 3.0 - 1e-9);
@@ -439,7 +489,7 @@ mod tests {
         // min x with x ∈ [-5, 5] → -5.
         let mut p = Problem::new(Sense::Minimize);
         let x = p.add_continuous("x", -5.0, 5.0, 1.0);
-        let s = p.solve_lp().unwrap();
+        let s = p.solve_lp_dense().unwrap();
         assert_close(s.value(x), -5.0);
     }
 
@@ -448,7 +498,7 @@ mod tests {
         let mut p = Problem::new(Sense::Minimize);
         let x = p.add_continuous("x", f64::NEG_INFINITY, 0.0, 1.0);
         assert_eq!(
-            p.solve_lp().unwrap_err(),
+            p.solve_lp_dense().unwrap_err(),
             LpError::UnsupportedBound { var: x }
         );
     }
@@ -459,7 +509,7 @@ mod tests {
         let x = p.add_continuous("x", 4.0, 4.0, 3.0);
         let y = p.add_continuous("y", 0.0, 2.0, 1.0);
         p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 5.0);
-        let s = p.solve_lp().unwrap();
+        let s = p.solve_lp_dense().unwrap();
         assert_close(s.value(x), 4.0);
         assert_close(s.value(y), 1.0);
         assert_close(s.objective, 13.0);
@@ -485,7 +535,7 @@ mod tests {
             0.0,
         );
         p.add_constraint([(x3, 1.0)], Relation::Le, 1.0);
-        let s = p.solve_lp().unwrap();
+        let s = p.solve_lp_dense().unwrap();
         assert_close(s.objective, -0.05);
     }
 
@@ -497,7 +547,7 @@ mod tests {
         let y = p.add_continuous("y", 0.0, f64::INFINITY, 2.0);
         p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 4.0);
         p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 4.0);
-        let s = p.solve_lp().unwrap();
+        let s = p.solve_lp_dense().unwrap();
         assert_close(s.objective, 4.0);
         assert_close(s.value(x), 4.0);
     }
@@ -505,7 +555,7 @@ mod tests {
     #[test]
     fn empty_problem() {
         let p = Problem::new(Sense::Minimize);
-        let s = p.solve_lp().unwrap();
+        let s = p.solve_lp_dense().unwrap();
         assert_close(s.objective, 0.0);
         assert!(s.values.is_empty());
     }
@@ -536,7 +586,7 @@ mod tests {
                 );
                 cons.push((coeffs, rhs));
             }
-            let sol = match p.solve_lp() {
+            let sol = match p.solve_lp_dense() {
                 Ok(s) => s,
                 Err(e) => panic!("box LP cannot be infeasible/unbounded: {e}"),
             };

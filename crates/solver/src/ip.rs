@@ -12,18 +12,31 @@
 //! - **capacity**: `Σ_t x^i_{(u,v),t} ≤ c(u,v)` for real arcs (self-arcs
 //!   have infinite capacity — "storage is not hard to model … simply add
 //!   self-edges of infinite capacity", §2 fn. 1);
+//! - **uplink/downlink** (when the instance carries
+//!   [`NodeBudgets`](ocd_core::NodeBudgets)): per step and vertex,
+//!   `Σ_{(v,·)} Σ_t x^i ≤ uplink(v)` and `Σ_{(·,v)} Σ_t x^i ≤
+//!   downlink(v)`; unlimited budgets emit no row;
 //! - **want**: `x^τ_{(v,v),t} ≥ 1` for `t ∈ w(v)`.
 //!
 //! The objective counts real-arc moves only, so the optimum is exactly
 //! EOCD restricted to schedules of at most `τ` steps. Sweeping `τ`
-//! traces the Figure 1 makespan/bandwidth trade-off.
+//! traces the Figure 1 makespan/bandwidth trade-off, and
+//! [`makespan_via_ip`] turns the same sweep into a certified optimal
+//! makespan — the only exact makespan path that honors node budgets
+//! (the combinatorial [`bnb`](crate::bnb) solver ignores them).
+//!
+//! The model is emitted **column-wise**: every constraint row is
+//! declared up front ([`Problem::new_constraint`]) and each binary
+//! variable then lands with its full coefficient column in one
+//! [`Problem::add_column`] call, going straight into the CSC storage
+//! the sparse revised simplex consumes — no dense row staging.
 
 // Time-indexed variable tables read naturally with explicit indices.
 #![allow(clippy::needless_range_loop)]
 
 use crate::SolveError;
-use ocd_core::{Instance, Schedule, Token, TokenSet};
-use ocd_lp::{LpError, MipOptions, Problem, Relation, Sense, VarId};
+use ocd_core::{Instance, NodeBudgets, Schedule, Token, TokenSet};
+use ocd_lp::{ConId, LpError, MipOptions, Problem, Relation, Sense, VarId, VarKind};
 
 /// Result of an IP solve.
 #[derive(Debug, Clone)]
@@ -34,6 +47,8 @@ pub struct IpResult {
     pub bandwidth: u64,
     /// Branch-and-bound nodes the MILP solver explored.
     pub mip_nodes: usize,
+    /// Total simplex pivots across every node's LP solve.
+    pub lp_iterations: u64,
 }
 
 /// The assembled §3.4 model: the MILP plus the move-variable table
@@ -47,17 +62,29 @@ struct IpModel {
 /// Builds the time-indexed program for `instance` at `horizon`.
 /// Returns `None` when the horizon is 0 and some want is unmet (no
 /// model can help; the caller reports infeasibility).
+///
+/// Rows are declared first, then every variable is emitted as one
+/// sparse column. Row families, per step `i ∈ 1..=horizon`:
+///
+/// - `poss_move[i][e][t]` (≤ 0): `move_{i,e,t} − hold_{i−1,src,t} ≤ 0`.
+///   At `i = 1` the hold side is the constant `h(src)`: the row becomes
+///   `move ≤ 0` when the source starts without the token, and is
+///   omitted entirely when it starts with it (`move ≤ 1` is implied).
+/// - `poss_hold[i][v][t]`: `hold_{i,v,t} − hold_{i−1,v,t} −
+///   Σ_{(u,v)} move_{i,(u,v),t} ≤ 0` (rhs 1 at `i = 1` when `h(v)`
+///   holds the token).
+/// - `cap[i][e]` (≤ c(e)): total tokens riding the arc this step.
+/// - `up[i][v]` / `dn[i][v]`: node-budget rows, only for finite budgets
+///   on vertices with incident arcs.
+/// - `want[v][t]` (≥ 1) on `hold_{τ,v,t}`.
 fn build_ip(instance: &Instance, horizon: usize) -> Option<IpModel> {
     let g = instance.graph();
     let n = g.node_count();
     let m = instance.num_tokens();
+    let edges: Vec<_> = g.edge_ids().collect();
     let mut problem = Problem::new(Sense::Minimize);
 
-    // x_move[i][e][t]: token t rides real arc e during step i (1-based).
-    // x_hold[i][v][t]: vertex v holds token t at time i (0-based..=τ).
-    let mut hold: Vec<Vec<Vec<Option<VarId>>>> = Vec::with_capacity(horizon + 1);
-    // Time 0 is fixed by h(v): represent as None (constant), with the
-    // constant value tracked separately.
+    // Time 0 is fixed by h(v): a constant, not a variable.
     let hold0: Vec<Vec<bool>> = (0..n)
         .map(|v| {
             (0..m)
@@ -65,70 +92,82 @@ fn build_ip(instance: &Instance, horizon: usize) -> Option<IpModel> {
                 .collect()
         })
         .collect();
-    hold.push(vec![vec![None; m]; n]); // placeholders, constants below
-    for i in 1..=horizon {
-        let mut level = Vec::with_capacity(n);
-        for v in 0..n {
-            let mut row = Vec::with_capacity(m);
-            for t in 0..m {
-                row.push(Some(problem.add_binary(format!("hold_{i}_{v}_{t}"), 0.0)));
-            }
-            level.push(row);
-        }
-        hold.push(level);
-    }
-    let mut moves: Vec<Vec<Vec<VarId>>> = Vec::with_capacity(horizon + 1);
-    moves.push(Vec::new()); // step 0 unused (moves are 1-based)
-    for i in 1..=horizon {
-        let mut per_edge = Vec::with_capacity(g.edge_count());
-        for e in g.edge_ids() {
-            let mut row = Vec::with_capacity(m);
-            for t in 0..m {
-                row.push(problem.add_binary(format!("move_{i}_{}_{t}", e.index()), 1.0));
-            }
-            per_edge.push(row);
-        }
-        moves.push(per_edge);
-    }
 
-    // Possession constraints.
+    // --- Declare every constraint row. ---
+    // poss_hold[i][v][t], i ∈ 1..=horizon (index 0 unused).
+    let mut poss_hold: Vec<Vec<Vec<ConId>>> = vec![Vec::new()];
     for i in 1..=horizon {
-        for (ei, e) in g.edge_ids().enumerate() {
-            let arc = g.edge(e);
-            for t in 0..m {
-                // move_{i,e,t} ≤ hold_{i-1, src, t}
-                let mv = moves[i][ei][t];
-                add_le_hold(&mut problem, mv, i - 1, arc.src.index(), t, &hold, &hold0);
-            }
-        }
-        for v in 0..n {
-            for t in 0..m {
-                // hold_{i,v,t} ≤ hold_{i-1,v,t} + Σ_{(u,v)} move_{i,(u,v),t}
-                let lhs = hold[i][v][t].expect("levels ≥ 1 are variables");
-                let mut terms = vec![(lhs, 1.0)];
-                for e in g.in_edges(g.node(v)) {
-                    terms.push((moves[i][e.index()][t], -1.0));
-                }
-                let rhs_const = if i == 1 {
-                    if hold0[v][t] {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                } else {
-                    terms.push((hold[i - 1][v][t].expect("variable level"), -1.0));
-                    0.0
-                };
-                problem.add_constraint(terms, Relation::Le, rhs_const);
-            }
-        }
-        // Capacity on real arcs.
-        for (ei, e) in g.edge_ids().enumerate() {
-            let cap = f64::from(g.capacity(e));
-            problem.add_constraint((0..m).map(|t| (moves[i][ei][t], 1.0)), Relation::Le, cap);
-        }
+        let level: Vec<Vec<ConId>> = (0..n)
+            .map(|v| {
+                (0..m)
+                    .map(|t| {
+                        let rhs = if i == 1 && hold0[v][t] { 1.0 } else { 0.0 };
+                        problem.new_constraint(Relation::Le, rhs)
+                    })
+                    .collect()
+            })
+            .collect();
+        poss_hold.push(level);
     }
-    // Want satisfaction at time τ.
+    // poss_move[i][e][t]; None when the i = 1 constant side makes the
+    // row vacuous.
+    let mut poss_move: Vec<Vec<Vec<Option<ConId>>>> = vec![Vec::new()];
+    for i in 1..=horizon {
+        let level: Vec<Vec<Option<ConId>>> = edges
+            .iter()
+            .map(|&e| {
+                let src = g.edge(e).src.index();
+                (0..m)
+                    .map(|t| {
+                        if i == 1 && hold0[src][t] {
+                            None
+                        } else {
+                            Some(problem.new_constraint(Relation::Le, 0.0))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        poss_move.push(level);
+    }
+    // cap[i][e] on real arcs.
+    let mut cap: Vec<Vec<ConId>> = vec![Vec::new()];
+    for _i in 1..=horizon {
+        cap.push(
+            edges
+                .iter()
+                .map(|&e| problem.new_constraint(Relation::Le, f64::from(g.capacity(e))))
+                .collect(),
+        );
+    }
+    // Node-budget rows: only finite budgets on vertices that can
+    // actually send (receive) anything.
+    let budgets = instance.node_budgets();
+    let budget_row = |problem: &mut Problem, limit: u32, degree: usize| -> Option<ConId> {
+        (limit != NodeBudgets::UNLIMITED && degree > 0)
+            .then(|| problem.new_constraint(Relation::Le, f64::from(limit)))
+    };
+    let mut up: Vec<Vec<Option<ConId>>> = vec![Vec::new()];
+    let mut dn: Vec<Vec<Option<ConId>>> = vec![Vec::new()];
+    for _i in 1..=horizon {
+        let (mut ups, mut dns) = (Vec::with_capacity(n), Vec::with_capacity(n));
+        for v in 0..n {
+            let node = g.node(v);
+            let (u_row, d_row) = match budgets {
+                Some(b) => (
+                    budget_row(&mut problem, b.uplink(v), g.out_edges(node).len()),
+                    budget_row(&mut problem, b.downlink(v), g.in_edges(node).len()),
+                ),
+                None => (None, None),
+            };
+            ups.push(u_row);
+            dns.push(d_row);
+        }
+        up.push(ups);
+        dn.push(dns);
+    }
+    // want[v][t] at time τ.
+    let mut want: Vec<Vec<Option<ConId>>> = vec![vec![None; m]; n];
     for v in 0..n {
         for t in 0..m {
             if instance.want(g.node(v)).contains(Token::new(t)) {
@@ -137,13 +176,88 @@ fn build_ip(instance: &Instance, horizon: usize) -> Option<IpModel> {
                         return None;
                     }
                 } else {
-                    let var = hold[horizon][v][t].expect("variable level");
-                    problem.add_constraint([(var, 1.0)], Relation::Ge, 1.0);
+                    want[v][t] = Some(problem.new_constraint(Relation::Ge, 1.0));
                 }
             }
         }
     }
+
+    // --- Emit variables, one full column each. ---
+    // hold_{i,v,t}: +1 in its own possession row; −1 in the level-(i+1)
+    // possession rows it feeds (its vertex's hold row, and the move row
+    // of every out-arc); +1 in the want row at the final level.
+    for i in 1..=horizon {
+        for v in 0..n {
+            for t in 0..m {
+                let mut entries = vec![(poss_hold[i][v][t], 1.0)];
+                if i < horizon {
+                    entries.push((poss_hold[i + 1][v][t], -1.0));
+                    for e in g.out_edges(g.node(v)) {
+                        if let Some(row) = poss_move[i + 1][e.index()][t] {
+                            entries.push((row, -1.0));
+                        }
+                    }
+                } else if let Some(row) = want[v][t] {
+                    entries.push((row, 1.0));
+                }
+                problem.add_column(
+                    format!("hold_{i}_{v}_{t}"),
+                    VarKind::Integer,
+                    0.0,
+                    1.0,
+                    0.0,
+                    entries,
+                );
+            }
+        }
+    }
+    // move_{i,e,t}: +1 in its own possession row (when present), −1 in
+    // the destination's hold row, +1 in the arc-capacity row and any
+    // node-budget rows. Objective 1 — the bandwidth count.
+    let mut moves: Vec<Vec<Vec<VarId>>> = vec![Vec::new()];
+    for i in 1..=horizon {
+        let mut per_edge = Vec::with_capacity(edges.len());
+        for (ei, &e) in edges.iter().enumerate() {
+            let arc = g.edge(e);
+            let (src, dst) = (arc.src.index(), arc.dst.index());
+            let mut row = Vec::with_capacity(m);
+            for t in 0..m {
+                let mut entries = Vec::with_capacity(5);
+                if let Some(r) = poss_move[i][ei][t] {
+                    entries.push((r, 1.0));
+                }
+                entries.push((poss_hold[i][dst][t], -1.0));
+                entries.push((cap[i][ei], 1.0));
+                if let Some(r) = up[i][src] {
+                    entries.push((r, 1.0));
+                }
+                if let Some(r) = dn[i][dst] {
+                    entries.push((r, 1.0));
+                }
+                row.push(problem.add_column(
+                    format!("move_{i}_{}_{t}", e.index()),
+                    VarKind::Integer,
+                    0.0,
+                    1.0,
+                    1.0,
+                    entries,
+                ));
+            }
+            per_edge.push(row);
+        }
+        moves.push(per_edge);
+    }
     Some(IpModel { problem, moves })
+}
+
+/// The raw §3.4 MILP at `horizon` without solving it — for relaxation
+/// experiments and benchmarks that want to time
+/// [`Problem::solve_lp`] (sparse revised simplex) against
+/// [`Problem::solve_lp_dense`] (the retained dense reference) on the
+/// same model. `None` when the horizon is 0 and some want is unmet.
+#[must_use]
+pub fn ip_problem(instance: &Instance, horizon: usize) -> Option<Problem> {
+    build_ip(instance, horizon).map(|m| m.problem)
 }
 
 /// Minimum-bandwidth successful schedule using at most `horizon`
@@ -158,35 +272,18 @@ pub fn min_bandwidth_for_horizon(
     horizon: usize,
     options: &MipOptions,
 ) -> Result<Option<IpResult>, SolveError> {
-    let g = instance.graph();
-    let m = instance.num_tokens();
     let Some(IpModel { problem, moves }) = build_ip(instance, horizon) else {
         return Ok(None);
     };
 
     match problem.solve_mip(options) {
         Ok(sol) => {
-            let mut schedule = Schedule::new();
-            for i in 1..=horizon {
-                let mut sends = Vec::new();
-                for (ei, e) in g.edge_ids().enumerate() {
-                    let tokens: TokenSet = TokenSet::from_tokens(
-                        m,
-                        (0..m)
-                            .filter(|&t| sol.value_int(moves[i][ei][t]) == 1)
-                            .map(Token::new),
-                    );
-                    if !tokens.is_empty() {
-                        sends.push((e, tokens));
-                    }
-                }
-                schedule.push_step(sends);
-            }
-            let schedule = schedule.trimmed();
+            let schedule = decode_schedule(instance, horizon, &moves, &sol);
             Ok(Some(IpResult {
                 bandwidth: schedule.bandwidth(),
                 schedule,
                 mip_nodes: sol.nodes_explored,
+                lp_iterations: sol.lp_iterations,
             }))
         }
         Err(LpError::Infeasible) => Ok(None),
@@ -194,26 +291,33 @@ pub fn min_bandwidth_for_horizon(
     }
 }
 
-fn add_le_hold(
-    problem: &mut Problem,
-    var: VarId,
-    level: usize,
-    v: usize,
-    t: usize,
-    hold: &[Vec<Vec<Option<VarId>>>],
-    hold0: &[Vec<bool>],
-) {
-    if level == 0 {
-        // Constant: move ≤ 0 or move ≤ 1.
-        let bound = if hold0[v][t] { 1.0 } else { 0.0 };
-        if bound == 0.0 {
-            problem.add_constraint([(var, 1.0)], Relation::Le, 0.0);
+/// Reads the move variables of a MILP solution back into a trimmed
+/// [`Schedule`].
+fn decode_schedule(
+    instance: &Instance,
+    horizon: usize,
+    moves: &[Vec<Vec<VarId>>],
+    sol: &ocd_lp::MipSolution,
+) -> Schedule {
+    let g = instance.graph();
+    let m = instance.num_tokens();
+    let mut schedule = Schedule::new();
+    for i in 1..=horizon {
+        let mut sends = Vec::new();
+        for (ei, e) in g.edge_ids().enumerate() {
+            let tokens: TokenSet = TokenSet::from_tokens(
+                m,
+                (0..m)
+                    .filter(|&t| sol.value_int(moves[i][ei][t]) == 1)
+                    .map(Token::new),
+            );
+            if !tokens.is_empty() {
+                sends.push((e, tokens));
+            }
         }
-        // move ≤ 1 is implied by binariness.
-    } else {
-        let h = hold[level][v][t].expect("variable level");
-        problem.add_constraint([(var, 1.0), (h, -1.0)], Relation::Le, 0.0);
+        schedule.push_step(sends);
     }
+    schedule.trimmed()
 }
 
 /// The paper's §3.4 *hybrid* goal ("search for a bandwidth-optimal
@@ -245,6 +349,118 @@ pub fn min_bandwidth_within_factor(
     let result = min_bandwidth_for_horizon(instance, horizon, mip_options)?
         .expect("a horizon ≥ the exact optimum is feasible");
     Ok((exact.makespan, result))
+}
+
+/// A certified exact-makespan result from [`makespan_via_ip`].
+#[derive(Debug, Clone)]
+pub struct MakespanCertificate {
+    /// The provably optimal makespan: the IP is feasible at this horizon
+    /// and was proven infeasible at every shorter one.
+    pub makespan: usize,
+    /// Witness solve at the optimal horizon. With default [`MipOptions`]
+    /// its schedule also has minimum bandwidth among makespan-optimal
+    /// schedules; with a large `absolute_gap` it is merely feasible.
+    pub result: IpResult,
+    /// Horizons below `makespan` that were certified infeasible (the
+    /// combinatorial radius and counting lower bounds dispose of the
+    /// rest for free).
+    pub infeasible_horizons: usize,
+}
+
+/// Outcome of the exact-makespan sweep.
+#[derive(Debug, Clone)]
+pub enum MakespanOutcome {
+    /// Optimal makespan found and certified.
+    Certified(MakespanCertificate),
+    /// The MILP hit its node limit at `stalled_at` before deciding it.
+    /// Every horizon `< stalled_at` is proven infeasible, so `stalled_at`
+    /// is still a valid makespan **lower bound**; pairing it with any
+    /// heuristic schedule's makespan gives a reported gap.
+    ResourceLimit {
+        /// The first undecided horizon; all below it are infeasible.
+        stalled_at: usize,
+    },
+    /// Every horizon `≤ max_horizon` is proven infeasible.
+    InfeasibleUpTo(usize),
+    /// No schedule of any length can succeed (wanted tokens unreachable).
+    Unsatisfiable,
+}
+
+/// Exact optimal makespan via the §3.4 IP: sweeps horizons upward from
+/// the combinatorial lower bounds — the radius-based
+/// [`makespan_lower_bound`](ocd_core::bounds) joined with the
+/// budget-aware
+/// [`counting_makespan_lower_bound`](ocd_core::bounds), whose doubling
+/// argument is what keeps uplink-limited sweeps from grinding through
+/// horizons only an exhaustive branch-and-bound could refute — using
+/// the LP relaxation as an infeasibility prefilter (an infeasible
+/// relaxation certifies the horizon infeasible without any branching)
+/// and the MILP to decide the rest. The first feasible horizon is the
+/// optimum, certified by the chain of infeasibility proofs below it.
+///
+/// This is the only *exact* makespan path that honors
+/// [`NodeBudgets`](ocd_core::NodeBudgets) — the combinatorial
+/// [`bnb`](crate::bnb) solver ignores them. Pass a large
+/// `absolute_gap` in `options` to stop each feasible MILP at its first
+/// incumbent (pure feasibility mode — the makespan certificate is
+/// unaffected, only the witness schedule's bandwidth optimality).
+///
+/// # Errors
+///
+/// [`SolveError::Mip`] only on unexpected simplex failures; node-limit
+/// exhaustion is reported as [`MakespanOutcome::ResourceLimit`], not an
+/// error.
+pub fn makespan_via_ip(
+    instance: &Instance,
+    max_horizon: usize,
+    options: &MipOptions,
+) -> Result<MakespanOutcome, SolveError> {
+    let lb = ocd_core::bounds::makespan_lower_bound(instance)
+        .max(ocd_core::bounds::counting_makespan_lower_bound(instance));
+    if lb == usize::MAX {
+        return Ok(MakespanOutcome::Unsatisfiable);
+    }
+    let mut infeasible_horizons = 0;
+    for tau in lb..=max_horizon {
+        let Some(model) = build_ip(instance, tau) else {
+            // Horizon 0 with unmet wants: infeasible by construction.
+            infeasible_horizons += 1;
+            continue;
+        };
+        // LP-relaxation prefilter: most short horizons die here, without
+        // branching.
+        match model.problem.solve_lp() {
+            Ok(_) => {}
+            Err(LpError::Infeasible) => {
+                infeasible_horizons += 1;
+                continue;
+            }
+            Err(e) => return Err(SolveError::Mip(e.to_string())),
+        }
+        match model.problem.solve_mip(options) {
+            Ok(sol) => {
+                let schedule = decode_schedule(instance, tau, &model.moves, &sol);
+                return Ok(MakespanOutcome::Certified(MakespanCertificate {
+                    makespan: tau,
+                    result: IpResult {
+                        bandwidth: schedule.bandwidth(),
+                        schedule,
+                        mip_nodes: sol.nodes_explored,
+                        lp_iterations: sol.lp_iterations,
+                    },
+                    infeasible_horizons,
+                }));
+            }
+            Err(LpError::Infeasible) => {
+                infeasible_horizons += 1;
+            }
+            Err(LpError::NodeLimit) => {
+                return Ok(MakespanOutcome::ResourceLimit { stalled_at: tau });
+            }
+            Err(e) => return Err(SolveError::Mip(e.to_string())),
+        }
+    }
+    Ok(MakespanOutcome::InfeasibleUpTo(max_horizon))
 }
 
 /// Bandwidth lower bound from the **LP relaxation** of the §3.4 IP at
@@ -512,6 +728,113 @@ mod tests {
             &crate::bnb::BnbOptions::default(),
             &MipOptions::default(),
         );
+    }
+
+    #[test]
+    fn makespan_via_ip_matches_bnb_on_random_instances() {
+        use crate::bnb::{solve_focd, BnbOptions};
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut checked = 0;
+        while checked < 6 {
+            let n = rng.random_range(2..5usize);
+            let m = rng.random_range(1..3usize);
+            let mut g = DiGraph::with_nodes(n);
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.random_bool(0.6) {
+                        g.add_edge(g.node(u), g.node(v), rng.random_range(1..3))
+                            .unwrap();
+                    }
+                }
+            }
+            let instance = Instance::builder(g, m)
+                .have_set(0, TokenSet::full(m))
+                .want_all_everywhere()
+                .build()
+                .unwrap();
+            if !instance.is_satisfiable() {
+                continue;
+            }
+            let exact = solve_focd(&instance, &BnbOptions::default()).unwrap();
+            let outcome =
+                makespan_via_ip(&instance, exact.makespan + 2, &MipOptions::default()).unwrap();
+            let MakespanOutcome::Certified(cert) = outcome else {
+                panic!("expected certificate, got {outcome:?}");
+            };
+            assert_eq!(cert.makespan, exact.makespan, "IP vs B&B makespan");
+            assert_eq!(cert.result.schedule.makespan(), cert.makespan);
+            assert!(validate::replay(&instance, &cert.result.schedule)
+                .unwrap()
+                .is_successful());
+            checked += 1;
+        }
+    }
+
+    #[test]
+    fn makespan_via_ip_honors_uplink_budgets() {
+        // Star, center holds the token, ample arc capacity. Unbudgeted:
+        // everything ships in one step. Uplink budget 1 at the center:
+        // one leaf per step, makespan = number of leaves.
+        let g = classic::star(4, 5, false);
+        let free = single_file(g.clone(), 1, 0);
+        let MakespanOutcome::Certified(cert) =
+            makespan_via_ip(&free, 8, &MipOptions::default()).unwrap()
+        else {
+            panic!("unbudgeted star must certify");
+        };
+        assert_eq!(cert.makespan, 1);
+
+        let budgeted = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want_all_everywhere()
+            .node_budgets(NodeBudgets::uplink_only(4, 1))
+            .build()
+            .unwrap();
+        let MakespanOutcome::Certified(cert) =
+            makespan_via_ip(&budgeted, 8, &MipOptions::default()).unwrap()
+        else {
+            panic!("budgeted star must certify");
+        };
+        assert_eq!(cert.makespan, 3, "uplink 1 serializes the three leaves");
+        assert_eq!(
+            cert.infeasible_horizons, 0,
+            "counting bound starts the sweep at the optimum — no IP infeasibility proofs"
+        );
+        let replay = validate::replay(&budgeted, &cert.result.schedule).unwrap();
+        assert!(replay.is_successful());
+    }
+
+    #[test]
+    fn makespan_via_ip_edge_outcomes() {
+        // Unsatisfiable: wanted token unreachable (no arcs at all).
+        let g = DiGraph::with_nodes(2);
+        let unsat = Instance::builder(g, 1)
+            .have(0, [tok(0)])
+            .want(1, [tok(0)])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            makespan_via_ip(&unsat, 5, &MipOptions::default()).unwrap(),
+            MakespanOutcome::Unsatisfiable
+        ));
+
+        // Horizon cap below the optimum: infeasible up to the cap.
+        let inst = single_file(classic::path(3, 1, false), 1, 0);
+        assert!(matches!(
+            makespan_via_ip(&inst, 1, &MipOptions::default()).unwrap(),
+            MakespanOutcome::InfeasibleUpTo(1)
+        ));
+
+        // Node limit 0: the very first MILP round trips the limit.
+        let opts = MipOptions {
+            node_limit: 0,
+            ..MipOptions::default()
+        };
+        assert!(matches!(
+            makespan_via_ip(&inst, 4, &opts).unwrap(),
+            MakespanOutcome::ResourceLimit { stalled_at: 2 }
+        ));
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Round-trip of the Theorem-5 reduction through the rewritten exact
+//! stack: Dominating-Set graphs reduce to FOCD instances of 30–50
+//! vertices, the sparse-simplex/warm-started-B&B IP solves them at
+//! horizon 2, and the witness schedule must certify under
+//! `ocd_core::validate::replay` and decode back to a genuine dominating
+//! set.
+
+use ocd_core::validate;
+use ocd_graph::algo::is_dominating_set;
+use ocd_graph::DiGraph;
+use ocd_lp::MipOptions;
+use ocd_solver::ip::min_bandwidth_for_horizon;
+use ocd_solver::reduction::{dominating_set_from_schedule, focd_from_dominating_set};
+use rand::prelude::*;
+
+/// Random symmetric graph whose first `k` vertices are guaranteed to
+/// dominate it (any vertex the random edges leave uncovered gets an arc
+/// to a random one of them), so the reduced FOCD instance is feasible in
+/// 2 steps by construction.
+fn covered_random_graph(n: usize, k: usize, p: f64, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p) {
+                g.add_edge_symmetric(g.node(u), g.node(v), 1).unwrap();
+            }
+        }
+    }
+    for v in k..n {
+        let covered = (0..k).any(|c| g.find_edge(g.node(c), g.node(v)).is_some());
+        if !covered {
+            let c = rng.random_range(0..k);
+            g.add_edge_symmetric(g.node(c), g.node(v), 1).unwrap();
+        }
+    }
+    g
+}
+
+/// Feasibility-mode options: the huge absolute gap stops the MILP at its
+/// first incumbent, which is all the reduction decision needs.
+fn feasibility_options(threads: usize) -> MipOptions {
+    MipOptions {
+        threads,
+        absolute_gap: 1e12,
+        ..MipOptions::default()
+    }
+}
+
+#[test]
+fn reduced_instances_certify_under_replay() {
+    // Reduced sizes 2n + 2 = 30, 40, 50 vertices.
+    for (n, k, seed) in [(14usize, 3usize, 1u64), (19, 4, 2), (24, 5, 3)] {
+        let g = covered_random_graph(n, k, 0.15, seed);
+        let (instance, layout) = focd_from_dominating_set(&g, k);
+        assert_eq!(instance.num_vertices(), 2 * n + 2);
+        let r = min_bandwidth_for_horizon(&instance, 2, &feasibility_options(4))
+            .unwrap()
+            .expect("first k vertices dominate by construction");
+        let replay = validate::replay(&instance, &r.schedule).unwrap();
+        assert!(
+            replay.is_successful(),
+            "n = {n}: IP witness failed replay certification"
+        );
+        assert!(r.schedule.makespan() <= 2);
+        let ds = dominating_set_from_schedule(&layout, &instance, &r.schedule);
+        assert!(
+            ds.len() <= k,
+            "n = {n}: witness dominating set larger than k = {k}"
+        );
+        assert!(
+            is_dominating_set(&g, &ds),
+            "n = {n}: extracted set {ds:?} does not dominate"
+        );
+    }
+}
+
+#[test]
+fn infeasible_reduction_is_rejected_at_scale() {
+    // An edgeless graph has domination number n, so k = 1 (n ≥ 2) gives
+    // an infeasible 30-vertex instance the IP must refute.
+    let g = DiGraph::with_nodes(14);
+    let (instance, _) = focd_from_dominating_set(&g, 1);
+    assert_eq!(instance.num_vertices(), 30);
+    assert!(
+        min_bandwidth_for_horizon(&instance, 2, &feasibility_options(1))
+            .unwrap()
+            .is_none(),
+        "edgeless graph cannot be dominated by one vertex"
+    );
+}
+
+#[test]
+fn reduced_solve_is_thread_invariant() {
+    let g = covered_random_graph(14, 3, 0.15, 7);
+    let (instance, _) = focd_from_dominating_set(&g, 3);
+    let seq = min_bandwidth_for_horizon(&instance, 2, &feasibility_options(1))
+        .unwrap()
+        .unwrap();
+    let par = min_bandwidth_for_horizon(&instance, 2, &feasibility_options(4))
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        format!("{:?}", seq.schedule),
+        format!("{:?}", par.schedule),
+        "schedules must be byte-identical across thread counts"
+    );
+    assert_eq!(seq.mip_nodes, par.mip_nodes);
+    assert_eq!(seq.lp_iterations, par.lp_iterations);
+    assert_eq!(seq.bandwidth, par.bandwidth);
+}

@@ -11,6 +11,11 @@
 //! Under `cargo test` (Cargo passes `--test` to `harness = false`
 //! bench targets) every benchmark runs exactly one iteration as a
 //! smoke test, like upstream.
+//!
+//! Setting `OCD_BENCH_JSON=<path>` makes [`Criterion::final_summary`]
+//! additionally write every measurement as a JSON array of
+//! `{"name", "mean_ns", "min_ns", "max_ns"}` objects — the machine
+//! surface CI parses into the repo's `BENCH_*.json` snapshots.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -204,6 +209,15 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// One finished benchmark's summary statistics, in nanoseconds per
+/// iteration.
+struct Measurement {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
 /// Benchmark harness entry point; normally constructed by
 /// [`criterion_main!`].
 #[derive(Default)]
@@ -211,6 +225,8 @@ pub struct Criterion {
     filter: Option<String>,
     test_mode: bool,
     ran: usize,
+    json_out: Option<String>,
+    measurements: Vec<Measurement>,
 }
 
 impl Criterion {
@@ -220,7 +236,10 @@ impl Criterion {
     /// a substring filter, and other flags are ignored.
     #[must_use]
     pub fn from_args() -> Self {
-        let mut c = Criterion::default();
+        let mut c = Criterion {
+            json_out: std::env::var("OCD_BENCH_JSON").ok(),
+            ..Criterion::default()
+        };
         for arg in std::env::args().skip(1) {
             if arg == "--test" {
                 c.test_mode = true;
@@ -255,13 +274,40 @@ impl Criterion {
         self.report(&name, &bencher.samples);
     }
 
-    /// Prints the closing line; called by [`criterion_main!`].
+    /// Prints the closing line and, when `OCD_BENCH_JSON` is set,
+    /// writes the collected measurements there as a JSON array; called
+    /// by [`criterion_main!`].
     pub fn final_summary(&self) {
         if self.test_mode {
             println!("{} benchmarks smoke-tested", self.ran);
         } else {
             println!("{} benchmarks measured", self.ran);
         }
+        if let Some(path) = &self.json_out {
+            match std::fs::write(path, self.measurements_json()) {
+                Ok(()) => println!("measurements written to {path}"),
+                Err(e) => eprintln!("OCD_BENCH_JSON: cannot write {path}: {e}"),
+            }
+        }
+    }
+
+    /// The measurements as a JSON array (names contain only identifier
+    /// characters and `/`, but quotes and backslashes are escaped
+    /// defensively anyway).
+    fn measurements_json(&self) -> String {
+        let rows: Vec<String> = self
+            .measurements
+            .iter()
+            .map(|m| {
+                let name = m.name.replace('\\', "\\\\").replace('"', "\\\"");
+                format!(
+                    "  {{\"name\": \"{name}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+                     \"max_ns\": {:.1}}}",
+                    m.mean_ns, m.min_ns, m.max_ns
+                )
+            })
+            .collect();
+        format!("[\n{}\n]\n", rows.join(",\n"))
     }
 
     fn matches(&self, name: &str) -> bool {
@@ -281,6 +327,12 @@ impl Criterion {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        self.measurements.push(Measurement {
+            name: name.to_string(),
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+        });
         println!(
             "{name:<60} time: [{} {} {}]",
             format_ns(min),
@@ -331,9 +383,8 @@ mod tests {
     #[test]
     fn iter_measures_something() {
         let mut c = Criterion {
-            filter: None,
             test_mode: false,
-            ran: 0,
+            ..Criterion::default()
         };
         let mut group = c.benchmark_group("g");
         group.sample_size(3);
@@ -352,9 +403,8 @@ mod tests {
     #[test]
     fn test_mode_runs_once() {
         let mut c = Criterion {
-            filter: None,
             test_mode: true,
-            ran: 0,
+            ..Criterion::default()
         };
         let mut calls = 0u64;
         c.bench_function("once", |b| {
@@ -370,7 +420,7 @@ mod tests {
         let mut c = Criterion {
             filter: Some("match-me".to_string()),
             test_mode: true,
-            ran: 0,
+            ..Criterion::default()
         };
         let mut ran = false;
         c.bench_function("other", |b| {
@@ -391,9 +441,8 @@ mod tests {
     #[test]
     fn iter_batched_excludes_setup() {
         let mut c = Criterion {
-            filter: None,
             test_mode: true,
-            ran: 0,
+            ..Criterion::default()
         };
         c.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
@@ -405,5 +454,29 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("union", 64).to_string(), "union/64");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn measurements_serialize_as_json() {
+        let mut c = Criterion {
+            test_mode: false,
+            ..Criterion::default()
+        };
+        c.measurements.push(Measurement {
+            name: "group/bench \"q\"".to_string(),
+            mean_ns: 1234.56,
+            min_ns: 1000.0,
+            max_ns: 2000.0,
+        });
+        let json = c.measurements_json();
+        assert!(json.starts_with("[\n"), "array wrapper: {json}");
+        assert!(
+            json.contains("\"name\": \"group/bench \\\"q\\\"\""),
+            "quotes escaped: {json}"
+        );
+        assert!(
+            json.contains("\"mean_ns\": 1234.6"),
+            "stats present: {json}"
+        );
     }
 }
