@@ -135,6 +135,31 @@ pub enum Command {
         /// Optional path to write the extracted schedule JSON.
         schedule: Option<String>,
     },
+    /// `ocd coded`: run the lockstep RLNC engine (random linear network
+    /// coding over GF(2^8)) on a topology.
+    Coded {
+        /// Graph path (edge-list or JSON).
+        graph: String,
+        /// Coded strategy name (`random` or `local`).
+        strategy: String,
+        /// Generation size `k` (packets the source mixes over).
+        tokens: usize,
+        /// Payload bytes per packet.
+        payload: usize,
+        /// Source vertex.
+        source: usize,
+        /// Proactive-redundancy factor (≥ 1).
+        redundancy: f64,
+        /// Per-packet loss probability of the medium.
+        loss: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Step cap.
+        max_steps: usize,
+        /// Print the slot-indexed coded provenance analysis (critical
+        /// path, per-arc bottlenecks, per-receiver lineage arc sets).
+        provenance: bool,
+    },
     /// `ocd certify`: re-certify a `RunRecord` artifact from the file
     /// alone.
     Certify {
@@ -167,6 +192,7 @@ pub(crate) const SUBCOMMANDS: &[&str] = &[
     "instance",
     "run",
     "net-run",
+    "coded",
     "solve",
     "bounds",
     "validate",
@@ -192,6 +218,8 @@ USAGE:
   ocd net-run   --instance <FILE> [--policy <random|local|per-neighbor-queue>] [--seed <S>]
                 [--latency <T>] [--jitter <J>] [--loss <P>] [--control-latency <T>] [--control-loss <P>]
                 [--max-ticks <N>] [--crash <V:DOWN:UP>] [--trace <FILE.json|FILE.csv>] [--schedule <FILE>]
+  ocd coded     --graph <FILE> [--strategy <random|local>] [--tokens <K>] [--payload <BYTES>]
+                [--source <V>] [--redundancy <R>] [--loss <P>] [--seed <S>] [--max-steps <N>] [--provenance]
   ocd solve     --instance <FILE> --objective <time|bandwidth> [--horizon <H>] [--threads <T>]
   ocd bounds    --instance <FILE>
   ocd validate  --instance <FILE> --schedule <FILE>
@@ -402,6 +430,21 @@ pub fn parse(args: Vec<String>) -> Result<Command, String> {
                 seed: f.opt("seed", 0)?,
             })
         }
+        "coded" => {
+            let f = Flags::parse(rest, &["provenance"])?;
+            Ok(Command::Coded {
+                graph: f.req("graph")?,
+                strategy: f.opt("strategy", "random".to_string())?,
+                tokens: f.opt("tokens", 16)?,
+                payload: f.opt("payload", 64)?,
+                source: f.opt("source", 0)?,
+                redundancy: f.opt("redundancy", 1.0)?,
+                loss: f.opt("loss", 0.0)?,
+                seed: f.opt("seed", 0)?,
+                max_steps: f.opt("max-steps", 10_000)?,
+                provenance: f.has("provenance"),
+            })
+        }
         "net-run" => {
             let f = Flags::parse(rest, &[])?;
             let crash = match f.values.get("crash") {
@@ -565,6 +608,62 @@ mod tests {
         assert!(parse_err(&["trace", "splice"]).contains("unknown trace mode"));
         assert!(parse_err(&["trace", "analyze"]).contains("--record"));
         assert_eq!(parse_ok(&["trace", "analyze", "--help"]), Command::Help);
+    }
+
+    #[test]
+    fn coded_defaults_and_flags() {
+        let cmd = parse_ok(&["coded", "--graph", "g.txt"]);
+        match cmd {
+            Command::Coded {
+                strategy,
+                tokens,
+                payload,
+                redundancy,
+                loss,
+                provenance,
+                ..
+            } => {
+                assert_eq!(strategy, "random");
+                assert_eq!(tokens, 16);
+                assert_eq!(payload, 64);
+                assert_eq!(redundancy, 1.0);
+                assert_eq!(loss, 0.0);
+                assert!(!provenance);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse_ok(&[
+            "coded",
+            "--graph",
+            "g.txt",
+            "--strategy",
+            "local",
+            "--tokens",
+            "8",
+            "--redundancy",
+            "1.5",
+            "--loss",
+            "0.2",
+            "--provenance",
+        ]);
+        match cmd {
+            Command::Coded {
+                strategy,
+                tokens,
+                redundancy,
+                loss,
+                provenance,
+                ..
+            } => {
+                assert_eq!(strategy, "local");
+                assert_eq!(tokens, 8);
+                assert_eq!(redundancy, 1.5);
+                assert_eq!(loss, 0.2);
+                assert!(provenance);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse_err(&["coded"]).contains("--graph"));
     }
 
     #[test]

@@ -122,8 +122,21 @@ impl CodedInstance {
     /// A makespan lower bound mirroring §5.1's radius bound: receiver
     /// `v` needs `k - |p(v)|` more coded tokens through its in-capacity,
     /// and tokens outside radius `i` cannot arrive before step `i + 1`.
+    ///
+    /// Returns `None` when some receiver can never be satisfied (zero
+    /// in-capacity, or unreachable from every vertex holding content) —
+    /// the instance has no finite makespan at all, which callers must
+    /// render as DNF rather than a numeric sentinel.
     #[must_use]
-    pub fn makespan_lower_bound(&self) -> usize {
+    pub fn makespan_lower_bound(&self) -> Option<usize> {
+        // Hop distance from the nearest vertex holding anything
+        // (instance-wide, so computed once, not per receiver).
+        let holders: Vec<NodeId> = self
+            .graph
+            .nodes()
+            .filter(|&u| !self.have[u.index()].is_empty())
+            .collect();
+        let dist = algo::bfs_distances_multi(&self.graph, holders);
         let mut best = 0usize;
         for v in self.graph.nodes() {
             if !self.receiver[v.index()] {
@@ -138,23 +151,16 @@ impl CodedInstance {
             }
             let in_cap = self.graph.in_capacity(v);
             if in_cap == 0 {
-                return usize::MAX;
+                return None;
             }
-            // Hop distance from the nearest vertex holding anything.
-            let holders: Vec<NodeId> = self
-                .graph
-                .nodes()
-                .filter(|&u| !self.have[u.index()].is_empty())
-                .collect();
-            let dist = algo::bfs_distances_multi(&self.graph, holders);
             let d = dist[v.index()];
             if d == algo::UNREACHABLE {
-                return usize::MAX;
+                return None;
             }
             let capacity_steps = (missing as u64).div_ceil(in_cap) as usize;
             best = best.max((d as usize).max(1).saturating_sub(1) + capacity_steps);
         }
-        best
+        Some(best)
     }
 }
 
@@ -165,8 +171,13 @@ pub struct CodedReport {
     pub success: bool,
     /// Timesteps used.
     pub steps: usize,
-    /// Coded-token transfers.
+    /// *Useful* coded-token transfers: deliveries that entered the
+    /// receiver's possession.
     pub transfers: u64,
+    /// Deliveries of a coded token the receiver already held when the
+    /// token arrived — two in-arcs racing the same token in one step
+    /// land here, not in [`CodedReport::transfers`].
+    pub duplicate_deliveries: u64,
 }
 
 /// Random useful flooding over coded tokens: each step, each arc carries
@@ -183,11 +194,15 @@ pub fn simulate_coded_random<R: Rng + ?Sized>(
     let mut possession = instance.have.clone();
     let mut steps = 0usize;
     let mut transfers = 0u64;
+    let mut duplicate_deliveries = 0u64;
     while !instance.is_satisfied(&possession) && steps < max_steps {
         let mut arriving: Vec<TokenSet> = possession.clone();
         let mut moved = false;
         for e in g.edge_ids() {
             let arc = g.edge(e);
+            // Senders choose against start-of-step possession — §3.1
+            // store-and-forward gives them no view of what parallel
+            // in-arcs deliver to `dst` within the same step.
             let candidates = possession[arc.src.index()].difference(&possession[arc.dst.index()]);
             if candidates.is_empty() {
                 continue;
@@ -199,11 +214,19 @@ pub fn simulate_coded_random<R: Rng + ?Sized>(
             let mut pool: Vec<Token> = candidates.iter().collect();
             let take = cap.min(pool.len());
             let (chosen, _) = pool.partial_shuffle(rng, take);
+            // Accounting runs against what has *already arrived* this
+            // step: a token a parallel in-arc delivered moments earlier
+            // is a duplicate, not a useful transfer, and contributes no
+            // progress.
             for &t in chosen.iter() {
-                arriving[arc.dst.index()].insert(t);
+                if arriving[arc.dst.index()].contains(t) {
+                    duplicate_deliveries += 1;
+                } else {
+                    arriving[arc.dst.index()].insert(t);
+                    transfers += 1;
+                    moved = true;
+                }
             }
-            transfers += take as u64;
-            moved = true;
         }
         if !moved {
             break;
@@ -215,6 +238,7 @@ pub fn simulate_coded_random<R: Rng + ?Sized>(
         success: instance.is_satisfied(&possession),
         steps,
         transfers,
+        duplicate_deliveries,
     }
 }
 
@@ -260,7 +284,9 @@ mod tests {
     fn coded_random_completes_and_respects_bound() {
         let inst =
             CodedInstance::single_source(classic::cycle(8, 2, true), CodedSpec::new(6, 9), 0);
-        let lb = inst.makespan_lower_bound();
+        let lb = inst
+            .makespan_lower_bound()
+            .expect("every receiver reachable");
         let mut rng = StdRng::seed_from_u64(1);
         let r = simulate_coded_random(&inst, 10_000, &mut rng);
         assert!(r.success);
@@ -295,13 +321,60 @@ mod tests {
     }
 
     #[test]
-    fn isolated_receiver_is_unbounded() {
+    fn isolated_receiver_has_no_lower_bound() {
+        // Regression: this used to return a bare `usize::MAX` sentinel,
+        // which flowed into experiment tables and printed as
+        // 18446744073709551615 instead of an honest DNF.
         let mut g = ocd_graph::DiGraph::with_nodes(2);
         g.add_edge(g.node(1), g.node(0), 1).unwrap();
         let inst = CodedInstance::single_source(g, CodedSpec::new(1, 2), 0);
-        assert_eq!(inst.makespan_lower_bound(), usize::MAX);
+        assert_eq!(inst.makespan_lower_bound(), None);
         let mut rng = StdRng::seed_from_u64(0);
         let r = simulate_coded_random(&inst, 50, &mut rng);
         assert!(!r.success);
+    }
+
+    /// `s → {a, b} → r`, unit capacities, one coded token: both in-arcs
+    /// of `r` race the same token in the second step.
+    fn diamond(extra_isolated_receiver: bool) -> CodedInstance {
+        let mut g = ocd_graph::DiGraph::with_nodes(if extra_isolated_receiver { 5 } else { 4 });
+        let (s, a, b, r) = (g.node(0), g.node(1), g.node(2), g.node(3));
+        g.add_edge(s, a, 1).unwrap();
+        g.add_edge(s, b, 1).unwrap();
+        g.add_edge(a, r, 1).unwrap();
+        g.add_edge(b, r, 1).unwrap();
+        CodedInstance::single_source(g, CodedSpec::new(1, 1), 0)
+    }
+
+    #[test]
+    fn diamond_race_counts_the_duplicate_not_a_transfer() {
+        // Step 1: s → a and s → b (both useful). Step 2: a → r and
+        // b → r race the same token; exactly one delivery is useful.
+        // The pre-fix accounting diffed candidates against the stale
+        // start-of-step possession and booked all four deliveries as
+        // useful transfers.
+        let inst = diamond(false);
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = simulate_coded_random(&inst, 100, &mut rng);
+        assert!(r.success);
+        assert_eq!(r.steps, 2);
+        assert_eq!(r.transfers, 3, "only three deliveries were useful");
+        assert_eq!(r.duplicate_deliveries, 1, "the race loser is a duplicate");
+    }
+
+    #[test]
+    fn fully_redundant_activity_does_not_stall_forever() {
+        // An unsatisfiable variant (one receiver with no in-arcs): once
+        // the diamond saturates, every remaining candidate delivery is
+        // redundant, so the run must exit at its fixpoint instead of
+        // spinning `moved = true` until max_steps. Progress is derived
+        // from actual possession change, not from tokens having been
+        // chosen.
+        let inst = diamond(true);
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = simulate_coded_random(&inst, 10_000, &mut rng);
+        assert!(!r.success, "the isolated receiver can never reconstruct");
+        assert_eq!(r.steps, 2, "exit at the fixpoint, not at max_steps");
+        assert_eq!(r.duplicate_deliveries, 1);
     }
 }

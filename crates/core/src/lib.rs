@@ -27,6 +27,10 @@
 //! - [`bounds`]: the paper's §5.1 lower bounds (remaining bandwidth,
 //!   radius/capacity makespan bound `M_i(v)`, one-step lookahead).
 //! - [`knowledge`]: the LOCD (§4.1) aggregate-knowledge model.
+//! - [`gf256`] and [`rlnc`]: the §6 redundancy story made real —
+//!   GF(2^8) arithmetic and random linear network coding with a
+//!   rank-tracked [`CodedBasis`] (the coded analogue of [`TokenSet`]),
+//!   next to the idealized k-of-n threshold model in [`coding`].
 //! - [`metrics`]: the suite-wide observability layer — a dependency-free
 //!   registry of counters/gauges/log2-histograms behind a [`Recorder`]
 //!   trait whose no-op impl monomorphizes away.
@@ -66,12 +70,14 @@
 pub mod bounds;
 pub mod budgets;
 pub mod coding;
+pub mod gf256;
 mod instance;
 pub mod knowledge;
 pub mod metrics;
 pub mod provenance;
 pub mod prune;
 pub mod record;
+pub mod rlnc;
 pub mod scenario;
 mod schedule;
 mod token;
@@ -82,6 +88,7 @@ pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 pub use provenance::{NoopProvenance, ProvenanceHook, ProvenanceRecord, ProvenanceTrace};
 pub use record::{RecordError, RunRecord, StepTrace};
+pub use rlnc::{CodedBasis, CodedPacket, RlncInstance};
 pub use schedule::{Move, Schedule, ScheduleRecorder, Timestep};
 pub use token::{Token, TokenSet};
 pub use validate::{Replay, ScheduleError};

@@ -204,6 +204,30 @@ impl ProvenanceTrace {
         self.parents.iter().all(Option::is_none)
     }
 
+    /// The set of arcs that contributed to `vertex`'s acquisitions:
+    /// every distinct edge appearing among its per-token parents,
+    /// ascending and deduplicated.
+    ///
+    /// For uncoded runs this is "which in-arcs this vertex actually
+    /// used". For coded runs — where the trace is slot-indexed and
+    /// token `r` stands for the `r`-th innovative packet — it is the
+    /// *coded lineage* of the decoded generation: the arcs whose
+    /// packets entered the vertex's decoding basis. A decoded token has
+    /// no single parent arc under network coding; this set is its
+    /// honest provenance.
+    #[must_use]
+    pub fn contributing_arcs(&self, vertex: NodeId) -> Vec<EdgeId> {
+        let base = vertex.index() * self.tokens;
+        let mut arcs: Vec<EdgeId> = self.parents[base..base + self.tokens]
+            .iter()
+            .flatten()
+            .map(|a| a.edge)
+            .collect();
+        arcs.sort_unstable();
+        arcs.dedup();
+        arcs
+    }
+
     /// Derives the provenance forest by replaying `schedule` against
     /// `instance` — the post-hoc path for any certified
     /// [`RunRecord`](crate::RunRecord), no re-run needed.

@@ -44,6 +44,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod bandwidth;
+pub mod coded;
 pub mod dynamics;
 mod engine;
 mod gather;
@@ -62,6 +63,10 @@ pub mod underlay;
 mod view;
 
 pub use bandwidth::BandwidthCautious;
+pub use coded::{
+    simulate_coded, simulate_coded_with, CodedLocal, CodedMedium, CodedOutcome, CodedRandom,
+    CodedSimConfig, CodedSimReport, CodedStrategy, CodedView, IdealCoded, LossyCoded,
+};
 pub use dynamics::{simulate_dynamic, DynamicReport, NetworkDynamics};
 pub use engine::{simulate, simulate_with, SimConfig, SimOutcome, SimReport, StepRecord};
 pub use gather::GatherThenPlan;

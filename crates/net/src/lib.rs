@@ -62,12 +62,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod coded;
 pub mod config;
 pub mod fault;
 pub mod msg;
 pub mod runtime;
 pub mod trace;
 
+pub use coded::{run_coded_swarm, CodedNetReport};
 pub use config::{NetConfig, NetPolicy};
 pub use fault::{FaultEvent, FaultPlan};
 pub use msg::{CtrlMsg, CtrlPayload, DataMsg, MsgKind};
