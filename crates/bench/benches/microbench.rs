@@ -4,11 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use ocd_core::knowledge::AggregateKnowledge;
+use ocd_core::rlnc::RlncInstance;
 use ocd_core::scenario::{figure_one, single_file};
 use ocd_core::{bounds, prune, Token, TokenSet};
 use ocd_graph::generate::{classic, paper_random};
 use ocd_heuristics::{simulate, SimConfig, StrategyKind, WorldView};
 use ocd_lp::MipOptions;
+use ocd_net::{run_coded_swarm, run_swarm, FaultPlan, NetConfig, NetPolicy};
 use ocd_solver::bnb::{solve_focd, BnbOptions};
 use ocd_solver::ip::min_bandwidth_for_horizon;
 use rand::prelude::*;
@@ -312,6 +314,92 @@ fn bench_engine_mediums(c: &mut Criterion) {
     group.finish();
 }
 
+/// The asynchronous swarm runtime end to end: one ideal-mode run and
+/// one degraded run (latency, loss, retries) on the same n=60/m=64
+/// instance. The spread between the arms is the cost of the
+/// retry/timeout machinery; the `net.tick` span phases break the same
+/// runs down further under `ocd trace`-style profiling.
+fn bench_net_swarm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let topology = paper_random(60, &mut rng);
+    let instance = single_file(topology, 64, 0);
+    let mut group = c.benchmark_group("net_swarm_n60_m64");
+    group.sample_size(10);
+    let ideal = NetConfig::default();
+    group.bench_function("ideal", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut run_rng| {
+                let report = run_swarm(&instance, &ideal, &FaultPlan::none(), &mut run_rng);
+                assert!(report.success);
+                report.ticks
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let degraded = NetConfig {
+        policy: NetPolicy::Local,
+        latency: 2,
+        loss: 0.05,
+        ..NetConfig::default()
+    };
+    group.bench_function("degraded_lossy", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut run_rng| {
+                let report = run_swarm(&instance, &degraded, &FaultPlan::none(), &mut run_rng);
+                assert!(report.success);
+                report.ticks
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// The RLNC coded swarm: GF(2^8) row reduction dominates, so this
+/// group tracks the coding hot path (`coded.deliver_data` in span
+/// terms) rather than protocol bookkeeping.
+fn bench_coded_swarm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let topology = paper_random(24, &mut rng);
+    let instance = RlncInstance::single_source(topology, 16, 64, 0);
+    let mut group = c.benchmark_group("coded_swarm_n24_k16");
+    group.sample_size(10);
+    let config = NetConfig {
+        policy: NetPolicy::Local,
+        ..NetConfig::default()
+    };
+    group.bench_function("pull_ideal", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut run_rng| {
+                let report = run_coded_swarm(&instance, &config, 1.0, &mut run_rng);
+                assert!(report.success);
+                report.ticks
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let lossy = NetConfig {
+        policy: NetPolicy::Local,
+        loss: 0.05,
+        ..NetConfig::default()
+    };
+    group.bench_function("pull_lossy_redundancy", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut run_rng| {
+                let report = run_coded_swarm(&instance, &lossy, 1.5, &mut run_rng);
+                assert!(report.success);
+                report.ticks
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
 fn bench_exact_solvers(c: &mut Criterion) {
     let instance = figure_one();
     let mut group = c.benchmark_group("exact_small");
@@ -354,6 +442,8 @@ criterion_group!(
     bench_strategy_step,
     bench_engine_step_loop,
     bench_engine_mediums,
+    bench_net_swarm,
+    bench_coded_swarm,
     bench_exact_solvers,
     bench_generators
 );

@@ -1,0 +1,55 @@
+//! The perf-trajectory gate as a standalone binary:
+//! `bench_compare <old.json> <new.json> [--tolerance 0.15]`.
+//!
+//! Prints the per-bench delta table and exits nonzero when any bench
+//! shared by both snapshots regressed in `mean_ns` by more than the
+//! tolerance. CI runs this against the committed `BENCH_<n>.json`
+//! snapshots; `ocd bench compare` is the same gate behind the main
+//! CLI.
+
+use std::process::ExitCode;
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.15f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                let raw = args
+                    .get(i + 1)
+                    .ok_or("--tolerance requires a value (e.g. 0.15)")?;
+                tolerance = raw
+                    .parse()
+                    .map_err(|_| format!("invalid tolerance `{raw}`"))?;
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_compare <old.json> <new.json> [--tolerance 0.15]");
+                return Ok(false);
+            }
+            other => {
+                paths.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let [old, new] = paths.as_slice() else {
+        return Err("usage: bench_compare <old.json> <new.json> [--tolerance 0.15]".into());
+    };
+    let (table, regressed) = ocd_bench::compare::compare_files(old, new, tolerance)?;
+    print!("{table}");
+    Ok(regressed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_compare: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -19,13 +19,16 @@
 //! All binaries accept `--quick` for a reduced sweep (CI-sized) and
 //! `--seed <u64>` to change the master seed. The library half of the
 //! crate hosts the shared machinery: multi-seed parallel evaluation
-//! ([`runner`]), summary statistics ([`stats`]), and aligned-table/CSV
-//! output ([`table`]).
+//! ([`runner`]), summary statistics ([`stats`]), aligned-table/CSV
+//! output ([`table`]), and the perf-trajectory snapshot gate
+//! ([`compare`], also exposed as the `bench_compare` binary and
+//! `ocd bench compare`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod args;
+pub mod compare;
 pub mod runner;
 pub mod stats;
 pub mod table;

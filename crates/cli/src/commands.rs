@@ -1,6 +1,7 @@
 //! Command execution for the `ocd` tool.
 
 use crate::opts::{Command, USAGE};
+use ocd_core::span::{FlightRecorder, SpanRecorder};
 use ocd_core::{bounds, prune, Instance, ProvenanceTrace, RlncInstance, Schedule};
 use ocd_graph::generate::{classic, gnp, transit_stub, GnpConfig, TransitStubConfig};
 use ocd_graph::{algo, io as gio, DiGraph};
@@ -10,8 +11,8 @@ use ocd_heuristics::{
 };
 use ocd_lp::MipOptions;
 use ocd_net::{run_swarm, FaultPlan, NetConfig, NetPolicy};
-use ocd_solver::bnb::{decide_focd, solve_focd, BnbOptions};
-use ocd_solver::ip::min_bandwidth_for_horizon;
+use ocd_solver::bnb::{decide_focd, solve_focd_with_spans, BnbOptions};
+use ocd_solver::ip::min_bandwidth_for_horizon_with_spans;
 use ocd_solver::reduction::{dominating_set_from_schedule, focd_from_dominating_set};
 use ocd_solver::steiner;
 use rand::rngs::StdRng;
@@ -302,17 +303,45 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
         Command::TraceExport {
             record,
             format,
+            spans,
             out,
         } => {
             let (rec, trace) = load_certified_trace(record)?;
-            let rendered = match format.as_str() {
-                "chrome" => trace.to_chrome_json(&rec.instance),
-                "json" => trace.to_json(),
-                "csv" => trace.to_csv(),
-                other => {
-                    return Err(format!(
-                        "unknown trace format `{other}` (use chrome|json|csv)"
-                    ))
+            if rec.provenance.is_none() && !*spans {
+                // One-line notice on stderr so piped exports stay clean.
+                eprintln!(
+                    "note: {record} has no embedded provenance; \
+                     derived it from the certified schedule replay"
+                );
+            }
+            let rendered = if *spans {
+                // `--spans` switches the source from the provenance
+                // event stream to the schedule-derived span timeline.
+                let mut fr = FlightRecorder::logical();
+                record_schedule_spans(&rec, &mut fr);
+                match format.as_str() {
+                    "chrome" => fr.to_chrome_json("ocd trace export --spans"),
+                    "json" => fr.to_json(),
+                    "csv" => fr.to_csv(),
+                    other => {
+                        return Err(format!(
+                            "unknown trace format `{other}` — valid --format values are \
+                             chrome | json | csv (with or without --spans)"
+                        ))
+                    }
+                }
+            } else {
+                match format.as_str() {
+                    "chrome" => trace.to_chrome_json(&rec.instance),
+                    "json" => trace.to_json(),
+                    "csv" => trace.to_csv(),
+                    other => {
+                        return Err(format!(
+                            "unknown trace format `{other}` — valid --format values are \
+                             chrome | json | csv; add --spans for the schedule-derived \
+                             span timeline"
+                        ))
+                    }
                 }
             };
             emit(out.as_deref(), rendered)
@@ -436,6 +465,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             seed,
             max_steps,
             provenance,
+            metrics,
         } => {
             let g = load_graph(graph)?;
             if *source >= g.node_count() {
@@ -462,7 +492,10 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             }
             let config = CodedSimConfig {
                 max_steps: *max_steps,
-                metrics: false,
+                // Like `ocd run --metrics`: the coded recorder only
+                // books deterministic counters, so equal seeds produce
+                // byte-identical snapshots.
+                metrics: metrics.is_some(),
                 provenance: *provenance,
             };
             let mut rng = StdRng::seed_from_u64(*seed);
@@ -539,6 +572,25 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     let _ = writeln!(out, "  vertex {v}: {} arcs {{{rendered}}}", arcs.len());
                 }
             }
+            if let Some(path) = metrics {
+                let snap = outcome
+                    .metrics
+                    .as_ref()
+                    .expect("--metrics enables collection");
+                let rendered = if path.ends_with(".csv") {
+                    snap.to_csv()
+                } else {
+                    snap.to_json()
+                };
+                std::fs::write(path, rendered).map_err(|e| format!("write {path}: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "metrics snapshot written to {path} ({} counters, {} histograms, {} series)",
+                    snap.counters.len(),
+                    snap.histograms.len(),
+                    snap.series.len()
+                );
+            }
             Ok(out)
         }
         Command::Solve {
@@ -546,16 +598,24 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             objective,
             horizon,
             threads,
+            profile,
         } => {
             let inst = load_instance(instance)?;
             let mip = MipOptions {
                 threads: (*threads).max(1),
                 ..MipOptions::default()
             };
+            // The flight recorder stamps spans with the logical
+            // sequence clock only, and the span stream is emitted by
+            // the deterministic sequential part of the search, so
+            // equal inputs give byte-identical profiles at any
+            // --threads. Recording unconditionally keeps one code
+            // path; the cost is nanoseconds per search node.
+            let mut flight = FlightRecorder::logical();
             let mut out = String::new();
             match objective.as_str() {
                 "time" => {
-                    let r = solve_focd(&inst, &BnbOptions::default())
+                    let r = solve_focd_with_spans(&inst, &BnbOptions::default(), &mut flight)
                         .map_err(|e| format!("FOCD: {e}"))?;
                     let _ = writeln!(out, "optimal makespan: {} timesteps", r.makespan);
                     let _ = writeln!(out, "witness bandwidth: {}", r.schedule.bandwidth());
@@ -565,13 +625,14 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 "bandwidth" => {
                     let h = if *horizon == 0 {
                         // Auto horizon: fastest completion plus slack.
-                        let fast = solve_focd(&inst, &BnbOptions::default())
-                            .map_err(|e| format!("FOCD for auto-horizon: {e}"))?;
+                        let fast =
+                            solve_focd_with_spans(&inst, &BnbOptions::default(), &mut flight)
+                                .map_err(|e| format!("FOCD for auto-horizon: {e}"))?;
                         fast.makespan + 3
                     } else {
                         *horizon
                     };
-                    let r = min_bandwidth_for_horizon(&inst, h, &mip)
+                    let r = min_bandwidth_for_horizon_with_spans(&inst, h, &mip, &mut flight)
                         .map_err(|e| format!("EOCD IP: {e}"))?
                         .ok_or(format!("no successful schedule within {h} timesteps"))?;
                     let _ = writeln!(out, "optimal bandwidth within {h} steps: {}", r.bandwidth);
@@ -580,7 +641,29 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 }
                 other => return Err(format!("unknown objective `{other}` (use time|bandwidth)")),
             }
+            if let Some(path) = profile {
+                let json = flight.to_chrome_json("ocd solve");
+                std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "search profile written to {path} ({} spans, {} incumbent events)",
+                    flight.spans().len(),
+                    flight.events().len()
+                );
+            }
             Ok(out)
+        }
+        Command::BenchCompare {
+            old,
+            new,
+            tolerance,
+        } => {
+            let (table, regressed) = ocd_bench::compare::compare_files(old, new, *tolerance)?;
+            if regressed {
+                // Nonzero exit: the table rides in the error message.
+                return Err(format!("performance regression detected\n{table}"));
+            }
+            Ok(table)
         }
         Command::Bounds { instance } => {
             let inst = load_instance(instance)?;
@@ -800,6 +883,34 @@ fn render_uplink_utilization(
         );
     }
     out
+}
+
+/// Derives the span timeline `trace export --spans` renders: one
+/// `sched.step` span per timestep (counters `step`, `transfers`,
+/// `tokens`) holding a zero-width `sched.transfer` child per move
+/// (counters `src`, `dst`, `tokens`). Everything rides the logical
+/// sequence clock, so equal records export byte-identically.
+fn record_schedule_spans(rec: &ocd_core::RunRecord, spans: &mut FlightRecorder) {
+    let g = rec.instance.graph();
+    for (t, step) in rec.schedule.steps().iter().enumerate() {
+        let step_span = spans.open("sched.step");
+        spans.attach(step_span, "step", t as u64);
+        let mut transfers = 0u64;
+        let mut tokens_moved = 0u64;
+        for (e, tokens) in step.sends() {
+            let arc = g.edge(e);
+            let t_span = spans.open("sched.transfer");
+            spans.attach(t_span, "src", arc.src.index() as u64);
+            spans.attach(t_span, "dst", arc.dst.index() as u64);
+            spans.attach(t_span, "tokens", tokens.len() as u64);
+            spans.close(t_span);
+            transfers += 1;
+            tokens_moved += tokens.len() as u64;
+        }
+        spans.attach(step_span, "transfers", transfers);
+        spans.attach(step_span, "tokens", tokens_moved);
+        spans.close(step_span);
+    }
 }
 
 fn emit(path: Option<&str>, content: String) -> Result<String, String> {
@@ -1219,6 +1330,230 @@ mod tests {
             analysis.contains("peak 1/1 per step"),
             "unit uplinks saturate: {analysis}"
         );
+    }
+
+    #[test]
+    fn solve_profile_emits_deterministic_search_timeline() {
+        let topo = tmp("profile_topo.txt");
+        let inst = tmp("profile_inst.json");
+        run(&[
+            "generate",
+            "--topology",
+            "random",
+            "--nodes",
+            "16",
+            "--seed",
+            "2",
+            "--out",
+            &topo,
+        ])
+        .unwrap();
+        run(&[
+            "instance",
+            "--graph",
+            &topo,
+            "--scenario",
+            "single-file",
+            "--tokens",
+            "4",
+            "--out",
+            &inst,
+        ])
+        .unwrap();
+        let profile_a = tmp("profile_a.json");
+        let profile_b = tmp("profile_b.json");
+        let solve = |profile: &str, threads: &str| {
+            // Auto horizon (FOCD makespan + slack) is feasible by
+            // construction; its deepening spans land in the profile
+            // ahead of the MILP's.
+            run(&[
+                "solve",
+                "--instance",
+                &inst,
+                "--objective",
+                "bandwidth",
+                "--threads",
+                threads,
+                "--profile",
+                profile,
+            ])
+            .unwrap()
+        };
+        let out = solve(&profile_a, "1");
+        assert!(out.contains("search profile written to"), "{out}");
+        let a = std::fs::read_to_string(&profile_a).unwrap();
+        assert!(a.starts_with("{\"traceEvents\":["), "{a}");
+        // The MILP's search telemetry: one span per explored B&B node,
+        // wrapped in the solver.ip.horizon span, plus incumbent events.
+        assert!(a.contains("\"bnb.node."), "{a}");
+        assert!(a.contains("\"bnb.incumbent\""), "{a}");
+        assert!(a.contains("\"solver.ip.horizon\""), "{a}");
+        assert!(a.contains("\"lp_iterations\""), "{a}");
+        // Equal inputs ⇒ byte-identical profile artifacts, at any
+        // thread count (the span stream rides the logical clock in the
+        // deterministic sequential part of the search).
+        let _ = solve(&profile_b, "4");
+        assert_eq!(a, std::fs::read_to_string(&profile_b).unwrap());
+
+        // The FOCD objective profiles as iterative-deepening horizons.
+        let focd_profile = tmp("profile_focd.json");
+        run(&[
+            "solve",
+            "--instance",
+            &inst,
+            "--objective",
+            "time",
+            "--profile",
+            &focd_profile,
+        ])
+        .unwrap();
+        let f = std::fs::read_to_string(&focd_profile).unwrap();
+        assert!(f.contains("\"solver.focd.horizon\""), "{f}");
+        assert!(f.contains("\"tau\""), "{f}");
+    }
+
+    #[test]
+    fn coded_metrics_snapshot_written_and_deterministic() {
+        let topo = tmp("coded_metrics_topo.txt");
+        run(&[
+            "generate",
+            "--topology",
+            "cycle",
+            "--nodes",
+            "6",
+            "--cap",
+            "2..2",
+            "--out",
+            &topo,
+        ])
+        .unwrap();
+        let snap_a = tmp("coded_metrics_a.json");
+        let snap_b = tmp("coded_metrics_b.json");
+        let run_once = |snap: &str| {
+            let out = run(&[
+                "coded",
+                "--graph",
+                &topo,
+                "--tokens",
+                "8",
+                "--payload",
+                "16",
+                "--seed",
+                "7",
+                "--metrics",
+                snap,
+            ])
+            .unwrap();
+            assert!(out.contains("metrics snapshot written to"), "{out}");
+        };
+        run_once(&snap_a);
+        run_once(&snap_b);
+        let a = std::fs::read_to_string(&snap_a).unwrap();
+        assert_eq!(
+            a,
+            std::fs::read_to_string(&snap_b).unwrap(),
+            "equal seeds must write byte-identical snapshots"
+        );
+        let snap = ocd_core::MetricsSnapshot::from_json(&a).unwrap();
+        assert!(snap.counter("coded.packets_sent").unwrap() > 0);
+        assert!(snap.counter("coded.innovative_deliveries").unwrap() > 0);
+        // CSV rendering keys off the extension, like `ocd run`.
+        let csv = tmp("coded_metrics.csv");
+        run_once(&csv);
+        let csv_text = std::fs::read_to_string(&csv).unwrap();
+        assert!(csv_text.starts_with("kind,name,key,value"), "{csv_text}");
+        assert!(
+            csv_text.contains("counter,coded.packets_sent"),
+            "{csv_text}"
+        );
+    }
+
+    #[test]
+    fn bench_compare_cli_gates_on_regressions() {
+        let old = tmp("bench_old.json");
+        let new = tmp("bench_new.json");
+        std::fs::write(
+            &old,
+            r#"{"pr": 8, "benches": [{"name": "engine/step", "mean_ns": 1000.0}]}"#,
+        )
+        .unwrap();
+        // Equal snapshots pass and render the delta table.
+        std::fs::write(&new, r#"[{"name": "engine/step", "mean_ns": 1000.0}]"#).unwrap();
+        let out = run(&["bench", "compare", &old, &new]).unwrap();
+        assert!(out.contains("0 regressions"), "{out}");
+        // A 30% inflation gates at the default 0.15 tolerance (nonzero
+        // exit via the Err path) and the table rides in the message...
+        std::fs::write(&new, r#"[{"name": "engine/step", "mean_ns": 1300.0}]"#).unwrap();
+        let err = run(&["bench", "compare", &old, &new]).unwrap_err();
+        assert!(err.contains("performance regression detected"), "{err}");
+        assert!(err.contains("REGRESSION"), "{err}");
+        // ...but a loose --tolerance waves the same delta through.
+        let ok = run(&["bench", "compare", &old, &new, "--tolerance", "0.5"]).unwrap();
+        assert!(ok.contains("0 regressions"), "{ok}");
+        // Malformed and missing snapshots name the problem.
+        std::fs::write(&new, "not json").unwrap();
+        let err = run(&["bench", "compare", &old, &new]).unwrap_err();
+        assert!(err.contains("neither a bench array"), "{err}");
+        let err = run(&["bench", "compare", &old, "/nonexistent.json"]).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn trace_export_spans_source() {
+        let inst = tmp("spans_inst.json");
+        run(&[
+            "instance",
+            "--graph",
+            "unused",
+            "--scenario",
+            "figure-one",
+            "--out",
+            &inst,
+        ])
+        .unwrap();
+        let record = tmp("spans_record.json");
+        run(&[
+            "run",
+            "--instance",
+            &inst,
+            "--strategy",
+            "random",
+            "--seed",
+            "11",
+            "--record",
+            &record,
+        ])
+        .unwrap();
+        let chrome = run(&["trace", "export", "--record", &record, "--spans"]).unwrap();
+        assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+        assert!(chrome.contains("\"sched.step\""), "{chrome}");
+        assert!(chrome.contains("\"sched.transfer\""), "{chrome}");
+        // Equal records export byte-identically (logical clock only).
+        let again = run(&["trace", "export", "--record", &record, "--spans"]).unwrap();
+        assert_eq!(chrome, again);
+        // The other formats render the same span timeline.
+        let csv = run(&[
+            "trace", "export", "--record", &record, "--spans", "--format", "csv",
+        ])
+        .unwrap();
+        assert!(
+            csv.starts_with("kind,name,depth,start,end,wall_ns,counters"),
+            "{csv}"
+        );
+        assert!(csv.contains("span,sched.transfer"), "{csv}");
+        let json = run(&[
+            "trace", "export", "--record", &record, "--spans", "--format", "json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"spans\""), "{json}");
+        // Unknown formats name the valid values for both sources.
+        let err = run(&[
+            "trace", "export", "--record", &record, "--spans", "--format", "dot",
+        ])
+        .unwrap_err();
+        assert!(err.contains("chrome | json | csv"), "{err}");
+        let err = run(&["trace", "export", "--record", &record, "--format", "dot"]).unwrap_err();
+        assert!(err.contains("--spans"), "{err}");
     }
 
     #[test]

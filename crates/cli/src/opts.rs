@@ -78,6 +78,12 @@ pub enum Command {
         /// Worker threads for the IP's per-round LP solves. Any value
         /// yields byte-identical output; > 1 is only faster.
         threads: usize,
+        /// Optional path for a Chrome/Perfetto search-timeline profile
+        /// of the solve (one span per branch-and-bound node plus
+        /// incumbent events). Spans are stamped with the logical
+        /// sequence clock, so equal inputs give byte-identical
+        /// profiles at any `--threads`.
+        profile: Option<String>,
     },
     /// `ocd bounds`: print the §5.1 lower bounds and Steiner upper bound.
     Bounds {
@@ -159,6 +165,10 @@ pub enum Command {
         /// Print the slot-indexed coded provenance analysis (critical
         /// path, per-arc bottlenecks, per-receiver lineage arc sets).
         provenance: bool,
+        /// Optional path to write the run's metrics snapshot
+        /// (`.csv` writes CSV, anything else JSON). Enables metrics
+        /// collection; equal seeds produce byte-identical snapshots.
+        metrics: Option<String>,
     },
     /// `ocd certify`: re-certify a `RunRecord` artifact from the file
     /// alone.
@@ -179,8 +189,21 @@ pub enum Command {
         record: String,
         /// Output format: `chrome`, `json`, or `csv`.
         format: String,
+        /// Export the schedule-derived span timeline (step-nested
+        /// transfer spans on the logical clock) instead of the raw
+        /// provenance event stream.
+        spans: bool,
         /// Output file (stdout if `None`).
         out: Option<String>,
+    },
+    /// `ocd bench compare`: the perf-trajectory snapshot gate.
+    BenchCompare {
+        /// Old snapshot path (e.g. the committed `BENCH_<n>.json`).
+        old: String,
+        /// New snapshot path (a fresh `OCD_BENCH_JSON` capture).
+        new: String,
+        /// Regression threshold on `mean_ns` (`new/old - 1`).
+        tolerance: f64,
     },
     /// `ocd help`.
     Help,
@@ -200,6 +223,7 @@ pub(crate) const SUBCOMMANDS: &[&str] = &[
     "compare",
     "certify",
     "trace",
+    "bench",
     "help",
 ];
 
@@ -220,14 +244,17 @@ USAGE:
                 [--max-ticks <N>] [--crash <V:DOWN:UP>] [--trace <FILE.json|FILE.csv>] [--schedule <FILE>]
   ocd coded     --graph <FILE> [--strategy <random|local>] [--tokens <K>] [--payload <BYTES>]
                 [--source <V>] [--redundancy <R>] [--loss <P>] [--seed <S>] [--max-steps <N>] [--provenance]
+                [--metrics <FILE.json|FILE.csv>]
   ocd solve     --instance <FILE> --objective <time|bandwidth> [--horizon <H>] [--threads <T>]
+                [--profile <FILE>]
   ocd bounds    --instance <FILE>
   ocd validate  --instance <FILE> --schedule <FILE>
   ocd reduce-ds --graph <FILE> --k <K>
   ocd compare   --instance <FILE> [--runs <N>] [--seed <S>]
   ocd certify   --record <FILE>
   ocd trace     analyze --record <FILE>
-  ocd trace     export  --record <FILE> [--format <chrome|json|csv>] [--out <FILE>]
+  ocd trace     export  --record <FILE> [--format <chrome|json|csv>] [--spans] [--out <FILE>]
+  ocd bench     compare <OLD.json> <NEW.json> [--tolerance <T=0.15>]
   ocd help
 ";
 
@@ -381,10 +408,11 @@ pub fn parse(args: Vec<String>) -> Result<Command, String> {
                     })
                 }
                 "export" => {
-                    let f = Flags::parse(rest, &[])?;
+                    let f = Flags::parse(rest, &["spans"])?;
                     Ok(Command::TraceExport {
                         record: f.req("record")?,
                         format: f.opt("format", "chrome".to_string())?,
+                        spans: f.has("spans"),
                         out: f.values.get("out").cloned(),
                     })
                 }
@@ -400,7 +428,55 @@ pub fn parse(args: Vec<String>) -> Result<Command, String> {
                 objective: f.req("objective")?,
                 horizon: f.opt("horizon", 0)?,
                 threads: f.opt("threads", 1)?,
+                profile: f.values.get("profile").cloned(),
             })
+        }
+        "bench" => {
+            let Some((mode, rest)) = rest.split_first() else {
+                return Err(format!("bench requires a mode: compare\n\n{USAGE}"));
+            };
+            match mode.as_str() {
+                "compare" => {
+                    let mut paths = Vec::new();
+                    let mut tolerance = 0.15f64;
+                    let mut i = 0;
+                    while i < rest.len() {
+                        match rest[i].as_str() {
+                            "--tolerance" => {
+                                let raw = rest
+                                    .get(i + 1)
+                                    .ok_or("--tolerance requires a value (e.g. 0.15)")?;
+                                tolerance = raw.parse().map_err(|_| {
+                                    format!("invalid value `{raw}` for --tolerance")
+                                })?;
+                                i += 2;
+                            }
+                            flag if flag.starts_with("--") => {
+                                return Err(format!(
+                                    "unknown flag `{flag}` for bench compare (only --tolerance)"
+                                ));
+                            }
+                            path => {
+                                paths.push(path.to_string());
+                                i += 1;
+                            }
+                        }
+                    }
+                    let [old, new] = paths.as_slice() else {
+                        return Err(format!(
+                            "bench compare takes exactly two snapshot paths \
+                             (<old.json> <new.json>), got {}",
+                            paths.len()
+                        ));
+                    };
+                    Ok(Command::BenchCompare {
+                        old: old.clone(),
+                        new: new.clone(),
+                        tolerance,
+                    })
+                }
+                other => Err(format!("unknown bench mode `{other}` (use compare)")),
+            }
         }
         "bounds" => {
             let f = Flags::parse(rest, &[])?;
@@ -443,6 +519,7 @@ pub fn parse(args: Vec<String>) -> Result<Command, String> {
                 seed: f.opt("seed", 0)?,
                 max_steps: f.opt("max-steps", 10_000)?,
                 provenance: f.has("provenance"),
+                metrics: f.values.get("metrics").cloned(),
             })
         }
         "net-run" => {
@@ -591,16 +668,19 @@ mod tests {
             Command::TraceExport {
                 record: "r.json".into(),
                 format: "chrome".into(),
+                spans: false,
                 out: None,
             }
         );
         assert_eq!(
             parse_ok(&[
-                "trace", "export", "--record", "r.json", "--format", "csv", "--out", "t.csv",
+                "trace", "export", "--record", "r.json", "--format", "csv", "--spans", "--out",
+                "t.csv",
             ]),
             Command::TraceExport {
                 record: "r.json".into(),
                 format: "csv".into(),
+                spans: true,
                 out: Some("t.csv".into()),
             }
         );
@@ -664,6 +744,66 @@ mod tests {
             other => panic!("wrong parse: {other:?}"),
         }
         assert!(parse_err(&["coded"]).contains("--graph"));
+    }
+
+    #[test]
+    fn solve_profile_and_coded_metrics_parse() {
+        let cmd = parse_ok(&[
+            "solve",
+            "--instance",
+            "i.json",
+            "--objective",
+            "time",
+            "--profile",
+            "p.json",
+        ]);
+        match cmd {
+            Command::Solve {
+                profile, threads, ..
+            } => {
+                assert_eq!(profile.as_deref(), Some("p.json"));
+                assert_eq!(threads, 1);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse_ok(&["coded", "--graph", "g.txt", "--metrics", "m.csv"]);
+        match cmd {
+            Command::Coded { metrics, .. } => assert_eq!(metrics.as_deref(), Some("m.csv")),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bench_compare_parses() {
+        assert_eq!(
+            parse_ok(&["bench", "compare", "old.json", "new.json"]),
+            Command::BenchCompare {
+                old: "old.json".into(),
+                new: "new.json".into(),
+                tolerance: 0.15,
+            }
+        );
+        assert_eq!(
+            parse_ok(&[
+                "bench",
+                "compare",
+                "old.json",
+                "new.json",
+                "--tolerance",
+                "0.5"
+            ]),
+            Command::BenchCompare {
+                old: "old.json".into(),
+                new: "new.json".into(),
+                tolerance: 0.5,
+            }
+        );
+        assert!(parse_err(&["bench"]).contains("compare"));
+        assert!(parse_err(&["bench", "diff"]).contains("unknown bench mode"));
+        assert!(parse_err(&["bench", "compare", "only-one.json"]).contains("exactly two"));
+        assert!(parse_err(&["bench", "compare", "a", "b", "c"]).contains("exactly two"));
+        assert!(parse_err(&["bench", "compare", "a", "b", "--tolerance", "x"]).contains("invalid"));
+        assert!(parse_err(&["bench", "compare", "a", "b", "--frob"]).contains("unknown flag"));
     }
 
     #[test]

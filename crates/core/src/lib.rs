@@ -34,6 +34,10 @@
 //! - [`metrics`]: the suite-wide observability layer — a dependency-free
 //!   registry of counters/gauges/log2-histograms behind a [`Recorder`]
 //!   trait whose no-op impl monomorphizes away.
+//! - [`span`]: the flight-recorder layer — named, nested, timed spans
+//!   with attached counters and an instantaneous event stream behind a
+//!   zero-cost [`SpanRecorder`], exported as Chrome/Perfetto
+//!   timelines.
 //! - [`provenance`]: the causal token-provenance layer — who delivered
 //!   each token to each vertex, with critical-path/bottleneck analysis
 //!   and Chrome/Perfetto export, behind a zero-cost [`ProvenanceHook`].
@@ -80,6 +84,7 @@ pub mod record;
 pub mod rlnc;
 pub mod scenario;
 mod schedule;
+pub mod span;
 mod token;
 pub mod validate;
 
@@ -90,5 +95,6 @@ pub use provenance::{NoopProvenance, ProvenanceHook, ProvenanceRecord, Provenanc
 pub use record::{RecordError, RunRecord, StepTrace};
 pub use rlnc::{CodedBasis, CodedPacket, RlncInstance};
 pub use schedule::{Move, Schedule, ScheduleRecorder, Timestep};
+pub use span::{FlightRecorder, NoopSpans, SpanRecorder};
 pub use token::{Token, TokenSet};
 pub use validate::{Replay, ScheduleError};

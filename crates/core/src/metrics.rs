@@ -29,6 +29,21 @@
 //! the recording site (e.g. `SimConfig::metric_timings` in the engine)
 //! precisely because they break that guarantee.
 //!
+//! # Histogram bucket convention
+//!
+//! Histograms use [`HISTOGRAM_BUCKETS`] = 65 fixed log2 buckets over
+//! the full `u64` domain, with half-open boundaries `[2^(i-1), 2^i)`:
+//!
+//! - **bucket 0** holds exactly the value `0`;
+//! - **bucket `i` for `1 ≤ i ≤ 64`** holds `[2^(i-1), 2^i)` — value
+//!   `v ≥ 1` lands in bucket `floor(log2 v) + 1` (see [`bucket_of`]);
+//! - **bucket 64**, the top bucket, therefore holds `[2^63, u64::MAX]`
+//!   — `u64::MAX` included, since `2^64` is not representable.
+//!
+//! Every `u64` has a well-defined bucket; nothing is clamped or
+//! dropped. The running `sum` saturates at `u64::MAX` instead of
+//! wrapping, both when observing and when merging snapshots.
+//!
 //! # Examples
 //!
 //! ```
@@ -260,7 +275,9 @@ impl MetricsRegistry {
             let id = self.histogram(&h.name);
             let slot = &mut self.histograms[id.0].1;
             slot.count += h.count;
-            slot.sum += h.sum;
+            // Saturating like `observe`, so merging snapshots that
+            // recorded near-u64::MAX observations cannot wrap.
+            slot.sum = slot.sum.saturating_add(h.sum);
             for (mine, theirs) in slot.buckets.iter_mut().zip(&h.buckets) {
                 *mine += theirs;
             }
@@ -628,6 +645,92 @@ mod tests {
         assert_eq!(lone, a);
         assert!(MetricsSnapshot::default().is_empty());
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn extreme_observations_land_in_pinned_buckets() {
+        // Regression pin for the domain edges: 0 and u64::MAX must
+        // land in well-defined buckets (0 and 64 — the module-doc
+        // convention), and the saturating sum must not wrap.
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("edges");
+        reg.observe(h, 0);
+        reg.observe(h, u64::MAX);
+        let snap = reg.snapshot();
+        let hist = snap.histogram("edges").unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.buckets[0], 1, "value 0 is pinned to bucket 0");
+        assert_eq!(
+            hist.buckets[64], 1,
+            "u64::MAX is pinned to the top bucket [2^63, u64::MAX]"
+        );
+        assert_eq!(hist.buckets.len(), HISTOGRAM_BUCKETS);
+        assert_eq!(hist.buckets.iter().sum::<u64>(), 2, "no bucket lost it");
+        assert_eq!(hist.sum, u64::MAX, "0 + MAX needs no saturation yet");
+        // A second MAX observation saturates instead of wrapping...
+        reg.observe(h, u64::MAX);
+        assert_eq!(reg.snapshot().histogram("edges").unwrap().sum, u64::MAX);
+        // ...and so does absorbing two saturated snapshots.
+        let mut merged = reg.snapshot();
+        merged.merge(&snap);
+        assert_eq!(merged.histogram("edges").unwrap().sum, u64::MAX);
+        assert_eq!(merged.histogram("edges").unwrap().buckets[64], 3);
+        // The boundary neighbours of the top bucket stay distinct.
+        assert_eq!(bucket_of((1 << 63) - 1), 63);
+        assert_eq!(bucket_of(1 << 63), 64);
+    }
+
+    #[test]
+    fn absorb_semantics_across_name_set_overlap() {
+        let snap_of = |names: &[(&str, u64)], gauge: Option<i64>| {
+            let mut reg = MetricsRegistry::new();
+            for (name, v) in names {
+                let c = reg.counter(name);
+                reg.add(c, *v);
+            }
+            if let Some(g) = gauge {
+                let id = reg.gauge("g");
+                reg.set(id, g);
+            }
+            reg.snapshot()
+        };
+
+        // Disjoint name sets: absorb unions them, values untouched.
+        let mut reg = MetricsRegistry::new();
+        reg.absorb(&snap_of(&[("a", 1)], None));
+        reg.absorb(&snap_of(&[("b", 2)], None));
+        let disjoint = reg.snapshot();
+        assert_eq!(disjoint.counter("a"), Some(1));
+        assert_eq!(disjoint.counter("b"), Some(2));
+        assert_eq!(disjoint.counters.len(), 2);
+
+        // Overlapping name sets: shared counters sum, gauges take the
+        // last absorbed value (last-write-wins, like `set`).
+        let mut reg = MetricsRegistry::new();
+        reg.absorb(&snap_of(&[("a", 1), ("shared", 10)], Some(5)));
+        reg.absorb(&snap_of(&[("b", 2), ("shared", 30)], Some(-7)));
+        let overlap = reg.snapshot();
+        assert_eq!(overlap.counter("shared"), Some(40), "counters sum");
+        assert_eq!(overlap.counter("a"), Some(1));
+        assert_eq!(overlap.counter("b"), Some(2));
+        assert_eq!(overlap.gauge("g"), Some(-7), "gauges last-write-win");
+
+        // Identical snapshots absorbed twice: counters double, the
+        // gauge is idempotent.
+        let snap = snap_of(&[("a", 3)], Some(9));
+        let mut reg = MetricsRegistry::new();
+        reg.absorb(&snap);
+        reg.absorb(&snap);
+        let doubled = reg.snapshot();
+        assert_eq!(doubled.counter("a"), Some(6));
+        assert_eq!(doubled.gauge("g"), Some(9));
+
+        // Absorbing into a non-empty registry adds onto live state.
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("a");
+        reg.add(c, 100);
+        reg.absorb(&snap);
+        assert_eq!(reg.snapshot().counter("a"), Some(103));
     }
 
     #[test]

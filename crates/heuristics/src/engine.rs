@@ -23,6 +23,7 @@ use ocd_core::knowledge::{AggregateKnowledge, DelayedAggregates};
 use ocd_core::metrics::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 use ocd_core::provenance::{NoopProvenance, ProvenanceHook, ProvenanceTrace};
 use ocd_core::record::{RunRecord, StepTrace, RUN_RECORD_VERSION};
+use ocd_core::span::{FlightRecorder, NoopSpans, SpanRecorder};
 use ocd_core::{Instance, Schedule, Timestep, TokenSet};
 use rand::RngCore;
 use std::time::Instant;
@@ -44,11 +45,14 @@ pub struct SimConfig {
     /// default — the disabled path monomorphizes over
     /// [`NoopRecorder`] and costs nothing.
     pub metrics: bool,
-    /// Additionally record wall-clock phase timings (`engine.plan_nanos`
-    /// / `engine.admit_nanos` / `engine.apply_nanos` histograms).
-    /// Timings are inherently nondeterministic, so this breaks the
-    /// byte-identical-snapshot guarantee; keep it off for comparable
-    /// artifacts. No effect unless `metrics` is also set.
+    /// Additionally run the step loop under a wall-clock
+    /// [`FlightRecorder`] whose per-phase spans (`engine.plan` /
+    /// `engine.admit` / `engine.apply`) are folded into the
+    /// `engine.plan_nanos` / `engine.admit_nanos` / `engine.apply_nanos`
+    /// histograms after the run. Timings are inherently
+    /// nondeterministic, so this breaks the byte-identical-snapshot
+    /// guarantee; keep it off for comparable artifacts. No effect
+    /// unless `metrics` is also set.
     pub metric_timings: bool,
     /// Record causal token provenance (the first-acquisition forest;
     /// see [`ocd_core::provenance`]) into a [`ProvenanceTrace`] on the
@@ -275,6 +279,76 @@ pub fn simulate_with<M: Medium>(
     config: &SimConfig,
     rng: &mut dyn RngCore,
 ) -> SimOutcome {
+    if config.metrics && config.metric_timings {
+        // Wall-clock flight recording: the per-phase spans are the
+        // timing source, folded into the phase histograms afterwards.
+        let mut spans = FlightRecorder::wall();
+        let mut registry = MetricsRegistry::new();
+        let mut outcome = if config.provenance {
+            let mut prov =
+                ProvenanceTrace::new(instance.graph().node_count(), instance.num_tokens());
+            let mut outcome = run_loop(
+                instance,
+                strategy,
+                medium,
+                config,
+                rng,
+                &mut registry,
+                &mut prov,
+                &mut spans,
+            );
+            outcome.provenance = Some(prov);
+            outcome
+        } else {
+            run_loop(
+                instance,
+                strategy,
+                medium,
+                config,
+                rng,
+                &mut registry,
+                &mut NoopProvenance,
+                &mut spans,
+            )
+        };
+        debug_assert!(spans.is_balanced());
+        let m_plan = registry.histogram("engine.plan_nanos");
+        let m_admit = registry.histogram("engine.admit_nanos");
+        let m_apply = registry.histogram("engine.apply_nanos");
+        for span in spans.spans() {
+            match span.name {
+                "engine.plan" => registry.observe(m_plan, span.wall_ns),
+                "engine.admit" => registry.observe(m_admit, span.wall_ns),
+                "engine.apply" => registry.observe(m_apply, span.wall_ns),
+                _ => {}
+            }
+        }
+        outcome.metrics = Some(registry.snapshot());
+        outcome
+    } else {
+        simulate_with_spans(instance, strategy, medium, config, rng, &mut NoopSpans)
+    }
+}
+
+/// [`simulate_with`], recording the step loop's phase spans
+/// (`engine.step` ⊃ `engine.plan` / `engine.admit` / `engine.apply`,
+/// plus `engine.vertex_complete` events) into a caller-supplied
+/// [`SpanRecorder`].
+///
+/// Span counters are deterministic quantities (moves admitted,
+/// remaining need), so a [`FlightRecorder::logical`] recorder produces
+/// byte-identical artifacts across equal-seed runs. Pass
+/// [`FlightRecorder::wall`] for wall-clock span durations instead.
+/// [`SimConfig::metric_timings`] is ignored on this path — the spans
+/// *are* the timing mechanism.
+pub fn simulate_with_spans<M: Medium, S: SpanRecorder>(
+    instance: &Instance,
+    strategy: &mut dyn Strategy,
+    medium: &mut M,
+    config: &SimConfig,
+    rng: &mut dyn RngCore,
+    spans: &mut S,
+) -> SimOutcome {
     let new_trace = || ProvenanceTrace::new(instance.graph().node_count(), instance.num_tokens());
     match (config.metrics, config.provenance) {
         (true, true) => {
@@ -288,6 +362,7 @@ pub fn simulate_with<M: Medium>(
                 rng,
                 &mut registry,
                 &mut prov,
+                spans,
             );
             outcome.metrics = Some(registry.snapshot());
             outcome.provenance = Some(prov);
@@ -303,6 +378,7 @@ pub fn simulate_with<M: Medium>(
                 rng,
                 &mut registry,
                 &mut NoopProvenance,
+                spans,
             );
             outcome.metrics = Some(registry.snapshot());
             outcome
@@ -317,6 +393,7 @@ pub fn simulate_with<M: Medium>(
                 rng,
                 &mut NoopRecorder,
                 &mut prov,
+                spans,
             );
             outcome.provenance = Some(prov);
             outcome
@@ -329,15 +406,18 @@ pub fn simulate_with<M: Medium>(
             rng,
             &mut NoopRecorder,
             &mut NoopProvenance,
+            spans,
         ),
     }
 }
 
 /// The monomorphized loop body behind [`simulate_with`]: `R` is either
-/// the live [`MetricsRegistry`] or [`NoopRecorder`], and `P` either the
-/// live [`ProvenanceTrace`] or [`NoopProvenance`] (whose inlined no-ops
-/// make the disabled paths identical to the uninstrumented loop).
-fn run_loop<M: Medium, R: Recorder, P: ProvenanceHook>(
+/// the live [`MetricsRegistry`] or [`NoopRecorder`], `P` either the
+/// live [`ProvenanceTrace`] or [`NoopProvenance`], and `S` either a
+/// live [`FlightRecorder`] or [`NoopSpans`] (whose inlined no-ops make
+/// the disabled paths identical to the uninstrumented loop).
+#[allow(clippy::too_many_arguments)]
+fn run_loop<M: Medium, R: Recorder, P: ProvenanceHook, S: SpanRecorder>(
     instance: &Instance,
     strategy: &mut dyn Strategy,
     medium: &mut M,
@@ -345,6 +425,7 @@ fn run_loop<M: Medium, R: Recorder, P: ProvenanceHook>(
     rng: &mut dyn RngCore,
     rec: &mut R,
     prov: &mut P,
+    spans: &mut S,
 ) -> SimOutcome {
     let run_start = Instant::now();
     let g = instance.graph();
@@ -357,17 +438,19 @@ fn run_loop<M: Medium, R: Recorder, P: ProvenanceHook>(
     let stall_aborts = medium.stall_aborts();
 
     // Metric handles are interned once here; on the Noop path every
-    // call below is an inlined empty body. `timed` is constant-false
-    // for Noop, so the clock reads fold away too.
-    let timed = config.metric_timings && rec.enabled();
+    // call below is an inlined empty body.
     let m_steps = rec.counter("engine.steps");
     let m_moves = rec.counter("engine.moves");
     let m_dups = rec.counter("engine.duplicate_deliveries");
     let m_rejected = rec.counter("engine.rejected_moves");
     let m_step_moves = rec.histogram("engine.step_moves");
-    let m_plan = rec.histogram("engine.plan_nanos");
-    let m_admit = rec.histogram("engine.admit_nanos");
-    let m_apply = rec.histogram("engine.apply_nanos");
+    // The phase-timing histograms are interned unconditionally so the
+    // snapshot shape is stable; they are only *populated* (from the
+    // wall-clock phase spans) on the `metric_timings` path in
+    // `simulate_with`.
+    let _ = rec.histogram("engine.plan_nanos");
+    let _ = rec.histogram("engine.admit_nanos");
+    let _ = rec.histogram("engine.apply_nanos");
     let m_arc_tokens = rec.series("engine.arc_tokens", g.edge_count());
     let m_vertex_uplink = rec.series("engine.vertex_uplink_tokens", n);
     let g_vertices = rec.gauge("engine.vertices");
@@ -417,7 +500,8 @@ fn run_loop<M: Medium, R: Recorder, P: ProvenanceHook>(
     let mut success = remaining == 0;
     while !success && step < config.max_steps {
         let step_start = Instant::now();
-        let phase_start = timed.then(Instant::now);
+        let step_span = spans.open("engine.step");
+        let plan_span = spans.open("engine.plan");
         let visible: &AggregateKnowledge = match delayed.as_mut() {
             Some(d) => d.advance_from(&fresh),
             None => &fresh,
@@ -471,24 +555,21 @@ fn run_loop<M: Medium, R: Recorder, P: ProvenanceHook>(
         if record_capacity_trace {
             capacity_trace.push(caps.to_vec());
         }
-        let phase_start = phase_start.map(|t| {
-            rec.observe(m_plan, t.elapsed().as_nanos() as u64);
-            Instant::now()
-        });
+        spans.close(plan_span);
+        let admit_span = spans.open("engine.admit");
         let rejected = medium.admit(&mut sends);
         let timestep = Timestep::from_sends(sends);
         let moves = timestep.bandwidth();
-        let phase_start = phase_start.map(|t| {
-            rec.observe(m_admit, t.elapsed().as_nanos() as u64);
-            Instant::now()
-        });
+        spans.close(admit_span);
         if moves == 0 && rejected == 0 && stall_aborts && !strategy.may_idle(step) {
+            spans.close(step_span);
             break; // stall
         }
         if record_rejections {
             rejected_per_step.push(rejected);
         }
         rec.add(m_rejected, rejected);
+        let apply_span = spans.open("engine.apply");
         // Apply: receipts land after all sends are read (store &
         // forward; validation above used the pre-step possession). Each
         // send's *newly received* tokens — `delta` — are the only
@@ -513,12 +594,15 @@ fn run_loop<M: Medium, R: Recorder, P: ProvenanceHook>(
             *missing_dst -= satisfied as usize;
             if *missing_dst == 0 && completion_steps[dst.index()].is_none() {
                 completion_steps[dst.index()] = Some(step + 1);
+                spans.event("engine.vertex_complete", dst.index() as u64);
             }
         }
         schedule.push_timestep(timestep);
-        if let Some(t) = phase_start {
-            rec.observe(m_apply, t.elapsed().as_nanos() as u64);
-        }
+        spans.close(apply_span);
+        spans.attach(step_span, "moves", moves);
+        spans.attach(step_span, "rejected", rejected);
+        spans.attach(step_span, "remaining_need", remaining);
+        spans.close(step_span);
         rec.add(m_steps, 1);
         rec.add(m_moves, moves);
         rec.observe(m_step_moves, moves);
@@ -859,6 +943,103 @@ mod tests {
             let h = snap.histogram(name).unwrap();
             assert_eq!(h.count, steps, "{name} observed once per step");
         }
+    }
+
+    #[test]
+    fn span_recording_captures_phases_per_step() {
+        let instance = single_file(classic::cycle(5, 3, true), 6, 0);
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut spans = FlightRecorder::logical();
+        let outcome = simulate_with_spans(
+            &instance,
+            &mut Flood,
+            &mut crate::medium::Ideal,
+            &SimConfig::default(),
+            &mut rng,
+            &mut spans,
+        );
+        assert!(outcome.report.success);
+        assert!(spans.is_balanced(), "every span closed");
+        let steps = outcome.report.steps;
+        assert_eq!(spans.count("engine.step"), steps);
+        assert_eq!(spans.count("engine.plan"), steps);
+        assert_eq!(spans.count("engine.admit"), steps);
+        assert_eq!(spans.count("engine.apply"), steps);
+        // Phases nest under their step span, and the step span carries
+        // the deterministic move/need counters.
+        let step_spans: Vec<_> = spans
+            .spans()
+            .iter()
+            .filter(|s| s.name == "engine.step")
+            .collect();
+        assert!(step_spans.iter().all(|s| s.depth == 0));
+        assert!(spans
+            .spans()
+            .iter()
+            .filter(|s| s.name != "engine.step")
+            .all(|s| s.depth == 1));
+        let moves: u64 = step_spans
+            .iter()
+            .map(|s| {
+                s.counters
+                    .iter()
+                    .find(|(k, _)| *k == "moves")
+                    .expect("moves counter attached")
+                    .1
+            })
+            .sum();
+        assert_eq!(moves, outcome.report.bandwidth);
+        // One completion event per initially-unsatisfied vertex.
+        let completions = spans
+            .events()
+            .iter()
+            .filter(|e| e.name == "engine.vertex_complete")
+            .count();
+        assert_eq!(completions, 4, "4 non-source vertices complete");
+        // Logical clock: no wall time recorded.
+        assert!(spans.spans().iter().all(|s| s.wall_ns == 0));
+    }
+
+    #[test]
+    fn same_seed_span_artifacts_are_byte_identical() {
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(25);
+            let mut strategy = crate::StrategyKind::Random.build();
+            let mut spans = FlightRecorder::logical();
+            simulate_with_spans(
+                &instance,
+                strategy.as_mut(),
+                &mut crate::medium::Ideal,
+                &SimConfig::default(),
+                &mut rng,
+                &mut spans,
+            );
+            (
+                spans.to_chrome_json("engine"),
+                spans.to_json(),
+                spans.to_csv(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stalled_run_still_balances_spans() {
+        let instance = single_file(classic::path(3, 1, true), 2, 0);
+        let mut rng = StdRng::seed_from_u64(26);
+        let mut spans = FlightRecorder::logical();
+        let outcome = simulate_with_spans(
+            &instance,
+            &mut Lazy,
+            &mut crate::medium::Ideal,
+            &SimConfig::default(),
+            &mut rng,
+            &mut spans,
+        );
+        assert!(!outcome.report.success);
+        assert!(spans.is_balanced(), "stall break closes the step span");
+        assert_eq!(spans.count("engine.step"), 1, "the stalled step");
     }
 
     #[test]

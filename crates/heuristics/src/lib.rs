@@ -68,7 +68,9 @@ pub use coded::{
     CodedSimConfig, CodedSimReport, CodedStrategy, CodedView, IdealCoded, LossyCoded,
 };
 pub use dynamics::{simulate_dynamic, DynamicReport, NetworkDynamics};
-pub use engine::{simulate, simulate_with, SimConfig, SimOutcome, SimReport, StepRecord};
+pub use engine::{
+    simulate, simulate_with, simulate_with_spans, SimConfig, SimOutcome, SimReport, StepRecord,
+};
 pub use gather::GatherThenPlan;
 pub use global_greedy::GlobalGreedy;
 pub use kind::StrategyKind;

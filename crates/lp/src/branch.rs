@@ -30,6 +30,7 @@
 
 use crate::model::{LpError, Problem, Sense, VarId, VarKind};
 use crate::sparse::{solve_standard, Basis, LpStats, StandardForm};
+use ocd_core::span::{NoopSpans, SpanRecorder};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -172,7 +173,31 @@ impl Ord for Dive {
 
 type NodeLp = Result<(Vec<f64>, Basis, LpStats), LpError>;
 
+/// Sign-normalized objective value as non-negative milli-units, the
+/// fixed-point encoding span counters use for `f64` bounds (negative
+/// bounds clamp to 0; OCD objectives are counts, hence non-negative).
+fn bound_millis(x: f64) -> u64 {
+    (x.max(0.0) * 1000.0).round() as u64
+}
+
 pub(crate) fn solve_mip(problem: &Problem, options: &MipOptions) -> Result<MipSolution, LpError> {
+    solve_mip_with_spans(problem, options, &mut NoopSpans)
+}
+
+/// [`solve_mip`] with a [`SpanRecorder`] attached — the solver's search
+/// telemetry. Each parallel round opens a `bnb.round` span (counter:
+/// `width`); every node evaluated inside it closes a zero-width span
+/// named for its fate — `bnb.node.branched`, `bnb.node.pruned`,
+/// `bnb.node.incumbent`, or `bnb.node.infeasible` — carrying `id`,
+/// `depth`, `lp_iterations`, and `bound_millis` counters. Incumbent
+/// improvements additionally fire a `bnb.incumbent` event stream. Spans
+/// are recorded in the deterministic sequential-apply order, so the
+/// stream is byte-identical across thread counts and equal seeds.
+pub(crate) fn solve_mip_with_spans<S: SpanRecorder>(
+    problem: &Problem,
+    options: &MipOptions,
+    spans: &mut S,
+) -> Result<MipSolution, LpError> {
     // Normalize to minimization internally: for maximization we compare
     // on `sign * objective`.
     let sign = match problem.sense {
@@ -251,8 +276,11 @@ pub(crate) fn solve_mip(problem: &Problem, options: &MipOptions) -> Result<MipSo
         if round.is_empty() {
             break;
         }
+        let round_span = spans.open("bnb.round");
+        spans.attach(round_span, "width", round.len() as u64);
         nodes_explored += round.len();
         if nodes_explored > options.node_limit {
+            spans.close(round_span);
             return Err(LpError::NodeLimit);
         }
 
@@ -293,8 +321,17 @@ pub(crate) fn solve_mip(problem: &Problem, options: &MipOptions) -> Result<MipSo
             let result = result.expect("every slot filled");
             let (values, basis, stats) = match result {
                 Ok(r) => r,
-                Err(LpError::Infeasible) => continue,
-                Err(e) => return Err(e),
+                Err(LpError::Infeasible) => {
+                    let s = spans.open("bnb.node.infeasible");
+                    spans.attach(s, "id", node.id);
+                    spans.attach(s, "depth", node.depth as u64);
+                    spans.close(s);
+                    continue;
+                }
+                Err(e) => {
+                    spans.close(round_span);
+                    return Err(e);
+                }
             };
             lp_iterations += stats.iterations;
             let objective: f64 = problem
@@ -304,7 +341,16 @@ pub(crate) fn solve_mip(problem: &Problem, options: &MipOptions) -> Result<MipSo
                 .map(|(v, x)| v.objective * x)
                 .sum();
             let cost = sign * objective;
+            let node_span = |spans: &mut S, name: &'static str| {
+                let s = spans.open(name);
+                spans.attach(s, "id", node.id);
+                spans.attach(s, "depth", node.depth as u64);
+                spans.attach(s, "lp_iterations", stats.iterations);
+                spans.attach(s, "bound_millis", bound_millis(cost));
+                spans.close(s);
+            };
             if cost > incumbent_cost - options.absolute_gap {
+                node_span(spans, "bnb.node.pruned");
                 continue; // dominated
             }
             // Find the most fractional integer variable.
@@ -324,6 +370,8 @@ pub(crate) fn solve_mip(problem: &Problem, options: &MipOptions) -> Result<MipSo
                     incumbent_cost = cost;
                     incumbent_trace.push((node.id, objective));
                     incumbent = Some(values);
+                    node_span(spans, "bnb.node.incumbent");
+                    spans.event("bnb.incumbent", bound_millis(objective));
                 }
                 Some(j) => {
                     let floor = values[j].floor();
@@ -354,9 +402,11 @@ pub(crate) fn solve_mip(problem: &Problem, options: &MipOptions) -> Result<MipSo
                         bound_heap.push(down);
                         bound_heap.push(up);
                     }
+                    node_span(spans, "bnb.node.branched");
                 }
             }
         }
+        spans.close(round_span);
     }
 
     match incumbent {
@@ -569,6 +619,78 @@ mod tests {
             assert_eq!(s.lp_iterations, base.lp_iterations);
             assert!((s.objective - base.objective).abs() == 0.0);
         }
+    }
+
+    #[test]
+    fn span_stream_mirrors_search_and_is_thread_invariant() {
+        // Same instance as `parallel_solve_is_byte_identical`: enough
+        // nodes for a non-trivial search tree.
+        let mut p = Problem::new(Sense::Maximize);
+        let weights = [91.0, 72.0, 90.0, 46.0, 55.0, 8.0, 35.0, 75.0, 61.0, 15.0];
+        let values = [84.0, 83.0, 43.0, 4.0, 44.0, 6.0, 82.0, 92.0, 25.0, 83.0];
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| p.add_binary(format!("x{i}"), v))
+            .collect();
+        p.add_constraint(
+            vars.iter().copied().zip(weights.iter().copied()),
+            Relation::Le,
+            269.0,
+        );
+        p.add_constraint(
+            vars.iter().copied().zip(values.iter().copied()),
+            Relation::Le,
+            300.0,
+        );
+        let profile = |threads: usize| {
+            let mut spans = ocd_core::FlightRecorder::logical();
+            let s = p
+                .solve_mip_with_spans(
+                    &MipOptions {
+                        threads,
+                        ..Default::default()
+                    },
+                    &mut spans,
+                )
+                .unwrap();
+            (s, spans)
+        };
+        let (s, spans) = profile(1);
+        assert!(spans.is_balanced());
+        // Exactly one `bnb.node.*` span per explored node.
+        assert_eq!(spans.count("bnb.node."), s.nodes_explored);
+        assert!(spans.count("bnb.round") > 0);
+        // One incumbent event per incumbent-trace entry.
+        let incumbents = spans
+            .events()
+            .iter()
+            .filter(|e| e.name == "bnb.incumbent")
+            .count();
+        assert!(incumbents > 0);
+        assert_eq!(incumbents, s.incumbent_trace.len());
+        // The per-node `lp_iterations` counters sum to the solve total
+        // (infeasible nodes have no LP stats and carry none).
+        let iters: u64 = spans
+            .spans()
+            .iter()
+            .filter(|sp| sp.name.starts_with("bnb.node.") && sp.name != "bnb.node.infeasible")
+            .flat_map(|sp| sp.counters.iter())
+            .filter(|(k, _)| *k == "lp_iterations")
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(iters, s.lp_iterations);
+        // Node spans nest inside their round span.
+        for sp in spans.spans() {
+            match sp.name {
+                "bnb.round" => assert_eq!(sp.depth, 0),
+                _ => assert_eq!(sp.depth, 1, "{} should nest under bnb.round", sp.name),
+            }
+        }
+        // The search timeline is byte-identical across thread counts —
+        // the span-level restatement of the determinism contract.
+        let (_, spans4) = profile(4);
+        assert_eq!(spans.to_chrome_json("bnb"), spans4.to_chrome_json("bnb"));
     }
 
     #[test]

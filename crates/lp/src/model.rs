@@ -387,6 +387,25 @@ impl Problem {
         crate::branch::solve_mip(self, options)
     }
 
+    /// [`solve_mip`](Problem::solve_mip) with a
+    /// [`SpanRecorder`](ocd_core::span::SpanRecorder) attached: every
+    /// branch-and-bound round and node lands in the recorder as a span
+    /// (`bnb.round`, `bnb.node.{branched,pruned,incumbent,infeasible}`
+    /// with `id`/`depth`/`lp_iterations`/`bound_millis` counters), and
+    /// incumbent improvements fire `bnb.incumbent` events — a search
+    /// timeline you can export to Chrome/Perfetto.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve_mip`](Problem::solve_mip).
+    pub fn solve_mip_with_spans<S: ocd_core::span::SpanRecorder>(
+        &self,
+        options: &crate::MipOptions,
+        spans: &mut S,
+    ) -> Result<crate::MipSolution, LpError> {
+        crate::branch::solve_mip_with_spans(self, options, spans)
+    }
+
     /// Renders the model in (a subset of) the CPLEX LP text format,
     /// which is handy for eyeballing a formulation or feeding it to an
     /// external solver for cross-checking.

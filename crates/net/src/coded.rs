@@ -33,9 +33,25 @@
 
 use crate::config::{NetConfig, NetPolicy};
 use ocd_core::rlnc::{CodedBasis, CodedPacket, RlncInstance};
+use ocd_core::span::{NoopSpans, SpanRecorder};
 use ocd_graph::EdgeId;
 use rand::{Rng, RngCore};
 use std::collections::BTreeMap;
+
+/// Per-arc counters of a coded swarm run — the coded analogue of
+/// [`LinkCounters`](crate::trace::LinkCounters), with token identity
+/// replaced by innovation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodedLinkCounters {
+    /// Coded packets put on this arc (including lost ones).
+    pub packets_sent: u64,
+    /// Deliveries on this arc that increased the receiver's rank.
+    pub innovative: u64,
+    /// Deliveries on this arc inside the receiver's span.
+    pub redundant: u64,
+    /// Packets dropped by loss on this arc.
+    pub lost: u64,
+}
 
 /// Result of a coded swarm run.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,14 +75,20 @@ pub struct CodedNetReport {
     /// Wire bytes: packets × (payload length + coefficient header).
     pub bytes_sent: u64,
     /// Control messages sent (`HAVE` rank announcements + `REQUEST`
-    /// credits).
+    /// credits); always `have_messages + request_messages`.
     pub ctrl_messages: u64,
+    /// `HAVE` rank beacons sent.
+    pub have_messages: u64,
+    /// `REQUEST` credit grants sent (pull mode only).
+    pub request_messages: u64,
     /// Pull-mode request credits that expired and were re-armed with
     /// backoff.
     pub request_timeouts: u64,
     /// Per-vertex tick at which the vertex reached full rank (0 = the
     /// source); `None` if never.
     pub completion_ticks: Vec<Option<u64>>,
+    /// Per-arc counters, indexed by [`EdgeId`].
+    pub link_counters: Vec<CodedLinkCounters>,
     /// Whether every completed receiver decoded the exact generation.
     pub decode_ok: bool,
 }
@@ -82,6 +104,68 @@ impl CodedNetReport {
                 + self.redundant_deliveries
                 + self.packets_lost
                 + self.packets_unresolved
+    }
+
+    /// Feeds the report's counters into the suite-wide metrics registry
+    /// and returns the snapshot — the `coded.*` counterpart of
+    /// [`NetReport::metrics_snapshot`](crate::NetReport::metrics_snapshot),
+    /// in the same schema: per-kind message counters
+    /// (`coded.msgs_sent.{have,request,token}`), innovation/loss
+    /// accounting, per-arc series, and the rank-completion-tick
+    /// histogram.
+    ///
+    /// Everything here derives from the deterministic run state, so
+    /// equal-seed runs snapshot byte-identically.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> ocd_core::MetricsSnapshot {
+        use crate::msg::MsgKind;
+        use ocd_core::{MetricsRegistry, Recorder};
+        let mut reg = MetricsRegistry::new();
+        for (name, value) in [
+            ("coded.ticks", self.ticks),
+            ("coded.packets_sent", self.packets_sent),
+            ("coded.innovative_deliveries", self.innovative_deliveries),
+            ("coded.redundant_deliveries", self.redundant_deliveries),
+            ("coded.packets_lost", self.packets_lost),
+            ("coded.packets_unresolved", self.packets_unresolved),
+            ("coded.bytes_sent", self.bytes_sent),
+            ("coded.request_timeouts", self.request_timeouts),
+        ] {
+            let c = reg.counter(name);
+            reg.add(c, value);
+        }
+        // Per-kind wire counters, named like the uncoded runtime's
+        // `net.msgs_sent.{kind}` (the coded protocol has no `cancel`).
+        for (kind, value) in [
+            (MsgKind::Have, self.have_messages),
+            (MsgKind::Request, self.request_messages),
+            (MsgKind::Token, self.packets_sent),
+        ] {
+            let c = reg.counter(&format!("coded.msgs_sent.{}", kind.name()));
+            reg.add(c, value);
+        }
+        let arcs = self.link_counters.len();
+        let sent = reg.series("coded.arc_packets_sent", arcs);
+        let innovative = reg.series("coded.arc_innovative", arcs);
+        let redundant = reg.series("coded.arc_redundant", arcs);
+        let lost = reg.series("coded.arc_lost", arcs);
+        for (e, lc) in self.link_counters.iter().enumerate() {
+            reg.series_add(sent, e, lc.packets_sent);
+            reg.series_add(innovative, e, lc.innovative);
+            reg.series_add(redundant, e, lc.redundant);
+            reg.series_add(lost, e, lc.lost);
+        }
+        let completion = reg.histogram("coded.rank_completion_ticks");
+        let mut unfinished = 0i64;
+        for c in &self.completion_ticks {
+            match c {
+                Some(tick) => reg.observe(completion, *tick),
+                None => unfinished += 1,
+            }
+        }
+        let g = reg.gauge("coded.unfinished_vertices");
+        reg.set(g, unfinished);
+        reg.snapshot()
     }
 }
 
@@ -132,6 +216,23 @@ pub fn run_coded_swarm(
     redundancy: f64,
     rng: &mut dyn RngCore,
 ) -> CodedNetReport {
+    run_coded_swarm_with_spans(instance, config, redundancy, rng, &mut NoopSpans)
+}
+
+/// [`run_coded_swarm`] with a [`SpanRecorder`] attached: every tick
+/// opens a `coded.tick` span with one child per phase
+/// (`coded.deliver_data`, `coded.deliver_ctrl`,
+/// `coded.receiver_decisions`, `coded.sender_decisions`,
+/// `coded.beacons`), carrying `sent` / `innovative` counters. The span
+/// stream is a pure function of the run state, so equal seeds give
+/// byte-identical logical exports.
+pub fn run_coded_swarm_with_spans<S: SpanRecorder>(
+    instance: &RlncInstance,
+    config: &NetConfig,
+    redundancy: f64,
+    rng: &mut dyn RngCore,
+    spans: &mut S,
+) -> CodedNetReport {
     config.validate().expect("invalid net config");
     assert!(redundancy >= 1.0, "redundancy is a multiplier ≥ 1");
     let g = instance.graph();
@@ -171,8 +272,11 @@ pub fn run_coded_swarm(
         packets_unresolved: 0,
         bytes_sent: 0,
         ctrl_messages: 0,
+        have_messages: 0,
+        request_messages: 0,
         request_timeouts: 0,
         completion_ticks: Vec::new(),
+        link_counters: vec![CodedLinkCounters::default(); g.edge_count()],
         decode_ok: false,
     };
 
@@ -184,8 +288,11 @@ pub fn run_coded_swarm(
             break;
         }
         let mut activity = false;
+        let tick_span = spans.open("coded.tick");
+        let (sent_before, innovative_before) = (report.packets_sent, report.innovative_deliveries);
 
         // Phase 1: data delivery (send order within the tick).
+        let phase = spans.open("coded.deliver_data");
         while let Some((&key, _)) = data_cal.range((now, 0)..=(now, u64::MAX)).next() {
             let msg = data_cal.remove(&key).expect("keyed entry");
             let arc = g.edge(msg.edge);
@@ -193,6 +300,7 @@ pub fn run_coded_swarm(
             activity = true;
             if msg.lost {
                 report.packets_lost += 1;
+                report.link_counters[msg.edge.index()].lost += 1;
                 continue;
             }
             let dst = arc.dst.index();
@@ -206,15 +314,20 @@ pub fn run_coded_swarm(
             }
             if bases[dst].absorb(msg.packet) {
                 report.innovative_deliveries += 1;
+                report.link_counters[msg.edge.index()].innovative += 1;
                 if bases[dst].is_complete() && completion[dst].is_none() {
                     completion[dst] = Some(now);
+                    spans.event("coded.rank_complete", dst as u64);
                 }
             } else {
                 report.redundant_deliveries += 1;
+                report.link_counters[msg.edge.index()].redundant += 1;
             }
         }
+        spans.close(phase);
 
         // Phase 2: control delivery.
+        let phase = spans.open("coded.deliver_ctrl");
         while let Some((&key, _)) = ctrl_cal.range((now, 0)..=(now, u64::MAX)).next() {
             let msg = ctrl_cal.remove(&key).expect("keyed entry");
             activity = true;
@@ -228,10 +341,12 @@ pub fn run_coded_swarm(
                 }
             }
         }
+        spans.close(phase);
 
         // Phase 3: receiver decisions (pull mode): expire stale
         // credits, then spread the uncovered deficit over useful
         // in-arcs, least-granted first.
+        let phase = spans.open("coded.receiver_decisions");
         if pull {
             for v in g.nodes() {
                 let vi = v.index();
@@ -278,6 +393,7 @@ pub fn run_coded_swarm(
                     p.credits += c;
                     p.deadline = now + config.backoff_timeout(p.attempts);
                     report.ctrl_messages += 1;
+                    report.request_messages += 1;
                     activity = true;
                     if config.control_loss > 0.0 && rng.random_bool(config.control_loss) {
                         continue;
@@ -299,6 +415,8 @@ pub fn run_coded_swarm(
             }
         }
 
+        spans.close(phase);
+
         // Phase 4: sender decisions, ascending arc id. Every packet is
         // a fresh random combination of the sender's current basis.
         // Push mode shares one rank-deficit window per destination
@@ -306,6 +424,7 @@ pub fn run_coded_swarm(
         // it), so parallel senders do not each re-cover the full
         // deficit — the coded analogue of the uncoded runtime's
         // cross-arc `Cancel` dedup.
+        let phase = spans.open("coded.sender_decisions");
         let mut claimed = vec![0u32; n];
         let in_flight_to: Vec<u32> = if pull {
             Vec::new()
@@ -345,6 +464,7 @@ pub fn run_coded_swarm(
             for _ in 0..count {
                 let packet = bases[src].random_packet(rng);
                 report.packets_sent += 1;
+                report.link_counters[e.index()].packets_sent += 1;
                 report.bytes_sent += packet.wire_bytes();
                 activity = true;
                 let lost = config.loss > 0.0 && rng.random_bool(config.loss);
@@ -367,12 +487,15 @@ pub fn run_coded_swarm(
             }
         }
 
+        spans.close(phase);
+
         // Phase 5: belief beacons. A rank is a single integer, so —
         // unlike the uncoded runtime's possession bitmaps — every
         // vertex re-announces it every tick (the piggyback feedback of
         // real RLNC transports). A lost beacon leaves a sender
         // over-pushing for one tick, not until the next bitmap
         // refresh.
+        let phase = spans.open("coded.beacons");
         for v in g.nodes() {
             let vi = v.index();
             let rank = bases[vi].rank();
@@ -387,6 +510,7 @@ pub fn run_coded_swarm(
             peers.dedup();
             for to in peers {
                 report.ctrl_messages += 1;
+                report.have_messages += 1;
                 if config.control_loss > 0.0 && rng.random_bool(config.control_loss) {
                     continue;
                 }
@@ -406,6 +530,16 @@ pub fn run_coded_swarm(
                 }
             }
         }
+
+        spans.close(phase);
+
+        spans.attach(tick_span, "sent", report.packets_sent - sent_before);
+        spans.attach(
+            tick_span,
+            "innovative",
+            report.innovative_deliveries - innovative_before,
+        );
+        spans.close(tick_span);
 
         now += 1;
         report.ticks = now;
@@ -493,6 +627,134 @@ mod tests {
             assert!(report.packets_lost > 0, "{policy:?}: loss must have fired");
             assert!(report.accounts_for_every_packet());
         }
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_report_counters() {
+        let inst = ring_instance(8, 16);
+        let config = NetConfig {
+            policy: crate::NetPolicy::Local,
+            loss: 0.2,
+            latency: 2,
+            control_latency: 1,
+            ..NetConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = run_coded_swarm(&inst, &config, 1.0, &mut rng);
+        assert!(report.success);
+        assert_eq!(
+            report.ctrl_messages,
+            report.have_messages + report.request_messages,
+            "per-kind counters partition the control total"
+        );
+        let per_arc_sent: u64 = report.link_counters.iter().map(|l| l.packets_sent).sum();
+        assert_eq!(per_arc_sent, report.packets_sent);
+        let per_arc_lost: u64 = report.link_counters.iter().map(|l| l.lost).sum();
+        assert_eq!(per_arc_lost, report.packets_lost);
+
+        let snap = report.metrics_snapshot();
+        assert_eq!(
+            snap.counter("coded.packets_sent"),
+            Some(report.packets_sent)
+        );
+        assert_eq!(
+            snap.counter("coded.innovative_deliveries"),
+            Some(report.innovative_deliveries)
+        );
+        assert_eq!(
+            snap.counter("coded.packets_lost"),
+            Some(report.packets_lost)
+        );
+        assert_eq!(
+            snap.counter("coded.msgs_sent.have"),
+            Some(report.have_messages)
+        );
+        assert_eq!(
+            snap.counter("coded.msgs_sent.request"),
+            Some(report.request_messages)
+        );
+        assert_eq!(
+            snap.counter("coded.msgs_sent.token"),
+            Some(report.packets_sent)
+        );
+        let arc_sent = snap.series("coded.arc_packets_sent").unwrap();
+        assert_eq!(arc_sent.len(), report.link_counters.len());
+        assert_eq!(arc_sent.iter().sum::<u64>(), report.packets_sent);
+        let completion = snap.histogram("coded.rank_completion_ticks").unwrap();
+        assert_eq!(completion.count, 6, "every vertex completed");
+        assert_eq!(snap.gauge("coded.unfinished_vertices"), Some(0));
+        // Derived deterministically from the report: same seed,
+        // byte-identical snapshot.
+        let mut rng = StdRng::seed_from_u64(5);
+        let again = run_coded_swarm(&inst, &config, 1.0, &mut rng);
+        assert_eq!(again.metrics_snapshot().to_json(), snap.to_json());
+    }
+
+    #[test]
+    fn spans_cover_every_tick_with_all_phases() {
+        let inst = ring_instance(8, 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut spans = ocd_core::FlightRecorder::logical();
+        let report =
+            run_coded_swarm_with_spans(&inst, &NetConfig::default(), 1.0, &mut rng, &mut spans);
+        assert!(report.success);
+        assert!(spans.is_balanced());
+        let ticks = spans.count("coded.tick");
+        assert_eq!(ticks as u64, report.ticks);
+        for name in [
+            "coded.deliver_data",
+            "coded.deliver_ctrl",
+            "coded.receiver_decisions",
+            "coded.sender_decisions",
+            "coded.beacons",
+        ] {
+            assert_eq!(spans.count(name), ticks, "{name} runs once per tick");
+        }
+        for s in spans.spans() {
+            match s.name {
+                "coded.tick" => assert_eq!(s.depth, 0),
+                _ => assert_eq!(s.depth, 1, "{} should nest under coded.tick", s.name),
+            }
+        }
+        // Tick-span `sent` counters sum to the wire total, and every
+        // receiver that completed fired a rank_complete event.
+        let sent: u64 = spans
+            .spans()
+            .iter()
+            .filter(|s| s.name == "coded.tick")
+            .flat_map(|s| s.counters.iter())
+            .filter(|(k, _)| *k == "sent")
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(sent, report.packets_sent);
+        let completions = spans
+            .events()
+            .iter()
+            .filter(|e| e.name == "coded.rank_complete")
+            .count();
+        assert_eq!(completions, 5, "five non-source receivers complete");
+        // Recording spans must not perturb the simulation.
+        let mut rng = StdRng::seed_from_u64(3);
+        let plain = run_coded_swarm(&inst, &NetConfig::default(), 1.0, &mut rng);
+        assert_eq!(plain, report);
+    }
+
+    #[test]
+    fn equal_seed_span_exports_are_byte_identical() {
+        let inst = ring_instance(7, 8);
+        let config = NetConfig {
+            loss: 0.2,
+            jitter: 2,
+            latency: 3,
+            ..NetConfig::default()
+        };
+        let export = || {
+            let mut rng = StdRng::seed_from_u64(41);
+            let mut spans = ocd_core::FlightRecorder::logical();
+            run_coded_swarm_with_spans(&inst, &config, 1.25, &mut rng, &mut spans);
+            spans.to_chrome_json("coded")
+        };
+        assert_eq!(export(), export());
     }
 
     #[test]

@@ -49,6 +49,7 @@ use crate::trace::{
 };
 use ocd_core::knowledge::AggregateKnowledge;
 use ocd_core::provenance::{ProvenanceHook, ProvenanceTrace};
+use ocd_core::span::{NoopSpans, SpanRecorder};
 use ocd_core::{Instance, NodeBudgets, Schedule, ScheduleRecorder, Token, TokenSet};
 use ocd_graph::{EdgeId, NodeId};
 use ocd_heuristics::policy::{
@@ -260,6 +261,22 @@ pub fn run_swarm(
     faults: &FaultPlan,
     rng: &mut dyn RngCore,
 ) -> NetReport {
+    run_swarm_with_spans(instance, config, faults, rng, &mut NoopSpans)
+}
+
+/// [`run_swarm`] with a [`SpanRecorder`] attached: every simulated tick
+/// opens a `net.tick` span with one child per phase (`net.faults`,
+/// `net.deliver_data`, `net.deliver_ctrl`, `net.decide`,
+/// `net.refresh_haves`), carrying `sent` / `remaining` counters. The
+/// span stream is a pure function of the run state, so equal seeds give
+/// byte-identical logical exports.
+pub fn run_swarm_with_spans<S: SpanRecorder>(
+    instance: &Instance,
+    config: &NetConfig,
+    faults: &FaultPlan,
+    rng: &mut dyn RngCore,
+    spans: &mut S,
+) -> NetReport {
     config.validate().expect("invalid net config");
     let g = instance.graph();
     let n = g.node_count();
@@ -330,11 +347,16 @@ pub fn run_swarm(
         tokens_dropped_crashed: 0,
         provenance: config.record_provenance.then(|| ProvenanceTrace::new(n, m)),
     };
-    rt.run(faults, rng)
+    rt.run(faults, rng, spans)
 }
 
 impl Runtime<'_> {
-    fn run(&mut self, faults: &FaultPlan, rng: &mut dyn RngCore) -> NetReport {
+    fn run<S: SpanRecorder>(
+        &mut self,
+        faults: &FaultPlan,
+        rng: &mut dyn RngCore,
+        spans: &mut S,
+    ) -> NetReport {
         let mut success = self.remaining == 0;
         let mut now: u64 = 0;
         if !success {
@@ -344,15 +366,32 @@ impl Runtime<'_> {
             }
         }
         while !success && now < self.config.max_ticks {
+            let tick_span = spans.open("net.tick");
+            let phase = spans.open("net.faults");
             self.apply_faults(faults, now, rng);
+            spans.close(phase);
+            let phase = spans.open("net.deliver_data");
             self.deliver_data(now, rng);
+            spans.close(phase);
+            let phase = spans.open("net.deliver_ctrl");
             self.deliver_ctrl(now, rng);
+            spans.close(phase);
             if self.remaining == 0 {
                 success = true;
+                spans.attach(tick_span, "sent", 0);
+                spans.attach(tick_span, "remaining", 0);
+                spans.close(tick_span);
                 break;
             }
+            let phase = spans.open("net.decide");
             let sent = self.decide(now, rng);
+            spans.close(phase);
+            let phase = spans.open("net.refresh_haves");
             self.refresh_haves(now, rng);
+            spans.close(phase);
+            spans.attach(tick_span, "sent", sent);
+            spans.attach(tick_span, "remaining", self.remaining);
+            spans.close(tick_span);
             if sent == 0 && self.quiescent(faults, now) {
                 break; // nothing in flight, queued, pending, or scripted
             }
@@ -1274,5 +1313,84 @@ mod tests {
         );
         let replay = validate::replay(&instance, &report.schedule).unwrap();
         assert!(replay.is_successful());
+    }
+
+    #[test]
+    fn spans_cover_every_tick_with_all_phases() {
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut spans = ocd_core::FlightRecorder::logical();
+        let report = run_swarm_with_spans(
+            &instance,
+            &NetConfig::default(),
+            &FaultPlan::none(),
+            &mut rng,
+            &mut spans,
+        );
+        assert!(report.success);
+        assert!(spans.is_balanced());
+        let ticks = spans.count("net.tick");
+        assert!(ticks > 0 && ticks as u64 <= report.ticks + 1);
+        // Every tick ran the delivery phases; the final (completion)
+        // tick skips decide/refresh.
+        assert_eq!(spans.count("net.deliver_data"), ticks);
+        assert_eq!(spans.count("net.deliver_ctrl"), ticks);
+        assert_eq!(spans.count("net.faults"), ticks);
+        assert!(spans.count("net.decide") >= ticks - 1);
+        // Phase spans nest under their tick span.
+        for s in spans.spans() {
+            match s.name {
+                "net.tick" => assert_eq!(s.depth, 0),
+                _ => assert_eq!(s.depth, 1, "{} should nest under net.tick", s.name),
+            }
+        }
+        // The `sent` counters on tick spans sum to the wire total.
+        let sent: u64 = spans
+            .spans()
+            .iter()
+            .filter(|s| s.name == "net.tick")
+            .flat_map(|s| s.counters.iter())
+            .filter(|(k, _)| *k == "sent")
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(sent, report.bandwidth());
+    }
+
+    #[test]
+    fn span_recording_leaves_report_and_rng_stream_unchanged() {
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        let config = NetConfig {
+            policy: NetPolicy::Local,
+            latency: 2,
+            loss: 0.1,
+            ..NetConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let plain = run_swarm(&instance, &config, &FaultPlan::none(), &mut rng);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut spans = ocd_core::FlightRecorder::logical();
+        let instrumented =
+            run_swarm_with_spans(&instance, &config, &FaultPlan::none(), &mut rng, &mut spans);
+        assert_eq!(plain.schedule, instrumented.schedule);
+        assert_eq!(plain.ticks, instrumented.ticks);
+        assert_eq!(plain.messages_sent, instrumented.messages_sent);
+    }
+
+    #[test]
+    fn equal_seed_span_exports_are_byte_identical() {
+        let instance = single_file(classic::cycle(6, 2, true), 8, 0);
+        let config = NetConfig {
+            loss: 0.2,
+            jitter: 1,
+            latency: 2,
+            ..NetConfig::default()
+        };
+        let export = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut spans = ocd_core::FlightRecorder::logical();
+            run_swarm_with_spans(&instance, &config, &FaultPlan::none(), &mut rng, &mut spans);
+            spans.to_chrome_json("net")
+        };
+        assert_eq!(export(), export());
     }
 }

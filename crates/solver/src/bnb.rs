@@ -18,6 +18,7 @@
 
 use crate::SolveError;
 use ocd_core::bounds::remaining_makespan;
+use ocd_core::span::{NoopSpans, SpanRecorder};
 use ocd_core::{Instance, Schedule, Timestep, Token, TokenSet};
 use ocd_graph::EdgeId;
 use std::collections::HashMap;
@@ -83,6 +84,24 @@ pub fn decide_focd(
 /// [`SolveError::HorizonExceeded`] past `options.max_makespan`,
 /// [`SolveError::NodeLimit`] if the budget runs out.
 pub fn solve_focd(instance: &Instance, options: &BnbOptions) -> Result<BnbResult, SolveError> {
+    solve_focd_with_spans(instance, options, &mut NoopSpans)
+}
+
+/// [`solve_focd`] with a [`SpanRecorder`] attached: every
+/// iterative-deepening horizon attempt lands as a
+/// `solver.focd.horizon` span carrying `tau` and `nodes` (branches
+/// explored at that horizon) counters — the search timeline of the
+/// combinatorial solver. (The inner DFS visits millions of nodes and
+/// is deliberately *not* per-node instrumented.)
+///
+/// # Errors
+///
+/// Same contract as [`solve_focd`].
+pub fn solve_focd_with_spans<S: SpanRecorder>(
+    instance: &Instance,
+    options: &BnbOptions,
+    spans: &mut S,
+) -> Result<BnbResult, SolveError> {
     if !instance.is_satisfiable() {
         return Err(SolveError::Unsatisfiable);
     }
@@ -92,10 +111,14 @@ pub fn solve_focd(instance: &Instance, options: &BnbOptions) -> Result<BnbResult
     }
     let mut total_nodes = 0u64;
     for tau in lower..=options.max_makespan {
+        let span = spans.open("solver.focd.horizon");
+        spans.attach(span, "tau", tau as u64);
         let mut search = Search::new(instance, options.node_limit.saturating_sub(total_nodes));
         let mut possession = instance.have_all().to_vec();
         let found = search.dfs(&mut possession, tau);
         total_nodes += search.nodes;
+        spans.attach(span, "nodes", search.nodes);
+        spans.close(span);
         match found {
             Ok(Some(steps)) => {
                 let mut schedule = Schedule::new();

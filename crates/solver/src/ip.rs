@@ -35,6 +35,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::SolveError;
+use ocd_core::span::{NoopSpans, SpanRecorder};
 use ocd_core::{Instance, NodeBudgets, Schedule, Token, TokenSet};
 use ocd_lp::{ConId, LpError, MipOptions, Problem, Relation, Sense, VarId, VarKind};
 
@@ -272,11 +273,31 @@ pub fn min_bandwidth_for_horizon(
     horizon: usize,
     options: &MipOptions,
 ) -> Result<Option<IpResult>, SolveError> {
+    min_bandwidth_for_horizon_with_spans(instance, horizon, options, &mut NoopSpans)
+}
+
+/// [`min_bandwidth_for_horizon`] with a [`SpanRecorder`] attached: the
+/// solve lands as a `solver.ip.horizon` span (counter: `tau`) wrapping
+/// the MILP's `bnb.*` search-telemetry spans.
+///
+/// # Errors
+///
+/// Same contract as [`min_bandwidth_for_horizon`].
+pub fn min_bandwidth_for_horizon_with_spans<S: SpanRecorder>(
+    instance: &Instance,
+    horizon: usize,
+    options: &MipOptions,
+    spans: &mut S,
+) -> Result<Option<IpResult>, SolveError> {
     let Some(IpModel { problem, moves }) = build_ip(instance, horizon) else {
         return Ok(None);
     };
 
-    match problem.solve_mip(options) {
+    let span = spans.open("solver.ip.horizon");
+    spans.attach(span, "tau", horizon as u64);
+    let solved = problem.solve_mip_with_spans(options, spans);
+    spans.close(span);
+    match solved {
         Ok(sol) => {
             let schedule = decode_schedule(instance, horizon, &moves, &sol);
             Ok(Some(IpResult {
@@ -415,6 +436,23 @@ pub fn makespan_via_ip(
     max_horizon: usize,
     options: &MipOptions,
 ) -> Result<MakespanOutcome, SolveError> {
+    makespan_via_ip_with_spans(instance, max_horizon, options, &mut NoopSpans)
+}
+
+/// [`makespan_via_ip`] with a [`SpanRecorder`] attached: every horizon
+/// attempt lands as a `solver.ip.horizon` span (counter: `tau`)
+/// wrapping the MILP's `bnb.*` search-telemetry spans; horizons the LP
+/// relaxation refutes close without children.
+///
+/// # Errors
+///
+/// Same contract as [`makespan_via_ip`].
+pub fn makespan_via_ip_with_spans<S: SpanRecorder>(
+    instance: &Instance,
+    max_horizon: usize,
+    options: &MipOptions,
+    spans: &mut S,
+) -> Result<MakespanOutcome, SolveError> {
     let lb = ocd_core::bounds::makespan_lower_bound(instance)
         .max(ocd_core::bounds::counting_makespan_lower_bound(instance));
     if lb == usize::MAX {
@@ -427,17 +465,25 @@ pub fn makespan_via_ip(
             infeasible_horizons += 1;
             continue;
         };
+        let span = spans.open("solver.ip.horizon");
+        spans.attach(span, "tau", tau as u64);
         // LP-relaxation prefilter: most short horizons die here, without
         // branching.
         match model.problem.solve_lp() {
             Ok(_) => {}
             Err(LpError::Infeasible) => {
                 infeasible_horizons += 1;
+                spans.close(span);
                 continue;
             }
-            Err(e) => return Err(SolveError::Mip(e.to_string())),
+            Err(e) => {
+                spans.close(span);
+                return Err(SolveError::Mip(e.to_string()));
+            }
         }
-        match model.problem.solve_mip(options) {
+        let solved = model.problem.solve_mip_with_spans(options, spans);
+        spans.close(span);
+        match solved {
             Ok(sol) => {
                 let schedule = decode_schedule(instance, tau, &model.moves, &sol);
                 return Ok(MakespanOutcome::Certified(MakespanCertificate {
